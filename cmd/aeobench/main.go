@@ -1,0 +1,72 @@
+// Command aeobench regenerates the paper's evaluation tables and figures
+// on the simulated testbed.
+//
+// Usage:
+//
+//	aeobench list             # show available experiments
+//	aeobench fig2 fig10 ...   # run specific experiments
+//	aeobench all              # run everything (several minutes)
+//	aeobench -md all          # emit markdown (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aeolia/internal/experiments"
+)
+
+func main() {
+	md := flag.Bool("md", false, "emit markdown tables")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aeobench [-md] list | all | <experiment-id>...\n\nexperiments:\n")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
+		}
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []*experiments.Experiment
+	if args[0] == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range args {
+			e := experiments.Lookup(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "aeobench: unknown experiment %q (try 'list')\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		tables, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aeobench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *md {
+				t.Markdown(os.Stdout)
+			} else {
+				t.Print(os.Stdout)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,11 @@
+// Package aeolia is a from-scratch Go reproduction of "Aeolia: A Fast and
+// Secure Userspace Interrupt-Based Storage Stack" (SOSP 2025): a
+// deterministic simulation of the paper's hardware substrates (user
+// interrupts, MPK, an Optane-class NVMe SSD, sched_ext/EEVDF), the Aeolia
+// storage stack itself (AeoKern, AeoDriver, AeoFS), the baselines it is
+// evaluated against, and a benchmark harness that regenerates every table
+// and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package aeolia

@@ -1,0 +1,106 @@
+// Tenants: two untrusted processes share one disk through Aeolia's
+// protected-sharing design. Tenant B can read the world-readable file but
+// every attempt to touch tenant A's data — through the driver or the
+// trusted file-system layer — is refused.
+//
+//	go run ./examples/tenants
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/aeofs"
+	"aeolia/internal/aeokern"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sim"
+)
+
+func main() {
+	const blocks = 1 << 16
+	m := machine.New(2, nvme.Config{BlockSize: aeofs.BlockSize, NumBlocks: blocks})
+	part := aeokern.Partition{Start: 0, Blocks: blocks, Writable: true}
+
+	tenantA, err := m.Launch("tenantA", part, aeodriver.Config{Mode: aeodriver.ModeUserInterrupt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tenantB, err := m.Launch("tenantB", part, aeodriver.Config{Mode: aeodriver.ModeUserInterrupt})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var trust *aeofs.TrustLayer
+	var secretBlocks []uint64
+
+	// Tenant A formats the volume and stores a secret.
+	m.Eng.Spawn("tenantA", m.Eng.Core(0), func(env *sim.Env) {
+		if _, e := tenantA.Driver.CreateQP(env); e != nil {
+			log.Fatal(e)
+		}
+		t, e := aeofs.MkfsAndMount(env, tenantA.Driver, 0, blocks, aeofs.MkfsOptions{})
+		if e != nil {
+			log.Fatal(e)
+		}
+		trust = t
+		fs := aeofs.NewFS(trust, tenantA.Driver, 2)
+		fs.Mkdir(env, "/a")
+		fd, e := fs.Open(env, "/a/secret", aeofs.O_CREATE|aeofs.O_RDWR)
+		if e != nil {
+			log.Fatal(e)
+		}
+		fs.Write(env, fd, []byte("tenant A's private data"))
+		fs.Fsync(env, fd)
+		fs.Close(env, fd)
+		st, _ := fs.Stat(env, "/a/secret")
+		secretBlocks, _ = trust.QueryFileBlocks(env, tenantA.Driver, st.Ino)
+		fmt.Println("tenant A: wrote /a/secret")
+	})
+	m.Eng.Run(0)
+
+	// Tenant B attaches and attacks.
+	m.Eng.Spawn("tenantB", m.Eng.Core(1), func(env *sim.Env) {
+		if _, e := tenantB.Driver.CreateQP(env); e != nil {
+			log.Fatal(e)
+		}
+		if e := trust.AttachProcess(env, tenantB.Driver); e != nil {
+			log.Fatal(e)
+		}
+		fs := aeofs.NewFS(trust, tenantB.Driver, 2)
+
+		// Legal: world-readable data is readable through the FS.
+		fd, e := fs.Open(env, "/a/secret", aeofs.O_RDONLY)
+		if e != nil {
+			log.Fatal(e)
+		}
+		buf := make([]byte, 23)
+		fs.ReadAt(env, fd, buf, 0)
+		fmt.Printf("tenant B: legal read through AeoFS: %q\n", buf)
+		fs.Close(env, fd)
+
+		// Illegal 1: writing A's file through the trusted layer.
+		if _, e := fs.Open(env, "/a/secret", aeofs.O_WRONLY); e != nil {
+			fmt.Println("tenant B: open-for-write refused:", e)
+		}
+		// Illegal 2: raw device access to A's blocks (permission table).
+		raw := make([]byte, aeofs.BlockSize)
+		if e := tenantB.Driver.WriteBlk(env, secretBlocks[0], 1, raw); e != nil {
+			fmt.Println("tenant B: raw block write refused:", e)
+		}
+		if e := tenantB.Driver.ReadBlk(env, secretBlocks[0], 1, raw); e != nil {
+			fmt.Println("tenant B: raw block read refused:", e)
+		}
+		// Illegal 3: privileged driver APIs from untrusted code.
+		if e := tenantB.Driver.WritePriv(env, secretBlocks[0], 1, raw); e != nil {
+			fmt.Println("tenant B: write_priv refused:", e)
+		}
+		// Illegal 4: corrupting the directory tree.
+		if e := fs.Unlink(env, "/a/secret"); e != nil {
+			fmt.Println("tenant B: unlink of A's file refused:", e)
+		}
+	})
+	m.Eng.Run(0)
+	fmt.Println("protected sharing held: tenant A's data only ever moved through authorized paths")
+}

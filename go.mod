@@ -1,0 +1,3 @@
+module aeolia
+
+go 1.22

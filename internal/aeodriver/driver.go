@@ -1,0 +1,589 @@
+// Package aeodriver implements AeoDriver, the paper's trusted library NVMe
+// driver (§4): complete userspace I/O with submissions through directly
+// mapped queue pairs and completions through user interrupts; a per-block
+// permission table enforcing protected sharing; the Table 4 API surface
+// including privileged variants for trusted entities; and the coordinated-
+// scheduling decision points of §6 (after I/O submission and on interrupt-
+// handler return) driven by the sched_ext state map.
+package aeodriver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aeolia/internal/aeokern"
+	"aeolia/internal/mpk"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sched"
+	"aeolia/internal/sim"
+	"aeolia/internal/timing"
+	"aeolia/internal/uintr"
+)
+
+// Errors returned by the driver.
+var (
+	ErrPerm       = errors.New("aeodriver: block access permission denied")
+	ErrPrivileged = errors.New("aeodriver: privileged API rejected for untrusted caller")
+	ErrClosed     = errors.New("aeodriver: device not open")
+	ErrNoThread   = errors.New("aeodriver: calling task has no queue pair (create_qp first)")
+)
+
+// CompletionMode selects how I/O completions reach the driver.
+type CompletionMode int
+
+// Completion modes. ModeUserInterrupt is Aeolia's design; ModePoll and
+// ModeKernelInterrupt are the Figure 17 ablations (+poll, +k_intr);
+// ModeKernelNative is the substrate the kernel-file-system baselines run on.
+const (
+	ModeUserInterrupt CompletionMode = iota
+	ModePoll
+	ModeKernelInterrupt
+	// ModeKernelNative models a conventional in-kernel consumer of the
+	// interrupt (no userspace forwarding): ISR + bottom half + wakeup.
+	// The kernel-file-system baselines use it as their I/O substrate.
+	ModeKernelNative
+)
+
+func (m CompletionMode) String() string {
+	switch m {
+	case ModeUserInterrupt:
+		return "uintr"
+	case ModePoll:
+		return "poll"
+	case ModeKernelInterrupt:
+		return "kintr"
+	case ModeKernelNative:
+		return "knative"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// WaitPolicy selects what a thread does while its I/O is in flight.
+type WaitPolicy int
+
+// Wait policies. PolicyCoordinated is Aeolia's active-checking +
+// user_try_yield policy; PolicyAlwaysBlock is the +k_yield ablation
+// (eagerly yield to the kernel idle task, Figure 17).
+const (
+	PolicyCoordinated WaitPolicy = iota
+	PolicyAlwaysBlock
+)
+
+// Config parameterizes a driver instance.
+type Config struct {
+	Mode       CompletionMode
+	Policy     WaitPolicy
+	QueueDepth int
+}
+
+// Request is an in-flight I/O request handle.
+type Request struct {
+	op     nvme.Opcode
+	lba    uint64
+	cnt    uint32
+	done   *sim.Completion // fired when the driver has handled the CQE
+	cqe    *sim.Completion // fired when the CQE becomes visible (polling)
+	status nvme.Status
+	cid    uint16
+	// SubmittedAt/DoneAt delimit the request's device-visible lifetime.
+	SubmittedAt time.Duration
+	DoneAt      time.Duration
+}
+
+// Err returns the request's completion status as an error.
+func (r *Request) Err() error { return r.status.Err() }
+
+// Thread is the per-thread driver state: a dedicated queue pair, a distinct
+// hardware vector (§6.1: per-thread vectors make out-of-schedule interrupts
+// miss UINV), and the thread's UPID.
+type Thread struct {
+	drv    *Driver
+	task   *sim.Task
+	qp     *nvme.QueuePair
+	vector int
+	uv     uint8
+	upid   *uintr.UPID
+
+	pending map[uint16]*Request
+
+	// Stats.
+	Submitted        uint64
+	HandlerRuns      uint64
+	OutOfSchedDeliv  uint64
+	YieldsFromIRQ    uint64
+	BlockedWaits     uint64
+	ActiveCheckWaits uint64
+}
+
+// Driver is an AeoDriver instance: one per process.
+type Driver struct {
+	kern *aeokern.Kernel
+	proc *aeokern.Process
+	cfg  Config
+
+	gate       *mpk.Gate
+	permRegion *mpk.Region
+	perm       *PermTable
+
+	ext *sched.ExtMap
+
+	threads map[*sim.Task]*Thread
+	open    bool
+
+	dmaBytes int64
+}
+
+// Open initializes an AeoDriver instance for the process (Table 4 ①). The
+// gate is the process's trusted-entity call gate produced by the privileged
+// launcher; the permission table is initialized from the kernel-maintained
+// partition.
+func Open(kern *aeokern.Kernel, proc *aeokern.Process, gate *mpk.Gate, cfg Config) (*Driver, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 128
+	}
+	d := &Driver{
+		kern:       kern,
+		proc:       proc,
+		cfg:        cfg,
+		gate:       gate,
+		permRegion: kern.Sys.NewRegion(fmt.Sprintf("permtable-%s", proc.Name), gate.Key()),
+		perm:       NewPermTable(kern.Device().NumBlocks()),
+		ext:        kern.ExtMap(),
+		threads:    make(map[*sim.Task]*Thread),
+		open:       true,
+	}
+	// Initialize block permissions from the kernel's coarse partition.
+	part := proc.Partition
+	p := PermRead
+	if part.Writable {
+		p = PermRW
+	}
+	d.perm.SetRange(part.Start, part.Blocks, p)
+	return d, nil
+}
+
+// Close releases all driver resources (Table 4 ②).
+func (d *Driver) Close() {
+	for t, th := range d.threads {
+		d.kern.FreeQueuePair(d.proc, th.qp)
+		d.kern.UnregisterThreadUintr(t)
+		delete(d.threads, t)
+	}
+	d.open = false
+}
+
+// Gate returns the process's trusted-entity gate (shared with the AeoFS
+// trust layer, which lives in the same protection domain).
+func (d *Driver) Gate() *mpk.Gate { return d.gate }
+
+// Process returns the owning process.
+func (d *Driver) Process() *aeokern.Process { return d.proc }
+
+// Kernel returns the backing kernel.
+func (d *Driver) Kernel() *aeokern.Kernel { return d.kern }
+
+// Mode returns the driver's completion mode.
+func (d *Driver) Mode() CompletionMode { return d.cfg.Mode }
+
+// Config returns the driver's configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+// CreateQP allocates the calling task's queue pair and wires its completion
+// path according to the driver's mode (Table 4 ③).
+func (d *Driver) CreateQP(env *sim.Env) (*Thread, error) {
+	if !d.open {
+		return nil, ErrClosed
+	}
+	t := env.Task()
+	if th, ok := d.threads[t]; ok {
+		return th, nil
+	}
+	qp, err := d.kern.AllocQueuePair(d.proc, d.cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	th := &Thread{
+		drv:     d,
+		task:    t,
+		qp:      qp,
+		pending: make(map[uint16]*Request),
+	}
+	switch d.cfg.Mode {
+	case ModeUserInterrupt:
+		vec, err := d.kern.AllocVector(th.kernelDeliver)
+		if err != nil {
+			d.kern.FreeQueuePair(d.proc, qp)
+			return nil, err
+		}
+		th.vector = vec
+		th.uv = uint8(vec % uintr.MaxVectors)
+		upid, _ := d.kern.MapUPID(t.Affinity(), vec, d.gate)
+		th.upid = upid
+		d.kern.ProgramMSIX(qp, upid, th.uv, t.Affinity(), vec)
+		d.kern.RegisterThreadUintr(t, vec, upid, th.userHandler)
+	case ModeKernelNative:
+		vec, err := d.kern.AllocVector(th.kernelNativeDeliver)
+		if err != nil {
+			d.kern.FreeQueuePair(d.proc, qp)
+			return nil, err
+		}
+		th.vector = vec
+		d.kern.ProgramMSIX(qp, nil, 0, t.Affinity(), vec)
+	case ModeKernelInterrupt:
+		vec, err := d.kern.AllocVector(th.kernelIntrDeliver)
+		if err != nil {
+			d.kern.FreeQueuePair(d.proc, qp)
+			return nil, err
+		}
+		th.vector = vec
+		d.kern.ProgramMSIX(qp, nil, 0, t.Affinity(), vec)
+	case ModePoll:
+		// No interrupt wiring; the thread discovers CQEs by polling.
+	}
+	d.threads[t] = th
+	return th, nil
+}
+
+// DeleteQP releases the calling task's queue pair (Table 4 ④).
+func (d *Driver) DeleteQP(env *sim.Env) error {
+	t := env.Task()
+	th, ok := d.threads[t]
+	if !ok {
+		return ErrNoThread
+	}
+	d.kern.FreeQueuePair(d.proc, th.qp)
+	d.kern.UnregisterThreadUintr(t)
+	delete(d.threads, t)
+	return nil
+}
+
+// AllocDMABuf allocates a DMA-able data buffer (Table 4 ⑤).
+func (d *Driver) AllocDMABuf(size int) []byte {
+	d.dmaBytes += int64(size)
+	return make([]byte, size)
+}
+
+// FreeDMABuf returns a DMA buffer (Table 4 ⑥).
+func (d *Driver) FreeDMABuf(buf []byte) {
+	d.dmaBytes -= int64(cap(buf))
+}
+
+// DMABytes reports currently allocated DMA memory.
+func (d *Driver) DMABytes() int64 { return d.dmaBytes }
+
+// thread returns the per-task driver state.
+func (d *Driver) thread(t *sim.Task) (*Thread, error) {
+	th, ok := d.threads[t]
+	if !ok {
+		return nil, ErrNoThread
+	}
+	return th, nil
+}
+
+// ReadBlk reads cnt blocks at lba into buf with permission enforcement
+// (Table 4 ⑦).
+func (d *Driver) ReadBlk(env *sim.Env, lba uint64, cnt uint32, buf []byte) error {
+	return d.syncIO(env, nvme.OpRead, lba, cnt, buf, false)
+}
+
+// WriteBlk writes cnt blocks at lba from buf with permission enforcement
+// (Table 4 ⑧).
+func (d *Driver) WriteBlk(env *sim.Env, lba uint64, cnt uint32, buf []byte) error {
+	return d.syncIO(env, nvme.OpWrite, lba, cnt, buf, false)
+}
+
+// ReadPriv reads blocks bypassing the permission table (Table 4 ⑨); only
+// trusted entities may call it.
+func (d *Driver) ReadPriv(env *sim.Env, lba uint64, cnt uint32, buf []byte) error {
+	if !d.proc.Thread.InTrustedGate() {
+		return ErrPrivileged
+	}
+	return d.syncIO(env, nvme.OpRead, lba, cnt, buf, true)
+}
+
+// WritePriv writes blocks bypassing the permission table (Table 4 ⑩); only
+// trusted entities may call it.
+func (d *Driver) WritePriv(env *sim.Env, lba uint64, cnt uint32, buf []byte) error {
+	if !d.proc.Thread.InTrustedGate() {
+		return ErrPrivileged
+	}
+	return d.syncIO(env, nvme.OpWrite, lba, cnt, buf, true)
+}
+
+// Flush issues a device flush (persistence barrier).
+func (d *Driver) Flush(env *sim.Env) error {
+	return d.syncIO(env, nvme.OpFlush, 0, 0, nil, true)
+}
+
+// GetPerm returns a block's permission (Table 4 ⑪); trusted entities only.
+func (d *Driver) GetPerm(env *sim.Env, blk uint64) (Perm, error) {
+	if !d.proc.Thread.InTrustedGate() {
+		return PermNone, ErrPrivileged
+	}
+	if err := d.kern.Sys.Check(d.proc.Thread, d.permRegion, false); err != nil {
+		return PermNone, err
+	}
+	return d.perm.Get(blk), nil
+}
+
+// PermTrace, when set, observes every permission change to WatchBlk
+// (debugging).
+var PermTrace func(op string, blk uint64, p Perm)
+
+// WatchBlk is the block PermTrace observes.
+var WatchBlk uint64
+
+func tracePerm(op string, blk uint64, p Perm) {
+	if PermTrace != nil && blk == WatchBlk {
+		PermTrace(op, blk, p)
+	}
+}
+
+// SetPerm changes a block's permission (Table 4 ⑫); trusted entities only.
+func (d *Driver) SetPerm(env *sim.Env, blk uint64, p Perm) error {
+	if !d.proc.Thread.InTrustedGate() {
+		return ErrPrivileged
+	}
+	if err := d.kern.Sys.Check(d.proc.Thread, d.permRegion, true); err != nil {
+		return err
+	}
+	tracePerm("set", blk, p)
+	d.perm.Set(blk, p)
+	return nil
+}
+
+// GrantPerm widens a block's permission (OR semantics), so concurrent
+// grants for different access modes never downgrade each other; trusted
+// entities only.
+func (d *Driver) GrantPerm(env *sim.Env, blk uint64, p Perm) error {
+	if !d.proc.Thread.InTrustedGate() {
+		return ErrPrivileged
+	}
+	if err := d.kern.Sys.Check(d.proc.Thread, d.permRegion, true); err != nil {
+		return err
+	}
+	tracePerm("grant", blk, d.perm.Get(blk)|p)
+	d.perm.Set(blk, d.perm.Get(blk)|p)
+	return nil
+}
+
+// SetPermRange changes a block range's permission; trusted entities only.
+func (d *Driver) SetPermRange(env *sim.Env, blk, n uint64, p Perm) error {
+	if !d.proc.Thread.InTrustedGate() {
+		return ErrPrivileged
+	}
+	if err := d.kern.Sys.Check(d.proc.Thread, d.permRegion, true); err != nil {
+		return err
+	}
+	if PermTrace != nil && WatchBlk >= blk && WatchBlk < blk+n {
+		PermTrace("setrange", WatchBlk, p)
+	}
+	d.perm.SetRange(blk, n, p)
+	return nil
+}
+
+// syncIO is the synchronous I/O path: submit inside the trusted gate, then
+// wait per the driver's completion mode and policy.
+func (d *Driver) syncIO(env *sim.Env, op nvme.Opcode, lba uint64, cnt uint32, buf []byte, priv bool) error {
+	req, err := d.Submit(env, op, lba, cnt, buf, priv)
+	if err != nil {
+		return err
+	}
+	return d.Wait(env, req)
+}
+
+// Submit issues an asynchronous I/O request. Entering the trusted driver
+// costs the gate toll; the permission check happens inside the gate.
+func (d *Driver) Submit(env *sim.Env, op nvme.Opcode, lba uint64, cnt uint32, buf []byte, priv bool) (*Request, error) {
+	if !d.open {
+		return nil, ErrClosed
+	}
+	if priv && !d.proc.Thread.InTrustedGate() {
+		return nil, ErrPrivileged
+	}
+	th, err := d.thread(env.Task())
+	if err != nil {
+		return nil, err
+	}
+	var req *Request
+	d.gate.Call(env, d.proc.Thread, func() {
+		if !priv && op != nvme.OpFlush && !d.perm.Allows(lba, uint64(cnt), op == nvme.OpWrite) {
+			err = fmt.Errorf("%w: %v [%d,+%d)", ErrPerm, op, lba, cnt)
+			return
+		}
+		env.Exec(timing.SubmitCost)
+		req, err = th.submit(env, op, lba, cnt, buf)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func (th *Thread) submit(env *sim.Env, op nvme.Opcode, lba uint64, cnt uint32, buf []byte) (*Request, error) {
+	req := &Request{
+		op:          op,
+		lba:         lba,
+		cnt:         cnt,
+		done:        sim.NewCompletion(),
+		SubmittedAt: env.Now(),
+	}
+	cqe, err := th.qp.Submit(nvme.SubmissionEntry{Opcode: op, SLBA: lba, NLB: cnt, Data: buf})
+	if err != nil {
+		return nil, err
+	}
+	req.cqe = cqe
+	// The CID assigned by the queue pair is the last one issued.
+	req.cid = th.lastCID()
+	th.pending[req.cid] = req
+	th.Submitted++
+	return req, nil
+}
+
+// lastCID recovers the CID the queue pair just assigned.
+func (th *Thread) lastCID() uint16 { return th.qp.LastCID() }
+
+// Wait blocks (per policy) until req completes, then charges the
+// completion-side software cost and returns the request's status.
+func (d *Driver) Wait(env *sim.Env, req *Request) error {
+	th, err := d.thread(env.Task())
+	if err != nil {
+		return err
+	}
+	for !req.done.Done() {
+		switch {
+		case d.cfg.Mode == ModePoll:
+			// Busy-poll the completion queue.
+			env.SpinWait(req.cqe)
+			th.drainCQ(env.Now())
+		case d.cfg.Policy == PolicyAlwaysBlock || d.othersRunnable(env):
+			// Scheduling decision point after issuing the I/O
+			// (§3.3): yield the core while the I/O is in flight.
+			// The out-of-schedule user interrupt takes the kernel
+			// path, wakes us, and inserts the handler frame.
+			th.BlockedWaits++
+			env.BlockOn(req.done)
+		default:
+			// Active checking (§2.1): no other runnable task, so
+			// stay on the CPU; the in-schedule user interrupt
+			// resumes us directly.
+			th.ActiveCheckWaits++
+			env.SpinWait(req.done)
+		}
+	}
+	env.Exec(timing.CompleteCost)
+	return req.Err()
+}
+
+// othersRunnable consults the sched_ext map: is any other task runnable on
+// this core?
+func (d *Driver) othersRunnable(env *sim.Env) bool {
+	c := env.Task().Core()
+	if c == nil {
+		return false
+	}
+	return d.ext.Snapshot(c).NrRunning > 1
+}
+
+// drainCQ consumes all visible CQEs and fires their requests.
+func (th *Thread) drainCQ(now time.Duration) int {
+	n := 0
+	for _, ce := range th.qp.Poll(0) {
+		req := th.pending[ce.CID]
+		if req == nil {
+			continue
+		}
+		delete(th.pending, ce.CID)
+		req.status = ce.Status
+		req.DoneAt = now
+		req.done.FireAt(now)
+		n++
+	}
+	return n
+}
+
+// userHandler is the userspace user-interrupt handler (§4.2): it identifies
+// the interrupt source by checking the hardware completion queue, handles
+// completions, rewrites the UPID PIR (implicit: recognition cleared it),
+// and evaluates user_try_yield before returning (§6.1 decision point).
+func (th *Thread) userHandler(ctx *sim.IRQCtx, uv uint8) {
+	th.HandlerRuns++
+	th.drainCQ(ctx.Now())
+	// Figure 8: yield only when the policy demands it.
+	snap := th.drv.ext.Snapshot(ctx.Core())
+	if sched.UserTryYield(snap, ctx.Now()) {
+		th.YieldsFromIRQ++
+		ctx.Core().SetNeedResched()
+	}
+}
+
+// kernelDeliver is the out-of-schedule user-interrupt path (§6.1): the
+// vector missed UINV, so it arrives as a regular kernel interrupt. The
+// kernel wakes the target thread (setting the reschedule flag via wakeup
+// preemption) and rewrites its saved context to insert a stack frame that
+// runs the userspace handler before the thread resumes.
+func (th *Thread) kernelDeliver(ctx *sim.IRQCtx, vec int) {
+	th.OutOfSchedDeliv++
+	ctx.Charge(timing.KernelInterrupt)
+	// The kernel observes the posted bits and clears the PIR on the
+	// thread's behalf.
+	th.upid.PIR = 0
+	th.deliverViaKernel(ctx)
+}
+
+// deliverViaKernel finishes a kernel-path delivery: if the target thread is
+// actively checking on a CPU, handle the completion in interrupt context;
+// otherwise insert the userspace handler frame and wake/resched the thread.
+func (th *Thread) deliverViaKernel(ctx *sim.IRQCtx) {
+	t := th.task
+	if t.State() == sim.TaskRunning {
+		th.HandlerRuns++
+		th.drainCQ(ctx.Now())
+		return
+	}
+	t.PushResumeHook(func() time.Duration {
+		th.HandlerRuns++
+		th.drainCQ(th.drv.kern.Engine().Now())
+		return timing.HandlerExec
+	})
+	switch t.State() {
+	case sim.TaskBlocked:
+		ctx.Charge(timing.WakeupTTWU)
+		ctx.Engine().Wake(t)
+	case sim.TaskRunnable:
+		if th.drv.kern.Sched().ShouldPreempt(t, ctx.Core()) {
+			ctx.Core().SetNeedResched()
+		}
+	}
+}
+
+// kernelIntrDeliver is the ModeKernelInterrupt (+k_intr) completion path:
+// a conventional kernel ISR plus eventfd-style forwarding to userspace.
+func (th *Thread) kernelIntrDeliver(ctx *sim.IRQCtx, vec int) {
+	ctx.Charge(timing.KernelInterrupt + timing.KernelBottomHalf + timing.EventfdForward)
+	th.deliverViaKernel(ctx)
+}
+
+// kernelNativeDeliver is the in-kernel completion path (ModeKernelNative):
+// interrupt + bottom half, then waking the in-kernel waiter.
+func (th *Thread) kernelNativeDeliver(ctx *sim.IRQCtx, vec int) {
+	ctx.Charge(timing.KernelInterrupt + timing.KernelBottomHalf)
+	th.deliverViaKernel(ctx)
+}
+
+// Perm exposes the permission table for verification in tests and attacks.
+// Mutation must go through SetPerm; this accessor is read-only by
+// convention (the region check guards real accesses).
+func (d *Driver) PermSnapshot(blk uint64) Perm { return d.perm.Get(blk) }
+
+// DebugThread renders a thread's diagnostic state (tests only).
+func (d *Driver) DebugThread(t *sim.Task) string {
+	th, ok := d.threads[t]
+	if !ok {
+		return "no-thread"
+	}
+	return fmt.Sprintf("submitted=%d handler=%d oos=%d pending=%d inflight=%d cqe=%v upidPIR=%#x",
+		th.Submitted, th.HandlerRuns, th.OutOfSchedDeliv, len(th.pending), th.qp.Inflight(), th.qp.HasCompletions(), th.upid.PIR)
+}

@@ -1,0 +1,275 @@
+package aeofs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"aeolia/internal/aeofs"
+	"aeolia/internal/sim"
+)
+
+// TestConcurrentDisjointWritersSameFile: the range lock must let two tasks
+// write disjoint halves of one file in parallel, and both halves must land.
+func TestConcurrentDisjointWritersSameFile(t *testing.T) {
+	fx := newFixture(t, 2)
+	fx.run(t, "prep", func(env *sim.Env) error {
+		return writeFile(env, fx.fs, "/big", make([]byte, 64*aeofs.BlockSize))
+	})
+	var errs [2]error
+	var elapsed [2]time.Duration
+	for i := 0; i < 2; i++ {
+		i := i
+		fx.m.Eng.Spawn(fmt.Sprintf("w%d", i), fx.m.Eng.Core(i), func(env *sim.Env) {
+			if _, e := fx.p.Driver.CreateQP(env); e != nil {
+				errs[i] = e
+				return
+			}
+			fd, e := fx.fs.Open(env, "/big", aeofs.O_RDWR)
+			if e != nil {
+				errs[i] = e
+				return
+			}
+			defer fx.fs.Close(env, fd)
+			start := env.Now()
+			half := uint64(32 * aeofs.BlockSize)
+			data := bytes.Repeat([]byte{byte(i + 1)}, int(half))
+			if _, e := fx.fs.WriteAt(env, fd, data, uint64(i)*half); e != nil {
+				errs[i] = e
+				return
+			}
+			elapsed[i] = env.Now() - start
+		})
+	}
+	fx.m.Run(0)
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("writer %d: %v", i, e)
+		}
+	}
+	fx.run(t, "verify", func(env *sim.Env) error {
+		got, err := readFile(env, fx.fs, "/big")
+		if err != nil {
+			return err
+		}
+		half := 32 * aeofs.BlockSize
+		if got[0] != 1 || got[half-1] != 1 {
+			return fmt.Errorf("first half corrupted: %d %d", got[0], got[half-1])
+		}
+		if got[half] != 2 || got[2*half-1] != 2 {
+			return fmt.Errorf("second half corrupted: %d %d", got[half], got[2*half-1])
+		}
+		return nil
+	})
+}
+
+// TestConcurrentReadersSameRange: readers on the same pages proceed in
+// parallel (the range lock is shared for reads).
+func TestConcurrentReadersSameRange(t *testing.T) {
+	fx := newFixture(t, 4)
+	data := pattern(16*aeofs.BlockSize, 9)
+	fx.run(t, "prep", func(env *sim.Env) error {
+		return writeFile(env, fx.fs, "/ro", data)
+	})
+	var errs [4]error
+	for i := 0; i < 4; i++ {
+		i := i
+		fx.m.Eng.Spawn(fmt.Sprintf("r%d", i), fx.m.Eng.Core(i), func(env *sim.Env) {
+			if _, e := fx.p.Driver.CreateQP(env); e != nil {
+				errs[i] = e
+				return
+			}
+			fd, e := fx.fs.Open(env, "/ro", aeofs.O_RDONLY)
+			if e != nil {
+				errs[i] = e
+				return
+			}
+			defer fx.fs.Close(env, fd)
+			buf := make([]byte, len(data))
+			for rep := 0; rep < 5; rep++ {
+				if _, e := fx.fs.ReadAt(env, fd, buf, 0); e != nil {
+					errs[i] = e
+					return
+				}
+				if !bytes.Equal(buf, data) {
+					errs[i] = fmt.Errorf("reader %d saw corrupt data", i)
+					return
+				}
+			}
+		})
+	}
+	fx.m.Run(0)
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("reader %d: %v", i, e)
+		}
+	}
+}
+
+// TestConcurrentCreatesSameDirectory: many tasks creating distinct names in
+// one directory must all succeed with no lost entries (dentry hash + dir
+// lock under contention, including growth past the rehash threshold).
+func TestConcurrentCreatesSameDirectory(t *testing.T) {
+	const threads, per = 4, 40
+	fx := newFixture(t, threads)
+	fx.run(t, "prep", func(env *sim.Env) error {
+		return fx.fs.Mkdir(env, "/shared")
+	})
+	var errs [threads]error
+	for i := 0; i < threads; i++ {
+		i := i
+		fx.m.Eng.Spawn(fmt.Sprintf("c%d", i), fx.m.Eng.Core(i), func(env *sim.Env) {
+			if _, e := fx.p.Driver.CreateQP(env); e != nil {
+				errs[i] = e
+				return
+			}
+			for j := 0; j < per; j++ {
+				fd, e := fx.fs.Open(env, fmt.Sprintf("/shared/t%d-%d", i, j), aeofs.O_CREATE|aeofs.O_RDWR)
+				if e != nil {
+					errs[i] = e
+					return
+				}
+				if e := fx.fs.Close(env, fd); e != nil {
+					errs[i] = e
+					return
+				}
+			}
+		})
+	}
+	fx.m.Run(0)
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("creator %d: %v", i, e)
+		}
+	}
+	fx.run(t, "verify", func(env *sim.Env) error {
+		dents, err := fx.fs.ReadDir(env, "/shared")
+		if err != nil {
+			return err
+		}
+		if len(dents) != threads*per {
+			return fmt.Errorf("found %d entries, want %d", len(dents), threads*per)
+		}
+		return nil
+	})
+	// The directory's integrity survives a full fsck.
+	rep := fx.fsckNow(t)
+	if !rep.Clean() {
+		t.Fatalf("fsck after concurrent creates: %v", rep.Problems)
+	}
+}
+
+// TestConcurrentAppendersDistinctFiles exercises allocator sharding: many
+// appenders must never be handed overlapping blocks.
+func TestConcurrentAppendersDistinctFiles(t *testing.T) {
+	const threads = 4
+	fx := newFixture(t, threads)
+	var errs [threads]error
+	for i := 0; i < threads; i++ {
+		i := i
+		fx.m.Eng.Spawn(fmt.Sprintf("a%d", i), fx.m.Eng.Core(i), func(env *sim.Env) {
+			if _, e := fx.p.Driver.CreateQP(env); e != nil {
+				errs[i] = e
+				return
+			}
+			errs[i] = writeFile(env, fx.fs, fmt.Sprintf("/app%d", i), bytes.Repeat([]byte{byte(i + 1)}, 20*aeofs.BlockSize))
+		})
+	}
+	fx.m.Run(0)
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("appender %d: %v", i, e)
+		}
+	}
+	fx.run(t, "verify", func(env *sim.Env) error {
+		for i := 0; i < threads; i++ {
+			got, err := readFile(env, fx.fs, fmt.Sprintf("/app%d", i))
+			if err != nil {
+				return err
+			}
+			for _, b := range got {
+				if b != byte(i+1) {
+					return fmt.Errorf("file %d contains foreign byte %d (block overlap!)", i, b)
+				}
+			}
+		}
+		return nil
+	})
+	rep := fx.fsckNow(t)
+	if !rep.Clean() {
+		t.Fatalf("fsck: %v", rep.Problems)
+	}
+}
+
+// TestOpenCloseChurnWithConcurrentWriter is a regression test for the
+// revoke-vs-flush races found by the Filebench workload: rapid open/close
+// cycles by readers must never invalidate a concurrent writer's grant or
+// lose its dirty pages.
+func TestOpenCloseChurnWithConcurrentWriter(t *testing.T) {
+	fx := newFixture(t, 2)
+	fx.run(t, "prep", func(env *sim.Env) error {
+		if err := writeFile(env, fx.fs, "/churn", make([]byte, 4*aeofs.BlockSize)); err != nil {
+			return err
+		}
+		return fx.fs.Chmod(env, "/churn", 0o606)
+	})
+	var werr, rerr error
+	fx.m.Eng.Spawn("writer", fx.m.Eng.Core(0), func(env *sim.Env) {
+		if _, e := fx.p.Driver.CreateQP(env); e != nil {
+			werr = e
+			return
+		}
+		for i := 0; i < 30; i++ {
+			fd, e := fx.fs.Open(env, "/churn", aeofs.O_WRONLY|aeofs.O_APPEND)
+			if e != nil {
+				werr = fmt.Errorf("open %d: %w", i, e)
+				return
+			}
+			if _, e := fx.fs.Write(env, fd, make([]byte, aeofs.BlockSize)); e != nil {
+				werr = fmt.Errorf("write %d: %w", i, e)
+				return
+			}
+			if e := fx.fs.Close(env, fd); e != nil {
+				werr = fmt.Errorf("close %d: %w", i, e)
+				return
+			}
+		}
+	})
+	fx.m.Eng.Spawn("churner", fx.m.Eng.Core(1), func(env *sim.Env) {
+		if _, e := fx.p.Driver.CreateQP(env); e != nil {
+			rerr = e
+			return
+		}
+		buf := make([]byte, aeofs.BlockSize)
+		for i := 0; i < 60; i++ {
+			fd, e := fx.fs.Open(env, "/churn", aeofs.O_RDONLY)
+			if e != nil {
+				rerr = fmt.Errorf("open %d: %w", i, e)
+				return
+			}
+			if _, e := fx.fs.ReadAt(env, fd, buf, 0); e != nil {
+				rerr = fmt.Errorf("read %d: %w", i, e)
+				return
+			}
+			if e := fx.fs.Close(env, fd); e != nil {
+				rerr = fmt.Errorf("close %d: %w", i, e)
+				return
+			}
+		}
+	})
+	fx.m.Run(0)
+	if werr != nil || rerr != nil {
+		t.Fatalf("writer: %v / churner: %v", werr, rerr)
+	}
+	fx.run(t, "verify", func(env *sim.Env) error {
+		st, err := fx.fs.Stat(env, "/churn")
+		if err != nil {
+			return err
+		}
+		if st.Size != uint64(34*aeofs.BlockSize) {
+			return fmt.Errorf("size = %d, want %d", st.Size, 34*aeofs.BlockSize)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,300 @@
+package aeofs_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/aeofs"
+	"aeolia/internal/aeokern"
+	"aeolia/internal/machine"
+	"aeolia/internal/sim"
+)
+
+// remount builds a fresh process + trust layer over the fixture's device,
+// simulating a post-crash restart (all in-memory state discarded, journal
+// recovery runs at mount).
+func (fx *fixture) remount(t *testing.T) (*machine.Process, *aeofs.TrustLayer, *aeofs.FS) {
+	t.Helper()
+	p2, err := fx.m.Launch(fmt.Sprintf("restart%d", fx.m.Dev.QueuePairCount()),
+		aeokern.Partition{Start: 0, Blocks: testDiskBlocks, Writable: true},
+		aeodriver.Config{Mode: aeodriver.ModeUserInterrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trust *aeofs.TrustLayer
+	var fs *aeofs.FS
+	var rerr error
+	fx.m.Eng.Spawn("remount", fx.m.Eng.Core(0), func(env *sim.Env) {
+		if _, e := p2.Driver.CreateQP(env); e != nil {
+			rerr = e
+			return
+		}
+		trust, rerr = aeofs.MountExisting(env, p2.Driver, 0)
+		if rerr == nil {
+			fs = aeofs.NewFS(trust, p2.Driver, 1)
+		}
+	})
+	fx.m.Run(0)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return p2, trust, fs
+}
+
+// TestCrashBeforeCheckpointReplaysJournal is the core crash-consistency
+// test: metadata committed to the journal but not yet checkpointed in place
+// must be recovered at mount.
+func TestCrashBeforeCheckpointReplaysJournal(t *testing.T) {
+	fx := newFixture(t, 1)
+	data := pattern(2*aeofs.BlockSize, 3)
+	fx.run(t, "workload", func(env *sim.Env) error {
+		fx.fs.Mkdir(env, "/d")
+		if err := writeFile(env, fx.fs, "/d/f", data); err != nil {
+			return err
+		}
+		// Crash after journal commit, before checkpoint.
+		fx.trust.FailCheckpoint = true
+		fd, err := fx.fs.Open(env, "/d/f", aeofs.O_RDWR)
+		if err != nil {
+			return err
+		}
+		if err := fx.fs.Fsync(env, fd); !errors.Is(err, aeofs.ErrCrashInjected) {
+			return fmt.Errorf("fsync = %v, want injected crash", err)
+		}
+		return nil
+	})
+
+	pr, trust2, fs2 := fx.remount(t)
+	if trust2.RecoveredTxns == 0 {
+		t.Fatal("recovery replayed no transactions")
+	}
+	var rerr error
+	fx.m.Eng.Spawn("verify", fx.m.Eng.Core(0), func(env *sim.Env) {
+		if _, err := pr.Driver.CreateQP(env); err != nil {
+			rerr = err
+			return
+		}
+		got, err := readFile(env, fs2, "/d/f")
+		if err != nil {
+			rerr = fmt.Errorf("read after recovery: %w", err)
+			return
+		}
+		if !bytes.Equal(got, data) {
+			rerr = errors.New("recovered content mismatch")
+		}
+	})
+	fx.m.Run(0)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+}
+
+// TestUncommittedOpsLostButConsistent: operations never fsynced may vanish
+// on crash, but the file system must mount clean and stay consistent.
+func TestUncommittedOpsLostButConsistent(t *testing.T) {
+	fx := newFixture(t, 1)
+	fx.run(t, "committed", func(env *sim.Env) error {
+		fx.fs.Mkdir(env, "/durable")
+		if err := writeFile(env, fx.fs, "/durable/f", pattern(100, 1)); err != nil {
+			return err
+		}
+		fd, _ := fx.fs.Open(env, "/durable/f", aeofs.O_RDWR)
+		if err := fx.fs.Fsync(env, fd); err != nil {
+			return err
+		}
+		return fx.fs.Close(env, fd)
+	})
+	fx.run(t, "uncommitted", func(env *sim.Env) error {
+		// Created but never fsynced: may be lost on crash.
+		fx.fs.Mkdir(env, "/volatile")
+		return writeFile(env, fx.fs, "/volatile/g", pattern(100, 2))
+	})
+
+	// Crash: discard all in-memory state without any sync.
+	pr, _, fs2 := fx.remount(t)
+	var rerr error
+	fx.m.Eng.Spawn("verify", fx.m.Eng.Core(0), func(env *sim.Env) {
+		if _, err := pr.Driver.CreateQP(env); err != nil {
+			rerr = err
+			return
+		}
+		if _, err := fs2.Stat(env, "/durable/f"); err != nil {
+			rerr = fmt.Errorf("durable file lost: %w", err)
+			return
+		}
+		got, err := readFile(env, fs2, "/durable/f")
+		if err != nil || !bytes.Equal(got, pattern(100, 1)) {
+			rerr = fmt.Errorf("durable content wrong: %v", err)
+			return
+		}
+		// The volatile dir may or may not exist; if it does, it must
+		// be walkable without corruption errors.
+		if _, err := fs2.ReadDir(env, "/"); err != nil {
+			rerr = fmt.Errorf("root readdir after crash: %w", err)
+		}
+	})
+	fx.m.Run(0)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+}
+
+// TestSyncIdempotentAndEmpty exercises fsync with no pending transactions.
+func TestSyncIdempotentAndEmpty(t *testing.T) {
+	fx := newFixture(t, 1)
+	fx.run(t, "sync", func(env *sim.Env) error {
+		fd, err := fx.fs.Open(env, "/e", aeofs.O_CREATE|aeofs.O_RDWR)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			if err := fx.fs.Fsync(env, fd); err != nil {
+				return err
+			}
+		}
+		return fx.fs.Close(env, fd)
+	})
+	if fx.trust.Syncs == 0 {
+		t.Fatal("no sync recorded")
+	}
+}
+
+// TestJournalMergeAcrossThreads: two tasks mutate the same directory (same
+// metadata blocks) through different per-thread journals; the fsync merge
+// must order by timestamp so the final on-disk state is the latest.
+func TestJournalMergeAcrossThreads(t *testing.T) {
+	fx := newFixture(t, 2)
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		fx.m.Eng.Spawn(fmt.Sprintf("w%d", i), fx.m.Eng.Core(i), func(env *sim.Env) {
+			if _, err := fx.p.Driver.CreateQP(env); err != nil {
+				done <- err
+				return
+			}
+			for j := 0; j < 20; j++ {
+				name := fmt.Sprintf("/t%d-%d", i, j)
+				if err := writeFile(env, fx.fs, name, pattern(64, byte(i))); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		})
+	}
+	fx.m.Run(0)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	fx.run(t, "fsync", func(env *sim.Env) error {
+		fd, err := fx.fs.Open(env, "/t0-0", aeofs.O_RDWR)
+		if err != nil {
+			return err
+		}
+		defer fx.fs.Close(env, fd)
+		return fx.fs.Fsync(env, fd)
+	})
+
+	// Remount and verify all 40 files survive.
+	pr, _, fs2 := fx.remount(t)
+	var rerr error
+	fx.m.Eng.Spawn("verify", fx.m.Eng.Core(0), func(env *sim.Env) {
+		if _, err := pr.Driver.CreateQP(env); err != nil {
+			rerr = err
+			return
+		}
+		for i := 0; i < 2 && rerr == nil; i++ {
+			for j := 0; j < 20; j++ {
+				name := fmt.Sprintf("/t%d-%d", i, j)
+				if _, err := fs2.Stat(env, name); err != nil {
+					rerr = fmt.Errorf("%s: %w", name, err)
+					return
+				}
+			}
+		}
+	})
+	fx.m.Run(0)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+}
+
+// TestCrossProcessSharingPenalty verifies Table 6's mechanism: when two
+// processes write the same file, each write triggers an auxiliary-state
+// rebuild plus an immediate fsync.
+func TestCrossProcessSharingPenalty(t *testing.T) {
+	fx := newFixture(t, 2)
+	// Second process over the same partition.
+	p2, err := fx.m.Launch("proc2", aeokern.Partition{Start: 0, Blocks: testDiskBlocks, Writable: true},
+		aeodriver.Config{Mode: aeodriver.ModeUserInterrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both processes' FS instances share the machine's trusted layer
+	// (one trusted domain per machine), each with its own auxiliary
+	// state — the deployment §9.4 measures.
+	fsB := aeofs.NewFS(fx.trust, p2.Driver, 2)
+	fx.run(t, "seed", func(env *sim.Env) error {
+		if err := writeFile(env, fx.fs, "/shared.dat", pattern(aeofs.BlockSize, 1)); err != nil {
+			return err
+		}
+		// Let the second tenant write it too.
+		return fx.fs.Chmod(env, "/shared.dat", 0o606)
+	})
+	// Both processes hold the file open concurrently and append — the
+	// shape of Table 6's workload.
+	var werrA, werrB error
+	fx.m.Eng.Spawn("writerA", fx.m.Eng.Core(0), func(env *sim.Env) {
+		if _, e := fx.p.Driver.CreateQP(env); e != nil {
+			werrA = e
+			return
+		}
+		fd, e := fx.fs.Open(env, "/shared.dat", aeofs.O_RDWR|aeofs.O_APPEND)
+		if e != nil {
+			werrA = e
+			return
+		}
+		for i := 0; i < 5; i++ {
+			if _, e := fx.fs.Write(env, fd, pattern(512, 3)); e != nil {
+				werrA = e
+				return
+			}
+			env.Sleep(100 * 1000) // 100µs between appends
+		}
+		werrA = fx.fs.Close(env, fd)
+	})
+	fx.m.Eng.Spawn("writerB", fx.m.Eng.Core(1), func(env *sim.Env) {
+		if _, e := p2.Driver.CreateQP(env); e != nil {
+			werrB = e
+			return
+		}
+		fd, e := fsB.Open(env, "/shared.dat", aeofs.O_RDWR|aeofs.O_APPEND)
+		if e != nil {
+			werrB = e
+			return
+		}
+		for i := 0; i < 5; i++ {
+			if _, e := fsB.Write(env, fd, pattern(512, 2)); e != nil {
+				werrB = e
+				return
+			}
+			env.Sleep(100 * 1000)
+		}
+		werrB = fsB.Close(env, fd)
+	})
+	fx.m.Run(0)
+	if werrA != nil || werrB != nil {
+		t.Fatalf("writers: %v / %v", werrA, werrB)
+	}
+	if fx.fs.SharedPenalties == 0 && fsB.SharedPenalties == 0 {
+		t.Fatal("no sharing penalty recorded for concurrently-written file")
+	}
+	if fx.trust.Syncs == 0 {
+		t.Fatal("sharing mode performed no immediate fsyncs")
+	}
+}

@@ -1,0 +1,136 @@
+package aeofs
+
+import (
+	"hash/fnv"
+
+	"aeolia/internal/sim"
+)
+
+// dentCache is the per-directory resizable chained concurrent hash table of
+// §7.2: it maps a file name to the cached directory entry. Each bucket has
+// its own readers-writer lock, allowing concurrent lookups while minimizing
+// insert/delete contention. Resizing locks every bucket — the rehash
+// bottleneck the paper's Figure 16 analysis calls out.
+type dentCache struct {
+	buckets []dentBucket
+	count   int
+	// resizing serializes growth; lookups during a resize queue on the
+	// bucket locks the resizer holds.
+	resizing sim.Mutex
+
+	// Rehashes counts completed grow operations (for the ablation).
+	Rehashes uint64
+}
+
+type dentBucket struct {
+	lock    sim.RWMutex
+	entries []dentEntry
+}
+
+type dentEntry struct {
+	name string
+	ino  uint64
+}
+
+const (
+	dentCacheInitBuckets = 16
+	dentCacheMaxLoad     = 4 // entries per bucket before growing
+)
+
+func newDentCache() *dentCache {
+	return &dentCache{buckets: make([]dentBucket, dentCacheInitBuckets)}
+}
+
+func dentHash(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+func (c *dentCache) bucket(name string) *dentBucket {
+	return &c.buckets[dentHash(name)%uint64(len(c.buckets))]
+}
+
+// Lookup returns the cached inode number for name (0 = not cached).
+func (c *dentCache) Lookup(env *sim.Env, name string) (uint64, bool) {
+	env.Exec(costHashProbe)
+	b := c.bucket(name)
+	b.lock.RLock(env)
+	defer b.lock.RUnlock(env)
+	for _, e := range b.entries {
+		if e.name == name {
+			return e.ino, true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds or updates a cached entry, growing the table past the load
+// factor.
+func (c *dentCache) Insert(env *sim.Env, name string, ino uint64) {
+	env.Exec(costHashProbe)
+	b := c.bucket(name)
+	b.lock.Lock(env)
+	for i := range b.entries {
+		if b.entries[i].name == name {
+			b.entries[i].ino = ino
+			b.lock.Unlock(env)
+			return
+		}
+	}
+	b.entries = append(b.entries, dentEntry{name, ino})
+	c.count++
+	grow := c.count > dentCacheMaxLoad*len(c.buckets)
+	b.lock.Unlock(env)
+	if grow {
+		c.grow(env)
+	}
+}
+
+// Remove deletes a cached entry.
+func (c *dentCache) Remove(env *sim.Env, name string) {
+	env.Exec(costHashProbe)
+	b := c.bucket(name)
+	b.lock.Lock(env)
+	defer b.lock.Unlock(env)
+	for i := range b.entries {
+		if b.entries[i].name == name {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			c.count--
+			return
+		}
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *dentCache) Len() int { return c.count }
+
+// grow doubles the bucket array. It write-locks every bucket, so concurrent
+// operations on the directory stall for the duration — the contention the
+// paper identifies as AeoFS's eventual metadata-scalability limit.
+func (c *dentCache) grow(env *sim.Env) {
+	c.resizing.Lock(env)
+	if c.count <= dentCacheMaxLoad*len(c.buckets) {
+		c.resizing.Unlock(env)
+		return // someone else grew it first
+	}
+	old := c.buckets
+	for i := range old {
+		old[i].lock.Lock(env)
+	}
+	// Rehash cost is proportional to the table size.
+	env.Exec(scaled(costRehashPerEntry, c.count))
+	next := make([]dentBucket, len(old)*2)
+	for i := range old {
+		for _, e := range old[i].entries {
+			nb := &next[dentHash(e.name)%uint64(len(next))]
+			nb.entries = append(nb.entries, e)
+		}
+	}
+	c.buckets = next
+	c.Rehashes++
+	for i := range old {
+		old[i].lock.Unlock(env)
+	}
+	c.resizing.Unlock(env)
+}

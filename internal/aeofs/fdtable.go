@@ -1,0 +1,90 @@
+package aeofs
+
+import (
+	"aeolia/internal/sim"
+)
+
+// fdTable is the per-core file descriptor allocator of §7.2 ("AeoFS
+// maintains a per-core file descriptor allocator to maximize performance"):
+// each core owns a descriptor space shard with its own lock and free list,
+// so concurrent open/close on different cores never contend.
+type fdTable struct {
+	shards []fdShard
+}
+
+type fdShard struct {
+	lock  sim.Mutex
+	files []*OpenFile
+	free  []int
+}
+
+// fdShardBits splits an fd into (core, slot).
+const fdShardBits = 20
+
+func newFDTable(cores int) *fdTable {
+	if cores <= 0 {
+		cores = 1
+	}
+	return &fdTable{shards: make([]fdShard, cores)}
+}
+
+func (ft *fdTable) shardOf(env *sim.Env) int {
+	c := env.Task().Affinity()
+	if c == nil {
+		return 0
+	}
+	return c.ID % len(ft.shards)
+}
+
+// Alloc assigns an fd to f on the calling core's shard.
+func (ft *fdTable) Alloc(env *sim.Env, f *OpenFile) int {
+	env.Exec(costFDLookup)
+	si := ft.shardOf(env)
+	sh := &ft.shards[si]
+	sh.lock.Lock(env)
+	var slot int
+	if n := len(sh.free); n > 0 {
+		slot = sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		sh.files[slot] = f
+	} else {
+		slot = len(sh.files)
+		sh.files = append(sh.files, f)
+	}
+	sh.lock.Unlock(env)
+	return si<<fdShardBits | slot
+}
+
+// Get resolves an fd.
+func (ft *fdTable) Get(env *sim.Env, fd int) (*OpenFile, error) {
+	env.Exec(costFDLookup)
+	si, slot := fd>>fdShardBits, fd&(1<<fdShardBits-1)
+	if si < 0 || si >= len(ft.shards) {
+		return nil, ErrBadFD
+	}
+	sh := &ft.shards[si]
+	sh.lock.Lock(env)
+	defer sh.lock.Unlock(env)
+	if slot >= len(sh.files) || sh.files[slot] == nil {
+		return nil, ErrBadFD
+	}
+	return sh.files[slot], nil
+}
+
+// Release frees an fd, returning the file it referenced.
+func (ft *fdTable) Release(env *sim.Env, fd int) (*OpenFile, error) {
+	si, slot := fd>>fdShardBits, fd&(1<<fdShardBits-1)
+	if si < 0 || si >= len(ft.shards) {
+		return nil, ErrBadFD
+	}
+	sh := &ft.shards[si]
+	sh.lock.Lock(env)
+	defer sh.lock.Unlock(env)
+	if slot >= len(sh.files) || sh.files[slot] == nil {
+		return nil, ErrBadFD
+	}
+	f := sh.files[slot]
+	sh.files[slot] = nil
+	sh.free = append(sh.free, slot)
+	return f, nil
+}

@@ -1,0 +1,480 @@
+package aeofs
+
+import (
+	"fmt"
+
+	"aeolia/internal/sim"
+)
+
+// Data path of the untrusted layer: page-cached reads and writes under the
+// file's readers-writer range lock, with direct device access to data
+// blocks through the permission-checked driver API.
+
+// Read reads from the fd's current position.
+func (fs *FS) Read(env *sim.Env, fd int, buf []byte) (int, error) {
+	f, err := fs.fdt.Get(env, fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := fs.readAt(env, f, buf, f.pos)
+	f.pos += uint64(n)
+	return n, err
+}
+
+// ReadAt reads at an explicit offset.
+func (fs *FS) ReadAt(env *sim.Env, fd int, buf []byte, off uint64) (int, error) {
+	f, err := fs.fdt.Get(env, fd)
+	if err != nil {
+		return 0, err
+	}
+	return fs.readAt(env, f, buf, off)
+}
+
+// Write writes at the fd's current position (honoring O_APPEND).
+func (fs *FS) Write(env *sim.Env, fd int, buf []byte) (int, error) {
+	f, err := fs.fdt.Get(env, fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.flags&O_APPEND != 0 {
+		f.ui.lock.RLock(env)
+		f.pos = f.ui.ino.Size
+		f.ui.lock.RUnlock(env)
+	}
+	n, err := fs.writeAt(env, f, buf, f.pos)
+	f.pos += uint64(n)
+	return n, err
+}
+
+// WriteAt writes at an explicit offset.
+func (fs *FS) WriteAt(env *sim.Env, fd int, buf []byte, off uint64) (int, error) {
+	f, err := fs.fdt.Get(env, fd)
+	if err != nil {
+		return 0, err
+	}
+	return fs.writeAt(env, f, buf, off)
+}
+
+// Seek sets the fd position.
+func (fs *FS) Seek(env *sim.Env, fd int, off uint64) error {
+	f, err := fs.fdt.Get(env, fd)
+	if err != nil {
+		return err
+	}
+	f.pos = off
+	return nil
+}
+
+func (fs *FS) readAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, error) {
+	if f.flags&O_ACCMODE == O_WRONLY {
+		return 0, ErrBadFD
+	}
+	u := f.ui
+	if fs.Trust.IsSharedIno(env, u.inoNum) {
+		// §9.4: rebuild auxiliary state when sharing.
+		fs.SharedPenalties++
+		fs.invalidate(env, u)
+		if err := fs.ensureInode(env, u); err != nil {
+			return 0, err
+		}
+	}
+	u.lock.RLock(env)
+	size := u.ino.Size
+	u.lock.RUnlock(env)
+	if off >= size {
+		return 0, nil
+	}
+	if off+uint64(len(buf)) > size {
+		buf = buf[:size-off]
+	}
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	if err := fs.ensureBlocks(env, u); err != nil {
+		return 0, err
+	}
+	p0 := off / BlockSize
+	p1 := (off + uint64(len(buf)) - 1) / BlockSize
+
+	pc := u.pc
+	pc.rl.Lock(env, p0, p1+1, false)
+	defer pc.rl.Unlock(env, p0, p1+1, false)
+
+	// Walk pages; fetch misses in contiguous-LBA batches.
+	type missRun struct {
+		firstPage uint64
+		pages     []*cachePage
+	}
+	var pending missRun
+	flush := func() error {
+		if len(pending.pages) == 0 {
+			return nil
+		}
+		err := fs.readPagesFromDisk(env, u, pending.firstPage, pending.pages)
+		pending.pages = nil
+		return err
+	}
+	for p := p0; p <= p1; p++ {
+		cp := pc.lookup(env, p)
+		if cp == nil {
+			cp = &cachePage{data: make([]byte, BlockSize)}
+			env.Exec(costPageAlloc)
+			pc.insert(env, p, cp)
+			if len(pending.pages) == 0 {
+				pending.firstPage = p
+			}
+			pending.pages = append(pending.pages, cp)
+			continue
+		}
+		if err := flush(); err != nil {
+			return 0, err
+		}
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+
+	// Copy out.
+	n := 0
+	for p := p0; p <= p1; p++ {
+		cp := pc.lookup(env, p)
+		pageOff := 0
+		if p == p0 {
+			pageOff = int(off % BlockSize)
+		}
+		end := BlockSize
+		want := len(buf) - n
+		if end-pageOff > want {
+			end = pageOff + want
+		}
+		copy(buf[n:], cp.data[pageOff:end])
+		n += end - pageOff
+	}
+	env.Exec(copyCost(n))
+	fs.ReadsOps++
+	fs.BytesRead += uint64(n)
+	return n, nil
+}
+
+// readPagesFromDisk fills consecutive pages [firstPage, ...) from the
+// device, batching runs of contiguous LBAs into single commands.
+func (fs *FS) readPagesFromDisk(env *sim.Env, u *uInode, firstPage uint64, pages []*cachePage) error {
+	u.lock.RLock(env)
+	blocks := u.blocks
+	u.lock.RUnlock(env)
+	i := 0
+	for i < len(pages) {
+		p := firstPage + uint64(i)
+		if p >= uint64(len(blocks)) {
+			// Beyond allocation (hole at tail): leave zeroed.
+			i++
+			continue
+		}
+		// Extend the run while LBAs are contiguous.
+		j := i + 1
+		for j < len(pages) {
+			q := firstPage + uint64(j)
+			if q >= uint64(len(blocks)) || blocks[q] != blocks[q-1]+1 {
+				break
+			}
+			j++
+		}
+		run := make([]byte, (j-i)*BlockSize)
+		if err := fs.drv.ReadBlk(env, blocks[p], uint32(j-i), run); err != nil {
+			return err
+		}
+		for k := i; k < j; k++ {
+			copy(pages[k].data, run[(k-i)*BlockSize:])
+		}
+		i = j
+	}
+	return nil
+}
+
+func (fs *FS) writeAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, error) {
+	if f.flags&O_ACCMODE == O_RDONLY {
+		return 0, ErrBadFD
+	}
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	u := f.ui
+	shared := fs.Trust.IsSharedIno(env, u.inoNum)
+	if shared {
+		// §9.4 sharing: refresh the authoritative inode (size) before
+		// the write; the full page-cache rebuild happens on reads.
+		fs.SharedPenalties++
+		u.lock.Lock(env)
+		u.valid = false
+		u.lock.Unlock(env)
+		if err := fs.ensureInode(env, u); err != nil {
+			return 0, err
+		}
+	}
+	end := off + uint64(len(buf))
+
+	// Extend the file if the write grows it.
+	u.lock.Lock(env)
+	oldSize := u.ino.Size
+	if end > oldSize {
+		added, err := fs.Trust.AppendFile(env, fs.drv, u.inoNum, end)
+		if err != nil {
+			u.lock.Unlock(env)
+			return 0, err
+		}
+		u.ino.Size = end
+		u.ino.Blocks += uint64(len(added))
+		if u.blocksOK {
+			u.blocks = append(u.blocks, added...)
+		}
+	}
+	u.lock.Unlock(env)
+	if err := fs.ensureBlocks(env, u); err != nil {
+		return 0, err
+	}
+
+	p0 := off / BlockSize
+	p1 := (end - 1) / BlockSize
+	pc := u.pc
+
+	oldPages := (oldSize + BlockSize - 1) / BlockSize
+
+	// A write that jumps past the old EOF leaves hole pages between the
+	// old tail and the write start; fill them with dirty zero pages so
+	// reads never observe stale contents of recycled blocks.
+	if off > oldSize {
+		holeStart := oldSize / BlockSize
+		pc.rl.Lock(env, holeStart, p0+1, true)
+		for p := holeStart; p < p0; p++ {
+			cp := pc.lookup(env, p)
+			if cp == nil {
+				cp = &cachePage{data: make([]byte, BlockSize)}
+				env.Exec(costPageAlloc)
+				pc.insert(env, p, cp)
+			} else if p == holeStart {
+				if tail := oldSize % BlockSize; tail != 0 {
+					for i := tail; i < BlockSize; i++ {
+						cp.data[i] = 0
+					}
+				}
+			}
+			cp.dirty = true
+		}
+		// The old tail page must be zero-extended even when it is
+		// also the first written page (partial write into it).
+		if holeStart == p0 && oldSize%BlockSize != 0 {
+			if cp := pc.lookup(env, p0); cp != nil {
+				for i := oldSize % BlockSize; i < BlockSize; i++ {
+					cp.data[i] = 0
+				}
+				cp.dirty = true
+			}
+		}
+		pc.rl.Unlock(env, holeStart, p0+1, true)
+	}
+
+	pc.rl.Lock(env, p0, p1+1, true)
+	n := 0
+	for p := p0; p <= p1; p++ {
+		pageOff := 0
+		if p == p0 {
+			pageOff = int(off % BlockSize)
+		}
+		pageEnd := BlockSize
+		if rem := len(buf) - n; pageOff+rem < BlockSize {
+			pageEnd = pageOff + rem
+		}
+		cp := pc.lookup(env, p)
+		if cp == nil {
+			cp = &cachePage{data: make([]byte, BlockSize)}
+			env.Exec(costPageAlloc)
+			// Partial write to a page that existed before this
+			// write: read-modify-write from disk.
+			if (pageOff != 0 || pageEnd != BlockSize) && p < oldPages {
+				if err := fs.readPagesFromDisk(env, u, p, []*cachePage{cp}); err != nil {
+					pc.rl.Unlock(env, p0, p1+1, true)
+					return n, err
+				}
+				// If this page held the old EOF and the write
+				// starts past it, zero the gap the disk read
+				// may have filled with stale bytes.
+				if tail := oldSize % BlockSize; off > oldSize && p == oldSize/BlockSize && tail != 0 {
+					for i := tail; i < BlockSize; i++ {
+						cp.data[i] = 0
+					}
+				}
+			}
+			pc.insert(env, p, cp)
+		}
+		copy(cp.data[pageOff:pageEnd], buf[n:])
+		cp.dirty = true
+		n += pageEnd - pageOff
+	}
+	env.Exec(copyCost(n))
+	pc.rl.Unlock(env, p0, p1+1, true)
+	fs.WritesOps++
+	fs.BytesWritten += uint64(n)
+
+	if shared {
+		// §9.4: immediate fsync after each operation when sharing.
+		if err := fs.fsyncInode(env, u); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Fsync persists the file's data (ordered mode: data first) and commits all
+// in-memory journals (§7.4).
+func (fs *FS) Fsync(env *sim.Env, fd int) error {
+	f, err := fs.fdt.Get(env, fd)
+	if err != nil {
+		return err
+	}
+	return fs.fsyncInode(env, f.ui)
+}
+
+func (fs *FS) fsyncInode(env *sim.Env, u *uInode) error {
+	if err := fs.flushFile(env, u); err != nil {
+		return err
+	}
+	fs.Fsyncs++
+	return fs.Trust.Sync(env, fs.drv)
+}
+
+// flushFile writes the file's dirty pages to their data blocks, batching
+// contiguous LBA runs.
+func (fs *FS) flushFile(env *sim.Env, u *uInode) error {
+	if u.pc == nil {
+		return nil
+	}
+	dirty := u.pc.dirtyPages(env)
+	if len(dirty) == 0 {
+		return nil
+	}
+	if err := fs.ensureBlocks(env, u); err != nil {
+		return err
+	}
+	u.lock.RLock(env)
+	blocks := u.blocks
+	u.lock.RUnlock(env)
+
+	// Write under a read range lock over the whole span so concurrent
+	// writers to these pages wait (they would redirty anyway).
+	lo, hi := dirty[0], dirty[len(dirty)-1]+1
+	u.pc.rl.Lock(env, lo, hi, false)
+	defer u.pc.rl.Unlock(env, lo, hi, false)
+
+	i := 0
+	for i < len(dirty) {
+		p := dirty[i]
+		if p >= uint64(len(blocks)) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(dirty) {
+			q := dirty[j]
+			if q != dirty[j-1]+1 || q >= uint64(len(blocks)) || blocks[q] != blocks[q-1]+1 {
+				break
+			}
+			j++
+		}
+		run := make([]byte, (j-i)*BlockSize)
+		var cps []*cachePage
+		for k := i; k < j; k++ {
+			cp := u.pc.lookup(env, dirty[k])
+			if cp == nil {
+				continue
+			}
+			cps = append(cps, cp)
+			copy(run[(k-i)*BlockSize:], cp.data)
+		}
+		if err := fs.drv.WriteBlk(env, blocks[p], uint32(j-i), run); err != nil {
+			return fmt.Errorf("flush ino %d pages [%d,%d) granted=%v refs=%d: %w",
+				u.inoNum, dirty[i], dirty[j-1]+1, u.granted, u.openRefs, err)
+		}
+		for _, cp := range cps {
+			cp.dirty = false
+		}
+		i = j
+	}
+	return nil
+}
+
+// Truncate resizes a file by path.
+func (fs *FS) Truncate(env *sim.Env, path string, size uint64) error {
+	ino, err := fs.namei(env, path)
+	if err != nil {
+		return err
+	}
+	u := fs.uiFor(env, ino)
+	if err := fs.ensureInode(env, u); err != nil {
+		return err
+	}
+	return fs.truncateLocked(env, u, size)
+}
+
+// FTruncate resizes an open file.
+func (fs *FS) FTruncate(env *sim.Env, fd int, size uint64) error {
+	f, err := fs.fdt.Get(env, fd)
+	if err != nil {
+		return err
+	}
+	return fs.truncateLocked(env, f.ui, size)
+}
+
+func (fs *FS) truncateLocked(env *sim.Env, u *uInode, size uint64) error {
+	u.lock.RLock(env)
+	cur := u.ino.Size
+	u.lock.RUnlock(env)
+	switch {
+	case size == cur:
+		return nil
+	case size > cur:
+		// The trusted layer allocates and zero-fills the grown range
+		// on the device, so no unflushable dirty pages are created.
+		added, err := fs.Trust.TruncateGrow(env, fs.drv, u.inoNum, size)
+		if err != nil {
+			return err
+		}
+		u.lock.Lock(env)
+		u.ino.Size = size
+		u.ino.Blocks += uint64(len(added))
+		if u.blocksOK {
+			u.blocks = append(u.blocks, added...)
+		}
+		u.lock.Unlock(env)
+		// Keep cached pages coherent with the zeroed device range.
+		if u.pc != nil {
+			firstNew := cur / BlockSize
+			lastNew := (size - 1) / BlockSize
+			pc := u.pc
+			pc.rl.Lock(env, firstNew, lastNew+1, true)
+			if tail := cur % BlockSize; tail != 0 {
+				if cp := pc.lookup(env, cur/BlockSize); cp != nil {
+					for i := tail; i < BlockSize; i++ {
+						cp.data[i] = 0
+					}
+				}
+			}
+			pc.rl.Unlock(env, firstNew, lastNew+1, true)
+		}
+	default:
+		if err := fs.Trust.TruncateFile(env, fs.drv, u.inoNum, size); err != nil {
+			return err
+		}
+		u.lock.Lock(env)
+		u.ino.Size = size
+		keep := (size + BlockSize - 1) / BlockSize
+		u.ino.Blocks = keep
+		if u.blocksOK && uint64(len(u.blocks)) > keep {
+			u.blocks = u.blocks[:keep]
+		}
+		u.lock.Unlock(env)
+		if u.pc != nil {
+			u.pc.dropFrom(env, keep)
+		}
+	}
+	return nil
+}

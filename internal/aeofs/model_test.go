@@ -1,0 +1,209 @@
+package aeofs_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aeolia/internal/aeofs"
+	"aeolia/internal/sim"
+)
+
+// TestRandomOpsAgainstModel drives AeoFS with a random operation sequence
+// and checks every observable result against a trivial in-memory model
+// (map of path -> contents), then ends with a full fsck. This is the
+// workhorse property test for the file system.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	const ops = 1500
+	fx := newFixture(t, 1)
+	rng := rand.New(rand.NewSource(20260705))
+
+	model := map[string][]byte{} // file path -> contents
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	path := func() string { return "/" + names[rng.Intn(len(names))] }
+
+	fx.run(t, "random-ops", func(env *sim.Env) error {
+		fs := fx.fs
+		for i := 0; i < ops; i++ {
+			p := path()
+			switch rng.Intn(6) {
+			case 0: // create/overwrite with random contents
+				data := make([]byte, rng.Intn(3*aeofs.BlockSize))
+				rng.Read(data)
+				if err := writeFile(env, fs, p, data); err != nil {
+					return fmt.Errorf("op %d write %s: %w", i, p, err)
+				}
+				model[p] = data
+			case 1: // read and compare
+				got, err := readFile(env, fs, p)
+				want, exists := model[p]
+				if !exists {
+					if err == nil {
+						return fmt.Errorf("op %d: read of unlinked %s succeeded", i, p)
+					}
+					continue
+				}
+				if err != nil {
+					return fmt.Errorf("op %d read %s: %w", i, p, err)
+				}
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("op %d: %s contents diverge (len %d vs %d)", i, p, len(got), len(want))
+				}
+			case 2: // unlink
+				err := fs.Unlink(env, p)
+				if _, exists := model[p]; exists {
+					if err != nil {
+						return fmt.Errorf("op %d unlink %s: %w", i, p, err)
+					}
+					delete(model, p)
+				} else if err == nil {
+					return fmt.Errorf("op %d: unlink of missing %s succeeded", i, p)
+				}
+			case 3: // truncate to random size
+				if _, exists := model[p]; !exists {
+					continue
+				}
+				size := rng.Intn(4 * aeofs.BlockSize)
+				if err := fs.Truncate(env, p, uint64(size)); err != nil {
+					return fmt.Errorf("op %d truncate %s: %w", i, p, err)
+				}
+				want := model[p]
+				if size <= len(want) {
+					model[p] = want[:size]
+				} else {
+					grown := make([]byte, size)
+					copy(grown, want)
+					model[p] = grown
+				}
+			case 4: // append
+				if _, exists := model[p]; !exists {
+					continue
+				}
+				extra := make([]byte, rng.Intn(aeofs.BlockSize))
+				rng.Read(extra)
+				fd, err := fs.Open(env, p, aeofs.O_WRONLY|aeofs.O_APPEND)
+				if err != nil {
+					return fmt.Errorf("op %d append-open %s: %w", i, p, err)
+				}
+				if _, err := fs.Write(env, fd, extra); err != nil {
+					fs.Close(env, fd)
+					return fmt.Errorf("op %d append %s: %w", i, p, err)
+				}
+				if err := fs.Close(env, fd); err != nil {
+					return err
+				}
+				model[p] = append(model[p], extra...)
+			case 5: // rename to another slot
+				dst := path()
+				if dst == p {
+					continue
+				}
+				err := fs.Rename(env, p, dst)
+				_, srcExists := model[p]
+				if !srcExists {
+					if err == nil {
+						return fmt.Errorf("op %d: rename of missing %s succeeded", i, p)
+					}
+					continue
+				}
+				if err != nil {
+					return fmt.Errorf("op %d rename %s->%s: %w", i, p, dst, err)
+				}
+				model[dst] = model[p]
+				delete(model, p)
+			}
+		}
+		// Final verification: every modeled file reads back exactly.
+		for p, want := range model {
+			got, err := readFile(env, fs, p)
+			if err != nil {
+				return fmt.Errorf("final read %s: %w", p, err)
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("final: %s diverges (len %d vs %d)", p, len(got), len(want))
+			}
+		}
+		// Directory listing matches the model's name set.
+		dents, err := fs.ReadDir(env, "/")
+		if err != nil {
+			return err
+		}
+		if len(dents) != len(model) {
+			return fmt.Errorf("root has %d entries, model has %d", len(dents), len(model))
+		}
+		return nil
+	})
+
+	// The volume must be structurally clean afterwards.
+	rep := fx.fsckNow(t)
+	if !rep.Clean() {
+		t.Fatalf("fsck after random ops: %+v", rep.Problems)
+	}
+}
+
+// TestRandomOpsSurviveCrash runs random committed operations, crashes
+// before the checkpoint, remounts, and verifies the committed state.
+func TestRandomOpsSurviveCrash(t *testing.T) {
+	fx := newFixture(t, 1)
+	rng := rand.New(rand.NewSource(42))
+	committed := map[string][]byte{}
+
+	fx.run(t, "workload", func(env *sim.Env) error {
+		fs := fx.fs
+		for i := 0; i < 20; i++ {
+			p := fmt.Sprintf("/c%d", i)
+			data := make([]byte, 1+rng.Intn(2*aeofs.BlockSize))
+			rng.Read(data)
+			if err := writeFile(env, fs, p, data); err != nil {
+				return err
+			}
+			committed[p] = data
+		}
+		// Commit everything, then crash before the checkpoint lands.
+		fd, err := fs.Open(env, "/c0", aeofs.O_RDWR)
+		if err != nil {
+			return err
+		}
+		if err := fs.Fsync(env, fd); err != nil {
+			return err
+		}
+		fs.Close(env, fd)
+		fx.trust.FailCheckpoint = true
+		// These post-commit creations may be lost.
+		writeFile(env, fs, "/lost", []byte("maybe"))
+		f2, _ := fs.Open(env, "/lost", aeofs.O_RDWR)
+		fs.Fsync(env, f2) // injected crash: journal write ok, no checkpoint
+		return nil
+	})
+
+	pr, trust2, fs2 := fx.remount(t)
+	_ = trust2
+	var verr error
+	fx.m.Eng.Spawn("verify", fx.m.Eng.Core(0), func(env *sim.Env) {
+		if _, e := pr.Driver.CreateQP(env); e != nil {
+			verr = e
+			return
+		}
+		for p, want := range committed {
+			got, err := readFile(env, fs2, p)
+			if err != nil {
+				verr = fmt.Errorf("%s lost after crash: %w", p, err)
+				return
+			}
+			if !bytes.Equal(got, want) {
+				verr = fmt.Errorf("%s corrupted after crash", p)
+				return
+			}
+		}
+		var rep *aeofs.FsckReport
+		rep, verr = aeofs.Fsck(env, pr.Driver, 0)
+		if verr == nil && !rep.Clean() {
+			verr = fmt.Errorf("fsck not clean: %v", rep.Problems)
+		}
+	})
+	fx.m.Run(0)
+	if verr != nil {
+		t.Fatal(verr)
+	}
+}

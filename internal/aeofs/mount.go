@@ -1,0 +1,32 @@
+package aeofs
+
+import (
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/sim"
+)
+
+// MkfsAndMount formats the partition and mounts a trust layer over it,
+// entering the trusted gate for the privileged accesses. The calling task
+// must have a driver queue pair (CreateQP).
+func MkfsAndMount(env *sim.Env, drv *aeodriver.Driver, start, blocks uint64, opt MkfsOptions) (*TrustLayer, error) {
+	var t *TrustLayer
+	var err error
+	drv.Gate().Call(env, drv.Process().Thread, func() {
+		if _, err = Mkfs(env, drv, start, blocks, opt); err != nil {
+			return
+		}
+		t, err = Mount(env, drv, start)
+	})
+	return t, err
+}
+
+// MountExisting mounts a trust layer over an already formatted partition
+// (e.g. from another process, or after a simulated crash).
+func MountExisting(env *sim.Env, drv *aeodriver.Driver, start uint64) (*TrustLayer, error) {
+	var t *TrustLayer
+	var err error
+	drv.Gate().Call(env, drv.Process().Thread, func() {
+		t, err = Mount(env, drv, start)
+	})
+	return t, err
+}

@@ -1,0 +1,102 @@
+package aeofs
+
+import (
+	"aeolia/internal/sim"
+)
+
+// pageCache is a regular file's page cache (§7.2): a radix tree mapping
+// page index to cached page, protected by a readers-writer range lock so
+// concurrent reads may overlap and concurrent writes to disjoint pages
+// proceed in parallel. Tree structure mutations take a short spinlock-like
+// mutex; data copies happen under the range lock only.
+type pageCache struct {
+	rl       rangeLock
+	treeLock sim.Mutex
+	tree     radixTree
+
+	// Hits/Misses count page lookups.
+	Hits, Misses uint64
+}
+
+type cachePage struct {
+	data  []byte
+	dirty bool
+}
+
+func newPageCache() *pageCache {
+	return &pageCache{}
+}
+
+// lookup returns the cached page or nil.
+func (pc *pageCache) lookup(env *sim.Env, idx uint64) *cachePage {
+	env.Exec(costRadixLookup)
+	pc.treeLock.Lock(env)
+	v := pc.tree.Get(idx)
+	pc.treeLock.Unlock(env)
+	if v == nil {
+		pc.Misses++
+		return nil
+	}
+	pc.Hits++
+	return v.(*cachePage)
+}
+
+// insert caches a page.
+func (pc *pageCache) insert(env *sim.Env, idx uint64, p *cachePage) {
+	env.Exec(costRadixLookup)
+	pc.treeLock.Lock(env)
+	pc.tree.Set(idx, p)
+	pc.treeLock.Unlock(env)
+}
+
+// drop removes a page.
+func (pc *pageCache) drop(env *sim.Env, idx uint64) {
+	pc.treeLock.Lock(env)
+	pc.tree.Delete(idx)
+	pc.treeLock.Unlock(env)
+}
+
+// dropAll empties the cache (auxiliary-state rebuild).
+func (pc *pageCache) dropAll(env *sim.Env) {
+	pc.treeLock.Lock(env)
+	pc.tree = radixTree{}
+	pc.treeLock.Unlock(env)
+}
+
+// dropFrom removes all pages at or beyond idx (truncate).
+func (pc *pageCache) dropFrom(env *sim.Env, idx uint64) {
+	pc.treeLock.Lock(env)
+	var doomed []uint64
+	pc.tree.Walk(func(i uint64, v any) bool {
+		if i >= idx {
+			doomed = append(doomed, i)
+		}
+		return true
+	})
+	for _, i := range doomed {
+		pc.tree.Delete(i)
+	}
+	pc.treeLock.Unlock(env)
+}
+
+// dirtyPages returns the sorted indices of dirty pages.
+func (pc *pageCache) dirtyPages(env *sim.Env) []uint64 {
+	pc.treeLock.Lock(env)
+	var out []uint64
+	pc.tree.Walk(func(i uint64, v any) bool {
+		if v.(*cachePage).dirty {
+			out = append(out, i)
+		}
+		return true
+	})
+	pc.treeLock.Unlock(env)
+	return out
+}
+
+// pages returns the number of cached pages.
+func (pc *pageCache) pages(env *sim.Env) int {
+	pc.treeLock.Lock(env)
+	n := pc.tree.Len()
+	pc.treeLock.Unlock(env)
+	return n
+}

@@ -1,0 +1,156 @@
+package aeofs
+
+// radixTree maps a file's page index to a cached page, like the kernel's
+// page-cache radix tree (§7.2: "AeoFS uses a radix tree to map file offset
+// to a cached data page"). Fan-out 64; height grows on demand. Concurrency
+// is provided by the page cache's range lock, not the tree itself.
+type radixTree struct {
+	root   *radixNode
+	height int // number of levels; 0 = empty
+	count  int
+}
+
+const (
+	radixBits = 6
+	radixSize = 1 << radixBits // 64
+	radixMask = radixSize - 1
+)
+
+type radixNode struct {
+	slots [radixSize]any // *radixNode or leaf value
+	used  int
+}
+
+// maxIndex returns the largest index representable at the tree's height.
+func radixMaxIndex(height int) uint64 {
+	if height*radixBits >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<(uint(height)*radixBits) - 1
+}
+
+// Get returns the value at index, or nil.
+func (t *radixTree) Get(index uint64) any {
+	if t.root == nil || index > radixMaxIndex(t.height) {
+		return nil
+	}
+	node := t.root
+	for level := t.height - 1; level > 0; level-- {
+		slot := node.slots[(index>>(uint(level)*radixBits))&radixMask]
+		if slot == nil {
+			return nil
+		}
+		node = slot.(*radixNode)
+	}
+	return node.slots[index&radixMask]
+}
+
+// Set inserts or replaces the value at index. v must not be nil (use Delete).
+func (t *radixTree) Set(index uint64, v any) {
+	if v == nil {
+		panic("radix: Set nil")
+	}
+	if t.root == nil {
+		t.root = &radixNode{}
+		t.height = 1
+	}
+	for index > radixMaxIndex(t.height) {
+		// Grow: push the root down one level.
+		newRoot := &radixNode{}
+		newRoot.slots[0] = t.root
+		newRoot.used = 1
+		t.root = newRoot
+		t.height++
+	}
+	node := t.root
+	for level := t.height - 1; level > 0; level-- {
+		i := (index >> (uint(level) * radixBits)) & radixMask
+		slot := node.slots[i]
+		if slot == nil {
+			child := &radixNode{}
+			node.slots[i] = child
+			node.used++
+			slot = child
+		}
+		node = slot.(*radixNode)
+	}
+	i := index & radixMask
+	if node.slots[i] == nil {
+		node.used++
+		t.count++
+	}
+	node.slots[i] = v
+}
+
+// Delete removes the value at index, returning it (nil if absent).
+func (t *radixTree) Delete(index uint64) any {
+	if t.root == nil || index > radixMaxIndex(t.height) {
+		return nil
+	}
+	var path [11]*radixNode // 64/6 rounded up
+	var idxs [11]int
+	node := t.root
+	depth := 0
+	for level := t.height - 1; level > 0; level-- {
+		i := int((index >> (uint(level) * radixBits)) & radixMask)
+		path[depth], idxs[depth] = node, i
+		depth++
+		slot := node.slots[i]
+		if slot == nil {
+			return nil
+		}
+		node = slot.(*radixNode)
+	}
+	i := int(index & radixMask)
+	v := node.slots[i]
+	if v == nil {
+		return nil
+	}
+	node.slots[i] = nil
+	node.used--
+	t.count--
+	// Prune empty nodes bottom-up.
+	for d := depth - 1; d >= 0 && node.used == 0; d-- {
+		parent := path[d]
+		parent.slots[idxs[d]] = nil
+		parent.used--
+		node = parent
+	}
+	if t.root != nil && t.root.used == 0 {
+		t.root = nil
+		t.height = 0
+	}
+	return v
+}
+
+// Len returns the number of stored values.
+func (t *radixTree) Len() int { return t.count }
+
+// Walk visits all (index, value) pairs in ascending index order. fn returns
+// false to stop early.
+func (t *radixTree) Walk(fn func(index uint64, v any) bool) {
+	if t.root == nil {
+		return
+	}
+	t.walk(t.root, t.height-1, 0, fn)
+}
+
+func (t *radixTree) walk(node *radixNode, level int, prefix uint64, fn func(uint64, any) bool) bool {
+	for i := 0; i < radixSize; i++ {
+		slot := node.slots[i]
+		if slot == nil {
+			continue
+		}
+		idx := prefix<<radixBits | uint64(i)
+		if level == 0 {
+			if !fn(idx, slot) {
+				return false
+			}
+			continue
+		}
+		if !t.walk(slot.(*radixNode), level-1, idx, fn) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,102 @@
+package aeofs
+
+import (
+	"aeolia/internal/sim"
+)
+
+// rangeLock is the readers-writer range lock protecting a file's page cache
+// (§7.2): concurrent readers may overlap; writers must be disjoint from
+// every other holder. Waiters are granted FIFO to avoid starvation.
+type rangeLock struct {
+	held    []heldRange
+	waiters []*rangeWaiter
+}
+
+type heldRange struct {
+	start, end uint64 // [start, end) in page units
+	write      bool
+	owner      *sim.Task
+}
+
+type rangeWaiter struct {
+	start, end uint64
+	write      bool
+	task       *sim.Task
+	granted    bool
+}
+
+func (r heldRange) overlaps(start, end uint64) bool {
+	return start < r.end && r.start < end
+}
+
+// canGrant reports whether [start,end) with the given mode is compatible
+// with all current holders.
+func (l *rangeLock) canGrant(start, end uint64, write bool) bool {
+	for _, h := range l.held {
+		if !h.overlaps(start, end) {
+			continue
+		}
+		if write || h.write {
+			return false
+		}
+	}
+	return true
+}
+
+// Lock acquires [start,end) for reading or writing, blocking in virtual
+// time on conflicts.
+func (l *rangeLock) Lock(env *sim.Env, start, end uint64, write bool) {
+	if end <= start {
+		end = start + 1
+	}
+	t := env.Task()
+	// FIFO fairness: a new request also waits behind queued waiters it
+	// conflicts with, so writers cannot be starved by a reader stream.
+	conflictsQueued := false
+	for _, w := range l.waiters {
+		if w.start < end && start < w.end && (write || w.write) {
+			conflictsQueued = true
+			break
+		}
+	}
+	if !conflictsQueued && l.canGrant(start, end, write) {
+		l.held = append(l.held, heldRange{start, end, write, t})
+		return
+	}
+	w := &rangeWaiter{start: start, end: end, write: write, task: t}
+	l.waiters = append(l.waiters, w)
+	env.Block()
+	if !w.granted {
+		panic("aeofs: range lock wake without grant")
+	}
+}
+
+// Unlock releases the holder's [start,end) with the given mode.
+func (l *rangeLock) Unlock(env *sim.Env, start, end uint64, write bool) {
+	if end <= start {
+		end = start + 1
+	}
+	t := env.Task()
+	for i, h := range l.held {
+		if h.owner == t && h.start == start && h.end == end && h.write == write {
+			l.held = append(l.held[:i], l.held[i+1:]...)
+			l.dispatch(env.Engine())
+			return
+		}
+	}
+	panic("aeofs: unlock of range not held")
+}
+
+// dispatch grants queued waiters in FIFO order until one cannot be granted.
+func (l *rangeLock) dispatch(e *sim.Engine) {
+	for len(l.waiters) > 0 {
+		w := l.waiters[0]
+		if !l.canGrant(w.start, w.end, w.write) {
+			return
+		}
+		l.waiters = l.waiters[1:]
+		w.granted = true
+		l.held = append(l.held, heldRange{w.start, w.end, w.write, w.task})
+		e.Wake(w.task)
+	}
+}

@@ -1,0 +1,372 @@
+package aeofs
+
+import (
+	"sort"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/sim"
+)
+
+// Sync (Table 5 ⑤) commits every thread's in-memory journal and checkpoints
+// the merged images in place (§7.4): lock all per-thread journal regions,
+// merge transactions writing to the same block by timestamp, write the
+// batches (start/commit records) to the journal areas, flush, write the
+// merged images in place, flush again, and finally retire the journal
+// space.
+func (t *TrustLayer) Sync(env *sim.Env, drv *aeodriver.Driver) error {
+	return t.enter(env, drv, func() error {
+		return t.syncLocked(env, drv)
+	})
+}
+
+func (t *TrustLayer) syncLocked(env *sim.Env, drv *aeodriver.Driver) error {
+	t.syncMu.Lock(env)
+	defer t.syncMu.Unlock(env)
+
+	// Lock every per-thread journaling region and snapshot its pending
+	// transactions.
+	var all []txn
+	type regionBatch struct {
+		r       *journalRegion
+		pending []txn
+	}
+	var batches []regionBatch
+	for _, r := range t.regions {
+		r.mu.Lock(env)
+		if len(r.pending) > 0 {
+			p := r.pending
+			r.pending = nil
+			r.pendingBlocks = 0
+			batches = append(batches, regionBatch{r, p})
+			all = append(all, p...)
+		}
+	}
+	if len(all) == 0 {
+		for _, r := range t.regions {
+			r.mu.Unlock(env)
+		}
+		return drv.Flush(env)
+	}
+
+	// Phase 1: write the journal batches.
+	var werr error
+	for _, rb := range batches {
+		if err := rb.r.writeBatches(env, drv, rb.pending); err != nil {
+			werr = err
+			break
+		}
+	}
+	for _, r := range t.regions {
+		r.mu.Unlock(env)
+	}
+	if werr != nil {
+		return werr
+	}
+	if err := drv.Flush(env); err != nil {
+		return err
+	}
+	if t.FailCheckpoint {
+		// Test hook: simulate a crash after the commit records are
+		// durable but before any in-place write.
+		return ErrCrashInjected
+	}
+	t.Syncs++
+
+	// Checkpoint lazily (as jbd2 does): the commit above already made
+	// the transactions durable; in-place writes and journal retirement
+	// only happen periodically or when journal space runs low.
+	t.uncheckpointed = append(t.uncheckpointed, all...)
+	t.syncsSinceCkpt++
+	needCkpt := t.syncsSinceCkpt >= checkpointEvery
+	for _, r := range t.regions {
+		if r.diskUsage() > 0.5 {
+			needCkpt = true
+		}
+	}
+	if !needCkpt {
+		return nil
+	}
+	return t.checkpointLocked(env, drv)
+}
+
+// checkpointEvery bounds how many commits may pass between checkpoints.
+const checkpointEvery = 32
+
+// Checkpoint forces an immediate checkpoint of all committed transactions
+// (after a Sync), retiring the journal space.
+func (t *TrustLayer) Checkpoint(env *sim.Env, drv *aeodriver.Driver) error {
+	return t.enter(env, drv, func() error {
+		t.syncMu.Lock(env)
+		defer t.syncMu.Unlock(env)
+		return t.checkpointLocked(env, drv)
+	})
+}
+
+// checkpointLocked writes the merged uncheckpointed images in place and
+// retires the journal space. Caller holds syncMu.
+func (t *TrustLayer) checkpointLocked(env *sim.Env, drv *aeodriver.Driver) error {
+	if len(t.uncheckpointed) == 0 {
+		return nil
+	}
+	merged := mergeTxns(t.uncheckpointed)
+	if err := t.writeMerged(env, drv, merged); err != nil {
+		return err
+	}
+	if err := drv.Flush(env); err != nil {
+		return err
+	}
+	hdr := make([]byte, BlockSize)
+	for _, r := range t.regions {
+		if r.diskNext <= r.start+1 {
+			continue
+		}
+		encodeRegionHeader(hdr, r.seq)
+		if err := drv.WritePriv(env, r.start, 1, hdr); err != nil {
+			return err
+		}
+		r.diskNext = r.start + 1
+	}
+	t.uncheckpointed = nil
+	t.syncsSinceCkpt = 0
+	t.Checkpoints++
+	return drv.Flush(env)
+}
+
+// writeMerged writes blk->image map in ascending order, batching contiguous
+// runs.
+func (t *TrustLayer) writeMerged(env *sim.Env, drv *aeodriver.Driver, merged map[uint64][]byte) error {
+	blks := make([]uint64, 0, len(merged))
+	for blk := range merged {
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	i := 0
+	for i < len(blks) {
+		j := i + 1
+		for j < len(blks) && blks[j] == blks[j-1]+1 && j-i < 256 {
+			j++
+		}
+		run := make([]byte, (j-i)*BlockSize)
+		for k := i; k < j; k++ {
+			copy(run[(k-i)*BlockSize:], merged[blks[k]])
+		}
+		if err := drv.WritePriv(env, blks[i], uint32(j-i), run); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// recover scans all journal regions at mount and replays committed
+// transactions in timestamp order.
+func (t *TrustLayer) recover(env *sim.Env, drv *aeodriver.Driver) error {
+	read := func(blk uint64, cnt uint32, buf []byte) error {
+		return drv.ReadPriv(env, blk, cnt, buf)
+	}
+	var all []txn
+	for _, r := range t.regions {
+		txns, err := scanRegion(read, r.start, r.blocks)
+		if err != nil {
+			return err
+		}
+		all = append(all, txns...)
+	}
+	t.RecoveredTxns = len(all)
+	if len(all) == 0 {
+		return nil
+	}
+	merged := mergeTxns(all)
+	if err := t.writeMerged(env, drv, merged); err != nil {
+		return err
+	}
+	if err := drv.Flush(env); err != nil {
+		return err
+	}
+	// Retire replayed journal space.
+	hdr := make([]byte, BlockSize)
+	maxSeq := uint64(1)
+	for range all {
+		maxSeq++
+	}
+	for _, r := range t.regions {
+		r.seq = maxSeq
+		encodeRegionHeader(hdr, r.seq)
+		if err := drv.WritePriv(env, r.start, 1, hdr); err != nil {
+			return err
+		}
+	}
+	return drv.Flush(env)
+}
+
+// ---- open tracking and sharing detection (§9.4) ----
+
+// RegisterOpen records that a process opened ino; it reports whether the
+// inode is now open by more than one process (the sharing case of Table 6).
+func (t *TrustLayer) RegisterOpen(env *sim.Env, drv *aeodriver.Driver, ino uint64) bool {
+	pid := drv.Process().ID
+	t.openersLock.Lock(env)
+	m := t.openers[ino]
+	if m == nil {
+		m = make(map[int]int)
+		t.openers[ino] = m
+	}
+	m[pid]++
+	shared := len(m) > 1
+	t.openersLock.Unlock(env)
+	return shared
+}
+
+// UnregisterOpen drops an open reference; when the last reference of an
+// orphaned (unlinked-while-open) inode goes away, its storage is freed.
+func (t *TrustLayer) UnregisterOpen(env *sim.Env, drv *aeodriver.Driver, ino uint64) error {
+	pid := drv.Process().ID
+	t.openersLock.Lock(env)
+	m := t.openers[ino]
+	if m != nil {
+		m[pid]--
+		if m[pid] <= 0 {
+			delete(m, pid)
+		}
+		if len(m) == 0 {
+			delete(t.openers, ino)
+		}
+	}
+	lastClose := len(m) == 0
+	orphan := t.orphans[ino]
+	t.openersLock.Unlock(env)
+	if !lastClose || !orphan {
+		return nil
+	}
+	// Complete the deferred unlink.
+	return t.enter(env, drv, func() error {
+		t.openersLock.Lock(env)
+		delete(t.orphans, ino)
+		t.openersLock.Unlock(env)
+		ti, err := t.inode(env, drv, ino)
+		if err != nil {
+			return err
+		}
+		ti.lock.Lock(env)
+		defer ti.lock.Unlock(env)
+		b := t.begin(env, drv)
+		if err := t.destroyInodeLocked(env, drv, ti, b); err != nil {
+			return err
+		}
+		b.commit()
+		return nil
+	})
+}
+
+// IsShared reports whether ino is open by more than one process.
+func (t *TrustLayer) IsShared(env *sim.Env, ino uint64) bool {
+	t.openersLock.Lock(env)
+	shared := len(t.openers[ino]) > 1
+	t.openersLock.Unlock(env)
+	return shared
+}
+
+// noteWriter records that pid mutated ino; two distinct writers mark the
+// inode shared (sticky), triggering the §9.4 sharing penalty in FS
+// instances.
+func (t *TrustLayer) noteWriter(env *sim.Env, ino uint64, pid int) {
+	t.openersLock.Lock(env)
+	if t.lastWriter == nil {
+		t.lastWriter = make(map[uint64]int)
+		t.sharedIno = make(map[uint64]bool)
+	}
+	if prev, ok := t.lastWriter[ino]; ok && prev != pid {
+		t.sharedIno[ino] = true
+	}
+	t.lastWriter[ino] = pid
+	t.openersLock.Unlock(env)
+}
+
+// IsSharedIno reports whether ino has been mutated (or is concurrently
+// open) by more than one process.
+func (t *TrustLayer) IsSharedIno(env *sim.Env, ino uint64) bool {
+	t.openersLock.Lock(env)
+	shared := t.sharedIno[ino] || len(t.openers[ino]) > 1
+	t.openersLock.Unlock(env)
+	return shared
+}
+
+func (t *TrustLayer) hasOpeners(env *sim.Env, ino uint64) bool {
+	t.openersLock.Lock(env)
+	n := len(t.openers[ino])
+	t.openersLock.Unlock(env)
+	return n > 0
+}
+
+func (t *TrustLayer) markOrphan(env *sim.Env, ino uint64) {
+	t.openersLock.Lock(env)
+	if t.orphans == nil {
+		t.orphans = make(map[uint64]bool)
+	}
+	t.orphans[ino] = true
+	t.openersLock.Unlock(env)
+}
+
+// GrantFile grants the calling process direct access to a file's data
+// blocks (read, or read-write), after an access check. Called on open.
+func (t *TrustLayer) GrantFile(env *sim.Env, drv *aeodriver.Driver, ino uint64, write bool) error {
+	return t.enter(env, drv, func() error {
+		ti, err := t.inode(env, drv, ino)
+		if err != nil {
+			return err
+		}
+		ti.lock.Lock(env)
+		defer ti.lock.Unlock(env)
+		if ti.ino.Type != TypeRegular {
+			if ti.ino.Type == TypeDir {
+				return ErrIsDir
+			}
+			return ErrNotExist
+		}
+		uid := t.uid(drv)
+		if !canRead(&ti.ino, uid) {
+			return t.failCheck(ErrAccess)
+		}
+		if write && !canWrite(&ti.ino, uid) {
+			return t.failCheck(ErrAccess)
+		}
+		if err := t.loadBlocks(env, drv, ti); err != nil {
+			return err
+		}
+		p := aeodriver.PermRead
+		if write {
+			p = aeodriver.PermRW
+		}
+		for _, blk := range ti.blocks {
+			if err := drv.GrantPerm(env, blk, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// RevokeFile revokes the process's direct access to a file's data blocks.
+// Called on last close within the process.
+func (t *TrustLayer) RevokeFile(env *sim.Env, drv *aeodriver.Driver, ino uint64) error {
+	return t.enter(env, drv, func() error {
+		ti, err := t.inode(env, drv, ino)
+		if err != nil {
+			return err
+		}
+		ti.lock.Lock(env)
+		defer ti.lock.Unlock(env)
+		if ti.ino.Type != TypeRegular {
+			return nil
+		}
+		if err := t.loadBlocks(env, drv, ti); err != nil {
+			return err
+		}
+		for _, blk := range ti.blocks {
+			if err := drv.SetPerm(env, blk, aeodriver.PermNone); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,189 @@
+package attack_test
+
+import (
+	"testing"
+	"time"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/aeofs"
+	"aeolia/internal/aeokern"
+	"aeolia/internal/attack"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sim"
+)
+
+// buildContext assembles the attack testbed: a victim tenant with a
+// world-readable secret file, and an attacker tenant sharing the disk.
+func buildContext(t *testing.T) (*machine.Machine, *attack.Context) {
+	t.Helper()
+	m := machine.New(2, nvme.Config{BlockSize: aeofs.BlockSize, NumBlocks: 1 << 16})
+	t.Cleanup(m.Eng.Shutdown)
+
+	part := aeokern.Partition{Start: 0, Blocks: 1 << 16, Writable: true}
+	victim, err := m.Launch("victim", part, aeodriver.Config{Mode: aeodriver.ModeUserInterrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := m.Launch("attacker", part, aeodriver.Config{Mode: aeodriver.ModeUserInterrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := &attack.Context{M: m, Proc: attacker, Victim: victim, VictimFile: "/victim/secret.dat"}
+
+	var serr error
+	m.Eng.Spawn("victim-setup", m.Eng.Core(0), func(env *sim.Env) {
+		if _, e := victim.Driver.CreateQP(env); e != nil {
+			serr = e
+			return
+		}
+		trust, e := aeofs.MkfsAndMount(env, victim.Driver, 0, 1<<16,
+			aeofs.MkfsOptions{NumJournals: 8, JournalBlocks: 256})
+		if e != nil {
+			serr = e
+			return
+		}
+		ctx.Trust = trust
+		vfsI := aeofs.NewFS(trust, victim.Driver, 2)
+		if e := vfsI.Mkdir(env, "/victim"); e != nil {
+			serr = e
+			return
+		}
+		fd, e := vfsI.Open(env, ctx.VictimFile, aeofs.O_CREATE|aeofs.O_RDWR)
+		if e != nil {
+			serr = e
+			return
+		}
+		if _, e := vfsI.Write(env, fd, make([]byte, 2*aeofs.BlockSize)); e != nil {
+			serr = e
+			return
+		}
+		if e := vfsI.Fsync(env, fd); e != nil {
+			serr = e
+			return
+		}
+		if e := vfsI.Close(env, fd); e != nil {
+			serr = e
+			return
+		}
+		st, e := vfsI.Stat(env, ctx.VictimFile)
+		if e != nil {
+			serr = e
+			return
+		}
+		ctx.VictimIno = st.Ino
+	})
+	m.Eng.Run(0)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	ctx.FS = aeofs.NewFS(ctx.Trust, attacker.Driver, 2)
+	return m, ctx
+}
+
+// TestSuiteHas96Attacks pins the paper's attack count.
+func TestSuiteHas96Attacks(t *testing.T) {
+	suite := attack.Suite()
+	if len(suite) != 96 {
+		t.Fatalf("suite has %d attacks, want 96", len(suite))
+	}
+	cats := map[string]int{}
+	names := map[string]bool{}
+	for _, a := range suite {
+		cats[a.Category]++
+		if names[a.Name] {
+			t.Errorf("duplicate attack name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	if cats["access-violation"] == 0 || cats["fs-corruption"] == 0 {
+		t.Fatalf("categories = %v, want both populated", cats)
+	}
+	t.Logf("attack categories: %v", cats)
+}
+
+// TestAllAttacksBlocked runs the whole suite: Aeolia must defend against
+// every attack (§8: "In all test cases, AEOLIA successfully defends").
+func TestAllAttacksBlocked(t *testing.T) {
+	m, ctx := buildContext(t)
+	var results []attack.Result
+	m.Eng.Spawn("attacker", m.Eng.Core(1), func(env *sim.Env) {
+		if _, err := ctx.Proc.Driver.CreateQP(env); err != nil {
+			t.Error(err)
+			return
+		}
+		// Attaching to the FS locks the process out of all FS blocks.
+		if err := ctx.Trust.AttachProcess(env, ctx.Proc.Driver); err != nil {
+			t.Error(err)
+			return
+		}
+		ctx.Env = env
+		results = attack.RunAll(ctx)
+	})
+	m.Eng.Run(m.Eng.Now() + time.Minute)
+	if len(results) != 96 {
+		t.Fatalf("ran %d attacks, want 96", len(results))
+	}
+	blocked := 0
+	for _, r := range results {
+		if r.Blocked {
+			blocked++
+			continue
+		}
+		t.Errorf("ATTACK SUCCEEDED: [%s] %s", r.Attack.Category, r.Attack.Name)
+	}
+	t.Logf("blocked %d/%d attacks", blocked, len(results))
+}
+
+// TestVictimDataIntactAfterAttacks verifies the victim's file still holds
+// its original contents after the full suite ran.
+func TestVictimDataIntactAfterAttacks(t *testing.T) {
+	m, ctx := buildContext(t)
+	var results []attack.Result
+	m.Eng.Spawn("attacker", m.Eng.Core(1), func(env *sim.Env) {
+		if _, err := ctx.Proc.Driver.CreateQP(env); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := ctx.Trust.AttachProcess(env, ctx.Proc.Driver); err != nil {
+			t.Error(err)
+			return
+		}
+		ctx.Env = env
+		results = attack.RunAll(ctx)
+	})
+	m.Eng.Run(m.Eng.Now() + time.Minute)
+	_ = results
+
+	var verr error
+	m.Eng.Spawn("victim-verify", m.Eng.Core(0), func(env *sim.Env) {
+		if _, e := ctx.Victim.Driver.CreateQP(env); e != nil {
+			verr = e
+			return
+		}
+		vfsI := aeofs.NewFS(ctx.Trust, ctx.Victim.Driver, 2)
+		fd, e := vfsI.Open(env, ctx.VictimFile, aeofs.O_RDONLY)
+		if e != nil {
+			verr = e
+			return
+		}
+		defer vfsI.Close(env, fd)
+		buf := make([]byte, 2*aeofs.BlockSize)
+		n, e := vfsI.ReadAt(env, fd, buf, 0)
+		if e != nil || n != len(buf) {
+			verr = e
+			return
+		}
+		for _, b := range buf {
+			if b != 0 {
+				t.Error("victim file corrupted")
+				return
+			}
+		}
+	})
+	m.Eng.Run(m.Eng.Now() + time.Minute)
+	if verr != nil {
+		t.Fatal(verr)
+	}
+}

@@ -1,0 +1,129 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2 and §9) on the simulated testbed. Each experiment is a
+// function returning report tables; cmd/aeobench and the root benchmark
+// suite drive them. Workload sizes are scaled down from the paper's
+// 128-core/hours-long runs; the DESIGN.md per-experiment index records the
+// mapping.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/aeokern"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/report"
+	"aeolia/internal/sim"
+	"aeolia/internal/stackmodel"
+	"aeolia/internal/workload"
+)
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() ([]*report.Table, error)
+}
+
+// All returns the experiment registry in paper order.
+func All() []*Experiment {
+	return []*Experiment{
+		{"fig2", "Average access latency of a 4KB read request", Fig2},
+		{"fig3", "Overhead breakdown of a 4KB read access", Fig3},
+		{"fig4", "Interrupt overhead breakdown (wakeup path)", Fig4},
+		{"fig5", "Performance when multiple tasks share a core", Fig5},
+		{"fig10", "Single-thread performance of storage subsystems", Fig10},
+		{"fig11", "Multi-thread performance of storage subsystems", Fig11},
+		{"fig12", "I/O-intensive and compute-intensive task co-run", Fig12},
+		{"fig13", "Latency-task and throughput-task co-run", Fig13},
+		{"fig14", "Single-thread performance of evaluated file systems", Fig14},
+		{"fig15", "Multi-thread performance of evaluated file systems", Fig15},
+		{"fig16", "Metadata scalability of evaluated file systems (FXMARK)", Fig16},
+		{"fig17", "Aeolia breakdown (+poll / +k_yield / +k_intr)", Fig17},
+		{"fig18", "Filebench results", Fig18},
+		{"fig19", "Filebench results under uFS setups", Fig19},
+		{"tab6", "Performance when two instances update the same file/dir", Tab6},
+		{"tab8", "LevelDB throughput (db_bench)", Tab8},
+		{"abl1", "Ablation: eager integrity checking cost", AblTrust},
+		{"abl2", "Ablation: per-thread vs single journal region", AblJournal},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// ---- shared plumbing -----------------------------------------------------
+
+// stackNames is the storage-subsystem lineup.
+var stackNames = []string{"posix", "iou_dfl", "iou_opt", "iou_poll", "spdk", "aeolia"}
+
+// blockDev returns the standard device config for block-level figures.
+func blockDev(blockSize int) nvme.Config {
+	return nvme.Config{BlockSize: blockSize, NumBlocks: 1 << 20}
+}
+
+// newBlockIO builds the named stack on machine m.
+func newBlockIO(m *machine.Machine, name string) (workload.BlockIO, error) {
+	switch name {
+	case "aeolia":
+		p, err := m.Launch("fio-aeolia", aeokern.Partition{Start: 0, Blocks: m.Dev.NumBlocks(), Writable: true},
+			aeodriver.Config{Mode: aeodriver.ModeUserInterrupt})
+		if err != nil {
+			return nil, err
+		}
+		return &workload.DriverIO{Driver: p.Driver}, nil
+	case "posix":
+		return &workload.StackIO{Stack: stackmodel.New(m.Kern, stackmodel.POSIX)}, nil
+	case "iou_dfl":
+		return &workload.StackIO{Stack: stackmodel.New(m.Kern, stackmodel.IOUDfl)}, nil
+	case "iou_opt":
+		return &workload.StackIO{Stack: stackmodel.New(m.Kern, stackmodel.IOUOpt)}, nil
+	case "iou_poll":
+		return &workload.StackIO{Stack: stackmodel.New(m.Kern, stackmodel.IOUPoll)}, nil
+	case "spdk":
+		return &workload.StackIO{Stack: stackmodel.New(m.Kern, stackmodel.SPDK)}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown stack %q", name)
+	}
+}
+
+// usec renders a duration in microseconds.
+func usec(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Microsecond))
+}
+
+// runFioSingle runs a single-task fio job on a fresh 1-core machine and
+// returns the result.
+func runFioSingle(stack string, write bool, ioBytes, blockSize, ops int) (*workload.Result, error) {
+	m := machine.New(1, blockDev(blockSize))
+	defer m.Eng.Shutdown()
+	io, err := newBlockIO(m, stack)
+	if err != nil {
+		return nil, err
+	}
+	job := &workload.FioJob{
+		Name: stack, IO: io, Write: write, Pattern: workload.PatternRand,
+		BlockSizeBytes: ioBytes, BlockBytes: blockSize,
+		Start: 0, Span: m.Dev.NumBlocks() / 2, Ops: ops, Seed: 7,
+	}
+	var res *workload.Result
+	var rerr error
+	m.Eng.Spawn("fio", m.Eng.Core(0), func(env *sim.Env) {
+		res, rerr = job.Run(env)
+	})
+	m.Eng.Run(0)
+	if rerr != nil {
+		return nil, rerr
+	}
+	return res, nil
+}
+

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/machine"
+	"aeolia/internal/report"
+	"aeolia/internal/sim"
+	"aeolia/internal/workload"
+)
+
+// coRunConfig describes one co-run scenario.
+type coRunConfig struct {
+	cores    int
+	lcTasks  int
+	tpTasks  int // 64KB qd16 throughput tasks
+	compute  int // swaptions tasks
+	horizon  time.Duration
+	lcIOSize int
+}
+
+// runCoRun executes LC tasks (+ optional TP/compute) on a fresh machine for
+// one stack and returns (LC latency recorder, LC ops, TP bytes, compute
+// iterations).
+func runCoRun(stack string, cfg coRunConfig) (*workload.Result, uint64, uint64, error) {
+	m := machine.New(cfg.cores, blockDev(4096))
+	defer m.Eng.Shutdown()
+	io, err := newBlockIO(m, stack)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if cfg.lcIOSize == 0 {
+		cfg.lcIOSize = 4096
+	}
+	lc := &workload.Result{}
+	var tpBytes uint64
+	var compIters uint64
+	var jerr error
+
+	for i := 0; i < cfg.lcTasks; i++ {
+		i := i
+		core := m.Eng.Core(i % cfg.cores)
+		m.Eng.Spawn(fmt.Sprintf("lc%d", i), core, func(env *sim.Env) {
+			job := &workload.FioJob{
+				Name: stack, IO: io, Pattern: workload.PatternRand,
+				BlockSizeBytes: cfg.lcIOSize, BlockBytes: 4096,
+				Span: m.Dev.NumBlocks() / 2, Until: cfg.horizon, Ops: 1 << 30,
+				Seed: int64(i),
+			}
+			res, err := job.Run(env)
+			if err != nil {
+				jerr = err
+				return
+			}
+			lc.Ops += res.Ops
+			lc.Latency.Merge(&res.Latency)
+		})
+	}
+	for i := 0; i < cfg.tpTasks; i++ {
+		i := i
+		core := m.Eng.Core(i % cfg.cores)
+		m.Eng.Spawn(fmt.Sprintf("tp%d", i), core, func(env *sim.Env) {
+			job := &workload.FioJob{
+				Name: stack, IO: io, Pattern: workload.PatternRand,
+				BlockSizeBytes: 64 << 10, BlockBytes: 4096, QD: 16,
+				Span: m.Dev.NumBlocks() / 2, Until: cfg.horizon, Ops: 1 << 30,
+				Seed: int64(100 + i),
+			}
+			res, err := job.Run(env)
+			if err != nil {
+				jerr = err
+				return
+			}
+			tpBytes += res.Bytes
+		})
+	}
+	for i := 0; i < cfg.compute; i++ {
+		core := m.Eng.Core(i % cfg.cores)
+		comp := &workload.ComputeTask{Until: cfg.horizon}
+		m.Eng.Spawn(fmt.Sprintf("comp%d", i), core, func(env *sim.Env) {
+			comp.Run(env)
+			compIters += comp.Iterations
+		})
+	}
+	m.Eng.Run(cfg.horizon + 100*time.Millisecond)
+	if jerr != nil {
+		return nil, 0, 0, jerr
+	}
+	return lc, tpBytes, compIters, nil
+}
+
+// Fig12 regenerates Figure 12: latency-critical I/O tasks co-running with a
+// compute task on 1 and 4 cores.
+func Fig12() ([]*report.Table, error) {
+	stacks := []string{"posix", "iou_dfl", "iou_opt", "iou_poll", "spdk", "aeolia"}
+	var tables []*report.Table
+	for _, cores := range []int{1, 4} {
+		lcCounts := []int{1, 4, 8, 12}
+		if cores == 4 {
+			lcCounts = []int{4, 16, 32}
+		}
+		t := &report.Table{
+			ID:      "fig12",
+			Title:   fmt.Sprintf("%d core(s): N LC tasks (4KB qd1) + 1 swaptions", cores),
+			Columns: []string{"stack", "LC tasks", "LC KIOPS", "LC p99 (us)", "LC max (ms)", "compute iter/s"},
+		}
+		for _, n := range lcCounts {
+			for _, stack := range stacks {
+				cfg := coRunConfig{cores: cores, lcTasks: n, compute: 1, horizon: 150 * time.Millisecond}
+				lc, _, comp, err := runCoRun(stack, cfg)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(stack, fmt.Sprint(n),
+					fmt.Sprintf("%.1f", float64(lc.Ops)/cfg.horizon.Seconds()/1e3),
+					usec(lc.Latency.P99()),
+					fmt.Sprintf("%.2f", float64(lc.Latency.Max())/float64(time.Millisecond)),
+					fmt.Sprintf("%.0f", float64(comp)/cfg.horizon.Seconds()))
+			}
+		}
+		t.Note("interrupt stacks keep LC tails low and leave the compute task its CPU; polling does neither")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig13 regenerates Figure 13: LC tasks co-running with a 64KB qd16
+// throughput task.
+func Fig13() ([]*report.Table, error) {
+	stacks := []string{"posix", "iou_dfl", "iou_opt", "iou_poll", "spdk", "aeolia"}
+	var tables []*report.Table
+	for _, cores := range []int{1, 4} {
+		lcCounts := []int{1, 4, 8}
+		if cores == 4 {
+			lcCounts = []int{4, 16}
+		}
+		t := &report.Table{
+			ID:      "fig13",
+			Title:   fmt.Sprintf("%d core(s): N LC tasks (4KB qd1) + 1 TP task (64KB qd16)", cores),
+			Columns: []string{"stack", "LC tasks", "LC p99 (us)", "LC max (ms)", "TP MB/s", "total MB/s"},
+		}
+		for _, n := range lcCounts {
+			for _, stack := range stacks {
+				cfg := coRunConfig{cores: cores, lcTasks: n, tpTasks: 1, horizon: 150 * time.Millisecond}
+				lc, tpBytes, _, err := runCoRun(stack, cfg)
+				if err != nil {
+					return nil, err
+				}
+				total := float64(tpBytes+lc.Ops*4096) / 1e6 / cfg.horizon.Seconds()
+				t.AddRow(stack, fmt.Sprint(n),
+					usec(lc.Latency.P99()),
+					fmt.Sprintf("%.2f", float64(lc.Latency.Max())/float64(time.Millisecond)),
+					fmt.Sprintf("%.0f", float64(tpBytes)/1e6/cfg.horizon.Seconds()),
+					fmt.Sprintf("%.0f", total))
+			}
+		}
+		t.Note("Aeolia matches io_uring throughput with lower LC tail; POSIX pays its per-op syscall tax")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

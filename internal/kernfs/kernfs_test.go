@@ -1,0 +1,170 @@
+package kernfs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aeolia/internal/aeofs"
+	"aeolia/internal/kernfs"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sim"
+	"aeolia/internal/vfs"
+	"aeolia/internal/workload"
+)
+
+func build(t *testing.T, kind machine.FSKind, cores int) (*machine.Machine, *machine.FSInstance, []*sim.Core) {
+	t.Helper()
+	m := machine.New(cores, nvme.Config{BlockSize: aeofs.BlockSize, NumBlocks: 1 << 17})
+	t.Cleanup(m.Eng.Shutdown)
+	fi, err := m.BuildFS(kind, machine.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := make([]*sim.Core, cores)
+	for i := range cs {
+		cs[i] = m.Eng.Core(i)
+	}
+	return m, fi, cs
+}
+
+// TestKernelTaxMakesOpsSlower: the same operation must consume more virtual
+// time through the kernel FS wrapper than through raw AeoFS.
+func TestKernelTaxMakesOpsSlower(t *testing.T) {
+	opTime := func(kind machine.FSKind) time.Duration {
+		m, fi, cores := build(t, kind, 1)
+		var dur time.Duration
+		m.Eng.Spawn("bench", cores[0], func(env *sim.Env) {
+			fs := fi.FS
+			if init, ok := fs.(vfs.PerThreadInit); ok {
+				init.InitThread(env)
+			}
+			fd, err := fs.Open(env, "/f", vfs.O_CREATE|vfs.O_RDWR)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]byte, 4096)
+			fs.Write(env, fd, buf)
+			start := env.Now()
+			for i := 0; i < 100; i++ {
+				fs.ReadAt(env, fd, buf, 0)
+			}
+			dur = env.Now() - start
+			fs.Close(env, fd)
+		})
+		m.Eng.Run(time.Minute)
+		return dur
+	}
+	aeo := opTime(machine.KindAeoFS)
+	ext4 := opTime(machine.KindExt4)
+	f2fs := opTime(machine.KindF2FS)
+	if ext4 <= aeo || f2fs <= aeo {
+		t.Fatalf("kernel FS reads should be slower: aeofs=%v ext4=%v f2fs=%v", aeo, ext4, f2fs)
+	}
+	if float64(ext4)/float64(aeo) < 3 {
+		t.Fatalf("ext4/aeofs per-op ratio = %.1f, want >= 3 (syscall + VFS tax)", float64(ext4)/float64(aeo))
+	}
+}
+
+// TestGlobalJournalLockSerializesWriters: concurrent 1MB writers through
+// ext4 must aggregate far below linear scaling (the jbd2 + throttling
+// model), while the same workload on AeoFS scales.
+func TestGlobalJournalLockSerializesWriters(t *testing.T) {
+	aggregate := func(kind machine.FSKind, threads int) float64 {
+		m, fi, cores := build(t, kind, threads)
+		barrier := sim.NewBarrier(threads)
+		spec := &workload.ParallelSpec{
+			Eng: m.Eng, Cores: cores,
+			FSFor: func(int) vfs.FileSystem { return fi.FS },
+			Body: func(env *sim.Env, fs vfs.FileSystem, tid int) (*workload.Result, error) {
+				job := &workload.FileFioJob{
+					Name: "w", FS: fs, Path: fmt.Sprintf("/w%d", tid),
+					Write: true, IOSize: 1 << 20, FileSize: 4 << 20, Ops: 10,
+				}
+				fd, err := job.Prepare(env)
+				if err != nil {
+					return nil, err
+				}
+				defer fs.Close(env, fd)
+				barrier.Wait(env)
+				return job.Run(env, fd)
+			},
+			Horizon: 5 * time.Minute,
+		}
+		res, _, err := spec.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GiBps()
+	}
+	ext1 := aggregate(machine.KindExt4, 1)
+	ext8 := aggregate(machine.KindExt4, 8)
+	aeo1 := aggregate(machine.KindAeoFS, 1)
+	aeo8 := aggregate(machine.KindAeoFS, 8)
+	if ext8 > 2.5*ext1 {
+		t.Fatalf("ext4 writers scaled %.1fx (1T %.2f -> 8T %.2f GiB/s); journal model too weak", ext8/ext1, ext1, ext8)
+	}
+	if aeo8 < 4*aeo1 {
+		t.Fatalf("aeofs writers scaled only %.1fx (1T %.2f -> 8T %.2f GiB/s)", aeo8/aeo1, aeo1, aeo8)
+	}
+}
+
+// TestProfilesDiffer: f2fs must be slower than ext4 on metadata (its
+// coarser checkpoint lock).
+func TestProfilesDiffer(t *testing.T) {
+	e := kernfs.Ext4Profile()
+	f := kernfs.F2FSProfile()
+	if f.JournalHold <= e.JournalHold {
+		t.Fatal("f2fs journal hold should exceed ext4's")
+	}
+	if f.Contention <= e.Contention {
+		t.Fatal("f2fs contention penalty should exceed ext4's")
+	}
+}
+
+// TestFsyncGoesThroughJournalLock: concurrent fsyncs serialize.
+func TestFsyncGoesThroughJournalLock(t *testing.T) {
+	m, fi, cores := build(t, machine.KindExt4, 4)
+	barrier := sim.NewBarrier(4)
+	spec := &workload.ParallelSpec{
+		Eng: m.Eng, Cores: cores,
+		FSFor: func(int) vfs.FileSystem { return fi.FS },
+		Body: func(env *sim.Env, fs vfs.FileSystem, tid int) (*workload.Result, error) {
+			res := &workload.Result{Name: "fsync"}
+			fd, err := fs.Open(env, fmt.Sprintf("/s%d", tid), vfs.O_CREATE|vfs.O_RDWR)
+			if err != nil {
+				return nil, err
+			}
+			defer fs.Close(env, fd)
+			buf := make([]byte, 4096)
+			barrier.Wait(env)
+			start := env.Now()
+			for i := 0; i < 20; i++ {
+				fs.Write(env, fd, buf)
+				if err := fs.Fsync(env, fd); err != nil {
+					return nil, err
+				}
+				res.Ops++
+			}
+			res.Elapsed = env.Now() - start
+			return res, nil
+		},
+		Horizon: 5 * time.Minute,
+	}
+	merged, per, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Ops != 80 {
+		t.Fatalf("ops = %d", merged.Ops)
+	}
+	// With a global journal lock, 4 concurrent fsync streams must take
+	// much longer per thread than a lone stream would.
+	soloEstimate := per[0].Elapsed / 4
+	_ = soloEstimate
+	if merged.Elapsed < 2*time.Millisecond {
+		t.Fatalf("fsync streams finished implausibly fast: %v", merged.Elapsed)
+	}
+}

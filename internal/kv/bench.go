@@ -1,0 +1,149 @@
+package kv
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/sim"
+	"aeolia/internal/vfs"
+	"aeolia/internal/workload"
+)
+
+// BenchNames lists Table 8's db_bench workloads in presentation order.
+var BenchNames = []string{
+	"fill100K", "fillseq", "fillsync", "fillrandom", "readrandom", "deleterandom",
+}
+
+// BenchSpec parameterizes a db_bench run.
+type BenchSpec struct {
+	// N is the number of key-value pairs (paper: 1M; scale down for
+	// virtual-time budget).
+	N int
+	// ValueSize is the value size (db_bench default 100B; fill100K uses
+	// 100KB regardless).
+	ValueSize int
+	Seed      int64
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("%016d", i)) }
+
+// RunBench executes one db_bench workload over a fresh or pre-filled DB and
+// returns throughput. Workloads that read or delete pre-fill the database
+// first (unmeasured), as db_bench does via --use_existing_db.
+func RunBench(env *sim.Env, fs vfs.FileSystem, name string, spec BenchSpec) (*workload.Result, error) {
+	if spec.N == 0 {
+		spec.N = 10000
+	}
+	if spec.ValueSize == 0 {
+		spec.ValueSize = 100
+	}
+	if init, ok := fs.(vfs.PerThreadInit); ok {
+		if err := init.InitThread(env); err != nil {
+			return nil, err
+		}
+	}
+	rng := workload.Rand(spec.Seed ^ 0xdbbe)
+
+	// The memtable scales with N the way db_bench's 1M-key runs relate
+	// to LevelDB's default write buffer, so reads actually hit SSTables.
+	opts := Options{Dir: "/db-" + name, MemtableBytes: 32 << 10, L0Tables: 6}
+	if name == "fillsync" {
+		opts.SyncWrites = true
+	}
+	db, err := Open(env, fs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	value := make([]byte, spec.ValueSize)
+	for i := range value {
+		value[i] = byte(i)
+	}
+
+	// Pre-fill for read/delete workloads (unmeasured).
+	needPrefill := name == "readrandom" || name == "deleterandom"
+	if needPrefill {
+		for i := 0; i < spec.N; i++ {
+			if err := db.Put(env, key(i), value); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := &workload.Result{Name: name}
+	start := env.Now()
+	switch name {
+	case "fillseq":
+		for i := 0; i < spec.N; i++ {
+			if err := db.Put(env, key(i), value); err != nil {
+				return nil, err
+			}
+			res.Ops++
+			res.Bytes += uint64(len(value))
+		}
+	case "fillsync":
+		// db_bench runs fillsync with N/1000 ops (each costs an fsync).
+		n := spec.N / 10
+		if n < 100 {
+			n = 100
+		}
+		for i := 0; i < n; i++ {
+			if err := db.Put(env, key(i), value); err != nil {
+				return nil, err
+			}
+			res.Ops++
+			res.Bytes += uint64(len(value))
+		}
+	case "fillrandom":
+		for i := 0; i < spec.N; i++ {
+			if err := db.Put(env, key(rng.Intn(spec.N)), value); err != nil {
+				return nil, err
+			}
+			res.Ops++
+			res.Bytes += uint64(len(value))
+		}
+	case "fill100K":
+		big := make([]byte, 100*1000)
+		n := spec.N / 100
+		if n < 50 {
+			n = 50
+		}
+		for i := 0; i < n; i++ {
+			if err := db.Put(env, key(i), big); err != nil {
+				return nil, err
+			}
+			res.Ops++
+			res.Bytes += uint64(len(big))
+		}
+	case "readrandom":
+		for i := 0; i < spec.N; i++ {
+			_, err := db.Get(env, key(rng.Intn(spec.N)))
+			if err != nil && err != ErrNotFound {
+				return nil, err
+			}
+			res.Ops++
+		}
+	case "deleterandom":
+		for i := 0; i < spec.N; i++ {
+			if err := db.Delete(env, key(rng.Intn(spec.N))); err != nil {
+				return nil, err
+			}
+			res.Ops++
+		}
+	default:
+		return nil, fmt.Errorf("kv: unknown benchmark %q", name)
+	}
+	res.Elapsed = env.Now() - start
+	if err := db.Close(env); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// OpsPerMS converts a result to Table 8's ops/ms unit.
+func OpsPerMS(r *workload.Result) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / (float64(r.Elapsed) / float64(time.Millisecond))
+}

@@ -1,0 +1,216 @@
+package kv_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"aeolia/internal/aeofs"
+	"aeolia/internal/kv"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sim"
+	"aeolia/internal/vfs"
+)
+
+// kvFixture builds an AeoFS-backed machine for KV tests.
+func kvFixture(t *testing.T) (*machine.Machine, vfs.FileSystem) {
+	t.Helper()
+	m := machine.New(2, nvme.Config{BlockSize: aeofs.BlockSize, NumBlocks: 1 << 17})
+	t.Cleanup(m.Eng.Shutdown)
+	fi, err := m.BuildFS(machine.KindAeoFS, machine.FSOptions{Journals: 8, JournalBlocks: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fi.FS
+}
+
+func runTask(t *testing.T, m *machine.Machine, body func(env *sim.Env) error) {
+	t.Helper()
+	var err error
+	m.Eng.Spawn("kv", m.Eng.Core(0), func(env *sim.Env) {
+		err = body(env)
+	})
+	m.Eng.Run(m.Eng.Now() + 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	m, fs := kvFixture(t)
+	runTask(t, m, func(env *sim.Env) error {
+		if init, ok := fs.(vfs.PerThreadInit); ok {
+			if err := init.InitThread(env); err != nil {
+				return err
+			}
+		}
+		db, err := kv.Open(env, fs, kv.Options{Dir: "/db"})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 500; i++ {
+			if err := db.Put(env, []byte(fmt.Sprintf("key%04d", i)), []byte(fmt.Sprintf("val%d", i))); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 500; i++ {
+			v, err := db.Get(env, []byte(fmt.Sprintf("key%04d", i)))
+			if err != nil {
+				return fmt.Errorf("get %d: %w", i, err)
+			}
+			if string(v) != fmt.Sprintf("val%d", i) {
+				return fmt.Errorf("get %d = %q", i, v)
+			}
+		}
+		if _, err := db.Get(env, []byte("missing")); !errors.Is(err, kv.ErrNotFound) {
+			return fmt.Errorf("missing key: %v", err)
+		}
+		return db.Close(env)
+	})
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	m, fs := kvFixture(t)
+	runTask(t, m, func(env *sim.Env) error {
+		if init, ok := fs.(vfs.PerThreadInit); ok {
+			init.InitThread(env)
+		}
+		db, err := kv.Open(env, fs, kv.Options{Dir: "/db"})
+		if err != nil {
+			return err
+		}
+		db.Put(env, []byte("k"), []byte("v1"))
+		db.Put(env, []byte("k"), []byte("v2"))
+		v, err := db.Get(env, []byte("k"))
+		if err != nil || string(v) != "v2" {
+			return fmt.Errorf("overwrite: %q %v", v, err)
+		}
+		db.Delete(env, []byte("k"))
+		if _, err := db.Get(env, []byte("k")); !errors.Is(err, kv.ErrNotFound) {
+			return fmt.Errorf("after delete: %v", err)
+		}
+		return db.Close(env)
+	})
+}
+
+func TestFlushAndReadFromSSTable(t *testing.T) {
+	m, fs := kvFixture(t)
+	runTask(t, m, func(env *sim.Env) error {
+		if init, ok := fs.(vfs.PerThreadInit); ok {
+			init.InitThread(env)
+		}
+		// Tiny memtable: forces flushes.
+		db, err := kv.Open(env, fs, kv.Options{Dir: "/db", MemtableBytes: 4096})
+		if err != nil {
+			return err
+		}
+		val := bytes.Repeat([]byte("v"), 100)
+		for i := 0; i < 300; i++ {
+			if err := db.Put(env, []byte(fmt.Sprintf("key%04d", i)), val); err != nil {
+				return err
+			}
+		}
+		if db.Flushes == 0 {
+			return errors.New("no memtable flushes")
+		}
+		if db.Tables() == 0 {
+			return errors.New("no sstables")
+		}
+		// All keys must be found across memtable + tables.
+		for i := 0; i < 300; i++ {
+			if _, err := db.Get(env, []byte(fmt.Sprintf("key%04d", i))); err != nil {
+				return fmt.Errorf("get %d after flush: %w", i, err)
+			}
+		}
+		return db.Close(env)
+	})
+}
+
+func TestCompactionMergesAndDropsShadowed(t *testing.T) {
+	m, fs := kvFixture(t)
+	runTask(t, m, func(env *sim.Env) error {
+		if init, ok := fs.(vfs.PerThreadInit); ok {
+			init.InitThread(env)
+		}
+		db, err := kv.Open(env, fs, kv.Options{Dir: "/db", MemtableBytes: 2048, L0Tables: 3})
+		if err != nil {
+			return err
+		}
+		val := bytes.Repeat([]byte("x"), 64)
+		// Write the same small key set repeatedly to force shadowing
+		// plus compaction.
+		for round := 0; round < 12; round++ {
+			for i := 0; i < 40; i++ {
+				v := append(val, byte(round))
+				if err := db.Put(env, []byte(fmt.Sprintf("key%02d", i)), v); err != nil {
+					return err
+				}
+			}
+		}
+		if db.Compactions == 0 {
+			return errors.New("no compactions ran")
+		}
+		for i := 0; i < 40; i++ {
+			v, err := db.Get(env, []byte(fmt.Sprintf("key%02d", i)))
+			if err != nil {
+				return fmt.Errorf("get %d: %w", i, err)
+			}
+			if v[len(v)-1] != 11 {
+				return fmt.Errorf("key%02d latest round = %d, want 11", i, v[len(v)-1])
+			}
+		}
+		return db.Close(env)
+	})
+}
+
+func TestWALRecoveryAfterCrash(t *testing.T) {
+	m, fs := kvFixture(t)
+	runTask(t, m, func(env *sim.Env) error {
+		if init, ok := fs.(vfs.PerThreadInit); ok {
+			init.InitThread(env)
+		}
+		db, err := kv.Open(env, fs, kv.Options{Dir: "/db"})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			db.Put(env, []byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+		}
+		// "Crash": drop the DB object without Close (memtable lost, WAL
+		// survives in the file system).
+		_ = db
+
+		db2, err := kv.Open(env, fs, kv.Options{Dir: "/db"})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := db2.Get(env, []byte(fmt.Sprintf("k%03d", i))); err != nil {
+				return fmt.Errorf("post-recovery get %d: %w", i, err)
+			}
+		}
+		return db2.Close(env)
+	})
+}
+
+func TestDBBenchWorkloadsRun(t *testing.T) {
+	for _, name := range kv.BenchNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, fs := kvFixture(t)
+			runTask(t, m, func(env *sim.Env) error {
+				res, err := kv.RunBench(env, fs, name, kv.BenchSpec{N: 400})
+				if err != nil {
+					return err
+				}
+				if res.Ops == 0 || res.Elapsed <= 0 {
+					return fmt.Errorf("%s: empty result %+v", name, res)
+				}
+				return nil
+			})
+		})
+	}
+}

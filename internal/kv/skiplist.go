@@ -1,0 +1,111 @@
+// Package kv implements a compact LevelDB-like LSM key-value store over the
+// vfs.FileSystem interface — the substrate for Table 8's db_bench
+// reproduction: a write-ahead log, a skiplist memtable, sorted string
+// tables flushed at a size threshold, inline L0 compaction, and point
+// lookups newest-first.
+package kv
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const skiplistMaxLevel = 12
+
+type skipNode struct {
+	key   []byte
+	value []byte // nil = tombstone
+	next  [skiplistMaxLevel]*skipNode
+}
+
+// skiplist is the memtable: sorted by key, updated in place.
+type skiplist struct {
+	head  *skipNode
+	level int
+	rng   *rand.Rand
+	n     int
+	bytes int
+}
+
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:  &skipNode{},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skiplist) randomLevel() int {
+	l := 1
+	for l < skiplistMaxLevel && s.rng.Intn(4) == 0 {
+		l++
+	}
+	return l
+}
+
+// findPrev fills prev with the rightmost node before key at every level.
+func (s *skiplist) findPrev(key []byte, prev *[skiplistMaxLevel]*skipNode) *skipNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		prev[i] = x
+	}
+	return x.next[0]
+}
+
+// Put inserts or replaces key. value nil records a tombstone.
+func (s *skiplist) Put(key, value []byte) {
+	var prev [skiplistMaxLevel]*skipNode
+	next := s.findPrev(key, &prev)
+	if next != nil && bytes.Equal(next.key, key) {
+		s.bytes += len(value) - len(next.value)
+		next.value = value
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			prev[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &skipNode{key: append([]byte(nil), key...), value: value}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = prev[i].next[i]
+		prev[i].next[i] = node
+	}
+	s.n++
+	s.bytes += len(key) + len(value) + 32
+}
+
+// Get returns (value, found). A found tombstone returns (nil, true).
+func (s *skiplist) Get(key []byte) ([]byte, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	x = x.next[0]
+	if x != nil && bytes.Equal(x.key, key) {
+		return x.value, true
+	}
+	return nil, false
+}
+
+// Len returns the number of entries (including tombstones).
+func (s *skiplist) Len() int { return s.n }
+
+// Bytes returns the approximate memory footprint.
+func (s *skiplist) Bytes() int { return s.bytes }
+
+// Walk visits entries in key order.
+func (s *skiplist) Walk(fn func(key, value []byte) bool) {
+	for x := s.head.next[0]; x != nil; x = x.next[0] {
+		if !fn(x.key, x.value) {
+			return
+		}
+	}
+}

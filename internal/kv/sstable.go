@@ -1,0 +1,183 @@
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"aeolia/internal/sim"
+	"aeolia/internal/vfs"
+)
+
+// SSTable layout:
+//
+//	header:  magic(4) count(4)
+//	records: keyLen(4) valLen(4) tombstone(1) key val   (sorted by key)
+//
+// The sparse index (every key's file offset) is rebuilt at open and kept in
+// memory, as are the min/max keys for range filtering.
+const sstMagic = 0x55AE01DB
+
+type sstEntry struct {
+	key  []byte
+	off  uint64
+	vlen int
+	tomb bool
+}
+
+// sstable is an immutable sorted table backed by one file.
+type sstable struct {
+	path     string
+	index    []sstEntry
+	min, max []byte
+	size     uint64
+}
+
+// writeSSTable serializes sorted entries to path.
+func writeSSTable(env *sim.Env, fs vfs.FileSystem, path string, keys [][]byte, vals [][]byte, tombs []bool) (*sstable, error) {
+	fd, err := fs.Open(env, path, vfs.O_CREATE|vfs.O_RDWR|vfs.O_TRUNC)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Close(env, fd)
+
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], sstMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(keys)))
+	buf.Write(hdr[:])
+
+	t := &sstable{path: path}
+	for i := range keys {
+		off := uint64(buf.Len())
+		var rec [9]byte
+		binary.LittleEndian.PutUint32(rec[0:], uint32(len(keys[i])))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(len(vals[i])))
+		if tombs[i] {
+			rec[8] = 1
+		}
+		buf.Write(rec[:])
+		buf.Write(keys[i])
+		buf.Write(vals[i])
+		t.index = append(t.index, sstEntry{
+			key:  append([]byte(nil), keys[i]...),
+			off:  off,
+			vlen: len(vals[i]),
+			tomb: tombs[i],
+		})
+	}
+	if _, err := fs.WriteAt(env, fd, buf.Bytes(), 0); err != nil {
+		return nil, err
+	}
+	if err := fs.Fsync(env, fd); err != nil {
+		return nil, err
+	}
+	t.size = uint64(buf.Len())
+	if len(keys) > 0 {
+		t.min = t.index[0].key
+		t.max = t.index[len(t.index)-1].key
+	}
+	return t, nil
+}
+
+// openSSTable reads a table's index from disk.
+func openSSTable(env *sim.Env, fs vfs.FileSystem, path string) (*sstable, error) {
+	fd, err := fs.Open(env, path, vfs.O_RDONLY)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Close(env, fd)
+	st, err := fs.Stat(env, path)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, st.Size)
+	if _, err := fs.ReadAt(env, fd, data, 0); err != nil {
+		return nil, err
+	}
+	return parseSSTable(path, data)
+}
+
+func parseSSTable(path string, data []byte) (*sstable, error) {
+	if len(data) < 8 || binary.LittleEndian.Uint32(data[0:]) != sstMagic {
+		return nil, fmt.Errorf("kv: %s: bad sstable magic", path)
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	t := &sstable{path: path, size: uint64(len(data))}
+	off := 8
+	for i := 0; i < count; i++ {
+		if off+9 > len(data) {
+			return nil, fmt.Errorf("kv: %s: truncated record %d", path, i)
+		}
+		klen := int(binary.LittleEndian.Uint32(data[off:]))
+		vlen := int(binary.LittleEndian.Uint32(data[off+4:]))
+		tomb := data[off+8] == 1
+		recOff := uint64(off)
+		off += 9
+		if off+klen+vlen > len(data) {
+			return nil, fmt.Errorf("kv: %s: truncated key/value %d", path, i)
+		}
+		key := append([]byte(nil), data[off:off+klen]...)
+		off += klen + vlen
+		t.index = append(t.index, sstEntry{key: key, off: recOff, vlen: vlen, tomb: tomb})
+	}
+	if count > 0 {
+		t.min = t.index[0].key
+		t.max = t.index[count-1].key
+	}
+	return t, nil
+}
+
+// mayContain filters by key range.
+func (t *sstable) mayContain(key []byte) bool {
+	if len(t.index) == 0 {
+		return false
+	}
+	return bytes.Compare(key, t.min) >= 0 && bytes.Compare(key, t.max) <= 0
+}
+
+// get point-reads key from the table file.
+func (t *sstable) get(env *sim.Env, fs vfs.FileSystem, key []byte) (value []byte, tomb, found bool, err error) {
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, key) >= 0
+	})
+	if i >= len(t.index) || !bytes.Equal(t.index[i].key, key) {
+		return nil, false, false, nil
+	}
+	ent := t.index[i]
+	if ent.tomb {
+		return nil, true, true, nil
+	}
+	fd, err := fs.Open(env, t.path, vfs.O_RDONLY)
+	if err != nil {
+		return nil, false, false, err
+	}
+	defer fs.Close(env, fd)
+	val := make([]byte, ent.vlen)
+	dataOff := ent.off + 9 + uint64(len(ent.key))
+	if _, err := fs.ReadAt(env, fd, val, dataOff); err != nil {
+		return nil, false, false, err
+	}
+	return val, false, true, nil
+}
+
+// scanAll yields the table's records in key order (for compaction).
+func (t *sstable) scanAll(env *sim.Env, fs vfs.FileSystem) (keys [][]byte, vals [][]byte, tombs []bool, err error) {
+	fd, err := fs.Open(env, t.path, vfs.O_RDONLY)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer fs.Close(env, fd)
+	data := make([]byte, t.size)
+	if _, err := fs.ReadAt(env, fd, data, 0); err != nil {
+		return nil, nil, nil, err
+	}
+	for _, ent := range t.index {
+		keys = append(keys, ent.key)
+		start := ent.off + 9 + uint64(len(ent.key))
+		vals = append(vals, append([]byte(nil), data[start:start+uint64(ent.vlen)]...))
+		tombs = append(tombs, ent.tomb)
+	}
+	return keys, vals, tombs, nil
+}

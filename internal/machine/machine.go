@@ -1,0 +1,83 @@
+// Package machine assembles a complete simulated Aeolia testbed: engine,
+// EEVDF scheduler, NVMe device, AeoKern, and the privileged launch path for
+// processes with trusted entities. Benchmarks, examples, and tests build on
+// it instead of wiring the substrates by hand.
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/aeokern"
+	"aeolia/internal/mpk"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sched"
+	"aeolia/internal/sim"
+)
+
+// TrustedEntityName is the registered name of the Aeolia trusted-entity
+// bundle (AeoDriver + the AeoFS trust layer share one protection domain).
+const TrustedEntityName = "aeolia-trusted"
+
+// trustedImage stands in for the linked trusted-entity code; the registry
+// holds its signature and the launcher verifies it at process launch.
+var trustedImage = []byte("aeolia-trusted-entities image v1: aeodriver + aeofs-trust-layer")
+
+// Machine is a fully wired simulated host.
+type Machine struct {
+	Eng   *sim.Engine
+	Sched *sched.EEVDF
+	Dev   *nvme.Device
+	Kern  *aeokern.Kernel
+}
+
+// New builds a machine with the given core count and device configuration.
+func New(cores int, devCfg nvme.Config) *Machine {
+	s := sched.NewEEVDF()
+	eng := sim.NewEngine(cores, s)
+	dev := nvme.NewDevice(eng, devCfg)
+	kern := aeokern.New(eng, s, dev)
+	kern.Registry.Register(TrustedEntityName, mpk.Sign(trustedImage))
+	return &Machine{Eng: eng, Sched: s, Dev: dev, Kern: kern}
+}
+
+// Process is a launched Aeolia process: kernel identity, trusted-entity
+// gate, and its AeoDriver instance.
+type Process struct {
+	Proc   *aeokern.Process
+	Gate   *mpk.Gate
+	Driver *aeodriver.Driver
+}
+
+// Launch registers a process, runs the privileged launcher (verifying the
+// trusted-entity signature and scanning the untrusted binary), and opens an
+// AeoDriver instance for it.
+func (m *Machine) Launch(name string, part aeokern.Partition, cfg aeodriver.Config) (*Process, error) {
+	proc, err := m.Kern.NewProcess(name, part)
+	if err != nil {
+		return nil, err
+	}
+	launcher := mpk.NewLauncher(m.Kern.Sys, m.Kern.Registry)
+	// The untrusted application binary: anything without a WRPKRU.
+	binary := []byte(fmt.Sprintf("untrusted application %q", name))
+	thread, gate, err := launcher.Launch(binary, []mpk.TrustedImage{
+		{Name: TrustedEntityName, Image: trustedImage},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The launcher produced the process's untrusted thread state.
+	proc.Thread = thread
+	drv, err := aeodriver.Open(m.Kern, proc, gate, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Process{Proc: proc, Gate: gate, Driver: drv}, nil
+}
+
+// Run drives the simulation until the event queue drains or the horizon
+// passes (0 = no horizon). It returns the final virtual time.
+func (m *Machine) Run(until time.Duration) time.Duration {
+	return m.Eng.Run(until)
+}

@@ -1,0 +1,205 @@
+// Package mpk models Intel Memory Protection Keys and the trusted-entity
+// discipline Aeolia builds on them (§5): 16 protection keys, a per-thread
+// PKRU register with access/write-disable bits, key-tagged memory regions,
+// WRPKRU call gates with the paper's measured switch cost, WRPKRU
+// occurrence scanning of untrusted binaries, the W^X mmap policy, and the
+// signature registry + privileged launcher of invariant I1.
+//
+// Go cannot enforce hardware page protections, so enforcement is by
+// construction: every access to protected state flows through Check / Gate
+// in this simulation, and the attack suite (internal/attack) exercises the
+// deny paths.
+package mpk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Key is an MPK protection key (a 4-bit page-table tag).
+type Key uint8
+
+// NumKeys is the number of protection keys the hardware provides.
+const NumKeys = 16
+
+// KeyDefault is key 0, the implicit key of untagged memory.
+const KeyDefault Key = 0
+
+// Perm is the access a PKRU grants for one key.
+type Perm uint8
+
+// Permission levels, from none to read-write.
+const (
+	PermNone Perm = iota
+	PermRead
+	PermRW
+)
+
+func (p Perm) String() string {
+	switch p {
+	case PermNone:
+		return "none"
+	case PermRead:
+		return "read"
+	case PermRW:
+		return "rw"
+	default:
+		return fmt.Sprintf("perm(%d)", uint8(p))
+	}
+}
+
+// PKRU is the 32-bit per-thread protection-key rights register: two bits per
+// key, AD (access disable) and WD (write disable).
+type PKRU struct {
+	bits uint32
+}
+
+const (
+	adBit = 0
+	wdBit = 1
+)
+
+// Get returns the permission PKRU grants for key k.
+func (p PKRU) Get(k Key) Perm {
+	sh := uint(k) * 2
+	ad := p.bits>>(sh+adBit)&1 != 0
+	wd := p.bits>>(sh+wdBit)&1 != 0
+	switch {
+	case ad:
+		return PermNone
+	case wd:
+		return PermRead
+	default:
+		return PermRW
+	}
+}
+
+// With returns a copy of p granting perm for key k.
+func (p PKRU) With(k Key, perm Perm) PKRU {
+	sh := uint(k) * 2
+	p.bits &^= 3 << sh
+	switch perm {
+	case PermNone:
+		p.bits |= 1 << (sh + adBit)
+	case PermRead:
+		p.bits |= 1 << (sh + wdBit)
+	case PermRW:
+	}
+	return p
+}
+
+// UntrustedDefault is the PKRU untrusted application code runs with:
+// key 0 fully accessible, every other allocated key access-disabled.
+func UntrustedDefault() PKRU {
+	p := PKRU{}
+	for k := Key(1); k < NumKeys; k++ {
+		p = p.With(k, PermNone)
+	}
+	return p
+}
+
+// Errors returned by permission checks.
+var (
+	ErrProtected  = errors.New("mpk: access to protected domain denied")
+	ErrWRPKRU     = errors.New("mpk: WRPKRU executed outside a trusted gate")
+	ErrNoKeys     = errors.New("mpk: out of protection keys")
+	ErrWX         = errors.New("mpk: mapping may not be both writable and executable")
+	ErrBadSig     = errors.New("mpk: trusted entity signature mismatch")
+	ErrUnverified = errors.New("mpk: trusted entity not registered")
+)
+
+// Region is a key-tagged memory region holding protected state.
+type Region struct {
+	Name string
+	Key  Key
+	// Reads / Writes / Denied count access checks for validation.
+	Reads, Writes, Denied uint64
+}
+
+// Thread is the MPK-relevant per-thread state.
+type Thread struct {
+	pkru PKRU
+	// inGate is the nesting depth of trusted gates the thread is inside
+	// (summed over the process's concurrent tasks; see Gate.Call);
+	// WRPKRU is only legal at depth transitions driven by a Gate.
+	inGate int
+	// savedPKRU is the untrusted value restored when the outermost gate
+	// section exits.
+	savedPKRU PKRU
+}
+
+// NewUntrustedThread returns a thread running untrusted code.
+func NewUntrustedThread() *Thread {
+	return &Thread{pkru: UntrustedDefault()}
+}
+
+// PKRU returns the thread's current PKRU value.
+func (t *Thread) PKRU() PKRU { return t.pkru }
+
+// InTrustedGate reports whether the thread currently executes inside a
+// trusted entity.
+func (t *Thread) InTrustedGate() bool { return t.inGate > 0 }
+
+// WRPKRU writes the PKRU register. Per invariant I2, untrusted code must
+// never reach a WRPKRU: outside a gate transition this returns ErrWRPKRU
+// (the simulation's analogue of "the instruction does not exist in the
+// untrusted binary").
+func (t *Thread) WRPKRU(p PKRU, fromGate bool) error {
+	if !fromGate && t.inGate == 0 {
+		return ErrWRPKRU
+	}
+	t.pkru = p
+	return nil
+}
+
+// System owns key allocation and regions.
+type System struct {
+	nextKey Key
+	regions []*Region
+}
+
+// NewSystem returns a system with key 0 reserved as the default key.
+func NewSystem() *System {
+	return &System{nextKey: 1}
+}
+
+// AllocKey allocates a fresh protection key (pkey_alloc).
+func (s *System) AllocKey() (Key, error) {
+	if s.nextKey >= NumKeys {
+		return 0, ErrNoKeys
+	}
+	k := s.nextKey
+	s.nextKey++
+	return k, nil
+}
+
+// NewRegion creates a region tagged with key k.
+func (s *System) NewRegion(name string, k Key) *Region {
+	r := &Region{Name: name, Key: k}
+	s.regions = append(s.regions, r)
+	return r
+}
+
+// Check validates an access by thread t to region r. It is the simulation's
+// stand-in for the MMU+PKRU check on every load/store.
+func (s *System) Check(t *Thread, r *Region, write bool) error {
+	perm := t.pkru.Get(r.Key)
+	switch {
+	case perm == PermNone, write && perm == PermRead:
+		r.Denied++
+		return fmt.Errorf("%w: %s of region %q (key %d) with pkru perm %v",
+			ErrProtected, accessName(write), r.Name, r.Key, perm)
+	case write:
+		r.Writes++
+	default:
+		r.Reads++
+	}
+	return nil
+}
+
+func accessName(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}

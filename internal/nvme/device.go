@@ -1,0 +1,264 @@
+package nvme
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/sim"
+)
+
+const chunkBlocks = 1024 // sparse-store allocation unit, in blocks
+
+// Config describes a simulated device.
+type Config struct {
+	BlockSize int    // logical block size in bytes (512 or 4096)
+	NumBlocks uint64 // device capacity in blocks
+	Model     LatencyModel
+	// MaxQueuePairs bounds CreateQueuePair (default 128).
+	MaxQueuePairs int
+}
+
+// Device is a simulated NVMe SSD bound to a sim.Engine. All methods must be
+// called from engine context (task bodies or event callbacks).
+type Device struct {
+	eng *sim.Engine
+	cfg Config
+
+	store map[uint64][]byte // chunk index -> chunk data
+
+	qps    map[int]*QueuePair
+	nextQP int
+
+	// channelFree[i] is when device channel i becomes free.
+	channelFree []time.Duration
+	// busReadFree / busWriteFree serialize the shared internal bus.
+	busReadFree  time.Duration
+	busWriteFree time.Duration
+
+	// jitterState drives the deterministic per-command service-time
+	// jitter (a small xorshift PRNG seeded at creation).
+	jitterState uint64
+
+	// Stats.
+	ReadOps    uint64
+	WriteOps   uint64
+	FlushOps   uint64
+	BytesRead  uint64
+	BytesWrite uint64
+}
+
+// NewDevice creates a device on the engine.
+func NewDevice(eng *sim.Engine, cfg Config) *Device {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 4096
+	}
+	if cfg.NumBlocks == 0 {
+		cfg.NumBlocks = 1 << 20
+	}
+	if cfg.Model.Channels <= 0 {
+		cfg.Model = P5800X()
+	}
+	if cfg.MaxQueuePairs <= 0 {
+		cfg.MaxQueuePairs = 128
+	}
+	return &Device{
+		eng:         eng,
+		cfg:         cfg,
+		store:       make(map[uint64][]byte),
+		qps:         make(map[int]*QueuePair),
+		channelFree: make([]time.Duration, cfg.Model.Channels),
+		jitterState: 0x9E3779B97F4A7C15,
+	}
+}
+
+// jitter returns a deterministic per-command service-time perturbation in
+// [-2%, +2%] of d. Real flash media have this much variance and more; it
+// also keeps the simulation from phase-locking periodic workloads.
+func (d *Device) jitter(dur time.Duration) time.Duration {
+	x := d.jitterState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	d.jitterState = x
+	// Map to [-0.02, +0.02].
+	frac := (float64(x%4096)/4096 - 0.5) * 0.04
+	return time.Duration(float64(dur) * frac)
+}
+
+// Engine returns the engine the device is bound to.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// BlockSize returns the logical block size in bytes.
+func (d *Device) BlockSize() int { return d.cfg.BlockSize }
+
+// NumBlocks returns the device capacity in blocks.
+func (d *Device) NumBlocks() uint64 { return d.cfg.NumBlocks }
+
+// chunk returns the backing slice for the chunk containing blk, allocating
+// it if alloc is set (nil otherwise).
+func (d *Device) chunk(blk uint64, alloc bool) []byte {
+	ci := blk / chunkBlocks
+	c := d.store[ci]
+	if c == nil && alloc {
+		c = make([]byte, chunkBlocks*d.cfg.BlockSize)
+		d.store[ci] = c
+	}
+	return c
+}
+
+// readRaw copies blocks [slba, slba+n) into buf.
+func (d *Device) readRaw(slba uint64, n uint32, buf []byte) {
+	bs := uint64(d.cfg.BlockSize)
+	for i := uint64(0); i < uint64(n); i++ {
+		blk := slba + i
+		dst := buf[i*bs : (i+1)*bs]
+		c := d.chunk(blk, false)
+		if c == nil {
+			for j := range dst {
+				dst[j] = 0
+			}
+			continue
+		}
+		off := (blk % chunkBlocks) * bs
+		copy(dst, c[off:off+bs])
+	}
+}
+
+// writeRaw copies buf into blocks [slba, slba+n).
+func (d *Device) writeRaw(slba uint64, n uint32, buf []byte) {
+	bs := uint64(d.cfg.BlockSize)
+	for i := uint64(0); i < uint64(n); i++ {
+		blk := slba + i
+		c := d.chunk(blk, true)
+		off := (blk % chunkBlocks) * bs
+		copy(c[off:off+bs], buf[i*bs:(i+1)*bs])
+	}
+}
+
+// PeekBlock reads a block's current contents without consuming device time —
+// a debugging/verification backdoor (used by fsck-style tests), not a data
+// path.
+func (d *Device) PeekBlock(blk uint64, buf []byte) {
+	d.readRaw(blk, 1, buf)
+}
+
+// validate checks command bounds.
+func (d *Device) validate(e *SubmissionEntry) Status {
+	switch e.Opcode {
+	case OpFlush:
+		return StatusSuccess
+	case OpRead, OpWrite:
+		if e.NLB == 0 {
+			return StatusInvalidField
+		}
+		if e.SLBA+uint64(e.NLB) > d.cfg.NumBlocks {
+			return StatusLBARange
+		}
+		if len(e.Data) < int(e.NLB)*d.cfg.BlockSize {
+			return StatusInvalidField
+		}
+		return StatusSuccess
+	default:
+		return StatusInvalidField
+	}
+}
+
+// completionTime books device resources for the command and returns when it
+// completes.
+func (d *Device) completionTime(e *SubmissionEntry) time.Duration {
+	now := d.eng.Now()
+	bytes := int(e.NLB) * d.cfg.BlockSize
+
+	// Shared bus serialization.
+	var busDone time.Duration
+	switch e.Opcode {
+	case OpRead:
+		bt := d.cfg.Model.busTime(OpRead, bytes)
+		start := max(d.busReadFree, now)
+		d.busReadFree = start + bt
+		busDone = d.busReadFree
+	case OpWrite:
+		bt := d.cfg.Model.busTime(OpWrite, bytes)
+		start := max(d.busWriteFree, now)
+		d.busWriteFree = start + bt
+		busDone = d.busWriteFree
+	}
+
+	// Channel occupancy: earliest-free channel.
+	best := 0
+	for i, f := range d.channelFree {
+		if f < d.channelFree[best] {
+			best = i
+		}
+	}
+	start := max(d.channelFree[best], now)
+	svc := d.cfg.Model.ServiceTime(e.Opcode, bytes)
+	svc += d.jitter(svc)
+	done := start + svc
+	d.channelFree[best] = done
+
+	return max(done, busDone)
+}
+
+func max(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// process executes a submitted command: schedules data movement and CQE
+// posting at the modeled completion time.
+func (d *Device) process(qp *QueuePair, e SubmissionEntry) {
+	st := d.validate(&e)
+	if st != StatusSuccess {
+		// Errors complete quickly, without touching media.
+		d.eng.Schedule(200*time.Nanosecond, func() { qp.postCompletion(e.CID, st) })
+		return
+	}
+	done := d.completionTime(&e)
+	switch e.Opcode {
+	case OpRead:
+		d.ReadOps++
+		d.BytesRead += uint64(e.NLB) * uint64(d.cfg.BlockSize)
+	case OpWrite:
+		d.WriteOps++
+		d.BytesWrite += uint64(e.NLB) * uint64(d.cfg.BlockSize)
+	case OpFlush:
+		d.FlushOps++
+	}
+	d.eng.ScheduleAt(done, func() {
+		// Data movement happens at completion time: a read observes
+		// the medium as of completion; a write becomes durable then.
+		switch e.Opcode {
+		case OpRead:
+			d.readRaw(e.SLBA, e.NLB, e.Data)
+		case OpWrite:
+			d.writeRaw(e.SLBA, e.NLB, e.Data)
+		}
+		qp.postCompletion(e.CID, StatusSuccess)
+	})
+}
+
+// CreateQueuePair allocates a queue pair of the given depth. The interrupt
+// vector and notification callback are configured on the returned pair.
+func (d *Device) CreateQueuePair(depth int) (*QueuePair, error) {
+	if len(d.qps) >= d.cfg.MaxQueuePairs {
+		return nil, fmt.Errorf("nvme: queue pair limit (%d) reached", d.cfg.MaxQueuePairs)
+	}
+	if depth <= 0 {
+		depth = 128
+	}
+	d.nextQP++
+	qp := newQueuePair(d, d.nextQP, depth)
+	d.qps[qp.ID] = qp
+	return qp, nil
+}
+
+// DeleteQueuePair releases a queue pair.
+func (d *Device) DeleteQueuePair(qp *QueuePair) {
+	delete(d.qps, qp.ID)
+}
+
+// QueuePairCount returns the number of live queue pairs.
+func (d *Device) QueuePairCount() int { return len(d.qps) }

@@ -1,0 +1,85 @@
+// Package nvme implements a functional model of an NVMe SSD: submission and
+// completion queue pairs with doorbells and phase bits, a small command set,
+// a sparse in-memory block store, and a calibrated service-time model of the
+// Intel Optane P5800X used by the paper. Completions are delivered in
+// virtual time through the internal/sim engine, either by raising an
+// interrupt vector on a core (MSI-X → kernel, or remapped to a user
+// interrupt) or by being discovered by pollers.
+package nvme
+
+import (
+	"fmt"
+)
+
+// Opcode identifies an NVMe I/O command.
+type Opcode uint8
+
+// NVMe I/O command set opcodes (subset).
+const (
+	OpFlush Opcode = 0x00
+	OpWrite Opcode = 0x01
+	OpRead  Opcode = 0x02
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpFlush:
+		return "flush"
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("op(%#x)", uint8(o))
+	}
+}
+
+// Status is an NVMe completion status code (0 = success).
+type Status uint16
+
+// Completion status codes (subset of the generic command status field).
+const (
+	StatusSuccess      Status = 0x0
+	StatusInvalidField Status = 0x2
+	StatusLBARange     Status = 0x80
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusInvalidField:
+		return "invalid field"
+	case StatusLBARange:
+		return "LBA out of range"
+	default:
+		return fmt.Sprintf("status(%#x)", uint16(s))
+	}
+}
+
+// Err converts a status into an error (nil for success).
+func (s Status) Err() error {
+	if s == StatusSuccess {
+		return nil
+	}
+	return fmt.Errorf("nvme: %v", s)
+}
+
+// SubmissionEntry is one SQ slot. Data stands in for the PRP/SGL pointers of
+// a real command: for writes it is the source buffer, for reads the
+// destination; it must hold NLB*BlockSize bytes.
+type SubmissionEntry struct {
+	Opcode Opcode
+	CID    uint16
+	SLBA   uint64
+	NLB    uint32 // number of logical blocks (not 0-based, unlike real NVMe)
+	Data   []byte
+}
+
+// CompletionEntry is one CQ slot.
+type CompletionEntry struct {
+	CID    uint16
+	Status Status
+	SQHead uint16
+	Phase  bool
+}

@@ -1,0 +1,143 @@
+package nvme
+
+import (
+	"fmt"
+
+	"aeolia/internal/sim"
+)
+
+// QueuePair is one NVMe submission/completion queue pair mapped into a
+// driver's address space. The host fills SQ slots and rings the tail
+// doorbell; the device posts CQEs with alternating phase bits and the host
+// consumes them, updating the head doorbell.
+type QueuePair struct {
+	ID    int
+	dev   *Device
+	depth int
+
+	sq     []SubmissionEntry
+	sqTail int
+	sqHead int
+
+	cq      []CompletionEntry
+	cqHead  int
+	cqTail  int
+	phase   bool
+	cqCount int // occupied CQ slots
+
+	// Vector is the interrupt vector the device signals on completion
+	// (the MSI-X table entry AeoKern programs).
+	Vector int
+
+	// OnCompletion, if set, is invoked each time a CQE is posted — the
+	// "wire" of the MSI-X interrupt. Polling drivers leave it nil.
+	OnCompletion func(qp *QueuePair)
+
+	// pending maps CID -> per-command completion handles, letting driver
+	// models wait for specific commands.
+	pending map[uint16]*sim.Completion
+
+	nextCID uint16
+
+	// Submitted counts commands accepted into the SQ.
+	Submitted uint64
+	// Completed counts CQEs posted.
+	Completed uint64
+}
+
+func newQueuePair(d *Device, id, depth int) *QueuePair {
+	return &QueuePair{
+		ID:      id,
+		dev:     d,
+		depth:   depth,
+		sq:      make([]SubmissionEntry, depth),
+		cq:      make([]CompletionEntry, depth),
+		phase:   true,
+		pending: make(map[uint16]*sim.Completion),
+	}
+}
+
+// Depth returns the queue depth.
+func (qp *QueuePair) Depth() int { return qp.depth }
+
+// Inflight returns the number of commands submitted whose CQE has not yet
+// been posted.
+func (qp *QueuePair) Inflight() int {
+	return int(qp.Submitted - qp.Completed)
+}
+
+// Submit places a command into the submission queue and rings the doorbell.
+// It returns a completion handle that fires when the CQE is posted. The
+// caller must not reuse e.Data until completion.
+func (qp *QueuePair) Submit(e SubmissionEntry) (*sim.Completion, error) {
+	if qp.Inflight() >= qp.depth-1 {
+		return nil, fmt.Errorf("nvme: submission queue %d full", qp.ID)
+	}
+	qp.nextCID++
+	e.CID = qp.nextCID
+	qp.sq[qp.sqTail] = e
+	qp.sqTail = (qp.sqTail + 1) % qp.depth
+	comp := sim.NewCompletion()
+	qp.pending[e.CID] = comp
+	qp.Submitted++
+
+	// Ringing the doorbell hands the command to the device.
+	qp.sqHead = (qp.sqHead + 1) % qp.depth
+	qp.dev.process(qp, e)
+	return comp, nil
+}
+
+// postCompletion is called by the device when a command finishes.
+func (qp *QueuePair) postCompletion(cid uint16, st Status) {
+	if qp.cqCount == qp.depth {
+		// A real device would stall; with SQ depth == CQ depth this
+		// cannot happen unless the host never consumes CQEs it was
+		// notified about.
+		panic("nvme: completion queue overflow")
+	}
+	qp.cq[qp.cqTail] = CompletionEntry{
+		CID:    cid,
+		Status: st,
+		SQHead: uint16(qp.sqHead),
+		Phase:  qp.phase,
+	}
+	qp.cqTail = (qp.cqTail + 1) % qp.depth
+	if qp.cqTail == 0 {
+		qp.phase = !qp.phase
+	}
+	qp.cqCount++
+	qp.Completed++
+
+	// The command's completion handle fires when its CQE becomes visible:
+	// this is the instant a poller could discover it.
+	if comp := qp.pending[cid]; comp != nil {
+		delete(qp.pending, cid)
+		comp.FireAt(qp.dev.eng.Now())
+	}
+
+	if qp.OnCompletion != nil {
+		qp.OnCompletion(qp)
+	}
+}
+
+// Poll consumes up to max CQEs (0 = all available), firing their completion
+// handles, and returns them. This is the polling/interrupt-handler consume
+// path; it advances the CQ head doorbell.
+func (qp *QueuePair) Poll(max int) []CompletionEntry {
+	var out []CompletionEntry
+	for qp.cqCount > 0 && (max == 0 || len(out) < max) {
+		ce := qp.cq[qp.cqHead]
+		qp.cqHead = (qp.cqHead + 1) % qp.depth
+		qp.cqCount--
+		out = append(out, ce)
+	}
+	return out
+}
+
+// HasCompletions reports whether unconsumed CQEs are pending (the check a
+// shared-vector interrupt handler performs to identify the source, §4.2).
+func (qp *QueuePair) HasCompletions() bool { return qp.cqCount > 0 }
+
+// LastCID returns the command identifier assigned by the most recent
+// Submit.
+func (qp *QueuePair) LastCID() uint16 { return qp.nextCID }

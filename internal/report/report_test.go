@@ -1,0 +1,55 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID: "fig0", Title: "sample",
+		Columns: []string{"name", "value"},
+	}
+	t.AddRow("alpha", "1")
+	t.AddRowf("beta", 3.14159, 12345.6)
+	t.Note("a note with %d args", 1)
+	return t
+}
+
+func TestPrintAligned(t *testing.T) {
+	var sb strings.Builder
+	sample().Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"== fig0: sample ==", "alpha", "beta", "3.14", "note: a note with 1 args"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	var sb strings.Builder
+	sample().Markdown(&sb)
+	out := sb.String()
+	for _, want := range []string{"### fig0 — sample", "| name | value |", "| --- | --- |", "| alpha | 1 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtOne(t *testing.T) {
+	cases := map[string]any{
+		"0":    0.0,
+		"1235": 1234.9,
+		"12.3": 12.34,
+		"1.23": 1.234,
+		"s":    "s",
+		"7":    7,
+	}
+	for want, in := range cases {
+		if got := fmtOne(in); got != want {
+			t.Errorf("fmtOne(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

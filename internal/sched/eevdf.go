@@ -1,0 +1,260 @@
+// Package sched implements the thread-scheduling side of the Aeolia
+// reproduction: an EEVDF (Earliest Eligible Virtual Deadline First) policy —
+// the Linux 6.12 default that the paper reimplements on sched_ext — plus the
+// sched_ext-style shared state map that Aeolia's trusted entities read to
+// decide whether to yield (Figure 8).
+package sched
+
+import (
+	"time"
+
+	"aeolia/internal/sim"
+	"aeolia/internal/timing"
+)
+
+// NiceZeroWeight is the load weight of a nice-0 task, matching Linux's
+// sched_prio_to_weight[20].
+const NiceZeroWeight = 1024
+
+// entity is the EEVDF per-task state, the analogue of sched_entity.
+type entity struct {
+	task      *sim.Task
+	weight    int64
+	vruntime  time.Duration // weighted virtual runtime
+	deadline  time.Duration // virtual deadline = vruntime + slice/weight
+	slice     time.Duration
+	execStart time.Duration // when the current on-CPU stint began
+	onRQ      bool
+	// slept marks that the entity blocked (vs. being preempted), which
+	// earns the sleeper placement bonus on wakeup.
+	slept bool
+}
+
+func (e *entity) calcDelta(d time.Duration) time.Duration {
+	return time.Duration(int64(d) * NiceZeroWeight / e.weight)
+}
+
+type runqueue struct {
+	queue []*entity
+	curr  *entity
+	// minVruntime tracks the smallest vruntime seen, used to place newly
+	// woken tasks so they neither starve nor steal unbounded credit.
+	minVruntime time.Duration
+}
+
+// EEVDF is the earliest-eligible-virtual-deadline-first scheduler. It
+// satisfies sim.Scheduler with per-core runqueues (tasks are core-pinned in
+// this simulation, as in the paper's experiments).
+type EEVDF struct {
+	eng *sim.Engine
+	rqs []*runqueue
+
+	// Slice is the base time slice granted per scheduling period.
+	Slice time.Duration
+}
+
+// NewEEVDF returns an EEVDF scheduler with the default slice.
+func NewEEVDF() *EEVDF {
+	return &EEVDF{Slice: timing.TimeSlice}
+}
+
+// Bind implements sim.Scheduler.
+func (s *EEVDF) Bind(e *sim.Engine) {
+	s.eng = e
+	s.rqs = make([]*runqueue, len(e.Cores()))
+	for i := range s.rqs {
+		s.rqs[i] = &runqueue{}
+	}
+}
+
+func (s *EEVDF) rq(c *sim.Core) *runqueue { return s.rqs[c.ID] }
+
+func (s *EEVDF) ent(t *sim.Task) *entity {
+	if e, ok := t.Sched.(*entity); ok {
+		return e
+	}
+	e := &entity{task: t, weight: NiceZeroWeight, slice: s.Slice}
+	t.Sched = e
+	return e
+}
+
+// SetWeight adjusts a task's load weight (before or between runs).
+func (s *EEVDF) SetWeight(t *sim.Task, w int64) {
+	if w <= 0 {
+		panic("sched: non-positive weight")
+	}
+	s.ent(t).weight = w
+}
+
+// Enqueue implements sim.Scheduler.
+func (s *EEVDF) Enqueue(t *sim.Task) {
+	rq := s.rq(t.Affinity())
+	e := s.ent(t)
+	if e.onRQ {
+		panic("sched: double enqueue")
+	}
+	// Wakeup placement: a task that genuinely slept is placed one slice
+	// behind the queue floor (the CFS/EEVDF sleeper bonus), so an
+	// I/O-bound task wakes with an earlier virtual deadline than a
+	// CPU hog mid-slice and preempts it promptly. A preempted task just
+	// keeps its vruntime, floored at minVruntime so nothing hoards
+	// credit.
+	floor := rq.minVruntime
+	if e.slept {
+		// Half a slice of lag, as CFS's sched_latency placement gave
+		// interactive tasks: enough to preempt a mid-slice hog,
+		// bounded so waves of I/O wakeups cannot starve it.
+		bonus := e.calcDelta(e.slice) / 2
+		if floor > bonus {
+			floor -= bonus
+		} else {
+			floor = 0
+		}
+		e.slept = false
+	}
+	if e.vruntime < floor {
+		e.vruntime = floor
+	}
+	e.deadline = e.vruntime + e.calcDelta(e.slice)
+	e.onRQ = true
+	rq.queue = append(rq.queue, e)
+}
+
+// dequeue removes e from rq.queue.
+func (rq *runqueue) dequeue(e *entity) {
+	for i, q := range rq.queue {
+		if q == e {
+			rq.queue = append(rq.queue[:i], rq.queue[i+1:]...)
+			e.onRQ = false
+			return
+		}
+	}
+	panic("sched: dequeue of task not on runqueue")
+}
+
+// avgVruntime returns the weighted average vruntime across queued entities
+// and the current one — the eligibility threshold of EEVDF.
+func (rq *runqueue) avgVruntime() (time.Duration, bool) {
+	var sum, weight int64
+	consider := func(e *entity) {
+		sum += int64(e.vruntime) * e.weight
+		weight += e.weight
+	}
+	for _, e := range rq.queue {
+		consider(e)
+	}
+	if rq.curr != nil {
+		consider(rq.curr)
+	}
+	if weight == 0 {
+		return 0, false
+	}
+	return time.Duration(sum / weight), true
+}
+
+// pick returns the earliest eligible virtual deadline entity, falling back
+// to the earliest deadline overall when nothing is eligible.
+func (rq *runqueue) pick() *entity {
+	if len(rq.queue) == 0 {
+		return nil
+	}
+	avg, _ := rq.avgVruntime()
+	var best, bestAny *entity
+	for _, e := range rq.queue {
+		if bestAny == nil || e.deadline < bestAny.deadline {
+			bestAny = e
+		}
+		if e.vruntime <= avg {
+			if best == nil || e.deadline < best.deadline {
+				best = e
+			}
+		}
+	}
+	if best == nil {
+		best = bestAny
+	}
+	return best
+}
+
+// PickNext implements sim.Scheduler.
+func (s *EEVDF) PickNext(c *sim.Core) *sim.Task {
+	rq := s.rq(c)
+	e := rq.pick()
+	if e == nil {
+		return nil
+	}
+	rq.dequeue(e)
+	return e.task
+}
+
+// NrRunnable implements sim.Scheduler.
+func (s *EEVDF) NrRunnable(c *sim.Core) int { return len(s.rq(c).queue) }
+
+// updateCurr folds the running entity's elapsed CPU time into its vruntime
+// and advances its deadline when the slice is consumed.
+func (s *EEVDF) updateCurr(rq *runqueue) {
+	e := rq.curr
+	if e == nil {
+		return
+	}
+	now := s.eng.Now()
+	delta := now - e.execStart
+	if delta <= 0 {
+		return
+	}
+	e.execStart = now
+	e.vruntime += e.calcDelta(delta)
+	if e.vruntime > rq.minVruntime {
+		rq.minVruntime = e.vruntime
+	}
+	for e.vruntime >= e.deadline {
+		e.deadline += e.calcDelta(e.slice)
+	}
+}
+
+// OnRun implements sim.Scheduler.
+func (s *EEVDF) OnRun(t *sim.Task) {
+	rq := s.rq(t.Affinity())
+	e := s.ent(t)
+	e.execStart = s.eng.Now()
+	rq.curr = e
+}
+
+// OnStop implements sim.Scheduler.
+func (s *EEVDF) OnStop(t *sim.Task, requeue bool) {
+	rq := s.rq(t.Affinity())
+	e := s.ent(t)
+	if rq.curr == e {
+		s.updateCurr(rq)
+		rq.curr = nil
+	}
+	if !requeue {
+		e.slept = true
+	}
+}
+
+// ShouldPreempt implements sim.Scheduler: wakeup preemption following
+// EEVDF's rule — preempt when the woken task's virtual deadline is earlier
+// than the running task's.
+func (s *EEVDF) ShouldPreempt(t *sim.Task, c *sim.Core) bool {
+	rq := s.rq(c)
+	if rq.curr == nil {
+		return true
+	}
+	s.updateCurr(rq)
+	return s.ent(t).deadline < rq.curr.deadline
+}
+
+// Tick implements sim.Scheduler: the periodic tick updates the running
+// entity and requests rescheduling when its deadline is no longer the
+// earliest among eligible competitors.
+func (s *EEVDF) Tick(c *sim.Core) {
+	rq := s.rq(c)
+	if rq.curr == nil || len(rq.queue) == 0 {
+		return
+	}
+	s.updateCurr(rq)
+	if best := rq.pick(); best != nil && best.deadline < rq.curr.deadline {
+		c.SetNeedResched()
+	}
+}

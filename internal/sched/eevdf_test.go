@@ -1,0 +1,115 @@
+package sched_test
+
+import (
+	"testing"
+	"time"
+
+	"aeolia/internal/sched"
+	"aeolia/internal/sim"
+)
+
+func newEng(t *testing.T, cores int) (*sim.Engine, *sched.EEVDF) {
+	t.Helper()
+	s := sched.NewEEVDF()
+	e := sim.NewEngine(cores, s)
+	t.Cleanup(e.Shutdown)
+	return e, s
+}
+
+func TestWeightedSharing(t *testing.T) {
+	e, s := newEng(t, 1)
+	horizon := 300 * time.Millisecond
+	heavy := e.Spawn("heavy", e.Core(0), func(env *sim.Env) {
+		for env.Now() < horizon {
+			env.Exec(time.Millisecond)
+		}
+	})
+	light := e.Spawn("light", e.Core(0), func(env *sim.Env) {
+		for env.Now() < horizon {
+			env.Exec(time.Millisecond)
+		}
+	})
+	s.SetWeight(heavy, 3*sched.NiceZeroWeight)
+	e.Run(horizon + 10*time.Millisecond)
+	ratio := float64(heavy.CPUTime) / float64(light.CPUTime)
+	if ratio < 2.2 || ratio > 4.0 {
+		t.Fatalf("CPU ratio = %.2f (heavy %v, light %v), want ~3", ratio, heavy.CPUTime, light.CPUTime)
+	}
+}
+
+func TestSleeperGetsPromptService(t *testing.T) {
+	e, _ := newEng(t, 1)
+	horizon := 100 * time.Millisecond
+	e.Spawn("hog", e.Core(0), func(env *sim.Env) {
+		for env.Now() < horizon {
+			env.Exec(time.Millisecond)
+		}
+	})
+	var worst time.Duration
+	e.Spawn("interactive", e.Core(0), func(env *sim.Env) {
+		for env.Now() < horizon {
+			env.Sleep(500 * time.Microsecond)
+			start := env.Now()
+			env.Exec(10 * time.Microsecond)
+			if lat := env.Now() - start; lat > worst {
+				worst = lat
+			}
+		}
+	})
+	e.Run(horizon + 10*time.Millisecond)
+	// With the sleeper bonus, the interactive task's service latency must
+	// stay far below a full slice.
+	if worst > time.Millisecond {
+		t.Fatalf("interactive worst service = %v, want < 1ms", worst)
+	}
+}
+
+func TestNrRunnableAndSnapshot(t *testing.T) {
+	e, s := newEng(t, 1)
+	done := make(chan struct{})
+	e.Spawn("a", e.Core(0), func(env *sim.Env) {
+		env.Exec(10 * time.Millisecond)
+	})
+	e.Spawn("b", e.Core(0), func(env *sim.Env) {
+		env.Exec(10 * time.Millisecond)
+	})
+	e.Spawn("probe", e.Core(0), func(env *sim.Env) {
+		env.Exec(time.Millisecond)
+		snap := s.Ext().Snapshot(e.Core(0))
+		if snap.NrRunning < 2 {
+			t.Errorf("NrRunning = %d, want >= 2", snap.NrRunning)
+		}
+		if !snap.HasCandidate {
+			t.Error("no candidate with queued tasks")
+		}
+		close(done)
+	})
+	e.Run(0)
+	select {
+	case <-done:
+	default:
+		t.Fatal("probe did not run")
+	}
+}
+
+func TestUserTryYieldPrefersEarlierDeadline(t *testing.T) {
+	// Current has run 5ms into a 3ms slice; candidate deadline is earlier
+	// -> yield.
+	snap := sched.Snapshot{
+		NrRunning:     2,
+		CurrVruntime:  0,
+		CurrDeadline:  3 * time.Millisecond,
+		CurrExecStart: 0,
+		CurrWeight:    sched.NiceZeroWeight,
+		CurrSlice:     3 * time.Millisecond,
+		CandDeadline:  4 * time.Millisecond,
+		HasCandidate:  true,
+	}
+	if !sched.UserTryYield(snap, 5*time.Millisecond) {
+		t.Fatal("should yield: exec time pushed our deadline past the candidate's")
+	}
+	// Current just started: keep running.
+	if sched.UserTryYield(snap, 100*time.Microsecond) {
+		t.Fatal("should not yield right after going on-CPU")
+	}
+}

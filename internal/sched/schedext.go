@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"time"
+
+	"aeolia/internal/sim"
+)
+
+// Snapshot is the read-only scheduling state Aeolia's trusted entities see
+// through the mmap'ed eBPF map of the sched_ext policy (§3.3, §6.2). It
+// mirrors the fields Figure 8's user_try_yield consults: the number of
+// runnable tasks, the current entity's EEVDF state, and the best queued
+// candidate's deadline.
+type Snapshot struct {
+	NrRunning     int // runnable tasks including the current one
+	CurrVruntime  time.Duration
+	CurrDeadline  time.Duration
+	CurrExecStart time.Duration
+	CurrWeight    int64
+	CurrSlice     time.Duration
+	CandDeadline  time.Duration
+	HasCandidate  bool
+}
+
+// ExtMap is the userspace view over the EEVDF scheduler's state, the
+// analogue of the mmap'ed eBPF maps. Reads are instantaneous in virtual
+// time (a real mmap read costs nanoseconds; the trusted-entry toll is
+// charged separately by the caller).
+type ExtMap struct {
+	s *EEVDF
+}
+
+// Ext returns the sched_ext map view of s.
+func (s *EEVDF) Ext() *ExtMap { return &ExtMap{s: s} }
+
+// Snapshot reads the scheduling state of core c.
+func (m *ExtMap) Snapshot(c *sim.Core) Snapshot {
+	rq := m.s.rq(c)
+	snap := Snapshot{NrRunning: len(rq.queue)}
+	if rq.curr != nil {
+		snap.NrRunning++
+		snap.CurrVruntime = rq.curr.vruntime
+		snap.CurrDeadline = rq.curr.deadline
+		snap.CurrExecStart = rq.curr.execStart
+		snap.CurrWeight = rq.curr.weight
+		snap.CurrSlice = rq.curr.slice
+	}
+	// The candidate is what EEVDF would pick next; expose its deadline.
+	if best := rq.pick(); best != nil {
+		snap.CandDeadline = best.deadline
+		snap.HasCandidate = true
+	}
+	return snap
+}
+
+// UserTryYield is Figure 8's policy, evaluated in userspace against the
+// exposed state: if other tasks are runnable, simulate update_curr on the
+// current entity and yield iff EEVDF would now prefer the candidate. It
+// returns true when the caller should sched_yield().
+func UserTryYield(snap Snapshot, now time.Duration) bool {
+	if snap.NrRunning <= 1 {
+		return false // nothing else to run; keep the core (active checking)
+	}
+	if !snap.HasCandidate {
+		return false
+	}
+	// mock_update_curr: advance the current entity's vruntime/deadline by
+	// its execution time since it went on-CPU, without touching kernel
+	// state.
+	exec := now - snap.CurrExecStart
+	if exec < 0 {
+		exec = 0
+	}
+	weight := snap.CurrWeight
+	if weight <= 0 {
+		weight = NiceZeroWeight
+	}
+	vruntime := snap.CurrVruntime + time.Duration(int64(exec)*NiceZeroWeight/weight)
+	deadline := snap.CurrDeadline
+	for vruntime >= deadline {
+		deadline += time.Duration(int64(snap.CurrSlice) * NiceZeroWeight / weight)
+	}
+	// need_resched: the candidate's virtual deadline beats ours.
+	return snap.CandDeadline < deadline
+}

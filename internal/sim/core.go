@@ -1,0 +1,541 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Trace, when set, receives engine execution-path notes (debugging).
+var Trace func(format string, args ...any)
+
+func trace(format string, args ...any) {
+	if Trace != nil {
+		Trace(format, args...)
+	}
+}
+
+// IRQHandler handles an interrupt vector raised on a core. It runs in
+// "interrupt context": it may charge time via ctx.Charge, wake tasks, fire
+// completions, and request rescheduling, but must not block.
+type IRQHandler func(ctx *IRQCtx, vector int)
+
+// IRQCtx is the context passed to interrupt handlers.
+type IRQCtx struct {
+	eng  *Engine
+	core *Core
+	cost time.Duration
+}
+
+// Charge adds d to the time consumed by this interrupt on the core.
+func (c *IRQCtx) Charge(d time.Duration) { c.cost += d }
+
+// Engine returns the owning engine.
+func (c *IRQCtx) Engine() *Engine { return c.eng }
+
+// Core returns the interrupted core.
+func (c *IRQCtx) Core() *Core { return c.core }
+
+// Now returns the current virtual time.
+func (c *IRQCtx) Now() time.Duration { return c.eng.Now() }
+
+// Current returns the task that was running when the interrupt arrived
+// (nil if the core was idle).
+func (c *IRQCtx) Current() *Task { return c.core.current }
+
+type pendingIRQ struct {
+	vector int
+}
+
+// Core is one simulated CPU. At any instant it is either idle, running a
+// task (possibly mid-Exec or spinning), servicing an interrupt, or in a
+// context-switch transition.
+type Core struct {
+	ID  int
+	eng *Engine
+
+	current *Task
+	idle    bool
+
+	needResched bool
+
+	// Mid-exec bookkeeping: when the current task is inside Exec or
+	// SpinWait, execStart records when the current slice began.
+	execStart  time.Duration
+	execEv     *Event // pending exec-completion event (nil while spinning)
+	execEvFrom string
+
+	inIRQ        bool
+	inTransition bool
+	pending      []pendingIRQ
+
+	irqHandler IRQHandler
+
+	tickEv *Event
+
+	// Stats.
+	IdleTime     time.Duration
+	idleSince    time.Duration
+	IRQCount     int
+	SwitchCount  int
+	PreemptCount int
+}
+
+func newCore(e *Engine, id int) *Core {
+	return &Core{ID: id, eng: e, idle: true}
+}
+
+// Current returns the task running on the core, or nil if idle.
+func (c *Core) Current() *Task { return c.current }
+
+// Idle reports whether the core is idle.
+func (c *Core) Idle() bool { return c.idle }
+
+// SetIRQHandler installs the core's interrupt handler.
+func (c *Core) SetIRQHandler(h IRQHandler) { c.irqHandler = h }
+
+// SetNeedResched marks the core for rescheduling at the next scheduling
+// decision point (interrupt return or tick).
+func (c *Core) SetNeedResched() { c.needResched = true }
+
+// NeedResched reports whether a reschedule is pending.
+func (c *Core) NeedResched() bool { return c.needResched }
+
+// RaiseIRQ raises vector on the core. If the core is servicing another
+// interrupt or mid context-switch, delivery is deferred until it finishes.
+func (c *Core) RaiseIRQ(vector int) {
+	if c.inIRQ || c.inTransition {
+		c.pending = append(c.pending, pendingIRQ{vector})
+		return
+	}
+	c.startIRQ(vector)
+}
+
+func (c *Core) startIRQ(vector int) {
+	e := c.eng
+	c.IRQCount++
+	trace("%v core%d startIRQ vec=%d cur=%v", e.now, c.ID, vector, c.current)
+	if c.idle {
+		// Fold accumulated idle time but keep the core logically idle:
+		// the ISR interrupts the idle loop, and leaving idle (with its
+		// statistics-update toll) only happens if the IRQ return path
+		// dispatches a task.
+		c.IdleTime += e.now - c.idleSince
+		c.idleSince = e.now
+	}
+	if c.current != nil {
+		c.suspendExec()
+	}
+	c.inIRQ = true
+	ctx := &IRQCtx{eng: e, core: c}
+	if c.irqHandler != nil {
+		c.irqHandler(ctx, vector)
+	}
+	if ctx.cost > 0 {
+		e.Schedule(ctx.cost, func() { c.endIRQ() })
+	} else {
+		c.endIRQ()
+	}
+}
+
+// suspendExec pauses the current task's Exec/Spin slice, folding the elapsed
+// time into its accounting.
+func (c *Core) suspendExec() {
+	t := c.current
+	if t == nil {
+		return
+	}
+	trace("%v core%d suspendExec %s op=%d ev=%v", c.eng.now, c.ID, t.Name, t.op, c.execEv != nil)
+	elapsed := c.eng.now - c.execStart
+	t.CPUTime += elapsed
+	switch t.op {
+	case opExec:
+		t.execRem -= elapsed
+		if t.execRem < 0 {
+			t.execRem = 0
+		}
+		if c.execEv != nil {
+			c.execEv.Cancel()
+			c.execEv = nil
+		}
+	case opSpin:
+		// Nothing to cancel; spinning has no completion event.
+	}
+	c.execStart = c.eng.now
+}
+
+// resumeExec restarts the current task's suspended Exec/Spin slice, or
+// resumes the task body if the slice is complete.
+func (c *Core) resumeExec() {
+	t := c.current
+	if t == nil {
+		panic("sim: resumeExec on empty core")
+	}
+	c.execStart = c.eng.now
+	switch t.op {
+	case opExec:
+		if t.execRem <= 0 {
+			c.eng.runCurrent(c)
+			return
+		}
+		if c.execEv != nil {
+			panic(fmt.Sprintf("sim: resumeExec overwriting pending execEv from %s cancelled=%v at=%v now=%v cur=%s",
+				c.execEvFrom, c.execEv.Cancelled(), c.execEv.At(), c.eng.now, t.Name))
+		}
+		c.execEvFrom = "resumeExec"
+		c.execEv = c.eng.Schedule(t.execRem, func() { c.execDone() })
+	case opSpin:
+		if t.spinOn.Done() {
+			c.eng.runCurrent(c)
+			return
+		}
+		// Keep spinning; the completion's OnFire hook resumes us.
+	default:
+		c.eng.runCurrent(c)
+	}
+}
+
+func (c *Core) execDone() {
+	t := c.current
+	c.execEv = nil
+	if t == nil || t.op != opExec {
+		panic(fmt.Sprintf("sim: stray execDone: %s", c.eng.DebugCore(c)))
+	}
+	t.CPUTime += c.eng.now - c.execStart
+	t.execRem = 0
+	c.eng.runCurrent(c)
+}
+
+func (c *Core) endIRQ() {
+	trace("%v core%d endIRQ cur=%v", c.eng.now, c.ID, c.current)
+	c.inIRQ = false
+	if len(c.pending) > 0 {
+		next := c.pending[0]
+		c.pending = c.pending[1:]
+		c.startIRQ(next.vector)
+		return
+	}
+	c.afterIRQ()
+}
+
+// afterIRQ is the return-from-interrupt scheduling decision point.
+func (c *Core) afterIRQ() {
+	e := c.eng
+	if c.current == nil {
+		// Interrupted the idle loop (or a transition target vanished):
+		// dispatch if anything became runnable.
+		e.reschedule(c, true)
+		return
+	}
+	if c.needResched {
+		e.preemptCurrent(c)
+		return
+	}
+	c.resumeExec()
+}
+
+// kick forces a scheduling decision point on the core, as a reschedule IPI
+// would. It is a no-op while the core is in an interrupt or transition
+// (those end with a decision point anyway).
+func (c *Core) kick() {
+	if c.inIRQ || c.inTransition || c.current == nil {
+		return
+	}
+	c.suspendExec()
+	c.afterIRQ()
+}
+
+func (c *Core) leaveIdleAccounting() {
+	if c.idle {
+		c.IdleTime += c.eng.now - c.idleSince
+		c.idle = false
+	}
+}
+
+func (c *Core) goIdle() {
+	c.idle = true
+	c.idleSince = c.eng.now
+	c.stopTick()
+}
+
+func (c *Core) armTick() {
+	e := c.eng
+	if e.TickPeriod <= 0 || c.tickEv != nil {
+		return
+	}
+	var tick func()
+	tick = func() {
+		c.tickEv = nil
+		if c.current == nil {
+			return
+		}
+		c.tickEv = e.Schedule(e.TickPeriod, tick)
+		if e.sched != nil {
+			e.sched.Tick(c)
+		}
+		if c.needResched && !c.inIRQ && !c.inTransition && c.current != nil {
+			c.suspendExec()
+			e.preemptCurrent(c)
+		}
+	}
+	c.tickEv = e.Schedule(e.TickPeriod, tick)
+}
+
+func (c *Core) stopTick() {
+	if c.tickEv != nil {
+		c.tickEv.Cancel()
+		c.tickEv = nil
+	}
+}
+
+// preemptCurrent moves the running task back to the runqueue and schedules
+// the next one.
+func (e *Engine) preemptCurrent(c *Core) {
+	t := c.current
+	if t == nil {
+		panic("sim: preempt on idle core")
+	}
+	c.PreemptCount++
+	if e.TaskStopHook != nil {
+		e.TaskStopHook(c, t)
+	}
+	e.sched.OnStop(t, true)
+	t.state = TaskRunnable
+	t.waitStart = e.now
+	t.core = nil
+	c.current = nil
+	e.sched.Enqueue(t)
+	e.reschedule(c, true)
+}
+
+// reschedule picks the next task for c and switches to it, charging the
+// kernel model's transition costs. If charge is false the switch is free
+// (used only by direct-resume paths).
+func (e *Engine) reschedule(c *Core, charge bool) {
+	if c.current != nil {
+		panic("sim: reschedule with current task")
+	}
+	if c.inTransition {
+		return
+	}
+	if e.sched == nil {
+		// Scheduler-less engines (pure event/device simulations) have
+		// no tasks to dispatch.
+		if !c.idle {
+			c.goIdle()
+		}
+		c.drainPending()
+		return
+	}
+	next := e.sched.PickNext(c)
+	if next == nil {
+		c.needResched = false
+		if !c.idle {
+			// Switching to the idle task costs a context switch,
+			// overlapped with whatever the core was waiting for.
+			if charge && e.CtxSwitchCost > 0 {
+				c.inTransition = true
+				e.Schedule(e.CtxSwitchCost, func() {
+					c.inTransition = false
+					if c.current == nil && e.sched.NrRunnable(c) > 0 {
+						e.reschedule(c, true)
+						return
+					}
+					c.goIdle()
+					c.drainPending()
+				})
+				return
+			}
+			c.goIdle()
+		}
+		c.drainPending()
+		return
+	}
+
+	cost := time.Duration(0)
+	if charge {
+		cost = e.CtxSwitchCost
+		if c.idle {
+			// Leaving idle pays the statistics-update toll of
+			// Figure 4 step 2 in addition to the switch.
+			cost += e.IdleExitCost
+		}
+	}
+	c.leaveIdleAccounting()
+	c.needResched = false
+	if cost > 0 {
+		c.inTransition = true
+		e.Schedule(cost, func() {
+			c.inTransition = false
+			e.startTask(c, next)
+		})
+		return
+	}
+	e.startTask(c, next)
+}
+
+func (c *Core) drainPending() {
+	for len(c.pending) > 0 && !c.inIRQ && !c.inTransition {
+		next := c.pending[0]
+		c.pending = c.pending[1:]
+		c.startIRQ(next.vector)
+	}
+}
+
+// startTask makes t current on c and resumes its body.
+func (e *Engine) startTask(c *Core, t *Task) {
+	trace("%v core%d startTask %s op=%d", e.now, c.ID, t.Name, t.op)
+	c.SwitchCount++
+	c.current = t
+	t.core = c
+	t.state = TaskRunning
+	e.sched.OnRun(t)
+	if e.TaskRunHook != nil {
+		e.TaskRunHook(c, t)
+	}
+	c.armTick()
+	// Inserted user-handler frames (§6.1) run on the kernel's return
+	// path when the task is switched back in — crucially also when the
+	// task was preempted mid-spin, whose body won't otherwise resume
+	// until the very completion the handler delivers.
+	if len(t.onResume) > 0 {
+		// The handler frame executes in transition context so that a
+		// completion it fires cannot re-enter the task body before the
+		// frame's cost has been charged (continueTask then observes the
+		// fired completion and resumes the body exactly once).
+		c.inTransition = true
+		var cost time.Duration
+		for len(t.onResume) > 0 {
+			fn := t.onResume[0]
+			t.onResume = t.onResume[1:]
+			cost += fn()
+		}
+		if cost > 0 {
+			trace("%v core%d hook-transition %s cost=%v", e.now, c.ID, t.Name, cost)
+			t.CPUTime += cost
+			e.Schedule(cost, func() {
+				c.inTransition = false
+				if c.current != t {
+					return
+				}
+				trace("%v core%d hook-continue %s op=%d", e.now, c.ID, t.Name, t.op)
+				e.continueTask(c, t)
+			})
+			return
+		}
+		c.inTransition = false
+	}
+	e.continueTask(c, t)
+}
+
+// continueTask resumes t's in-progress operation (or body) on c.
+func (e *Engine) continueTask(c *Core, t *Task) {
+	if len(c.pending) > 0 {
+		// An interrupt arrived during the switch; deliver it before
+		// the task makes progress.
+		c.execStart = e.now
+		c.drainPending()
+		return
+	}
+	switch t.op {
+	case opExec, opSpin:
+		// Resuming a preempted slice.
+		c.resumeExec()
+	default:
+		e.runCurrent(c)
+	}
+}
+
+// runCurrent resumes the current task's goroutine and services the ops it
+// parks with, until the task starts a timed wait (exec/spin) or leaves the
+// core (block/yield/done).
+func (e *Engine) runCurrent(c *Core) {
+	for {
+		t := c.current
+		if t == nil {
+			panic("sim: runCurrent on idle core")
+		}
+		trace("%v core%d runCurrent resume %s", e.now, c.ID, t.Name)
+		// Hand control to the task body.
+		t.resume <- struct{}{}
+		<-t.yield
+		trace("%v core%d parked %s op=%d", e.now, c.ID, t.Name, t.op)
+
+		switch t.op {
+		case opExec:
+			c.execStart = e.now
+			rem := t.execRem
+			if c.execEv != nil {
+				panic("sim: runCurrent overwriting pending execEv from " + c.execEvFrom)
+			}
+			c.execEvFrom = "runCurrent:" + t.Name
+			c.execEv = e.Schedule(rem, func() { c.execDone() })
+			return
+		case opSpin:
+			if t.spinOn.Done() {
+				continue // resume immediately
+			}
+			c.execStart = e.now
+			comp := t.spinOn
+			spinTask := t
+			comp.OnFire(func() { e.spinFired(spinTask) })
+			return
+		case opBlock:
+			if e.TaskStopHook != nil {
+				e.TaskStopHook(c, t)
+			}
+			e.sched.OnStop(t, false)
+			t.state = TaskBlocked
+			t.core = nil
+			c.current = nil
+			e.reschedule(c, true)
+			return
+		case opYield:
+			if e.TaskStopHook != nil {
+				e.TaskStopHook(c, t)
+			}
+			e.sched.OnStop(t, true)
+			t.state = TaskRunnable
+			t.waitStart = e.now
+			t.core = nil
+			c.current = nil
+			e.sched.Enqueue(t)
+			e.reschedule(c, true)
+			return
+		case opDone:
+			if e.TaskStopHook != nil {
+				e.TaskStopHook(c, t)
+			}
+			e.sched.OnStop(t, false)
+			t.state = TaskDone
+			t.core = nil
+			c.current = nil
+			e.taskFinished(t)
+			e.reschedule(c, true)
+			return
+		default:
+			panic("sim: task parked without op")
+		}
+	}
+}
+
+// spinFired handles a Completion firing while a task is (or was) spinning
+// on it. If the task is still current on its core, it resumes immediately
+// with no scheduler involvement — the defining property of polling. If the
+// task was preempted mid-spin, it simply finds the completion done when it
+// is next scheduled.
+func (e *Engine) spinFired(t *Task) {
+	if t.state != TaskRunning || t.op != opSpin {
+		return
+	}
+	c := t.core
+	if c == nil || c.current != t {
+		return
+	}
+	if c.inIRQ || c.inTransition {
+		// The interrupt handler that fired the completion is still
+		// accruing cost; afterIRQ/resumeExec will notice Done().
+		return
+	}
+	t.CPUTime += e.now - c.execStart
+	e.runCurrent(c)
+}

@@ -1,0 +1,283 @@
+// Package sim is a deterministic discrete-event simulator of a multicore
+// machine: virtual nanosecond time, simulated cores, tasks (coroutines),
+// interrupt delivery, and a pluggable thread scheduler.
+//
+// The engine and every task body execute mutually exclusively — control is
+// handed back and forth over unbuffered channels — so simulations are
+// deterministic and free of data races by construction, while task bodies
+// are written as ordinary sequential Go code.
+//
+// All latency- and scheduling-sensitive experiments of the Aeolia
+// reproduction (Figures 2-5, 10-13, 17) run on this engine; the calibrated
+// cost constants live in internal/timing.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/timing"
+)
+
+// Engine owns virtual time, the event queue, the cores, and the tasks.
+type Engine struct {
+	now   time.Duration
+	queue eventHeap
+	seq   uint64
+
+	cores []*Core
+	sched Scheduler
+	tasks []*Task
+
+	liveTasks int
+	running   bool
+
+	// CtxSwitchCost and IdleExitCost parameterize the kernel scheduler
+	// model; they default to the paper's measured constants.
+	CtxSwitchCost time.Duration
+	IdleExitCost  time.Duration
+
+	// TickPeriod is the scheduler tick. Zero disables ticking.
+	TickPeriod time.Duration
+
+	// TaskRunHook, if set, runs whenever a task is switched in on a core
+	// (the kernel's context-switch-in path; AeoKern uses it to install
+	// the incoming thread's UINV/UPIDADDR).
+	TaskRunHook func(c *Core, t *Task)
+	// TaskStopHook runs whenever a task is switched out of a core.
+	TaskStopHook func(c *Core, t *Task)
+}
+
+// Scheduler is the thread-scheduling policy plugged into the engine. The
+// running task of a core is *not* in the runqueue; PickNext pops the next
+// task to run.
+type Scheduler interface {
+	// Bind attaches the scheduler to the engine before any task runs.
+	Bind(e *Engine)
+	// Enqueue inserts a runnable task into its core's runqueue.
+	Enqueue(t *Task)
+	// PickNext pops the best runnable task for core c, or nil for idle.
+	PickNext(c *Core) *Task
+	// NrRunnable returns the number of queued runnable tasks on c,
+	// excluding the running one.
+	NrRunnable(c *Core) int
+	// ShouldPreempt reports whether newly-woken t should preempt the
+	// task currently running on core c.
+	ShouldPreempt(t *Task, c *Core) bool
+	// Tick is the periodic scheduler tick for c; it may set need-resched
+	// on the core.
+	Tick(c *Core)
+	// OnRun notifies that t was switched in on its core.
+	OnRun(t *Task)
+	// OnStop notifies that t was switched out; requeue reports whether
+	// the task stays runnable (preemption/yield) as opposed to
+	// blocking or exiting. OnStop must not re-enqueue the task; the
+	// engine calls Enqueue itself.
+	OnStop(t *Task, requeue bool)
+}
+
+// NewEngine creates an engine with n cores governed by sched. sched may be
+// nil only if no tasks are spawned (pure event/device simulations).
+func NewEngine(n int, sched Scheduler) *Engine {
+	e := &Engine{
+		sched:         sched,
+		CtxSwitchCost: timing.ContextSwitch,
+		IdleExitCost:  timing.IdleExit,
+		TickPeriod:    timing.SchedTick,
+	}
+	for i := 0; i < n; i++ {
+		e.cores = append(e.cores, newCore(e, i))
+	}
+	if sched != nil {
+		sched.Bind(e)
+	}
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Cores returns the simulated cores.
+func (e *Engine) Cores() []*Core { return e.cores }
+
+// Core returns core i.
+func (e *Engine) Core(i int) *Core { return e.cores[i] }
+
+// Scheduler returns the plugged-in scheduler.
+func (e *Engine) Scheduler() Scheduler { return e.sched }
+
+// Schedule enqueues fn to run after delay (>= 0) of virtual time.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn at absolute virtual time at (>= now).
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: %v < %v", at, e.now))
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.queue.push(ev)
+	return ev
+}
+
+// Spawn creates a task pinned to core and makes it runnable at the current
+// virtual time. The body runs on its own goroutine under the engine's
+// coroutine discipline.
+func (e *Engine) Spawn(name string, core *Core, body func(*Env)) *Task {
+	t := &Task{
+		ID:     len(e.tasks),
+		Name:   name,
+		eng:    e,
+		body:   body,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		state:  TaskNew,
+		core:   nil,
+	}
+	t.affinity = core
+	e.tasks = append(e.tasks, t)
+	e.liveTasks++
+
+	go taskMain(t)
+
+	t.state = TaskRunnable
+	t.StartedAt = e.now
+	t.waitStart = e.now
+	e.sched.Enqueue(t)
+	e.kickAfterWake(t)
+	return t
+}
+
+func taskMain(t *Task) {
+	// Wait for the first dispatch.
+	<-t.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if r != errAborted {
+				panic(r)
+			}
+			// Aborted by Engine.Shutdown: unwind quietly.
+			t.yield <- struct{}{}
+		}
+	}()
+	t.body(&Env{t: t})
+	t.op = opDone
+	t.yield <- struct{}{}
+}
+
+var errAborted = fmt.Errorf("sim: task aborted")
+
+// Wake makes a blocked task runnable, following the kernel wakeup model: the
+// caller is responsible for charging ttwu cost (interrupt handlers do so via
+// IRQCtx.Charge; tasks via Exec). Waking a non-blocked task is a no-op.
+func (e *Engine) Wake(t *Task) {
+	if t.state != TaskBlocked {
+		return
+	}
+	t.state = TaskRunnable
+	t.waitStart = e.now
+	e.sched.Enqueue(t)
+	e.kickAfterWake(t)
+}
+
+// kickAfterWake triggers dispatch/preemption on the woken task's core.
+func (e *Engine) kickAfterWake(t *Task) {
+	c := t.affinity
+	if c.current == t {
+		panic("sim: woke the running task")
+	}
+	switch {
+	case c.inIRQ || c.inTransition:
+		// endIRQ / the transition completion performs the dispatch,
+		// but the wakeup-preemption decision must be taken now.
+		if c.current != nil && e.sched.ShouldPreempt(t, c) {
+			c.needResched = true
+		}
+	case c.current == nil:
+		e.reschedule(c, true)
+	case e.sched.ShouldPreempt(t, c):
+		c.needResched = true
+		c.kick()
+	}
+}
+
+// Run drives the simulation until the event queue empties or the given
+// virtual-time horizon passes (0 means no horizon). It returns the final
+// virtual time.
+func (e *Engine) Run(until time.Duration) time.Duration {
+	e.running = true
+	for {
+		ev := e.queue.peek()
+		if ev == nil {
+			break
+		}
+		if until > 0 && ev.at > until {
+			e.now = until
+			break
+		}
+		ev = e.queue.pop()
+		if ev == nil {
+			break
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	// A bounded run always advances the clock to its horizon, so callers
+	// polling in slices make progress even when the queue drains.
+	if until > 0 && e.now < until {
+		e.now = until
+	}
+	e.running = false
+	return e.now
+}
+
+// LiveTasks returns the number of tasks not yet finished.
+func (e *Engine) LiveTasks() int { return e.liveTasks }
+
+// Shutdown aborts all unfinished task goroutines so tests do not leak them.
+// The simulation must not be Run again afterwards.
+func (e *Engine) Shutdown() {
+	for _, t := range e.tasks {
+		if t.state == TaskDone || t.state == TaskNew {
+			continue
+		}
+		t.aborted = true
+		t.resume <- struct{}{}
+		<-t.yield
+		t.state = TaskDone
+	}
+}
+
+func (e *Engine) taskFinished(t *Task) {
+	t.FinishedAt = e.now
+	e.liveTasks--
+}
+
+// DebugCore renders a core's execution state (diagnostics).
+func (e *Engine) DebugCore(c *Core) string {
+	cur := "idle"
+	op := "-"
+	spin := "-"
+	if c.current != nil {
+		cur = c.current.Name
+		op = fmt.Sprint(int(c.current.op))
+		if c.current.spinOn != nil {
+			spin = fmt.Sprint(c.current.spinOn.Done())
+		}
+	}
+	return fmt.Sprintf("cur=%s op=%s spinDone=%s execEv=%v inIRQ=%v inTrans=%v pend=%d execRem=%v",
+		cur, op, spin, c.execEv != nil, c.inIRQ, c.inTransition, len(c.pending), func() time.Duration {
+			if c.current != nil {
+				return c.current.execRem
+			}
+			return 0
+		}())
+}

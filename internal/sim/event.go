@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback in virtual time. Events are ordered by time
+// and, for equal times, by insertion sequence, which makes runs fully
+// deterministic.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired event
+// is a no-op.
+func (ev *Event) Cancel() {
+	if ev != nil {
+		ev.cancelled = true
+	}
+}
+
+// Cancelled reports whether the event was cancelled.
+func (ev *Event) Cancelled() bool { return ev != nil && ev.cancelled }
+
+// At returns the virtual time the event is scheduled for.
+func (ev *Event) At() time.Duration { return ev.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+func (h *eventHeap) push(ev *Event) { heap.Push(h, ev) }
+
+func (h *eventHeap) pop() *Event {
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(*Event)
+		if !ev.cancelled {
+			return ev
+		}
+	}
+	return nil
+}
+
+func (h *eventHeap) peek() *Event {
+	for h.Len() > 0 {
+		ev := (*h)[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(h)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"aeolia/internal/sched"
+	"aeolia/internal/sim"
+	"aeolia/internal/timing"
+)
+
+// TestResumeHookRunsForPreemptedSpinner is the regression test for the
+// mid-spin delivery deadlock: a task preempted while spinning on a
+// completion must still receive its inserted handler frame (which fires the
+// completion) when it is switched back in — otherwise it spins forever.
+func TestResumeHookRunsForPreemptedSpinner(t *testing.T) {
+	e := sim.NewEngine(1, sched.NewEEVDF())
+	defer e.Shutdown()
+
+	comp := sim.NewCompletion()
+	var spinnerDone time.Duration
+	spinner := e.Spawn("spinner", e.Core(0), func(env *sim.Env) {
+		env.Exec(time.Microsecond)
+		env.SpinWait(comp)
+		spinnerDone = env.Now()
+	})
+	// A competitor that wakes with a sleeper bonus, preempting the
+	// spinner.
+	e.Spawn("competitor", e.Core(0), func(env *sim.Env) {
+		for i := 0; i < 3; i++ {
+			env.Sleep(100 * time.Microsecond)
+			env.Exec(500 * time.Microsecond)
+		}
+	})
+	// While the spinner is off-CPU, its "completion interrupt" arrives as
+	// an inserted frame.
+	e.Schedule(150*time.Microsecond, func() {
+		if spinner.State() == sim.TaskRunnable {
+			spinner.PushResumeHook(func() time.Duration {
+				comp.Fire()
+				return timing.HandlerExec
+			})
+		} else {
+			// Fallback: fire directly if it happened to be on-CPU.
+			comp.Fire()
+		}
+	})
+	e.Run(50 * time.Millisecond)
+	if spinnerDone == 0 {
+		t.Fatalf("spinner never resumed; state=%v", spinner.State())
+	}
+	if spinnerDone > 10*time.Millisecond {
+		t.Fatalf("spinner resumed only at %v", spinnerDone)
+	}
+}
+
+// TestHookFiringCompletionChargesOnce: a resume hook that fires the very
+// completion its task spins on must not double-resume the task (the
+// hook-transition reentrancy bug).
+func TestHookFiringCompletionChargesOnce(t *testing.T) {
+	e := sim.NewEngine(1, sched.NewEEVDF())
+	defer e.Shutdown()
+	comp := sim.NewCompletion()
+	resumed := 0
+	sp := e.Spawn("spinner", e.Core(0), func(env *sim.Env) {
+		env.SpinWait(comp)
+		resumed++
+		env.Exec(time.Microsecond)
+	})
+	// Preempt the spinner with a short-lived task, then push the hook and
+	// let the spinner get rescheduled.
+	e.Spawn("blip", e.Core(0), func(env *sim.Env) {
+		env.Sleep(50 * time.Microsecond)
+		sp.PushResumeHook(func() time.Duration {
+			comp.Fire()
+			return timing.HandlerExec
+		})
+		env.Exec(100 * time.Microsecond)
+	})
+	e.Run(50 * time.Millisecond)
+	if resumed != 1 {
+		t.Fatalf("spinner body resumed %d times, want 1", resumed)
+	}
+}
+
+// TestWakePreemptionFromISR: a wake performed inside an interrupt handler
+// must still take the wakeup-preemption decision (regression for the lost
+// needResched).
+func TestWakePreemptionFromISR(t *testing.T) {
+	e := sim.NewEngine(1, sched.NewEEVDF())
+	defer e.Shutdown()
+	core := e.Core(0)
+	var woken *sim.Task
+	core.SetIRQHandler(func(ctx *sim.IRQCtx, vec int) {
+		ctx.Charge(timing.KernelInterrupt)
+		ctx.Engine().Wake(woken)
+	})
+	e.Spawn("hog", e.Core(0), func(env *sim.Env) {
+		env.Exec(time.Second)
+	})
+	var resumedAt time.Duration
+	woken = e.Spawn("lc", e.Core(0), func(env *sim.Env) {
+		env.Exec(time.Microsecond)
+		env.Block()
+		resumedAt = env.Now()
+	})
+	e.Schedule(10*time.Millisecond, func() { core.RaiseIRQ(0x40) })
+	e.Run(100 * time.Millisecond)
+	if resumedAt == 0 {
+		t.Fatal("lc never resumed")
+	}
+	// With wakeup preemption the LC must run within microseconds of the
+	// IRQ, not wait out the hog's slice.
+	if resumedAt > 10*time.Millisecond+100*time.Microsecond {
+		t.Fatalf("lc resumed at %v; wakeup preemption from ISR broken", resumedAt)
+	}
+}
+
+// TestRWMutexReadersShareWritersExclude exercises the virtual RW lock.
+func TestRWMutexReadersShareWritersExclude(t *testing.T) {
+	e := sim.NewEngine(4, sched.NewEEVDF())
+	defer e.Shutdown()
+	var rw sim.RWMutex
+	var concurrentReaders, maxReaders, writers int
+	for i := 0; i < 3; i++ {
+		e.Spawn("reader", e.Core(i), func(env *sim.Env) {
+			rw.RLock(env)
+			concurrentReaders++
+			if concurrentReaders > maxReaders {
+				maxReaders = concurrentReaders
+			}
+			env.Exec(100 * time.Microsecond)
+			concurrentReaders--
+			rw.RUnlock(env)
+		})
+	}
+	e.Spawn("writer", e.Core(3), func(env *sim.Env) {
+		env.Exec(10 * time.Microsecond) // arrive after readers
+		rw.Lock(env)
+		if concurrentReaders != 0 {
+			t.Errorf("writer ran with %d readers inside", concurrentReaders)
+		}
+		writers++
+		env.Exec(50 * time.Microsecond)
+		rw.Unlock(env)
+	})
+	e.Run(0)
+	if maxReaders < 2 {
+		t.Fatalf("maxReaders = %d, want >= 2 (readers must overlap)", maxReaders)
+	}
+	if writers != 1 {
+		t.Fatalf("writer ran %d times", writers)
+	}
+}
+
+// TestBarrierReleasesAllTogether exercises the setup/measure barrier.
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	e := sim.NewEngine(4, sched.NewEEVDF())
+	defer e.Shutdown()
+	b := sim.NewBarrier(4)
+	var releases []time.Duration
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn("w", e.Core(i), func(env *sim.Env) {
+			env.Exec(time.Duration(i+1) * 100 * time.Microsecond)
+			b.Wait(env)
+			releases = append(releases, env.Now())
+		})
+	}
+	e.Run(0)
+	if len(releases) != 4 {
+		t.Fatalf("released %d, want 4", len(releases))
+	}
+	// Everyone leaves at (or just after, for dispatch) the last arrival.
+	for _, r := range releases {
+		if r < 400*time.Microsecond || r > 405*time.Microsecond {
+			t.Fatalf("release at %v, want ~400µs", r)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package sim
+
+// Virtual-time synchronization primitives. Tasks that contend for these
+// block in *virtual* time, so lock contention — the mechanism behind every
+// multicore-scalability result in the paper — is measured by the simulation
+// rather than scripted. All primitives are engine-single-threaded: they must
+// only be used from task bodies and engine callbacks.
+
+// Mutex is a virtual-time mutual exclusion lock with FIFO handoff.
+type Mutex struct {
+	owner   *Task
+	waiters []*Task
+	// Contended counts acquisitions that had to wait.
+	Contended uint64
+	// Acquired counts total acquisitions.
+	Acquired uint64
+}
+
+// Lock acquires m, blocking the calling task in virtual time if needed.
+func (m *Mutex) Lock(env *Env) {
+	t := env.Task()
+	m.Acquired++
+	if m.owner == nil {
+		m.owner = t
+		return
+	}
+	if m.owner == t {
+		panic("sim: recursive Mutex.Lock")
+	}
+	m.Contended++
+	m.waiters = append(m.waiters, t)
+	env.Block()
+	if m.owner != t {
+		panic("sim: woke without lock ownership")
+	}
+}
+
+// TryLock acquires m if it is free.
+func (m *Mutex) TryLock(env *Env) bool {
+	if m.owner != nil {
+		return false
+	}
+	m.Acquired++
+	m.owner = env.Task()
+	return true
+}
+
+// Unlock releases m, handing it to the longest-waiting task if any.
+func (m *Mutex) Unlock(env *Env) {
+	if m.owner != env.Task() {
+		panic("sim: unlock of mutex not owned by caller")
+	}
+	m.unlock(env.Engine())
+}
+
+func (m *Mutex) unlock(e *Engine) {
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.owner = next
+	e.Wake(next)
+}
+
+// Locked reports whether the mutex is held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// RWMutex is a virtual-time readers-writer lock. Writers take priority over
+// newly arriving readers once queued (no writer starvation).
+type RWMutex struct {
+	readers     int
+	writer      *Task
+	waitWriters []*Task
+	waitReaders []*Task
+	// Contended counts acquisitions that had to wait.
+	Contended uint64
+	// Acquired counts total acquisitions (read and write).
+	Acquired uint64
+}
+
+// RLock acquires a read lock.
+func (rw *RWMutex) RLock(env *Env) {
+	rw.Acquired++
+	if rw.writer == nil && len(rw.waitWriters) == 0 {
+		rw.readers++
+		return
+	}
+	rw.Contended++
+	t := env.Task()
+	rw.waitReaders = append(rw.waitReaders, t)
+	env.Block()
+}
+
+// RUnlock releases a read lock.
+func (rw *RWMutex) RUnlock(env *Env) {
+	if rw.readers <= 0 {
+		panic("sim: RUnlock without readers")
+	}
+	rw.readers--
+	rw.dispatch(env.Engine())
+}
+
+// Lock acquires the write lock.
+func (rw *RWMutex) Lock(env *Env) {
+	rw.Acquired++
+	if rw.writer == nil && rw.readers == 0 {
+		rw.writer = env.Task()
+		return
+	}
+	rw.Contended++
+	t := env.Task()
+	rw.waitWriters = append(rw.waitWriters, t)
+	env.Block()
+	if rw.writer != t {
+		panic("sim: woke without write ownership")
+	}
+}
+
+// Unlock releases the write lock.
+func (rw *RWMutex) Unlock(env *Env) {
+	if rw.writer != env.Task() {
+		panic("sim: unlock of rwmutex not write-held by caller")
+	}
+	rw.writer = nil
+	rw.dispatch(env.Engine())
+}
+
+func (rw *RWMutex) dispatch(e *Engine) {
+	if rw.writer != nil {
+		return
+	}
+	if rw.readers == 0 && len(rw.waitWriters) > 0 {
+		next := rw.waitWriters[0]
+		rw.waitWriters = rw.waitWriters[1:]
+		rw.writer = next
+		e.Wake(next)
+		return
+	}
+	if len(rw.waitWriters) == 0 {
+		for _, r := range rw.waitReaders {
+			rw.readers++
+			e.Wake(r)
+		}
+		rw.waitReaders = nil
+	}
+}
+
+// WaitQueue parks tasks until broadcast or signalled, like a kernel wait
+// queue. Unlike Completion it is reusable.
+type WaitQueue struct {
+	waiters []*Task
+}
+
+// Wait parks the calling task on the queue.
+func (wq *WaitQueue) Wait(env *Env) {
+	wq.waiters = append(wq.waiters, env.Task())
+	env.Block()
+}
+
+// Signal wakes the longest-waiting task, if any, and reports whether one
+// was woken.
+func (wq *WaitQueue) Signal(e *Engine) bool {
+	if len(wq.waiters) == 0 {
+		return false
+	}
+	t := wq.waiters[0]
+	wq.waiters = wq.waiters[1:]
+	e.Wake(t)
+	return true
+}
+
+// Broadcast wakes all waiting tasks.
+func (wq *WaitQueue) Broadcast(e *Engine) {
+	for _, t := range wq.waiters {
+		e.Wake(t)
+	}
+	wq.waiters = nil
+}
+
+// Len returns the number of parked tasks.
+func (wq *WaitQueue) Len() int { return len(wq.waiters) }
+
+// Barrier blocks tasks until n of them arrive, then releases all — used to
+// separate benchmark setup from the measured phase.
+type Barrier struct {
+	n       int
+	arrived int
+	wq      WaitQueue
+}
+
+// NewBarrier returns a barrier for n tasks.
+func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// Wait parks the calling task until all n participants have arrived.
+func (b *Barrier) Wait(env *Env) {
+	b.arrived++
+	if b.arrived >= b.n {
+		b.wq.Broadcast(env.Engine())
+		return
+	}
+	b.wq.Wait(env)
+}

@@ -1,0 +1,49 @@
+package timing
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCycles(t *testing.T) {
+	// 2.0 GHz: one cycle is 0.5ns.
+	if got := Cycles(2); got != time.Nanosecond {
+		t.Fatalf("Cycles(2) = %v, want 1ns", got)
+	}
+	if WRPKRU != Cycles(48) {
+		t.Fatalf("WRPKRU = %v", WRPKRU)
+	}
+	if TrustedSwitch != Cycles(85) {
+		t.Fatalf("TrustedSwitch = %v", TrustedSwitch)
+	}
+}
+
+// TestFigure2Arithmetic pins the derivations documented on the constants:
+// the stack latencies of Figure 2 must still sum from the parts.
+func TestFigure2Arithmetic(t *testing.T) {
+	dev := 3550 * time.Nanosecond // P5800X 4KB read, see internal/nvme
+	spdk := dev + SPDKSoftware
+	if spdk < 4150*time.Nanosecond || spdk > 4250*time.Nanosecond {
+		t.Fatalf("SPDK sum = %v, want ~4.2µs", spdk)
+	}
+	iouPoll := spdk + KernelSubmit
+	if iouPoll < 5350*time.Nanosecond || iouPoll > 5450*time.Nanosecond {
+		t.Fatalf("iou_poll sum = %v, want ~5.4µs", iouPoll)
+	}
+	iouOpt := iouPoll + KernelInterrupt + KernelBottomHalf
+	if iouOpt < 6250*time.Nanosecond || iouOpt > 6350*time.Nanosecond {
+		t.Fatalf("iou_opt sum = %v, want ~6.3µs", iouOpt)
+	}
+	sched := WakeupTTWU + IdleExit + ContextSwitch
+	if sched != 1800*time.Nanosecond {
+		t.Fatalf("scheduling overhead = %v, want 1.8µs", sched)
+	}
+	iouDfl := iouOpt + sched
+	if iouDfl < 8000*time.Nanosecond || iouDfl > 8250*time.Nanosecond {
+		t.Fatalf("iou_dfl sum = %v, want ~8.1µs", iouDfl)
+	}
+	if SubmitCost+CompleteCost != SPDKSoftware {
+		t.Fatalf("submit+complete (%v) must equal SPDKSoftware (%v)",
+			SubmitCost+CompleteCost, SPDKSoftware)
+	}
+}

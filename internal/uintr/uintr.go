@@ -1,0 +1,167 @@
+// Package uintr models the Intel user-interrupt (UINTR) hardware described
+// in §4.1 of the paper: per-core MSR state (UINV, UIHANDLER, UIRR, UPIDADDR,
+// UITTADDR), the user posted-interrupt descriptor (UPID), the user-interrupt
+// target table (UITT), the SENDUIPI instruction, and the two-phase delivery
+// state machine (identification + signaling).
+//
+// Aeolia's key trick (§4.2) — remapping a storage device's MSI-X vector so
+// that completions post into the UPID and match UINV — is expressed here as
+// PostAndNotify, which is exactly what the repurposed MSI-X write does.
+package uintr
+
+import (
+	"fmt"
+
+	"aeolia/internal/sim"
+)
+
+// MaxVectors is the number of user-interrupt vectors per UPID (the PIR is a
+// 64-bit bitmap).
+const MaxVectors = 64
+
+// UPID is a user posted-interrupt descriptor. In hardware this is a 16-byte
+// memory structure owned by the kernel; Aeolia maps it into the trusted
+// driver's protection domain so the userspace handler can rewrite PIR.
+type UPID struct {
+	// PIR is the posted-interrupt request bitmap; each set bit is a
+	// pending user interrupt vector.
+	PIR uint64
+	// SN (suppress notification) masks physical notification interrupts.
+	SN bool
+	// NV is the notification vector delivered to DestCPU when a bit is
+	// posted (the "physical" interrupt the CPU recognizes in step 1).
+	NV int
+	// DestCPU is the core user IPIs and notifications are sent to.
+	DestCPU int
+}
+
+// Post sets vector's bit in the PIR. It reports whether the bit was newly
+// set (hardware coalesces an already-pending vector).
+func (u *UPID) Post(vector uint8) bool {
+	if vector >= MaxVectors {
+		panic(fmt.Sprintf("uintr: vector %d out of range", vector))
+	}
+	bit := uint64(1) << vector
+	was := u.PIR&bit != 0
+	u.PIR |= bit
+	return !was
+}
+
+// UITTEntry is one user-interrupt target table entry: the target UPID and
+// the user vector SENDUIPI posts there.
+type UITTEntry struct {
+	Valid bool
+	UPID  *UPID
+	UV    uint8
+}
+
+// Handler is a userspace user-interrupt handler. It runs in interrupt
+// context on the simulated core with the delivered vector; cost must be
+// charged by the surrounding dispatch (the delivery toll) or via ctx.Charge.
+type Handler func(ctx *sim.IRQCtx, vector uint8)
+
+// CoreState is the per-core user-interrupt MSR state (UINV, UIHANDLER,
+// UIRR, UPIDADDR, UITTADDR). Only privileged software (AeoKern) may mutate
+// it; the simulation enforces this by confining mutation to the kernel
+// model's context-switch and setup paths.
+type CoreState struct {
+	// UINV is the user-interrupt notification vector recognized in
+	// delivery step 1; -1 means user interrupts are disabled on the core.
+	UINV int
+	// UIRR is the user-interrupt request register bitmap (pending user
+	// interrupts already accepted by the core).
+	UIRR uint64
+	// Handler is the UIHANDLER target.
+	Handler Handler
+	// UPID is the UPIDADDR target for the thread currently on the core.
+	UPID *UPID
+	// UITT is the UITTADDR target.
+	UITT []UITTEntry
+	// InUser reports whether the core currently executes ring-3 code of
+	// the thread owning UPID; delivery step 3 checks it. If nil the core
+	// is always considered in user mode.
+	InUser func() bool
+
+	// Delivered counts user interrupts delivered to the handler.
+	Delivered uint64
+	// Spurious counts deliveries that found no pending vector (e.g. the
+	// vector-sharing artifact of §4.2).
+	Spurious uint64
+}
+
+// NewCoreState returns a disabled user-interrupt unit.
+func NewCoreState() *CoreState {
+	return &CoreState{UINV: -1}
+}
+
+// Recognize implements delivery steps 1-2 for an arriving physical
+// interrupt: if vector matches UINV and a UPID is installed, the PIR is
+// transferred into UIRR (and cleared) and Recognize returns true; otherwise
+// the interrupt must be handled as a regular kernel interrupt and Recognize
+// returns false.
+func (cs *CoreState) Recognize(vector int) bool {
+	if cs.UINV < 0 || vector != cs.UINV || cs.UPID == nil {
+		return false
+	}
+	cs.UIRR |= cs.UPID.PIR
+	cs.UPID.PIR = 0
+	return true
+}
+
+// DeliverPending implements steps 3-4: if the core is in user mode, invoke
+// the user handler once per pending UIRR bit (highest vector first, as the
+// hardware does). Each delivery clears its bit. Returns the number of
+// handler invocations.
+func (cs *CoreState) DeliverPending(ctx *sim.IRQCtx) int {
+	if cs.InUser != nil && !cs.InUser() {
+		return 0
+	}
+	n := 0
+	for cs.UIRR != 0 {
+		v := uint8(63 - leadingZeros64(cs.UIRR))
+		cs.UIRR &^= uint64(1) << v
+		cs.Delivered++
+		n++
+		if cs.Handler != nil {
+			cs.Handler(ctx, v)
+		}
+	}
+	return n
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(uint64(1)<<i) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// SendUIPI executes the SENDUIPI instruction against this core's UITT:
+// it posts the entry's UV into the target UPID and, unless notifications
+// are suppressed, raises the notification vector on the destination core.
+// It returns the target UPID so callers can model further effects.
+func (cs *CoreState) SendUIPI(eng *sim.Engine, index int) (*UPID, error) {
+	if index < 0 || index >= len(cs.UITT) || !cs.UITT[index].Valid {
+		return nil, fmt.Errorf("uintr: invalid UITT index %d (#GP)", index)
+	}
+	ent := cs.UITT[index]
+	ent.UPID.Post(ent.UV)
+	if !ent.UPID.SN {
+		eng.Core(ent.UPID.DestCPU).RaiseIRQ(ent.UPID.NV)
+	}
+	return ent.UPID, nil
+}
+
+// PostAndNotify models a device MSI-X write that AeoKern remapped onto the
+// user-interrupt path (§4.2): post vector into the UPID and raise its
+// notification vector on the destination core.
+func PostAndNotify(eng *sim.Engine, u *UPID, vector uint8) {
+	u.Post(vector)
+	if !u.SN {
+		eng.Core(u.DestCPU).RaiseIRQ(u.NV)
+	}
+}

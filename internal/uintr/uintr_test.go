@@ -1,0 +1,185 @@
+package uintr_test
+
+import (
+	"testing"
+
+	"aeolia/internal/sim"
+	"aeolia/internal/uintr"
+)
+
+func TestUPIDPostCoalesces(t *testing.T) {
+	u := &uintr.UPID{}
+	if !u.Post(3) {
+		t.Fatal("first post should be new")
+	}
+	if u.Post(3) {
+		t.Fatal("second post of same vector should coalesce")
+	}
+	if u.PIR != 1<<3 {
+		t.Fatalf("PIR = %#x, want bit 3", u.PIR)
+	}
+}
+
+func TestRecognizeVectorMatch(t *testing.T) {
+	cs := uintr.NewCoreState()
+	u := &uintr.UPID{}
+	u.Post(7)
+	cs.UPID = u
+	cs.UINV = 0xec
+	if cs.Recognize(0x30) {
+		t.Fatal("mismatched vector recognized as user interrupt")
+	}
+	if !cs.Recognize(0xec) {
+		t.Fatal("matching vector not recognized")
+	}
+	if u.PIR != 0 {
+		t.Fatal("PIR not cleared by recognition (step 2)")
+	}
+	if cs.UIRR != 1<<7 {
+		t.Fatalf("UIRR = %#x, want bit 7", cs.UIRR)
+	}
+}
+
+func TestRecognizeDisabled(t *testing.T) {
+	cs := uintr.NewCoreState()
+	if cs.Recognize(0xec) {
+		t.Fatal("disabled unit recognized an interrupt")
+	}
+}
+
+func TestDeliverPendingInvokesHandlerPerBit(t *testing.T) {
+	cs := uintr.NewCoreState()
+	var got []uint8
+	cs.Handler = func(ctx *sim.IRQCtx, v uint8) { got = append(got, v) }
+	cs.UIRR = 1<<2 | 1<<9 | 1<<41
+	n := cs.DeliverPending(nil)
+	if n != 3 {
+		t.Fatalf("delivered %d, want 3", n)
+	}
+	// Highest vector first, as hardware scans the UIRR.
+	if len(got) != 3 || got[0] != 41 || got[1] != 9 || got[2] != 2 {
+		t.Fatalf("delivery order = %v, want [41 9 2]", got)
+	}
+	if cs.UIRR != 0 {
+		t.Fatal("UIRR not drained")
+	}
+}
+
+func TestDeliverPendingRespectsRing(t *testing.T) {
+	cs := uintr.NewCoreState()
+	cs.Handler = func(ctx *sim.IRQCtx, v uint8) { t.Error("delivered in kernel mode") }
+	cs.InUser = func() bool { return false }
+	cs.UIRR = 1
+	if n := cs.DeliverPending(nil); n != 0 {
+		t.Fatalf("delivered %d in kernel mode, want 0", n)
+	}
+	if cs.UIRR != 1 {
+		t.Fatal("UIRR lost while in kernel mode")
+	}
+}
+
+func TestSendUIPIPostsAndNotifies(t *testing.T) {
+	e := sim.NewEngine(2, nil)
+	var raised []int
+	e.Core(1).SetIRQHandler(func(ctx *sim.IRQCtx, vec int) { raised = append(raised, vec) })
+
+	target := &uintr.UPID{NV: 0xec, DestCPU: 1}
+	sender := uintr.NewCoreState()
+	sender.UITT = []uintr.UITTEntry{{Valid: true, UPID: target, UV: 5}}
+
+	if _, err := sender.SendUIPI(e, 0); err != nil {
+		t.Fatal(err)
+	}
+	if target.PIR != 1<<5 {
+		t.Fatalf("PIR = %#x, want bit 5", target.PIR)
+	}
+	if len(raised) != 1 || raised[0] != 0xec {
+		t.Fatalf("raised = %v, want [0xec]", raised)
+	}
+}
+
+func TestSendUIPIInvalidIndexFaults(t *testing.T) {
+	e := sim.NewEngine(1, nil)
+	cs := uintr.NewCoreState()
+	if _, err := cs.SendUIPI(e, 0); err == nil {
+		t.Fatal("SENDUIPI with empty UITT should #GP")
+	}
+	cs.UITT = []uintr.UITTEntry{{Valid: false}}
+	if _, err := cs.SendUIPI(e, 0); err == nil {
+		t.Fatal("SENDUIPI at invalid entry should #GP")
+	}
+}
+
+func TestSuppressNotification(t *testing.T) {
+	e := sim.NewEngine(1, nil)
+	raised := 0
+	e.Core(0).SetIRQHandler(func(ctx *sim.IRQCtx, vec int) { raised++ })
+	u := &uintr.UPID{NV: 0xec, DestCPU: 0, SN: true}
+	uintr.PostAndNotify(e, u, 4)
+	if raised != 0 {
+		t.Fatal("notification sent despite SN")
+	}
+	if u.PIR != 1<<4 {
+		t.Fatal("post lost")
+	}
+}
+
+func TestDevicePostAndNotifyEndToEnd(t *testing.T) {
+	// The §4.2 path: a device completion posts into the UPID and raises
+	// the notification vector; the core recognizes it and delivers to
+	// the userspace handler.
+	e := sim.NewEngine(1, nil)
+	cs := uintr.NewCoreState()
+	cs.UINV = 0xec
+	u := &uintr.UPID{NV: 0xec, DestCPU: 0}
+	cs.UPID = u
+	var delivered []uint8
+	cs.Handler = func(ctx *sim.IRQCtx, v uint8) { delivered = append(delivered, v) }
+	e.Core(0).SetIRQHandler(func(ctx *sim.IRQCtx, vec int) {
+		if cs.Recognize(vec) {
+			cs.DeliverPending(ctx)
+		}
+	})
+
+	uintr.PostAndNotify(e, u, 9)
+	if len(delivered) != 1 || delivered[0] != 9 {
+		t.Fatalf("delivered = %v, want [9]", delivered)
+	}
+	if cs.Delivered != 1 {
+		t.Fatalf("Delivered = %d, want 1", cs.Delivered)
+	}
+}
+
+func TestSpuriousSharedVectorInterrupt(t *testing.T) {
+	// §4.2: when a UIPI and a device share the vector, the handler can
+	// run once per PIR bit but find only one event source — the extra
+	// delivery is spurious. Model: two bits posted, one notification
+	// arrives after both posts; both deliveries happen back to back, and
+	// a second notification then finds an empty PIR.
+	e := sim.NewEngine(1, nil)
+	cs := uintr.NewCoreState()
+	cs.UINV = 0xec
+	u := &uintr.UPID{NV: 0xec, DestCPU: 0}
+	cs.UPID = u
+	handled := 0
+	cs.Handler = func(ctx *sim.IRQCtx, v uint8) { handled++ }
+	e.Core(0).SetIRQHandler(func(ctx *sim.IRQCtx, vec int) {
+		if cs.Recognize(vec) {
+			if cs.DeliverPending(ctx) == 0 {
+				cs.Spurious++
+			}
+		}
+	})
+
+	u.Post(1) // UIPI posts its bit
+	uintr.PostAndNotify(e, u, 2)
+	// The UIPI's own notification arrives second and finds nothing.
+	e.Core(0).RaiseIRQ(0xec)
+
+	if handled != 2 {
+		t.Fatalf("handled = %d, want 2", handled)
+	}
+	if cs.Spurious != 1 {
+		t.Fatalf("Spurious = %d, want 1", cs.Spurious)
+	}
+}

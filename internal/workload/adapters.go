@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sim"
+	"aeolia/internal/stackmodel"
+)
+
+// StackIO adapts a stackmodel.Stack (POSIX, io_uring variants, SPDK) to
+// BlockIO.
+type StackIO struct {
+	Stack *stackmodel.Stack
+	Depth int
+}
+
+var _ BlockIO = (*StackIO)(nil)
+
+// Init implements BlockIO.
+func (s *StackIO) Init(env *sim.Env) error {
+	d := s.Depth
+	if d == 0 {
+		d = 64
+	}
+	return s.Stack.Prepare(env, d)
+}
+
+// Read implements BlockIO.
+func (s *StackIO) Read(env *sim.Env, lba uint64, cnt uint32, buf []byte) error {
+	return s.Stack.Read(env, lba, cnt, buf)
+}
+
+// Write implements BlockIO.
+func (s *StackIO) Write(env *sim.Env, lba uint64, cnt uint32, buf []byte) error {
+	return s.Stack.Write(env, lba, cnt, buf)
+}
+
+// SubmitRead implements BlockIO.
+func (s *StackIO) SubmitRead(env *sim.Env, lba uint64, cnt uint32, buf []byte) (func(*sim.Env) error, error) {
+	req, err := s.Stack.Submit(env, nvme.OpRead, lba, cnt, buf)
+	if err != nil {
+		return nil, err
+	}
+	return func(env *sim.Env) error { return s.Stack.Wait(env, req) }, nil
+}
+
+// SubmitWrite implements BlockIO.
+func (s *StackIO) SubmitWrite(env *sim.Env, lba uint64, cnt uint32, buf []byte) (func(*sim.Env) error, error) {
+	req, err := s.Stack.Submit(env, nvme.OpWrite, lba, cnt, buf)
+	if err != nil {
+		return nil, err
+	}
+	return func(env *sim.Env) error { return s.Stack.Wait(env, req) }, nil
+}
+
+// DriverIO adapts AeoDriver to BlockIO.
+type DriverIO struct {
+	Driver *aeodriver.Driver
+}
+
+var _ BlockIO = (*DriverIO)(nil)
+
+// Init implements BlockIO.
+func (d *DriverIO) Init(env *sim.Env) error {
+	_, err := d.Driver.CreateQP(env)
+	return err
+}
+
+// Read implements BlockIO.
+func (d *DriverIO) Read(env *sim.Env, lba uint64, cnt uint32, buf []byte) error {
+	return d.Driver.ReadBlk(env, lba, cnt, buf)
+}
+
+// Write implements BlockIO.
+func (d *DriverIO) Write(env *sim.Env, lba uint64, cnt uint32, buf []byte) error {
+	return d.Driver.WriteBlk(env, lba, cnt, buf)
+}
+
+// SubmitRead implements BlockIO.
+func (d *DriverIO) SubmitRead(env *sim.Env, lba uint64, cnt uint32, buf []byte) (func(*sim.Env) error, error) {
+	req, err := d.Driver.Submit(env, nvme.OpRead, lba, cnt, buf, false)
+	if err != nil {
+		return nil, err
+	}
+	return func(env *sim.Env) error { return d.Driver.Wait(env, req) }, nil
+}
+
+// SubmitWrite implements BlockIO.
+func (d *DriverIO) SubmitWrite(env *sim.Env, lba uint64, cnt uint32, buf []byte) (func(*sim.Env) error, error) {
+	req, err := d.Driver.Submit(env, nvme.OpWrite, lba, cnt, buf, false)
+	if err != nil {
+		return nil, err
+	}
+	return func(env *sim.Env) error { return d.Driver.Wait(env, req) }, nil
+}

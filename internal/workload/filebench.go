@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/sim"
+	"aeolia/internal/vfs"
+)
+
+// FilebenchProfile reproduces one Table 7 personality. Sizes are scaled
+// down from the paper's configuration by Scale (the shapes depend on the
+// operation mix, not absolute fileset size).
+type FilebenchProfile struct {
+	Name        string
+	Files       int    // fileset size
+	AvgFileSize uint64 // bytes
+	ReadSize    int    // whole-file reads are chunked by this
+	WriteSize   int
+	// ReadsPerLoop / WritesPerLoop encode the R/W ratio of Table 7.
+	ReadsPerLoop  int
+	WritesPerLoop int
+	// CreateDelete adds a create+delete per loop (fileserver, varmail).
+	CreateDelete bool
+	// FsyncWrites fsyncs after appends (varmail).
+	FsyncWrites bool
+}
+
+// FilebenchProfiles returns the four personalities with Table 7's mixes,
+// scaled by scale (1 = paper size: 10K-100K files; use ~0.01 for tests).
+func FilebenchProfiles(scale float64) map[string]*FilebenchProfile {
+	n := func(files int) int {
+		v := int(float64(files) * scale)
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	sz := func(s uint64) uint64 {
+		v := uint64(float64(s) * scale)
+		if v < 16*1024 {
+			v = 16 * 1024
+		}
+		return v
+	}
+	return map[string]*FilebenchProfile{
+		// Name        #Files  AvgSize  IO(r/w)        R:W
+		// Fileserver  10K     1MB      1MB/1MB        1:2
+		"fileserver": {
+			Name: "fileserver", Files: n(10000), AvgFileSize: sz(1 << 20),
+			ReadSize: 1 << 20, WriteSize: 1 << 20,
+			ReadsPerLoop: 1, WritesPerLoop: 2, CreateDelete: true,
+		},
+		// Webserver   10K     1MB      1MB/256KB      10:1
+		"webserver": {
+			Name: "webserver", Files: n(10000), AvgFileSize: sz(1 << 20),
+			ReadSize: 1 << 20, WriteSize: 256 << 10,
+			ReadsPerLoop: 10, WritesPerLoop: 1,
+		},
+		// Webproxy    50K     512KB    1MB/16KB       5:1
+		"webproxy": {
+			Name: "webproxy", Files: n(50000), AvgFileSize: sz(512 << 10),
+			ReadSize: 1 << 20, WriteSize: 16 << 10,
+			ReadsPerLoop: 5, WritesPerLoop: 1,
+		},
+		// Varmail     100K    16KB     1MB/16KB       1:1
+		"varmail": {
+			Name: "varmail", Files: n(100000), AvgFileSize: 16 << 10,
+			ReadSize: 1 << 20, WriteSize: 16 << 10,
+			ReadsPerLoop: 1, WritesPerLoop: 1, CreateDelete: true, FsyncWrites: true,
+		},
+	}
+}
+
+// FilebenchOrder is the presentation order of Figure 18.
+var FilebenchOrder = []string{"fileserver", "webserver", "webproxy", "varmail"}
+
+// filePath returns fileset member i's path (spread over width-20 dirs).
+func (p *FilebenchProfile) filePath(i int) string {
+	return fmt.Sprintf("/%s/dir%d/f%d", p.Name, i%20, i)
+}
+
+// Setup builds the fileset.
+func (p *FilebenchProfile) Setup(env *sim.Env, fs vfs.FileSystem) error {
+	if err := fs.Mkdir(env, "/"+p.Name); err != nil {
+		return err
+	}
+	for d := 0; d < 20; d++ {
+		if err := fs.Mkdir(env, fmt.Sprintf("/%s/dir%d", p.Name, d)); err != nil {
+			return err
+		}
+	}
+	chunk := make([]byte, 1<<20)
+	for i := 0; i < p.Files; i++ {
+		fd, err := fs.Open(env, p.filePath(i), vfs.O_CREATE|vfs.O_RDWR)
+		if err != nil {
+			return err
+		}
+		for off := uint64(0); off < p.AvgFileSize; off += uint64(len(chunk)) {
+			n := uint64(len(chunk))
+			if off+n > p.AvgFileSize {
+				n = p.AvgFileSize - off
+			}
+			if _, err := fs.WriteAt(env, fd, chunk[:n], off); err != nil {
+				fs.Close(env, fd)
+				return err
+			}
+		}
+		if err := fs.Close(env, fd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunThread executes loops of the personality on one thread; ops counts
+// individual file system operations (as filebench reports).
+func (p *FilebenchProfile) RunThread(env *sim.Env, fs vfs.FileSystem, tid, loops int) (*Result, error) {
+	rng := Rand(int64(tid)*7919 + 17)
+	res := &Result{Name: p.Name}
+	buf := make([]byte, p.ReadSize)
+	wbuf := make([]byte, p.WriteSize)
+	start := env.Now()
+
+	readWhole := func(path string) error {
+		fd, err := fs.Open(env, path, vfs.O_RDONLY)
+		if err != nil {
+			return err
+		}
+		defer fs.Close(env, fd)
+		for {
+			n, err := fs.Read(env, fd, buf)
+			if err != nil {
+				return err
+			}
+			res.Bytes += uint64(n)
+			if n < len(buf) {
+				return nil
+			}
+		}
+	}
+
+	for l := 0; l < loops; l++ {
+		// Reads.
+		for r := 0; r < p.ReadsPerLoop; r++ {
+			path := p.filePath(rng.Intn(p.Files))
+			opStart := env.Now()
+			if err := readWhole(path); err != nil {
+				return nil, fmt.Errorf("%s read: %w", p.Name, err)
+			}
+			res.Latency.Record(env.Now() - opStart)
+			res.Ops++
+		}
+		// Writes (appends to random files).
+		for w := 0; w < p.WritesPerLoop; w++ {
+			path := p.filePath(rng.Intn(p.Files))
+			opStart := env.Now()
+			fd, err := fs.Open(env, path, vfs.O_WRONLY|vfs.O_APPEND)
+			if err != nil {
+				return nil, fmt.Errorf("%s append open: %w", p.Name, err)
+			}
+			if _, err := fs.Write(env, fd, wbuf); err != nil {
+				fs.Close(env, fd)
+				return nil, fmt.Errorf("%s append: %w", p.Name, err)
+			}
+			if p.FsyncWrites {
+				if err := fs.Fsync(env, fd); err != nil {
+					fs.Close(env, fd)
+					return nil, fmt.Errorf("%s fsync: %w", p.Name, err)
+				}
+			}
+			if err := fs.Close(env, fd); err != nil {
+				return nil, err
+			}
+			res.Latency.Record(env.Now() - opStart)
+			res.Ops++
+			res.Bytes += uint64(p.WriteSize)
+		}
+		// Create + delete churn (per-thread private names to stay
+		// POSIX-race-free).
+		if p.CreateDelete {
+			path := fmt.Sprintf("/%s/dir%d/t%d-l%d", p.Name, tid%20, tid, l)
+			opStart := env.Now()
+			fd, err := fs.Open(env, path, vfs.O_CREATE|vfs.O_RDWR)
+			if err != nil {
+				return nil, fmt.Errorf("%s create: %w", p.Name, err)
+			}
+			if _, err := fs.Write(env, fd, wbuf); err != nil {
+				fs.Close(env, fd)
+				return nil, err
+			}
+			if p.FsyncWrites {
+				if err := fs.Fsync(env, fd); err != nil {
+					fs.Close(env, fd)
+					return nil, err
+				}
+			}
+			if err := fs.Close(env, fd); err != nil {
+				return nil, err
+			}
+			if err := fs.Unlink(env, path); err != nil {
+				return nil, fmt.Errorf("%s delete: %w", p.Name, err)
+			}
+			res.Latency.Record(env.Now() - opStart)
+			res.Ops += 2
+			res.Bytes += uint64(p.WriteSize)
+		}
+	}
+	res.Elapsed = env.Now() - start
+	return res, nil
+}
+
+// RunFilebench sets up the fileset and runs the personality on the given
+// cores.
+func RunFilebench(eng *sim.Engine, cores []*sim.Core, fsFor func(int) vfs.FileSystem, p *FilebenchProfile, loops int, horizon time.Duration) (*Result, error) {
+	var serr error
+	setupDone := false
+	eng.Spawn("filebench-setup", cores[0], func(env *sim.Env) {
+		defer func() { setupDone = true }()
+		fs := fsFor(0)
+		if init, ok := fs.(vfs.PerThreadInit); ok {
+			if serr = init.InitThread(env); serr != nil {
+				return
+			}
+		}
+		serr = p.Setup(env, fs)
+	})
+	deadline := eng.Now() + time.Hour
+	for !setupDone && eng.Now() < deadline {
+		eng.Run(eng.Now() + 100*time.Millisecond)
+	}
+	if serr != nil {
+		return nil, fmt.Errorf("filebench %s setup: %w", p.Name, serr)
+	}
+	if !setupDone {
+		return nil, fmt.Errorf("filebench %s setup did not finish", p.Name)
+	}
+	spec := &ParallelSpec{
+		Eng:   eng,
+		Cores: cores,
+		FSFor: fsFor,
+		Body: func(env *sim.Env, fs vfs.FileSystem, tid int) (*Result, error) {
+			return p.RunThread(env, fs, tid, loops)
+		},
+		Horizon: horizon,
+	}
+	merged, _, err := spec.Run()
+	return merged, err
+}

@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"time"
+
+	"aeolia/internal/sim"
+	"aeolia/internal/vfs"
+)
+
+// BlockIO abstracts the storage-subsystem interfaces (stack models and
+// AeoDriver) for the fio-style block workloads.
+type BlockIO interface {
+	// Init prepares the calling task (queue pair allocation).
+	Init(env *sim.Env) error
+	// Read reads cnt blocks at lba synchronously.
+	Read(env *sim.Env, lba uint64, cnt uint32, buf []byte) error
+	// Write writes cnt blocks at lba synchronously.
+	Write(env *sim.Env, lba uint64, cnt uint32, buf []byte) error
+	// SubmitRead issues an async read and returns a wait closure.
+	SubmitRead(env *sim.Env, lba uint64, cnt uint32, buf []byte) (func(env *sim.Env) error, error)
+	// SubmitWrite issues an async write and returns a wait closure.
+	SubmitWrite(env *sim.Env, lba uint64, cnt uint32, buf []byte) (func(env *sim.Env) error, error)
+}
+
+// FioPattern is the access pattern.
+type FioPattern int
+
+// Patterns.
+const (
+	PatternSeq FioPattern = iota
+	PatternRand
+)
+
+// FioJob is a fio-style block workload bound to one task.
+type FioJob struct {
+	Name    string
+	IO      BlockIO
+	Write   bool
+	Pattern FioPattern
+	// BlockSizeBytes is the I/O size; BlockBytes is the device block
+	// size (I/O size must be a multiple).
+	BlockSizeBytes int
+	BlockBytes     int
+	// Span is the LBA range [Start, Start+Span) the job touches.
+	Start, Span uint64
+	// QD is the queue depth (1 = synchronous).
+	QD int
+	// Ops caps the number of operations (0 = until Until).
+	Ops int
+	// Until stops the job at this virtual time (0 = Ops only).
+	Until time.Duration
+	Seed  int64
+}
+
+// Run executes the job on the calling task and returns its result.
+func (j *FioJob) Run(env *sim.Env) (*Result, error) {
+	if err := j.IO.Init(env); err != nil {
+		return nil, err
+	}
+	if j.BlockBytes == 0 {
+		j.BlockBytes = 4096
+	}
+	if j.BlockSizeBytes == 0 {
+		j.BlockSizeBytes = 4096
+	}
+	cnt := uint32(j.BlockSizeBytes / j.BlockBytes)
+	if cnt == 0 {
+		cnt = 1
+	}
+	if j.QD <= 0 {
+		j.QD = 1
+	}
+	rng := Rand(j.Seed ^ 0xf10)
+	res := &Result{Name: j.Name}
+	buf := make([]byte, j.BlockSizeBytes)
+
+	nextLBA := func(i int) uint64 {
+		span := j.Span
+		if span < uint64(cnt) {
+			span = uint64(cnt)
+		}
+		if j.Pattern == PatternSeq {
+			return j.Start + uint64(i)*uint64(cnt)%(span-uint64(cnt)+1)
+		}
+		return j.Start + uint64(rng.Int63n(int64(span-uint64(cnt)+1)))
+	}
+
+	start := env.Now()
+	done := func(i int) bool {
+		if j.Ops > 0 && i >= j.Ops {
+			return true
+		}
+		if j.Until > 0 && env.Now() >= j.Until {
+			return true
+		}
+		return j.Ops == 0 && j.Until == 0 && i >= 1000
+	}
+
+	if j.QD == 1 {
+		for i := 0; !done(i); i++ {
+			lba := nextLBA(i)
+			opStart := env.Now()
+			var err error
+			if j.Write {
+				err = j.IO.Write(env, lba, cnt, buf)
+			} else {
+				err = j.IO.Read(env, lba, cnt, buf)
+			}
+			if err != nil {
+				return nil, err
+			}
+			res.Latency.Record(env.Now() - opStart)
+			res.Ops++
+			res.Bytes += uint64(j.BlockSizeBytes)
+		}
+	} else {
+		// Pipelined: keep QD requests in flight, waiting oldest-first.
+		type inflight struct {
+			wait  func(env *sim.Env) error
+			start time.Duration
+		}
+		var q []inflight
+		i := 0
+		for !done(i) || len(q) > 0 {
+			for len(q) < j.QD && !done(i) {
+				lba := nextLBA(i)
+				i++
+				var wait func(env *sim.Env) error
+				var err error
+				if j.Write {
+					wait, err = j.IO.SubmitWrite(env, lba, cnt, buf)
+				} else {
+					wait, err = j.IO.SubmitRead(env, lba, cnt, buf)
+				}
+				if err != nil {
+					return nil, err
+				}
+				q = append(q, inflight{wait, env.Now()})
+			}
+			if len(q) == 0 {
+				break
+			}
+			fl := q[0]
+			q = q[1:]
+			if err := fl.wait(env); err != nil {
+				return nil, err
+			}
+			res.Latency.Record(env.Now() - fl.start)
+			res.Ops++
+			res.Bytes += uint64(j.BlockSizeBytes)
+		}
+	}
+	res.Elapsed = env.Now() - start
+	return res, nil
+}
+
+// FileFioJob is a fio-style workload over a file system: read or write at
+// random/sequential offsets in a preallocated file.
+type FileFioJob struct {
+	Name    string
+	FS      vfs.FileSystem
+	Path    string
+	Write   bool
+	Pattern FioPattern
+	IOSize  int
+	// FileSize is the preallocated file size; offsets stay within it.
+	FileSize uint64
+	Ops      int
+	Until    time.Duration
+	Fsync    bool // fsync after every write (Figure 17 workload)
+	Seed     int64
+}
+
+// Prepare creates and fills the file (cache-warm), returning the fd.
+func (j *FileFioJob) Prepare(env *sim.Env) (int, error) {
+	if init, ok := j.FS.(vfs.PerThreadInit); ok {
+		if err := init.InitThread(env); err != nil {
+			return -1, err
+		}
+	}
+	fd, err := j.FS.Open(env, j.Path, vfs.O_CREATE|vfs.O_RDWR)
+	if err != nil {
+		return -1, err
+	}
+	// Preallocate with 1MB writes, warming the page cache.
+	chunk := make([]byte, 1<<20)
+	for off := uint64(0); off < j.FileSize; off += uint64(len(chunk)) {
+		n := uint64(len(chunk))
+		if off+n > j.FileSize {
+			n = j.FileSize - off
+		}
+		if _, err := j.FS.WriteAt(env, fd, chunk[:n], off); err != nil {
+			j.FS.Close(env, fd)
+			return -1, err
+		}
+	}
+	return fd, nil
+}
+
+// Run executes the prepared job against fd.
+func (j *FileFioJob) Run(env *sim.Env, fd int) (*Result, error) {
+	if j.IOSize == 0 {
+		j.IOSize = 4096
+	}
+	rng := Rand(j.Seed ^ 0xf11e)
+	buf := make([]byte, j.IOSize)
+	res := &Result{Name: j.Name}
+	span := int64(j.FileSize) - int64(j.IOSize)
+	if span < 1 {
+		span = 1
+	}
+	start := env.Now()
+	for i := 0; ; i++ {
+		if j.Ops > 0 && i >= j.Ops {
+			break
+		}
+		if j.Until > 0 && env.Now() >= j.Until {
+			break
+		}
+		if j.Ops == 0 && j.Until == 0 && i >= 1000 {
+			break
+		}
+		var off uint64
+		if j.Pattern == PatternSeq {
+			off = uint64(i) * uint64(j.IOSize) % uint64(span)
+		} else {
+			off = uint64(rng.Int63n(span))
+		}
+		// Align to the I/O size for fio-like behavior.
+		off -= off % uint64(j.IOSize)
+		opStart := env.Now()
+		var err error
+		if j.Write {
+			_, err = j.FS.WriteAt(env, fd, buf, off)
+			if err == nil && j.Fsync {
+				err = j.FS.Fsync(env, fd)
+			}
+		} else {
+			_, err = j.FS.ReadAt(env, fd, buf, off)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Latency.Record(env.Now() - opStart)
+		res.Ops++
+		res.Bytes += uint64(j.IOSize)
+	}
+	res.Elapsed = env.Now() - start
+	return res, nil
+}
+
+// ComputeTask is the swaptions-like compute kernel: it spins through fixed
+// quanta of pure CPU work and counts completed iterations.
+type ComputeTask struct {
+	// Quantum is one iteration's CPU cost (default 100µs, roughly one
+	// swaption pricing round).
+	Quantum time.Duration
+	// Until stops the task.
+	Until time.Duration
+
+	// Iterations counts completed quanta.
+	Iterations uint64
+}
+
+// Run executes the compute kernel on the calling task.
+func (c *ComputeTask) Run(env *sim.Env) {
+	if c.Quantum <= 0 {
+		c.Quantum = 100 * time.Microsecond
+	}
+	for c.Until == 0 || env.Now() < c.Until {
+		env.Exec(c.Quantum)
+		c.Iterations++
+		if c.Until == 0 && c.Iterations >= 1000 {
+			return
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/sim"
+	"aeolia/internal/vfs"
+)
+
+// FXMark is one FXMARK metadata microbenchmark (§9.4 / Figure 16): a setup
+// phase and a per-thread operation repeated for a fixed count. The
+// two-letter suffix encodes sharing level: L = private (low), M = shared
+// (medium), H = same object (high).
+type FXMark struct {
+	Name string
+	// Setup runs once before threads start (thread 0's context).
+	Setup func(env *sim.Env, fs vfs.FileSystem, threads, ops int) error
+	// Op is one measured iteration for thread tid.
+	Op func(env *sim.Env, fs vfs.FileSystem, tid, i int) error
+}
+
+// dirDepth5 builds the five-level directory prefix FXMARK uses.
+func dirDepth5(base string) []string {
+	paths := []string{}
+	p := base
+	for i := 0; i < 5; i++ {
+		p = fmt.Sprintf("%s/d%d", p, i)
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+func mkdirAll(env *sim.Env, fs vfs.FileSystem, paths []string) error {
+	for _, p := range paths {
+		if err := fs.Mkdir(env, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func leaf5(base string) string { return base + "/d0/d1/d2/d3/d4" }
+
+// openClose opens a path read-only and closes it (MRP* op).
+func openClose(env *sim.Env, fs vfs.FileSystem, path string) error {
+	fd, err := fs.Open(env, path, vfs.O_RDONLY)
+	if err != nil {
+		return err
+	}
+	return fs.Close(env, fd)
+}
+
+func createEmpty(env *sim.Env, fs vfs.FileSystem, path string) error {
+	fd, err := fs.Open(env, path, vfs.O_CREATE|vfs.O_RDWR)
+	if err != nil {
+		return err
+	}
+	return fs.Close(env, fd)
+}
+
+// FXMarks returns the benchmark suite keyed by FXMARK name.
+func FXMarks() map[string]*FXMark {
+	return map[string]*FXMark{
+		// ① open a private / random-shared / same file in five-depth
+		// directories.
+		"MRPL": {
+			Name: "MRPL",
+			Setup: func(env *sim.Env, fs vfs.FileSystem, threads, ops int) error {
+				for t := 0; t < threads; t++ {
+					base := fmt.Sprintf("/mrpl%d", t)
+					if err := fs.Mkdir(env, base); err != nil {
+						return err
+					}
+					if err := mkdirAll(env, fs, dirDepth5(base)); err != nil {
+						return err
+					}
+					if err := createEmpty(env, fs, leaf5(base)+"/f"); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			Op: func(env *sim.Env, fs vfs.FileSystem, tid, i int) error {
+				return openClose(env, fs, fmt.Sprintf("/mrpl%d", tid)+"/d0/d1/d2/d3/d4/f")
+			},
+		},
+		"MRPM": {
+			Name: "MRPM",
+			Setup: func(env *sim.Env, fs vfs.FileSystem, threads, ops int) error {
+				if err := fs.Mkdir(env, "/mrpm"); err != nil {
+					return err
+				}
+				if err := mkdirAll(env, fs, dirDepth5("/mrpm")); err != nil {
+					return err
+				}
+				for f := 0; f < 64; f++ {
+					if err := createEmpty(env, fs, fmt.Sprintf("%s/f%d", leaf5("/mrpm"), f)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			Op: func(env *sim.Env, fs vfs.FileSystem, tid, i int) error {
+				f := (tid*31 + i*17) % 64
+				return openClose(env, fs, fmt.Sprintf("%s/f%d", leaf5("/mrpm"), f))
+			},
+		},
+		"MRPH": {
+			Name: "MRPH",
+			Setup: func(env *sim.Env, fs vfs.FileSystem, threads, ops int) error {
+				if err := fs.Mkdir(env, "/mrph"); err != nil {
+					return err
+				}
+				if err := mkdirAll(env, fs, dirDepth5("/mrph")); err != nil {
+					return err
+				}
+				return createEmpty(env, fs, leaf5("/mrph")+"/f")
+			},
+			Op: func(env *sim.Env, fs vfs.FileSystem, tid, i int) error {
+				return openClose(env, fs, leaf5("/mrph")+"/f")
+			},
+		},
+		// ② unlink an empty file in a private / shared directory.
+		"MWUL": {
+			Name: "MWUL",
+			Setup: func(env *sim.Env, fs vfs.FileSystem, threads, ops int) error {
+				for t := 0; t < threads; t++ {
+					dir := fmt.Sprintf("/mwul%d", t)
+					if err := fs.Mkdir(env, dir); err != nil {
+						return err
+					}
+					for i := 0; i < ops; i++ {
+						if err := createEmpty(env, fs, fmt.Sprintf("%s/f%d", dir, i)); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			},
+			Op: func(env *sim.Env, fs vfs.FileSystem, tid, i int) error {
+				return fs.Unlink(env, fmt.Sprintf("/mwul%d/f%d", tid, i))
+			},
+		},
+		"MWUM": {
+			Name: "MWUM",
+			Setup: func(env *sim.Env, fs vfs.FileSystem, threads, ops int) error {
+				if err := fs.Mkdir(env, "/mwum"); err != nil {
+					return err
+				}
+				for t := 0; t < threads; t++ {
+					for i := 0; i < ops; i++ {
+						if err := createEmpty(env, fs, fmt.Sprintf("/mwum/t%d-f%d", t, i)); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			},
+			Op: func(env *sim.Env, fs vfs.FileSystem, tid, i int) error {
+				return fs.Unlink(env, fmt.Sprintf("/mwum/t%d-f%d", tid, i))
+			},
+		},
+		// ③ create an empty file in a private / shared directory.
+		"MWCL": {
+			Name: "MWCL",
+			Setup: func(env *sim.Env, fs vfs.FileSystem, threads, ops int) error {
+				for t := 0; t < threads; t++ {
+					if err := fs.Mkdir(env, fmt.Sprintf("/mwcl%d", t)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			Op: func(env *sim.Env, fs vfs.FileSystem, tid, i int) error {
+				return createEmpty(env, fs, fmt.Sprintf("/mwcl%d/f%d", tid, i))
+			},
+		},
+		"MWCM": {
+			Name: "MWCM",
+			Setup: func(env *sim.Env, fs vfs.FileSystem, threads, ops int) error {
+				return fs.Mkdir(env, "/mwcm")
+			},
+			Op: func(env *sim.Env, fs vfs.FileSystem, tid, i int) error {
+				return createEmpty(env, fs, fmt.Sprintf("/mwcm/t%d-f%d", tid, i))
+			},
+		},
+		// ④ rename a file within a private directory / into a shared one.
+		"MWRL": {
+			Name: "MWRL",
+			Setup: func(env *sim.Env, fs vfs.FileSystem, threads, ops int) error {
+				for t := 0; t < threads; t++ {
+					dir := fmt.Sprintf("/mwrl%d", t)
+					if err := fs.Mkdir(env, dir); err != nil {
+						return err
+					}
+					if err := createEmpty(env, fs, dir+"/f-0"); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			Op: func(env *sim.Env, fs vfs.FileSystem, tid, i int) error {
+				dir := fmt.Sprintf("/mwrl%d", tid)
+				return fs.Rename(env, fmt.Sprintf("%s/f-%d", dir, i), fmt.Sprintf("%s/f-%d", dir, i+1))
+			},
+		},
+		"MWRM": {
+			Name: "MWRM",
+			Setup: func(env *sim.Env, fs vfs.FileSystem, threads, ops int) error {
+				if err := fs.Mkdir(env, "/mwrm"); err != nil {
+					return err
+				}
+				for t := 0; t < threads; t++ {
+					dir := fmt.Sprintf("/mwrm-src%d", t)
+					if err := fs.Mkdir(env, dir); err != nil {
+						return err
+					}
+					for i := 0; i < ops; i++ {
+						if err := createEmpty(env, fs, fmt.Sprintf("%s/f%d", dir, i)); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			},
+			Op: func(env *sim.Env, fs vfs.FileSystem, tid, i int) error {
+				return fs.Rename(env,
+					fmt.Sprintf("/mwrm-src%d/f%d", tid, i),
+					fmt.Sprintf("/mwrm/t%d-f%d", tid, i))
+			},
+		},
+	}
+}
+
+// FXMarkOrder is the presentation order of Figure 16.
+var FXMarkOrder = []string{"MRPL", "MRPM", "MRPH", "MWUL", "MWUM", "MWCL", "MWCM", "MWRL", "MWRM"}
+
+// RunFXMark executes mark with the given thread count; each thread performs
+// ops iterations.
+func RunFXMark(eng *sim.Engine, cores []*sim.Core, fsFor func(int) vfs.FileSystem, mark *FXMark, ops int, horizon time.Duration) (*Result, error) {
+	// Setup on a fresh task; drive the engine in slices so spinning
+	// server threads (uFS workers) don't keep it running forever.
+	var serr error
+	setupDone := false
+	eng.Spawn("fxmark-setup", cores[0], func(env *sim.Env) {
+		defer func() { setupDone = true }()
+		fs := fsFor(0)
+		if init, ok := fs.(vfs.PerThreadInit); ok {
+			if serr = init.InitThread(env); serr != nil {
+				return
+			}
+		}
+		serr = mark.Setup(env, fs, len(cores), ops)
+	})
+	deadline := eng.Now() + time.Hour
+	for !setupDone && eng.Now() < deadline {
+		eng.Run(eng.Now() + 50*time.Millisecond)
+	}
+	if serr != nil {
+		return nil, fmt.Errorf("fxmark %s setup: %w", mark.Name, serr)
+	}
+	if !setupDone {
+		return nil, fmt.Errorf("fxmark %s setup did not finish", mark.Name)
+	}
+	spec := &ParallelSpec{
+		Eng:   eng,
+		Cores: cores,
+		FSFor: fsFor,
+		Body: func(env *sim.Env, fs vfs.FileSystem, tid int) (*Result, error) {
+			res := &Result{Name: mark.Name}
+			start := env.Now()
+			for i := 0; i < ops; i++ {
+				opStart := env.Now()
+				if err := mark.Op(env, fs, tid, i); err != nil {
+					return nil, fmt.Errorf("%s thread %d op %d: %w", mark.Name, tid, i, err)
+				}
+				res.Latency.Record(env.Now() - opStart)
+				res.Ops++
+			}
+			res.Elapsed = env.Now() - start
+			return res, nil
+		},
+		Horizon: horizon,
+	}
+	merged, _, err := spec.Run()
+	return merged, err
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/sim"
+	"aeolia/internal/vfs"
+)
+
+// ParallelSpec runs one benchmark body per core, each on its own task, and
+// gathers per-thread results.
+type ParallelSpec struct {
+	Eng   *sim.Engine
+	Cores []*sim.Core
+	// FSFor returns thread tid's file-system handle (uFS clients are
+	// per-thread).
+	FSFor func(tid int) vfs.FileSystem
+	// Body is the measured per-thread work.
+	Body func(env *sim.Env, fs vfs.FileSystem, tid int) (*Result, error)
+	// Horizon bounds the run in virtual time (required when spinning
+	// server threads keep the event queue alive).
+	Horizon time.Duration
+}
+
+// Run spawns the threads, drives the engine until they all finish (or the
+// horizon expires), and returns the merged result plus per-thread results.
+func (p *ParallelSpec) Run() (*Result, []*Result, error) {
+	n := len(p.Cores)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	remaining := n
+	for i, c := range p.Cores {
+		i := i
+		fs := p.FSFor(i)
+		p.Eng.Spawn(fmt.Sprintf("bench-%d", i), c, func(env *sim.Env) {
+			if init, ok := fs.(vfs.PerThreadInit); ok {
+				if err := init.InitThread(env); err != nil {
+					errs[i] = err
+					remaining--
+					return
+				}
+			}
+			res, err := p.Body(env, fs, i)
+			results[i], errs[i] = res, err
+			remaining--
+		})
+	}
+	// Drive until all bench tasks finish; cap by the horizon.
+	horizon := p.Horizon
+	if horizon == 0 {
+		horizon = time.Hour
+	}
+	deadline := p.Eng.Now() + horizon
+	for remaining > 0 && p.Eng.Now() < deadline {
+		p.Eng.Run(min64(p.Eng.Now()+50*time.Millisecond, deadline))
+	}
+	if remaining > 0 {
+		return nil, nil, fmt.Errorf("workload: %d thread(s) did not finish before the horizon", remaining)
+	}
+	merged := &Result{}
+	var span time.Duration
+	for i, r := range results {
+		if errs[i] != nil {
+			return nil, nil, errs[i]
+		}
+		if r == nil {
+			continue
+		}
+		merged.Ops += r.Ops
+		merged.Bytes += r.Bytes
+		merged.Latency.Merge(&r.Latency)
+		if r.Elapsed > span {
+			span = r.Elapsed
+		}
+		if merged.Name == "" {
+			merged.Name = r.Name
+		}
+	}
+	merged.Elapsed = span
+	return merged, results, nil
+}
+
+func min64(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
