@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,9 @@ import (
 
 func main() {
 	files := flag.Int("files", 50, "files to create before the crash")
-	crash := flag.Bool("crash", true, "inject a crash after journal commit, before checkpoint")
+	crash := flag.Bool("crash", true, "inject a crash during the final fsync")
+	point := flag.String("point", aeofs.CrashSyncAfterCommit,
+		"named crash point to fire (see aeofs.CrashPoints)")
 	flag.Parse()
 
 	const blocks = 1 << 17
@@ -55,14 +58,14 @@ func main() {
 			fs.Close(env, fd)
 		}
 		if *crash {
-			trust.FailCheckpoint = true
+			trust.Crash = aeofs.CrashOnce(*point)
 		}
 		fd, _ := fs.Open(env, "/data/file0000", aeofs.O_RDWR)
-		if e := fs.Fsync(env, fd); e != nil && e != aeofs.ErrCrashInjected {
+		if e := fs.Fsync(env, fd); e != nil && !errors.Is(e, aeofs.ErrCrashInjected) {
 			werr = e
 			return
 		}
-		fmt.Printf("workload: %d files created; crash injected: %v\n", *files, *crash)
+		fmt.Printf("workload: %d files created; crash injected: %v (point %q)\n", *files, *crash, *point)
 	})
 	m.Eng.Run(0)
 	if werr != nil {

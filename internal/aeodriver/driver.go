@@ -71,11 +71,50 @@ const (
 	PolicyAlwaysBlock
 )
 
+// Default retry parameters (used when Config leaves them zero).
+const (
+	defaultMaxRetries   = 3
+	defaultRetryBackoff = 10 * time.Microsecond
+)
+
 // Config parameterizes a driver instance.
 type Config struct {
 	Mode       CompletionMode
 	Policy     WaitPolicy
 	QueueDepth int
+
+	// MaxRetries bounds how many times Wait re-submits a command that
+	// completed with a transient NVMe status (nvme.Status.Transient)
+	// before surfacing the CommandError. 0 selects the default (3);
+	// negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry; it doubles on
+	// each subsequent retry. 0 selects the default (10µs).
+	RetryBackoff time.Duration
+	// RecoverTimeout arms a completion watchdog: if a request's CQE is
+	// visible but no notification delivered it within this interval, the
+	// driver reaps the queue itself (recovering from a lost interrupt).
+	// 0 disables the watchdog (the default: Aeolia's delivery paths make
+	// it unnecessary unless notifications are faulted).
+	RecoverTimeout time.Duration
+}
+
+func (c Config) maxRetries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return defaultMaxRetries
+	default:
+		return c.MaxRetries
+	}
+}
+
+func (c Config) retryBackoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return defaultRetryBackoff
+	}
+	return c.RetryBackoff
 }
 
 // Request is an in-flight I/O request handle.
@@ -83,17 +122,26 @@ type Request struct {
 	op     nvme.Opcode
 	lba    uint64
 	cnt    uint32
+	buf    []byte
 	done   *sim.Completion // fired when the driver has handled the CQE
 	cqe    *sim.Completion // fired when the CQE becomes visible (polling)
 	status nvme.Status
 	cid    uint16
+	// attempts counts submissions of this request (1 + retries).
+	attempts int
 	// SubmittedAt/DoneAt delimit the request's device-visible lifetime.
 	SubmittedAt time.Duration
 	DoneAt      time.Duration
 }
 
-// Err returns the request's completion status as an error.
-func (r *Request) Err() error { return r.status.Err() }
+// Err returns the request's completion status as a typed *CommandError
+// (nil for success).
+func (r *Request) Err() error {
+	if r.status == nvme.StatusSuccess {
+		return nil
+	}
+	return &CommandError{Op: r.op, LBA: r.lba, Blocks: r.cnt, Status: r.status, Attempts: r.attempts}
+}
 
 // Thread is the per-thread driver state: a dedicated queue pair, a distinct
 // hardware vector (§6.1: per-thread vectors make out-of-schedule interrupts
@@ -115,6 +163,10 @@ type Thread struct {
 	YieldsFromIRQ    uint64
 	BlockedWaits     uint64
 	ActiveCheckWaits uint64
+	// Retries counts transient-error re-submissions; NotifyRecovered
+	// counts completions the watchdog reaped after a lost notification.
+	Retries         uint64
+	NotifyRecovered uint64
 }
 
 // Driver is an AeoDriver instance: one per process.
@@ -427,6 +479,7 @@ func (th *Thread) submit(env *sim.Env, op nvme.Opcode, lba uint64, cnt uint32, b
 		op:          op,
 		lba:         lba,
 		cnt:         cnt,
+		buf:         buf,
 		done:        sim.NewCompletion(),
 		SubmittedAt: env.Now(),
 	}
@@ -437,21 +490,99 @@ func (th *Thread) submit(env *sim.Env, op nvme.Opcode, lba uint64, cnt uint32, b
 	req.cqe = cqe
 	// The CID assigned by the queue pair is the last one issued.
 	req.cid = th.lastCID()
+	req.attempts++
 	th.pending[req.cid] = req
 	th.Submitted++
+	th.armWatchdog(req)
 	return req, nil
+}
+
+// resubmit re-issues a request that completed with a transient error. The
+// original submission already passed the gate and permission checks, so the
+// retry goes straight to the queue pair, like a storage driver requeueing a
+// failed command.
+func (th *Thread) resubmit(env *sim.Env, req *Request) error {
+	req.done = sim.NewCompletion()
+	req.status = nvme.StatusSuccess
+	cqe, err := th.qp.Submit(nvme.SubmissionEntry{Opcode: req.op, SLBA: req.lba, NLB: req.cnt, Data: req.buf})
+	if err != nil {
+		return err
+	}
+	req.cqe = cqe
+	req.cid = th.lastCID()
+	req.attempts++
+	th.pending[req.cid] = req
+	th.Submitted++
+	th.Retries++
+	th.armWatchdog(req)
+	return nil
+}
+
+// armWatchdog schedules a lost-notification check for req if the driver has
+// a recovery timeout configured.
+func (th *Thread) armWatchdog(req *Request) {
+	d := th.drv.cfg.RecoverTimeout
+	if d <= 0 {
+		return
+	}
+	eng := th.drv.kern.Engine()
+	done := req.done
+	var check func()
+	check = func() {
+		// A fired (or replaced, on retry) completion means the normal
+		// delivery path already handled this submission.
+		if done.Done() || req.done != done {
+			return
+		}
+		if th.qp.HasCompletions() {
+			// The CQE is sitting in the queue but nothing consumed
+			// it: the notification was lost. Reap it ourselves.
+			th.NotifyRecovered++
+			th.drainCQ(eng.Now())
+		}
+		if !done.Done() && req.done == done {
+			eng.Schedule(d, check)
+		}
+	}
+	eng.Schedule(d, check)
 }
 
 // lastCID recovers the CID the queue pair just assigned.
 func (th *Thread) lastCID() uint16 { return th.qp.LastCID() }
 
 // Wait blocks (per policy) until req completes, then charges the
-// completion-side software cost and returns the request's status.
+// completion-side software cost and returns the request's status. Transient
+// NVMe failures (nvme.Status.Transient) are retried with exponential
+// backoff, up to the configured retry budget, before surfacing a typed
+// *CommandError.
 func (d *Driver) Wait(env *sim.Env, req *Request) error {
 	th, err := d.thread(env.Task())
 	if err != nil {
 		return err
 	}
+	backoff := d.cfg.retryBackoff()
+	retriesLeft := d.cfg.maxRetries()
+	for {
+		d.waitDone(env, th, req)
+		if !req.status.Transient() || retriesLeft == 0 {
+			break
+		}
+		// Transient device error: back off and requeue the command.
+		retriesLeft--
+		env.Sleep(backoff)
+		backoff *= 2
+		env.Exec(timing.SubmitCost)
+		if err := th.resubmit(env, req); err != nil {
+			// SQ full: surface the original failure.
+			break
+		}
+	}
+	env.Exec(timing.CompleteCost)
+	return req.Err()
+}
+
+// waitDone runs the mode/policy wait loop until req's completion fires.
+func (d *Driver) waitDone(env *sim.Env, th *Thread, req *Request) {
 	for !req.done.Done() {
 		switch {
 		case d.cfg.Mode == ModePoll:
@@ -473,9 +604,26 @@ func (d *Driver) Wait(env *sim.Env, req *Request) error {
 			env.SpinWait(req.done)
 		}
 	}
-	env.Exec(timing.CompleteCost)
-	return req.Err()
 }
+
+// SetNotifyHook installs (or, with nil, removes) a notification
+// fault-injection hook on the calling task's UPID. Only meaningful in
+// ModeUserInterrupt, where completions are delivered via UPID notifications.
+func (d *Driver) SetNotifyHook(env *sim.Env, h uintr.NotifyHook) error {
+	th, err := d.thread(env.Task())
+	if err != nil {
+		return err
+	}
+	if th.upid == nil {
+		return fmt.Errorf("aeodriver: no UPID to hook (mode %v)", d.cfg.Mode)
+	}
+	th.upid.Hook = h
+	return nil
+}
+
+// UPID exposes the thread's user-interrupt posting descriptor (nil outside
+// ModeUserInterrupt); tests use it to inspect notification stats.
+func (th *Thread) UPID() *uintr.UPID { return th.upid }
 
 // othersRunnable consults the sched_ext map: is any other task runnable on
 // this core?

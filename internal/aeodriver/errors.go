@@ -1,0 +1,27 @@
+package aeodriver
+
+import (
+	"fmt"
+
+	"aeolia/internal/nvme"
+)
+
+// CommandError is a typed NVMe command failure: it carries the command's
+// opcode, range, final status code, and how many attempts (including
+// retries) the driver made. Callers match on it with errors.As and on the
+// status with the Status field, instead of parsing strings.
+type CommandError struct {
+	Op       nvme.Opcode
+	LBA      uint64
+	Blocks   uint32
+	Status   nvme.Status
+	Attempts int
+}
+
+func (e *CommandError) Error() string {
+	return fmt.Sprintf("aeodriver: %v [%d,+%d) failed: %v (status %#x, %d attempt(s))",
+		e.Op, e.LBA, e.Blocks, e.Status, uint16(e.Status), e.Attempts)
+}
+
+// Transient reports whether the failure might clear on retry.
+func (e *CommandError) Transient() bool { return e.Status.Transient() }

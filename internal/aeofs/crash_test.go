@@ -9,6 +9,7 @@ import (
 	"aeolia/internal/aeodriver"
 	"aeolia/internal/aeofs"
 	"aeolia/internal/aeokern"
+	"aeolia/internal/faultinject"
 	"aeolia/internal/machine"
 	"aeolia/internal/sim"
 )
@@ -55,8 +56,10 @@ func TestCrashBeforeCheckpointReplaysJournal(t *testing.T) {
 		if err := writeFile(env, fx.fs, "/d/f", data); err != nil {
 			return err
 		}
-		// Crash after journal commit, before checkpoint.
-		fx.trust.FailCheckpoint = true
+		// Crash after journal commit, before checkpoint (named crash
+		// point, driven by a deterministic fault plan).
+		plan := faultinject.NewPlan(1).On(aeofs.CrashSyncAfterCommit, faultinject.Once())
+		fx.trust.Crash = plan.CrashFunc()
 		fd, err := fx.fs.Open(env, "/d/f", aeofs.O_RDWR)
 		if err != nil {
 			return err

@@ -1,0 +1,86 @@
+package aeofs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Named crash points (§7.4 durability protocol). The trusted layer consults
+// the installed CrashFunc at each point; a non-nil return abandons the
+// operation there, simulating a process/machine crash at that instant. The
+// points cover every durability-relevant transition of the fsync and
+// checkpoint paths:
+//
+//	sync:before-journal   pending txns snapshotted, nothing written
+//	sync:mid-journal      some journal batches written, not flushed
+//	sync:before-flush     all journal batches written, not flushed
+//	sync:after-commit     commit records durable, before checkpoint
+//	ckpt:before-write     checkpoint chosen, no in-place writes yet
+//	ckpt:mid-write        some merged images written in place
+//	ckpt:before-retire    in-place writes flushed, journal not retired
+//	ckpt:after-retire     region headers rewritten, final flush pending
+const (
+	CrashSyncBeforeJournal = "sync:before-journal"
+	CrashSyncMidJournal    = "sync:mid-journal"
+	CrashSyncBeforeFlush   = "sync:before-flush"
+	CrashSyncAfterCommit   = "sync:after-commit"
+	CrashCkptBeforeWrite   = "ckpt:before-write"
+	CrashCkptMidWrite      = "ckpt:mid-write"
+	CrashCkptBeforeRetire  = "ckpt:before-retire"
+	CrashCkptAfterRetire   = "ckpt:after-retire"
+)
+
+// CrashPoints returns the registry of named crash points, in protocol order.
+// Crash-consistency harnesses iterate it so new points are covered
+// automatically.
+func CrashPoints() []string {
+	return []string{
+		CrashSyncBeforeJournal,
+		CrashSyncMidJournal,
+		CrashSyncBeforeFlush,
+		CrashSyncAfterCommit,
+		CrashCkptBeforeWrite,
+		CrashCkptMidWrite,
+		CrashCkptBeforeRetire,
+		CrashCkptAfterRetire,
+	}
+}
+
+// CrashFunc decides whether to crash at a named point. Returning a non-nil
+// error aborts the surrounding operation; the trusted layer wraps it so
+// errors.Is(err, ErrCrashInjected) holds for callers.
+type CrashFunc func(site string) error
+
+// ErrCrashInjected marks a simulated crash from an installed CrashFunc.
+var ErrCrashInjected = errors.New("aeofs: crash injected")
+
+// CrashAt returns a CrashFunc that crashes on the n-th visit (1-based) to
+// the named point and never again — the common single-crash schedule for
+// tests that don't need a full fault plan.
+func CrashAt(site string, n int) CrashFunc {
+	seen := 0
+	return func(s string) error {
+		if s != site {
+			return nil
+		}
+		seen++
+		if seen != n {
+			return nil
+		}
+		return fmt.Errorf("crash at %q visit %d", s, seen)
+	}
+}
+
+// CrashOnce crashes on the first visit to the named point.
+func CrashOnce(site string) CrashFunc { return CrashAt(site, 1) }
+
+// crash consults the installed hook at a named point.
+func (t *TrustLayer) crash(site string) error {
+	if t.Crash == nil {
+		return nil
+	}
+	if err := t.Crash(site); err != nil {
+		return fmt.Errorf("%w at %s: %v", ErrCrashInjected, site, err)
+	}
+	return nil
+}

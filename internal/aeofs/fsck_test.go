@@ -78,7 +78,7 @@ func TestFsckCleanAfterCrashRecovery(t *testing.T) {
 				return err
 			}
 		}
-		fx.trust.FailCheckpoint = true
+		fx.trust.Crash = aeofs.CrashOnce(aeofs.CrashSyncAfterCommit)
 		fd, _ := fx.fs.Open(env, "/d/f0", aeofs.O_RDWR)
 		fx.fs.Fsync(env, fd) // injected crash
 		return nil

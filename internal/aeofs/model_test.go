@@ -169,7 +169,7 @@ func TestRandomOpsSurviveCrash(t *testing.T) {
 			return err
 		}
 		fs.Close(env, fd)
-		fx.trust.FailCheckpoint = true
+		fx.trust.Crash = aeofs.CrashOnce(aeofs.CrashSyncAfterCommit)
 		// These post-commit creations may be lost.
 		writeFile(env, fs, "/lost", []byte("maybe"))
 		f2, _ := fs.Open(env, "/lost", aeofs.O_RDWR)

@@ -44,9 +44,10 @@ type TrustLayer struct {
 	// per-superblock rename mutex.
 	renameMu sim.Mutex
 
-	// FailCheckpoint is a crash-injection hook: Sync stops after the
-	// journal commit records are durable, before checkpointing.
-	FailCheckpoint bool
+	// Crash, if set, is consulted at every named crash point (see
+	// CrashPoints); a non-nil return abandons the operation there,
+	// simulating a crash. Production mounts leave it nil.
+	Crash CrashFunc
 
 	// RecoveredTxns reports how many committed transactions mount-time
 	// recovery replayed.
@@ -62,9 +63,6 @@ type TrustLayer struct {
 	Checkpoints                                          uint64
 	ChecksFailed                                         uint64
 }
-
-// ErrCrashInjected marks a simulated crash from the FailCheckpoint hook.
-var ErrCrashInjected = fmt.Errorf("aeofs: crash injected before checkpoint")
 
 type icacheShard struct {
 	lock sim.RWMutex

@@ -23,6 +23,10 @@ func (t *TrustLayer) syncLocked(env *sim.Env, drv *aeodriver.Driver) error {
 	t.syncMu.Lock(env)
 	defer t.syncMu.Unlock(env)
 
+	if err := t.crash(CrashSyncBeforeJournal); err != nil {
+		return err
+	}
+
 	// Lock every per-thread journaling region and snapshot its pending
 	// transactions.
 	var all []txn
@@ -55,6 +59,10 @@ func (t *TrustLayer) syncLocked(env *sim.Env, drv *aeodriver.Driver) error {
 			werr = err
 			break
 		}
+		if err := t.crash(CrashSyncMidJournal); err != nil {
+			werr = err
+			break
+		}
 	}
 	for _, r := range t.regions {
 		r.mu.Unlock(env)
@@ -62,13 +70,16 @@ func (t *TrustLayer) syncLocked(env *sim.Env, drv *aeodriver.Driver) error {
 	if werr != nil {
 		return werr
 	}
+	if err := t.crash(CrashSyncBeforeFlush); err != nil {
+		return err
+	}
 	if err := drv.Flush(env); err != nil {
 		return err
 	}
-	if t.FailCheckpoint {
-		// Test hook: simulate a crash after the commit records are
-		// durable but before any in-place write.
-		return ErrCrashInjected
+	if err := t.crash(CrashSyncAfterCommit); err != nil {
+		// Crash after the commit records are durable but before any
+		// in-place write: recovery must replay the journal.
+		return err
 	}
 	t.Syncs++
 
@@ -108,11 +119,17 @@ func (t *TrustLayer) checkpointLocked(env *sim.Env, drv *aeodriver.Driver) error
 	if len(t.uncheckpointed) == 0 {
 		return nil
 	}
+	if err := t.crash(CrashCkptBeforeWrite); err != nil {
+		return err
+	}
 	merged := mergeTxns(t.uncheckpointed)
-	if err := t.writeMerged(env, drv, merged); err != nil {
+	if err := t.writeMerged(env, drv, merged, CrashCkptMidWrite); err != nil {
 		return err
 	}
 	if err := drv.Flush(env); err != nil {
+		return err
+	}
+	if err := t.crash(CrashCkptBeforeRetire); err != nil {
 		return err
 	}
 	hdr := make([]byte, BlockSize)
@@ -126,6 +143,9 @@ func (t *TrustLayer) checkpointLocked(env *sim.Env, drv *aeodriver.Driver) error
 		}
 		r.diskNext = r.start + 1
 	}
+	if err := t.crash(CrashCkptAfterRetire); err != nil {
+		return err
+	}
 	t.uncheckpointed = nil
 	t.syncsSinceCkpt = 0
 	t.Checkpoints++
@@ -133,8 +153,9 @@ func (t *TrustLayer) checkpointLocked(env *sim.Env, drv *aeodriver.Driver) error
 }
 
 // writeMerged writes blk->image map in ascending order, batching contiguous
-// runs.
-func (t *TrustLayer) writeMerged(env *sim.Env, drv *aeodriver.Driver, merged map[uint64][]byte) error {
+// runs. crashSite, if non-empty, is consulted before each run after the
+// first (an in-place rewrite torn mid-way).
+func (t *TrustLayer) writeMerged(env *sim.Env, drv *aeodriver.Driver, merged map[uint64][]byte, crashSite string) error {
 	blks := make([]uint64, 0, len(merged))
 	for blk := range merged {
 		blks = append(blks, blk)
@@ -142,6 +163,11 @@ func (t *TrustLayer) writeMerged(env *sim.Env, drv *aeodriver.Driver, merged map
 	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
 	i := 0
 	for i < len(blks) {
+		if i > 0 && crashSite != "" {
+			if err := t.crash(crashSite); err != nil {
+				return err
+			}
+		}
 		j := i + 1
 		for j < len(blks) && blks[j] == blks[j-1]+1 && j-i < 256 {
 			j++
@@ -177,7 +203,7 @@ func (t *TrustLayer) recover(env *sim.Env, drv *aeodriver.Driver) error {
 		return nil
 	}
 	merged := mergeTxns(all)
-	if err := t.writeMerged(env, drv, merged); err != nil {
+	if err := t.writeMerged(env, drv, merged, ""); err != nil {
 		return err
 	}
 	if err := drv.Flush(env); err != nil {

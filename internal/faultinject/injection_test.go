@@ -1,0 +1,228 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/aeokern"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sim"
+)
+
+const (
+	injBlockSize = 512
+	injBlocks    = 4096
+)
+
+// injRig wires a one-core machine with a writable partition and runs body in
+// a driver task, returning the thread for stats inspection.
+func injRig(t *testing.T, cfg aeodriver.Config, body func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error) *machine.Machine {
+	t.Helper()
+	m := machine.New(1, nvme.Config{BlockSize: injBlockSize, NumBlocks: injBlocks})
+	t.Cleanup(m.Eng.Shutdown)
+	p, err := m.Launch("inj", aeokern.Partition{Start: 0, Blocks: injBlocks, Writable: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var berr error
+	m.Eng.Spawn("io", m.Eng.Core(0), func(env *sim.Env) {
+		th, e := p.Driver.CreateQP(env)
+		if e != nil {
+			berr = e
+			return
+		}
+		berr = body(env, m, p.Driver, th)
+	})
+	m.Run(0)
+	if berr != nil {
+		t.Fatal(berr)
+	}
+	return m
+}
+
+// TestInjectedErrorSurfacesTyped: a non-transient injected status reaches the
+// caller as a typed *CommandError carrying the op, LBA, status, and attempt
+// count — with retries disabled it surfaces on the first attempt.
+func TestInjectedErrorSurfacesTyped(t *testing.T) {
+	plan := NewPlan(5).On(SiteDevErrWrite, Once())
+	cfg := aeodriver.Config{Mode: aeodriver.ModeUserInterrupt, MaxRetries: -1}
+	injRig(t, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+		m.Dev.SetInjector(&DeviceFaults{Plan: plan, ErrStatus: nvme.StatusWriteFault})
+		buf := make([]byte, 2*injBlockSize)
+		err := drv.WriteBlk(env, 7, 2, buf)
+		var ce *aeodriver.CommandError
+		if !errors.As(err, &ce) {
+			t.Fatalf("WriteBlk error = %v, want *CommandError", err)
+		}
+		if ce.Op != nvme.OpWrite || ce.LBA != 7 || ce.Blocks != 2 {
+			t.Errorf("CommandError identifies %v [%d,+%d), want write [7,+2)", ce.Op, ce.LBA, ce.Blocks)
+		}
+		if ce.Status != nvme.StatusWriteFault {
+			t.Errorf("Status = %v, want StatusWriteFault", ce.Status)
+		}
+		if ce.Attempts != 1 {
+			t.Errorf("Attempts = %d, want 1 (retries disabled)", ce.Attempts)
+		}
+		if ce.Transient() {
+			t.Error("write fault reported transient")
+		}
+		// The failed write must not have corrupted the block: a clean read
+		// sees the old (zero) contents.
+		m.Dev.SetInjector(nil)
+		rd := make([]byte, 2*injBlockSize)
+		if err := drv.ReadBlk(env, 7, 2, rd); err != nil {
+			return err
+		}
+		if !bytes.Equal(rd, make([]byte, 2*injBlockSize)) {
+			t.Error("failed write leaked data into the block store")
+		}
+		return nil
+	})
+}
+
+// TestTransientErrorRetried: a transient injected status is absorbed by the
+// driver's retry/backoff loop; the caller sees success and the thread counts
+// the retry.
+func TestTransientErrorRetried(t *testing.T) {
+	plan := NewPlan(6).On(SiteDevErrWrite, Once())
+	cfg := aeodriver.Config{Mode: aeodriver.ModeUserInterrupt}
+	injRig(t, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+		m.Dev.SetInjector(&DeviceFaults{Plan: plan}) // default: transient internal error
+		data := bytes.Repeat([]byte{0xAB}, injBlockSize)
+		if err := drv.WriteBlk(env, 11, 1, data); err != nil {
+			t.Fatalf("transient error not absorbed: %v", err)
+		}
+		if th.Retries != 1 {
+			t.Errorf("Retries = %d, want 1", th.Retries)
+		}
+		if m.Dev.InjectedErrors != 1 {
+			t.Errorf("device InjectedErrors = %d, want 1", m.Dev.InjectedErrors)
+		}
+		rd := make([]byte, injBlockSize)
+		if err := drv.ReadBlk(env, 11, 1, rd); err != nil {
+			return err
+		}
+		if !bytes.Equal(rd, data) {
+			t.Error("retried write did not land")
+		}
+		return nil
+	})
+}
+
+// TestRetryExhaustionSurfaces: when every attempt fails transiently, the
+// retry budget runs out and the typed error reports all attempts.
+func TestRetryExhaustionSurfaces(t *testing.T) {
+	plan := NewPlan(7).On(SiteDevErrWrite, Always())
+	cfg := aeodriver.Config{Mode: aeodriver.ModeUserInterrupt, MaxRetries: 2}
+	injRig(t, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+		m.Dev.SetInjector(&DeviceFaults{Plan: plan})
+		err := drv.WriteBlk(env, 3, 1, make([]byte, injBlockSize))
+		var ce *aeodriver.CommandError
+		if !errors.As(err, &ce) {
+			t.Fatalf("error = %v, want *CommandError", err)
+		}
+		if ce.Attempts != 3 {
+			t.Errorf("Attempts = %d, want 3 (1 + 2 retries)", ce.Attempts)
+		}
+		if !ce.Transient() {
+			t.Error("exhausted transient error lost its Transient classification")
+		}
+		if th.Retries != 2 {
+			t.Errorf("Retries = %d, want 2", th.Retries)
+		}
+		return nil
+	})
+}
+
+// TestDroppedNotificationRecovered: with every UINTR notification dropped,
+// the completion watchdog reaps the visible CQE and the operation still
+// completes — no hang, no error.
+func TestDroppedNotificationRecovered(t *testing.T) {
+	plan := NewPlan(8).On(SiteUintrDrop, Always())
+	cfg := aeodriver.Config{Mode: aeodriver.ModeUserInterrupt, RecoverTimeout: 50 * time.Microsecond}
+	injRig(t, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+		if err := drv.SetNotifyHook(env, &NotifyFaults{Plan: plan}); err != nil {
+			return err
+		}
+		data := bytes.Repeat([]byte{0x5C}, injBlockSize)
+		if err := drv.WriteBlk(env, 21, 1, data); err != nil {
+			t.Fatalf("write under dropped notifications: %v", err)
+		}
+		if th.NotifyRecovered == 0 {
+			t.Error("watchdog never reaped a completion (NotifyRecovered = 0)")
+		}
+		if th.UPID().NotifyDropped == 0 {
+			t.Error("UPID did not record the dropped notification")
+		}
+		rd := make([]byte, injBlockSize)
+		if err := drv.ReadBlk(env, 21, 1, rd); err != nil {
+			return err
+		}
+		if !bytes.Equal(rd, data) {
+			t.Error("data lost under dropped notifications")
+		}
+		return nil
+	})
+}
+
+// TestDelayedAndDuplicatedNotifications: delays and duplicate deliveries are
+// harmless — operations complete correctly and the duplicates are absorbed
+// by the empty-CQ drain.
+func TestDelayedAndDuplicatedNotifications(t *testing.T) {
+	plan := NewPlan(9).
+		On(SiteUintrDelay, Always()).
+		On(SiteUintrDup, Always())
+	cfg := aeodriver.Config{Mode: aeodriver.ModeUserInterrupt}
+	injRig(t, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+		if err := drv.SetNotifyHook(env, &NotifyFaults{Plan: plan, Delay: 20 * time.Microsecond}); err != nil {
+			return err
+		}
+		for i := uint64(0); i < 4; i++ {
+			data := bytes.Repeat([]byte{byte(0x10 + i)}, injBlockSize)
+			if err := drv.WriteBlk(env, 30+i, 1, data); err != nil {
+				t.Fatalf("write %d under delay+dup: %v", i, err)
+			}
+			rd := make([]byte, injBlockSize)
+			if err := drv.ReadBlk(env, 30+i, 1, rd); err != nil {
+				t.Fatalf("read %d under delay+dup: %v", i, err)
+			}
+			if !bytes.Equal(rd, data) {
+				t.Errorf("block %d diverged under delay+dup", 30+i)
+			}
+		}
+		return nil
+	})
+}
+
+// TestInjectedLatencySpike: a latency firing defers the completion without
+// affecting correctness.
+func TestInjectedLatencySpike(t *testing.T) {
+	plan := NewPlan(10).On(SiteDevLatency, Once())
+	cfg := aeodriver.Config{Mode: aeodriver.ModeUserInterrupt}
+	injRig(t, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+		m.Dev.SetInjector(&DeviceFaults{Plan: plan, Spike: 2 * time.Millisecond})
+		start := env.Now()
+		if err := drv.WriteBlk(env, 40, 1, make([]byte, injBlockSize)); err != nil {
+			return err
+		}
+		slow := env.Now() - start
+		if slow < 2*time.Millisecond {
+			t.Errorf("spiked write took %v, want ≥ 2ms", slow)
+		}
+		if m.Dev.InjectedLatency != 1 {
+			t.Errorf("InjectedLatency = %d, want 1", m.Dev.InjectedLatency)
+		}
+		start = env.Now()
+		if err := drv.WriteBlk(env, 41, 1, make([]byte, injBlockSize)); err != nil {
+			return err
+		}
+		if fast := env.Now() - start; fast >= slow {
+			t.Errorf("un-spiked write (%v) not faster than spiked (%v)", fast, slow)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"time"
+
+	"aeolia/internal/nvme"
+	"aeolia/internal/uintr"
+)
+
+// Fault sites consumed by the layer adapters. Install rules on these names
+// to drive each injector; all draws are deterministic in the plan seed.
+const (
+	// Device layer (DeviceFaults).
+	SiteDevErrRead  = "dev:err:read"   // fail a read with a transient error
+	SiteDevErrWrite = "dev:err:write"  // fail a write with a transient error
+	SiteDevErrFlush = "dev:err:flush"  // fail a flush with a transient error
+	SiteDevLatency  = "dev:latency"    // latency spike on any command
+	SiteDevTornCmd  = "dev:torn-write" // tear the failing write's transfer
+
+	// Power-loss resolution (TornResolver).
+	SiteCrashTorn = "crash:torn" // per-block verdict at power loss
+
+	// UINTR notification layer (NotifyFaults).
+	SiteUintrDrop  = "uintr:drop"
+	SiteUintrDelay = "uintr:delay"
+	SiteUintrDup   = "uintr:dup"
+)
+
+// DeviceFaults adapts a Plan to the nvme.Injector interface. Reads, writes,
+// and flushes each consult their own site; a firing completes the command
+// with the configured status (default: a transient internal error, so
+// driver retry/backoff can survive it). Latency spikes are independent.
+type DeviceFaults struct {
+	Plan *Plan
+	// ErrStatus is the status injected on command-error firings
+	// (default nvme.StatusInternalError, a transient error).
+	ErrStatus nvme.Status
+	// Spike is the injected latency spike (default 500µs).
+	Spike time.Duration
+	// MaxTornBlocks bounds how many blocks of a failing write reach the
+	// device cache when SiteDevTornCmd also fires (default: NLB-1, i.e.
+	// any strict prefix).
+	MaxTornBlocks uint32
+}
+
+// InjectCommand implements nvme.Injector.
+func (f *DeviceFaults) InjectCommand(e *nvme.SubmissionEntry) nvme.CommandFault {
+	var fault nvme.CommandFault
+	site := ""
+	switch e.Opcode {
+	case nvme.OpRead:
+		site = SiteDevErrRead
+	case nvme.OpWrite:
+		site = SiteDevErrWrite
+	case nvme.OpFlush:
+		site = SiteDevErrFlush
+	}
+	if site != "" && f.Plan.Fire(site) {
+		fault.Status = f.ErrStatus
+		if fault.Status == nvme.StatusSuccess {
+			fault.Status = nvme.StatusInternalError
+		}
+		if e.Opcode == nvme.OpWrite && e.NLB > 1 && f.Plan.Fire(SiteDevTornCmd) {
+			limit := e.NLB - 1
+			if f.MaxTornBlocks > 0 && f.MaxTornBlocks < limit {
+				limit = f.MaxTornBlocks
+			}
+			fault.TornBlocks = 1 + uint32(f.Plan.Draw(SiteDevTornCmd)%uint64(limit))
+		}
+	}
+	if f.Plan.Fire(SiteDevLatency) {
+		spike := f.Spike
+		if spike <= 0 {
+			spike = 500 * time.Microsecond
+		}
+		fault.ExtraLatency = spike
+	}
+	return fault
+}
+
+// NotifyFaults adapts a Plan to the uintr.NotifyHook interface: each
+// notification independently consults the drop, delay, and duplicate sites.
+type NotifyFaults struct {
+	Plan *Plan
+	// Delay is the injected notification delay (default 50µs).
+	Delay time.Duration
+	// MaxDuplicates bounds injected duplicates per firing (default 2).
+	MaxDuplicates int
+}
+
+// OnNotify implements uintr.NotifyHook.
+func (f *NotifyFaults) OnNotify(u *uintr.UPID, vector uint8) uintr.NotifyVerdict {
+	var v uintr.NotifyVerdict
+	if f.Plan.Fire(SiteUintrDrop) {
+		v.Drop = true
+		return v
+	}
+	if f.Plan.Fire(SiteUintrDelay) {
+		v.Delay = f.Delay
+		if v.Delay <= 0 {
+			v.Delay = 50 * time.Microsecond
+		}
+	}
+	if f.Plan.Fire(SiteUintrDup) {
+		max := f.MaxDuplicates
+		if max <= 0 {
+			max = 2
+		}
+		v.Duplicates = 1 + int(f.Plan.Draw(SiteUintrDup)%uint64(max))
+	}
+	return v
+}
+
+// TornResolver returns a Device.CrashAndReset resolver that decides each
+// unflushed block's fate at power loss from the plan: fire → the block is
+// torn (a deterministic prefix of the new image over the old) or, every
+// third draw, survives whole; no fire → the block is dropped (old durable
+// image). Install a rule on SiteCrashTorn to control the tearing rate.
+func TornResolver(p *Plan) func(blk uint64, durable, cached []byte) []byte {
+	return func(blk uint64, durable, cached []byte) []byte {
+		if !p.Fire(SiteCrashTorn) {
+			return durable
+		}
+		draw := p.Draw(SiteCrashTorn)
+		switch draw % 3 {
+		case 0:
+			// The in-flight write made it out entirely.
+			return cached
+		default:
+			// Torn: a prefix of the new data over the old, never a
+			// whole block.
+			cut := 1 + int(draw/3)%(len(cached)-1)
+			out := make([]byte, len(cached))
+			copy(out, durable)
+			copy(out[:cut], cached[:cut])
+			return out
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestPlanDeterminism: two plans with the same seed and rules produce
+// identical firing schedules and auxiliary draws, regardless of when they
+// were built.
+func TestPlanDeterminism(t *testing.T) {
+	build := func() *Plan {
+		return NewPlan(0xC0FFEE).
+			On("a", WithProb(0.3, 0)).
+			On("b", WithProb(0.7, 0))
+	}
+	p1, p2 := build(), build()
+	for i := 0; i < 500; i++ {
+		site := "a"
+		if i%3 == 0 {
+			site = "b"
+		}
+		if f1, f2 := p1.Fire(site), p2.Fire(site); f1 != f2 {
+			t.Fatalf("occurrence %d of %q diverged: %v vs %v", i, site, f1, f2)
+		}
+		if d1, d2 := p1.Draw(site), p2.Draw(site); d1 != d2 {
+			t.Fatalf("draw %d of %q diverged: %d vs %d", i, site, d1, d2)
+		}
+	}
+	if len(p1.Log()) == 0 {
+		t.Fatal("probabilistic rules never fired in 500 occurrences")
+	}
+}
+
+// TestPlanInterleavingIndependence: a site's schedule depends only on its
+// own occurrence count, not on other sites' activity interleaved between.
+func TestPlanInterleavingIndependence(t *testing.T) {
+	solo := NewPlan(42).On("x", WithProb(0.5, 0))
+	var want []bool
+	for i := 0; i < 100; i++ {
+		want = append(want, solo.Fire("x"))
+	}
+	mixed := NewPlan(42).On("x", WithProb(0.5, 0)).On("noise", Always())
+	for i := 0; i < 100; i++ {
+		mixed.Fire("noise")
+		mixed.Fire("noise")
+		if got := mixed.Fire("x"); got != want[i] {
+			t.Fatalf("occurrence %d: interleaved noise changed the schedule", i)
+		}
+	}
+}
+
+func TestRuleSemantics(t *testing.T) {
+	p := NewPlan(1).On("once", Once()).On("third", At(3)).On("all", Always()).
+		On("capped", Rule{Prob: 1, Max: 2})
+	for i := 1; i <= 5; i++ {
+		if got, want := p.Fire("once"), i == 1; got != want {
+			t.Errorf("once occurrence %d = %v, want %v", i, got, want)
+		}
+		if got, want := p.Fire("third"), i == 3; got != want {
+			t.Errorf("third occurrence %d = %v, want %v", i, got, want)
+		}
+		if !p.Fire("all") {
+			t.Errorf("always occurrence %d did not fire", i)
+		}
+		if got, want := p.Fire("capped"), i <= 2; got != want {
+			t.Errorf("capped occurrence %d = %v, want %v", i, got, want)
+		}
+	}
+	if p.Fire("unruled") {
+		t.Error("site without a rule fired")
+	}
+	if p.Occurrences("unruled") != 1 {
+		t.Error("unruled site not counted")
+	}
+}
+
+func TestCrashFuncWrapsFault(t *testing.T) {
+	p := NewPlan(9).On("site", At(2))
+	crash := p.CrashFunc()
+	if err := crash("site"); err != nil {
+		t.Fatalf("first occurrence crashed: %v", err)
+	}
+	err := crash("site")
+	if !errors.Is(err, ErrFault) {
+		t.Fatalf("second occurrence error = %v, want ErrFault", err)
+	}
+	for _, want := range []string{"site", "occurrence 2", "seed 9"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestPlanReproString: the log line identifies every firing so a failure can
+// be replayed from the seed.
+func TestPlanReproString(t *testing.T) {
+	p := NewPlan(77).On("s", At(2))
+	p.Fire("s")
+	p.Fire("s")
+	s := p.String()
+	if !strings.Contains(s, "seed=77") || !strings.Contains(s, "s@2") {
+		t.Fatalf("repro string %q missing seed or firing", s)
+	}
+}

@@ -2,6 +2,7 @@ package nvme
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"aeolia/internal/sim"
@@ -18,6 +19,30 @@ type Config struct {
 	MaxQueuePairs int
 }
 
+// Injector intercepts commands for fault injection. Implementations return
+// the fault (if any) to apply to the command; the zero CommandFault means
+// "execute normally". Installed via Device.SetInjector; the production path
+// pays one nil-check when no injector is present.
+type Injector interface {
+	InjectCommand(e *SubmissionEntry) CommandFault
+}
+
+// CommandFault describes one injected command-level fault.
+type CommandFault struct {
+	// Status, if non-success, completes the command with this status
+	// without (fully) executing it.
+	Status Status
+	// TornBlocks only applies to failing writes (Status != success): the
+	// first TornBlocks blocks of the transfer reach the device's volatile
+	// write cache before the command errors out, modeling a transfer torn
+	// mid-flight. The failed command makes no durability promise, so a
+	// retry simply overwrites the partial data.
+	TornBlocks uint32
+	// ExtraLatency delays the command's completion (latency spike). It
+	// applies to both successful and failing commands.
+	ExtraLatency time.Duration
+}
+
 // Device is a simulated NVMe SSD bound to a sim.Engine. All methods must be
 // called from engine context (task bodies or event callbacks).
 type Device struct {
@@ -25,6 +50,12 @@ type Device struct {
 	cfg Config
 
 	store map[uint64][]byte // chunk index -> chunk data
+
+	// cache is the volatile write cache: completed-but-unflushed block
+	// images, dropped (or torn) at power loss. OpFlush destages it into
+	// the durable store. Reads overlay it, so completed writes are always
+	// visible to subsequent commands.
+	cache map[uint64][]byte
 
 	qps    map[int]*QueuePair
 	nextQP int
@@ -39,12 +70,20 @@ type Device struct {
 	// jitter (a small xorshift PRNG seeded at creation).
 	jitterState uint64
 
+	inj Injector
+
 	// Stats.
 	ReadOps    uint64
 	WriteOps   uint64
 	FlushOps   uint64
 	BytesRead  uint64
 	BytesWrite uint64
+	// Injected-fault stats.
+	InjectedErrors  uint64
+	InjectedTorn    uint64
+	InjectedLatency uint64
+	// PowerCycles counts CrashAndReset invocations.
+	PowerCycles uint64
 }
 
 // NewDevice creates a device on the engine.
@@ -65,11 +104,15 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 		eng:         eng,
 		cfg:         cfg,
 		store:       make(map[uint64][]byte),
+		cache:       make(map[uint64][]byte),
 		qps:         make(map[int]*QueuePair),
 		channelFree: make([]time.Duration, cfg.Model.Channels),
 		jitterState: 0x9E3779B97F4A7C15,
 	}
 }
+
+// SetInjector installs (or, with nil, removes) the fault injector.
+func (d *Device) SetInjector(inj Injector) { d.inj = inj }
 
 // jitter returns a deterministic per-command service-time perturbation in
 // [-2%, +2%] of d. Real flash media have this much variance and more; it
@@ -106,12 +149,18 @@ func (d *Device) chunk(blk uint64, alloc bool) []byte {
 	return c
 }
 
-// readRaw copies blocks [slba, slba+n) into buf.
+// readRaw copies blocks [slba, slba+n) into buf, overlaying the volatile
+// write cache (a completed write is visible to later reads even before a
+// flush makes it durable).
 func (d *Device) readRaw(slba uint64, n uint32, buf []byte) {
 	bs := uint64(d.cfg.BlockSize)
 	for i := uint64(0); i < uint64(n); i++ {
 		blk := slba + i
 		dst := buf[i*bs : (i+1)*bs]
+		if img, ok := d.cache[blk]; ok {
+			copy(dst, img)
+			continue
+		}
 		c := d.chunk(blk, false)
 		if c == nil {
 			for j := range dst {
@@ -124,15 +173,70 @@ func (d *Device) readRaw(slba uint64, n uint32, buf []byte) {
 	}
 }
 
-// writeRaw copies buf into blocks [slba, slba+n).
+// writeRaw places buf's blocks into the volatile write cache; they become
+// durable when a flush destages them.
 func (d *Device) writeRaw(slba uint64, n uint32, buf []byte) {
 	bs := uint64(d.cfg.BlockSize)
 	for i := uint64(0); i < uint64(n); i++ {
 		blk := slba + i
-		c := d.chunk(blk, true)
-		off := (blk % chunkBlocks) * bs
-		copy(c[off:off+bs], buf[i*bs:(i+1)*bs])
+		img := d.cache[blk]
+		if img == nil {
+			img = make([]byte, bs)
+			d.cache[blk] = img
+		}
+		copy(img, buf[i*bs:(i+1)*bs])
 	}
+}
+
+// writeDurable copies a block image straight into the durable store.
+func (d *Device) writeDurable(blk uint64, img []byte) {
+	bs := uint64(d.cfg.BlockSize)
+	c := d.chunk(blk, true)
+	off := (blk % chunkBlocks) * bs
+	copy(c[off:off+bs], img)
+}
+
+// destage makes every cached write durable (the effect of OpFlush).
+func (d *Device) destage() {
+	for blk, img := range d.cache {
+		d.writeDurable(blk, img)
+		delete(d.cache, blk)
+	}
+}
+
+// CachedBlocks returns the number of completed-but-unflushed blocks.
+func (d *Device) CachedBlocks() int { return len(d.cache) }
+
+// CrashAndReset simulates power loss: the volatile write cache is lost and
+// the device restarts with only durable (flushed) state. For each cached
+// block, resolve decides what the medium holds afterwards: it receives the
+// block number, the durable image, and the cached (lost) image, and returns
+// the surviving image — return durable for a clean drop, cached if the
+// in-flight write happened to complete, or any mix for a torn write. A nil
+// resolve drops every cached block (the most adversarial clean power loss).
+// Blocks are resolved in ascending order so resolvers driven by a seeded
+// plan are deterministic.
+func (d *Device) CrashAndReset(resolve func(blk uint64, durable, cached []byte) []byte) {
+	blks := make([]uint64, 0, len(d.cache))
+	for blk := range d.cache {
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	bs := uint64(d.cfg.BlockSize)
+	for _, blk := range blks {
+		if resolve != nil {
+			durable := make([]byte, bs)
+			if c := d.chunk(blk, false); c != nil {
+				off := (blk % chunkBlocks) * bs
+				copy(durable, c[off:off+bs])
+			}
+			if img := resolve(blk, durable, d.cache[blk]); img != nil {
+				d.writeDurable(blk, img)
+			}
+		}
+		delete(d.cache, blk)
+	}
+	d.PowerCycles++
 }
 
 // PeekBlock reads a block's current contents without consuming device time —
@@ -216,7 +320,34 @@ func (d *Device) process(qp *QueuePair, e SubmissionEntry) {
 		d.eng.Schedule(200*time.Nanosecond, func() { qp.postCompletion(e.CID, st) })
 		return
 	}
-	done := d.completionTime(&e)
+	var fault CommandFault
+	if d.inj != nil {
+		fault = d.inj.InjectCommand(&e)
+		if fault.ExtraLatency > 0 {
+			d.InjectedLatency++
+		}
+	}
+	if fault.Status != StatusSuccess {
+		d.InjectedErrors++
+		if e.Opcode == OpWrite && fault.TornBlocks > 0 {
+			// The transfer tore mid-flight: a prefix of the data
+			// reaches the volatile cache before the command fails.
+			d.InjectedTorn++
+			torn := fault.TornBlocks
+			if torn > e.NLB {
+				torn = e.NLB
+			}
+			tornData := e.Data[:int(torn)*d.cfg.BlockSize]
+			d.eng.Schedule(200*time.Nanosecond+fault.ExtraLatency, func() {
+				d.writeRaw(e.SLBA, torn, tornData)
+				qp.postCompletion(e.CID, fault.Status)
+			})
+			return
+		}
+		d.eng.Schedule(200*time.Nanosecond+fault.ExtraLatency, func() { qp.postCompletion(e.CID, fault.Status) })
+		return
+	}
+	done := d.completionTime(&e) + fault.ExtraLatency
 	switch e.Opcode {
 	case OpRead:
 		d.ReadOps++
@@ -229,12 +360,15 @@ func (d *Device) process(qp *QueuePair, e SubmissionEntry) {
 	}
 	d.eng.ScheduleAt(done, func() {
 		// Data movement happens at completion time: a read observes
-		// the medium as of completion; a write becomes durable then.
+		// the medium as of completion; a write lands in the volatile
+		// cache then (a flush makes it durable).
 		switch e.Opcode {
 		case OpRead:
 			d.readRaw(e.SLBA, e.NLB, e.Data)
 		case OpWrite:
 			d.writeRaw(e.SLBA, e.NLB, e.Data)
+		case OpFlush:
+			d.destage()
 		}
 		qp.postCompletion(e.CID, StatusSuccess)
 	})

@@ -37,11 +37,17 @@ func (o Opcode) String() string {
 // Status is an NVMe completion status code (0 = success).
 type Status uint16
 
-// Completion status codes (subset of the generic command status field).
+// Completion status codes (subset; generic command status plus media errors,
+// encoded as SCT<<8|SC like the spec's status field layout).
 const (
-	StatusSuccess      Status = 0x0
-	StatusInvalidField Status = 0x2
-	StatusLBARange     Status = 0x80
+	StatusSuccess           Status = 0x0
+	StatusInvalidField      Status = 0x2
+	StatusDataTransferError Status = 0x4
+	StatusInternalError     Status = 0x6
+	StatusLBARange          Status = 0x80
+	StatusNamespaceNotReady Status = 0x82
+	StatusWriteFault        Status = 0x280
+	StatusUnrecoveredRead   Status = 0x281
 )
 
 func (s Status) String() string {
@@ -50,10 +56,32 @@ func (s Status) String() string {
 		return "success"
 	case StatusInvalidField:
 		return "invalid field"
+	case StatusDataTransferError:
+		return "data transfer error"
+	case StatusInternalError:
+		return "internal error"
 	case StatusLBARange:
 		return "LBA out of range"
+	case StatusNamespaceNotReady:
+		return "namespace not ready"
+	case StatusWriteFault:
+		return "media write fault"
+	case StatusUnrecoveredRead:
+		return "unrecovered read error"
 	default:
 		return fmt.Sprintf("status(%#x)", uint16(s))
+	}
+}
+
+// Transient reports whether a command failing with this status may succeed if
+// retried (the device hiccuped rather than rejected the command). Drivers use
+// this to decide between retry/backoff and surfacing the error.
+func (s Status) Transient() bool {
+	switch s {
+	case StatusDataTransferError, StatusInternalError, StatusNamespaceNotReady:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -1,6 +1,7 @@
 package nvme
 
 import (
+	"errors"
 	"fmt"
 
 	"aeolia/internal/sim"
@@ -66,25 +67,68 @@ func (qp *QueuePair) Inflight() int {
 	return int(qp.Submitted - qp.Completed)
 }
 
-// Submit places a command into the submission queue and rings the doorbell.
-// It returns a completion handle that fires when the CQE is posted. The
-// caller must not reuse e.Data until completion.
+// ErrSQFull is returned by Submit when the submission queue has no free
+// slot.
+var ErrSQFull = errors.New("nvme: submission queue full")
+
+// ErrDoorbell is returned for out-of-range or inconsistent doorbell writes
+// (a real controller would raise an asynchronous "invalid doorbell write
+// value" error, AER status 0x1).
+var ErrDoorbell = errors.New("nvme: invalid doorbell write")
+
+// Submit places a command into the submission queue and rings the tail
+// doorbell. It returns a completion handle that fires when the CQE is
+// posted. The caller must not reuse e.Data until completion.
 func (qp *QueuePair) Submit(e SubmissionEntry) (*sim.Completion, error) {
 	if qp.Inflight() >= qp.depth-1 {
-		return nil, fmt.Errorf("nvme: submission queue %d full", qp.ID)
+		return nil, fmt.Errorf("%w: queue %d", ErrSQFull, qp.ID)
 	}
 	qp.nextCID++
 	e.CID = qp.nextCID
 	qp.sq[qp.sqTail] = e
-	qp.sqTail = (qp.sqTail + 1) % qp.depth
 	comp := sim.NewCompletion()
 	qp.pending[e.CID] = comp
-	qp.Submitted++
 
 	// Ringing the doorbell hands the command to the device.
-	qp.sqHead = (qp.sqHead + 1) % qp.depth
-	qp.dev.process(qp, e)
+	if err := qp.WriteSQDoorbell((qp.sqTail + 1) % qp.depth); err != nil {
+		delete(qp.pending, e.CID)
+		return nil, err
+	}
 	return comp, nil
+}
+
+// WriteSQDoorbell writes the submission-queue tail doorbell: the device
+// consumes every SQ slot from the current head up to (excluding) tail. An
+// out-of-range value is rejected, like a controller flagging an invalid
+// doorbell write instead of reading garbage entries.
+func (qp *QueuePair) WriteSQDoorbell(tail int) error {
+	if tail < 0 || tail >= qp.depth {
+		return fmt.Errorf("%w: SQ tail %d (depth %d)", ErrDoorbell, tail, qp.depth)
+	}
+	qp.sqTail = tail
+	for qp.sqHead != tail {
+		e := qp.sq[qp.sqHead]
+		qp.sqHead = (qp.sqHead + 1) % qp.depth
+		qp.Submitted++
+		qp.dev.process(qp, e)
+	}
+	return nil
+}
+
+// WriteCQDoorbell writes the completion-queue head doorbell, releasing the
+// consumed CQ slots back to the device. The head may only advance over
+// occupied slots; moving it past the tail (or out of range) is rejected.
+func (qp *QueuePair) WriteCQDoorbell(head int) error {
+	if head < 0 || head >= qp.depth {
+		return fmt.Errorf("%w: CQ head %d (depth %d)", ErrDoorbell, head, qp.depth)
+	}
+	dist := (head - qp.cqHead + qp.depth) % qp.depth
+	if dist > qp.cqCount {
+		return fmt.Errorf("%w: CQ head %d advances past tail %d", ErrDoorbell, head, qp.cqTail)
+	}
+	qp.cqHead = head
+	qp.cqCount -= dist
+	return nil
 }
 
 // postCompletion is called by the device when a command finishes.

@@ -11,6 +11,7 @@ package uintr
 
 import (
 	"fmt"
+	"time"
 
 	"aeolia/internal/sim"
 )
@@ -18,6 +19,29 @@ import (
 // MaxVectors is the number of user-interrupt vectors per UPID (the PIR is a
 // 64-bit bitmap).
 const MaxVectors = 64
+
+// NotifyVerdict is a fault-injection decision about one notification
+// interrupt. The zero value delivers normally.
+type NotifyVerdict struct {
+	// Drop loses the notification entirely: the PIR bit stays posted but
+	// no core ever recognizes it (the recipient needs a recovery path —
+	// polling, a watchdog, or the next notification).
+	Drop bool
+	// Delay postpones the notification by the given virtual time. A
+	// delayed notification may find its target context-switched out and
+	// take the out-of-schedule kernel fallback path.
+	Delay time.Duration
+	// Duplicates raises the notification this many extra times (spurious
+	// re-delivery, as a level-triggered line or IOMMU replay can cause).
+	Duplicates int
+}
+
+// NotifyHook intercepts notification interrupts for fault injection. It is
+// consulted once per would-be notification (after SN suppression); the
+// production path pays one nil-check.
+type NotifyHook interface {
+	OnNotify(u *UPID, vector uint8) NotifyVerdict
+}
 
 // UPID is a user posted-interrupt descriptor. In hardware this is a 16-byte
 // memory structure owned by the kernel; Aeolia maps it into the trusted
@@ -33,6 +57,46 @@ type UPID struct {
 	NV int
 	// DestCPU is the core user IPIs and notifications are sent to.
 	DestCPU int
+
+	// Hook, if set, intercepts notifications for fault injection.
+	Hook NotifyHook
+
+	// Notification fault stats (only advanced when Hook is set).
+	NotifyDropped uint64
+	NotifyDelayed uint64
+	NotifyDuped   uint64
+}
+
+// notify raises the UPID's notification vector on its destination core,
+// honoring SN and the fault-injection hook. It is the single exit point for
+// both SENDUIPI and remapped MSI-X notifications.
+func notify(eng *sim.Engine, u *UPID, vector uint8) {
+	if u.SN {
+		return
+	}
+	raise := func() { eng.Core(u.DestCPU).RaiseIRQ(u.NV) }
+	if u.Hook == nil {
+		raise()
+		return
+	}
+	v := u.Hook.OnNotify(u, vector)
+	if v.Drop {
+		u.NotifyDropped++
+		return
+	}
+	deliver := func() {
+		if v.Delay > 0 {
+			u.NotifyDelayed++
+			eng.Schedule(v.Delay, raise)
+		} else {
+			raise()
+		}
+	}
+	deliver()
+	for i := 0; i < v.Duplicates; i++ {
+		u.NotifyDuped++
+		deliver()
+	}
 }
 
 // Post sets vector's bit in the PIR. It reports whether the bit was newly
@@ -150,9 +214,7 @@ func (cs *CoreState) SendUIPI(eng *sim.Engine, index int) (*UPID, error) {
 	}
 	ent := cs.UITT[index]
 	ent.UPID.Post(ent.UV)
-	if !ent.UPID.SN {
-		eng.Core(ent.UPID.DestCPU).RaiseIRQ(ent.UPID.NV)
-	}
+	notify(eng, ent.UPID, ent.UV)
 	return ent.UPID, nil
 }
 
@@ -161,7 +223,5 @@ func (cs *CoreState) SendUIPI(eng *sim.Engine, index int) (*UPID, error) {
 // notification vector on the destination core.
 func PostAndNotify(eng *sim.Engine, u *UPID, vector uint8) {
 	u.Post(vector)
-	if !u.SN {
-		eng.Core(u.DestCPU).RaiseIRQ(u.NV)
-	}
+	notify(eng, u, vector)
 }
