@@ -213,3 +213,8 @@ func BenchmarkAeoFSCreate(b *testing.B) {
 
 func BenchmarkAbl1TrustToll(b *testing.B)        { runExperiment(b, "abl1") }
 func BenchmarkAbl2PerThreadJournal(b *testing.B) { runExperiment(b, "abl2") }
+
+// BenchmarkQDSweep regenerates the batched-submission / interrupt-coalescing
+// queue-depth sweep (CI's bench-smoke job runs exactly this benchmark and
+// archives the output for the performance trajectory).
+func BenchmarkQDSweep(b *testing.B) { runExperiment(b, "qdsweep") }

@@ -7,6 +7,7 @@
 //	aeobench fig2 fig10 ...   # run specific experiments
 //	aeobench all              # run everything (several minutes)
 //	aeobench -md all          # emit markdown (for EXPERIMENTS.md)
+//	aeobench -json qdsweep    # emit JSON (for CI bench artifacts)
 package main
 
 import (
@@ -16,12 +17,14 @@ import (
 	"time"
 
 	"aeolia/internal/experiments"
+	"aeolia/internal/report"
 )
 
 func main() {
 	md := flag.Bool("md", false, "emit markdown tables")
+	jsonOut := flag.Bool("json", false, "emit JSON tables")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aeobench [-md] list | all | <experiment-id>...\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] list | all | <experiment-id>...\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
 		}
@@ -53,6 +56,7 @@ func main() {
 		}
 	}
 
+	var all []*report.Table
 	for _, e := range todo {
 		start := time.Now()
 		tables, err := e.Run()
@@ -61,12 +65,21 @@ func main() {
 			os.Exit(1)
 		}
 		for _, t := range tables {
-			if *md {
+			switch {
+			case *jsonOut:
+				all = append(all, t)
+			case *md:
 				t.Markdown(os.Stdout)
-			} else {
+			default:
 				t.Print(os.Stdout)
 			}
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout, all); err != nil {
+			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,387 @@
+package aeodriver_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/aeokern"
+	"aeolia/internal/faultinject"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sim"
+)
+
+// batchRig wires a one-core, 512B-block machine and runs body in a driver
+// task.
+func batchRig(t *testing.T, cfg aeodriver.Config, body func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error) {
+	t.Helper()
+	m := machine.New(1, nvme.Config{BlockSize: 512, NumBlocks: 1 << 14})
+	t.Cleanup(m.Eng.Shutdown)
+	p, err := m.Launch("batch", aeokern.Partition{Start: 0, Blocks: 1 << 14, Writable: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var berr error
+	m.Eng.Spawn("io", m.Eng.Core(0), func(env *sim.Env) {
+		th, e := p.Driver.CreateQP(env)
+		if e != nil {
+			berr = e
+			return
+		}
+		berr = body(env, m, p.Driver, th)
+	})
+	m.Run(0)
+	if berr != nil {
+		t.Fatal(berr)
+	}
+}
+
+// TestVectoredBatchRoundTrip: WriteVBatch persists every segment with one
+// doorbell write, ReadVBatch reads them back, and the batch stats record the
+// amortization.
+func TestVectoredBatchRoundTrip(t *testing.T) {
+	cfg := aeodriver.Config{Mode: aeodriver.ModeUserInterrupt, QueueDepth: 64}
+	batchRig(t, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+		const segs = 8
+		wr := make([]aeodriver.IOVec, segs)
+		for i := range wr {
+			wr[i] = aeodriver.IOVec{
+				LBA: uint64(i * 100), // non-contiguous: each segment its own command
+				Cnt: 2,
+				Buf: bytes.Repeat([]byte{byte(0xA0 + i)}, 2*512),
+			}
+		}
+		qp := th.QueuePairs()[0]
+		doorbells := qp.SQDoorbells
+		if err := drv.WriteVBatch(env, wr); err != nil {
+			return err
+		}
+		if got := qp.SQDoorbells - doorbells; got != 1 {
+			t.Errorf("write batch rang %d SQ doorbells, want 1", got)
+		}
+		if qp.MaxSQBurst < segs {
+			t.Errorf("MaxSQBurst = %d, want >= %d", qp.MaxSQBurst, segs)
+		}
+		rd := make([]aeodriver.IOVec, segs)
+		for i := range rd {
+			rd[i] = aeodriver.IOVec{LBA: uint64(i * 100), Cnt: 2, Buf: make([]byte, 2*512)}
+		}
+		if err := drv.ReadVBatch(env, rd); err != nil {
+			return err
+		}
+		for i := range rd {
+			if !bytes.Equal(rd[i].Buf, wr[i].Buf) {
+				t.Errorf("segment %d diverged after batched round trip", i)
+			}
+		}
+		if th.Batches != 2 || th.BatchSubmitted != 2*segs {
+			t.Errorf("Batches/BatchSubmitted = %d/%d, want 2/%d", th.Batches, th.BatchSubmitted, 2*segs)
+		}
+		if th.PendingRequests() != 0 {
+			t.Errorf("%d requests still pending after WaitAll", th.PendingRequests())
+		}
+		return nil
+	})
+}
+
+// TestSubmitBatchAtomicPermRejection: one bad segment rejects the whole
+// batch before anything reaches a submission queue.
+func TestSubmitBatchAtomicPermRejection(t *testing.T) {
+	cfg := aeodriver.Config{Mode: aeodriver.ModeUserInterrupt, QueueDepth: 64}
+	m := machine.New(1, nvme.Config{BlockSize: 512, NumBlocks: 1 << 14})
+	t.Cleanup(m.Eng.Shutdown)
+	// Partition covers only the first half of the device.
+	p, err := m.Launch("batch", aeokern.Partition{Start: 0, Blocks: 1 << 13, Writable: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var berr error
+	m.Eng.Spawn("io", m.Eng.Core(0), func(env *sim.Env) {
+		th, e := p.Driver.CreateQP(env)
+		if e != nil {
+			berr = e
+			return
+		}
+		iov := []aeodriver.IOVec{
+			{LBA: 0, Cnt: 1, Buf: make([]byte, 512)},
+			{LBA: 1 << 13, Cnt: 1, Buf: make([]byte, 512)}, // outside the partition
+			{LBA: 2, Cnt: 1, Buf: make([]byte, 512)},
+		}
+		if _, err := p.Driver.SubmitBatch(env, nvme.OpWrite, iov, false); err == nil {
+			berr = fmt.Errorf("batch with out-of-partition segment accepted")
+			return
+		}
+		if th.Submitted != 0 || th.PendingRequests() != 0 {
+			berr = fmt.Errorf("rejected batch partially submitted: submitted=%d pending=%d",
+				th.Submitted, th.PendingRequests())
+		}
+	})
+	m.Run(0)
+	if berr != nil {
+		t.Fatal(berr)
+	}
+}
+
+// TestWatchdogQuietUnderCoalescing is the regression test for the spurious
+// recovery the watchdog used to perform when interrupt coalescing held a
+// completion back on purpose: the CQE was visible, no notification had
+// arrived yet (the aggregation window was still open), and the watchdog
+// concluded the interrupt was lost and reaped the queue itself — counting a
+// bogus NotifyRecovered and racing the real delivery. The fix makes the
+// watchdog stand down while any shard's NotifyPending() reports an armed
+// aggregation.
+func TestWatchdogQuietUnderCoalescing(t *testing.T) {
+	cfg := aeodriver.Config{
+		Mode:           aeodriver.ModeUserInterrupt,
+		QueueDepth:     64,
+		RecoverTimeout: 20 * time.Microsecond,
+		// A lone command can never hit the 64-event threshold, so its
+		// notification is held for the full 200µs aggregation time —
+		// an order of magnitude past the watchdog interval.
+		Coalesce: nvme.Coalescing{MaxEvents: 64, MaxDelay: 200 * time.Microsecond},
+	}
+	batchRig(t, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+		start := env.Now()
+		if err := drv.ReadBlk(env, 5, 1, make([]byte, 512)); err != nil {
+			return err
+		}
+		if waited := env.Now() - start; waited < 150*time.Microsecond {
+			t.Errorf("read completed after %v, want ≥ 150µs (coalescing must hold the interrupt)", waited)
+		}
+		if th.NotifyRecovered != 0 {
+			t.Errorf("NotifyRecovered = %d: watchdog fired on an intentionally-held completion", th.NotifyRecovered)
+		}
+		if th.HandlerRuns == 0 {
+			t.Error("user-interrupt handler never ran; completion was stolen from the delivery path")
+		}
+		if irqs := th.QueuePairs()[0].IRQRaised; irqs != 1 {
+			t.Errorf("IRQRaised = %d, want exactly 1 aggregated interrupt", irqs)
+		}
+		return nil
+	})
+}
+
+// TestWatchdogStillRecoversWithCoalescing: the watchdog fix must not disable
+// real recovery — once the aggregated interrupt is raised and lost (dropped
+// notification), no aggregation window is open and the watchdog must reap.
+func TestWatchdogStillRecoversWithCoalescing(t *testing.T) {
+	plan := faultinject.NewPlan(21).On(faultinject.SiteUintrDrop, faultinject.Always())
+	cfg := aeodriver.Config{
+		Mode:           aeodriver.ModeUserInterrupt,
+		QueueDepth:     64,
+		RecoverTimeout: 50 * time.Microsecond,
+		Coalesce:       nvme.Coalescing{MaxEvents: 4, MaxDelay: 30 * time.Microsecond},
+	}
+	batchRig(t, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+		if err := drv.SetNotifyHook(env, &faultinject.NotifyFaults{Plan: plan}); err != nil {
+			return err
+		}
+		data := bytes.Repeat([]byte{0x7E}, 512)
+		if err := drv.WriteBlk(env, 9, 1, data); err != nil {
+			return err
+		}
+		if th.NotifyRecovered == 0 {
+			t.Error("watchdog never recovered the dropped coalesced interrupt")
+		}
+		return nil
+	})
+}
+
+// TestExactlyOnceUnderFaultInjection is the acceptance-criteria test: under
+// dropped, delayed, and duplicated notifications, every submitted command
+// completes exactly once — in both the batched+coalesced mode and the
+// one-command-per-doorbell mode.
+func TestExactlyOnceUnderFaultInjection(t *testing.T) {
+	const (
+		ops  = 64
+		unit = 8
+	)
+	for _, batched := range []bool{false, true} {
+		name := "one-per-doorbell"
+		cfg := aeodriver.Config{
+			Mode:           aeodriver.ModeUserInterrupt,
+			QueueDepth:     64,
+			RecoverTimeout: 40 * time.Microsecond,
+		}
+		if batched {
+			name = "batched+coalesced"
+			cfg.Coalesce = nvme.Coalescing{MaxEvents: unit, MaxDelay: 25 * time.Microsecond}
+			cfg.QueuesPerThread = 2
+			cfg.ShardStride = 64
+		}
+		t.Run(name, func(t *testing.T) {
+			plan := faultinject.NewPlan(33).
+				On(faultinject.SiteUintrDrop, faultinject.WithProb(0.25, 0)).
+				On(faultinject.SiteUintrDelay, faultinject.WithProb(0.25, 0)).
+				On(faultinject.SiteUintrDup, faultinject.WithProb(0.25, 0))
+			batchRig(t, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+				if err := drv.SetNotifyHook(env, &faultinject.NotifyFaults{Plan: plan, Delay: 15 * time.Microsecond}); err != nil {
+					return err
+				}
+				// Write a distinct pattern everywhere, unit commands at
+				// a time in batched mode.
+				for base := 0; base < ops; base += unit {
+					if batched {
+						iov := make([]aeodriver.IOVec, unit)
+						for i := range iov {
+							lba := uint64(base + i)
+							iov[i] = aeodriver.IOVec{LBA: lba * 3, Cnt: 1, Buf: pattern(lba)}
+						}
+						if err := drv.WriteVBatch(env, iov); err != nil {
+							return err
+						}
+					} else {
+						for i := 0; i < unit; i++ {
+							lba := uint64(base + i)
+							if err := drv.WriteBlk(env, lba*3, 1, pattern(lba)); err != nil {
+								return err
+							}
+						}
+					}
+				}
+				// Read everything back the same way and verify.
+				for base := 0; base < ops; base += unit {
+					iov := make([]aeodriver.IOVec, unit)
+					for i := range iov {
+						iov[i] = aeodriver.IOVec{LBA: uint64(base+i) * 3, Cnt: 1, Buf: make([]byte, 512)}
+					}
+					if batched {
+						if err := drv.ReadVBatch(env, iov); err != nil {
+							return err
+						}
+					} else {
+						for _, v := range iov {
+							if err := drv.ReadBlk(env, v.LBA, v.Cnt, v.Buf); err != nil {
+								return err
+							}
+						}
+					}
+					for i, v := range iov {
+						if !bytes.Equal(v.Buf, pattern(uint64(base+i))) {
+							t.Errorf("lba %d diverged under notification faults", v.LBA)
+						}
+					}
+				}
+				// Exactly-once bookkeeping: nothing pending, nothing
+				// lost, nothing double-counted on any shard.
+				if th.PendingRequests() != 0 {
+					t.Errorf("%d requests still pending", th.PendingRequests())
+				}
+				for si, qp := range th.QueuePairs() {
+					if qp.Submitted != qp.Completed {
+						t.Errorf("shard %d: Submitted %d != Completed %d", si, qp.Submitted, qp.Completed)
+					}
+					if qp.HasCompletions() {
+						t.Errorf("shard %d: unconsumed CQEs left behind", si)
+					}
+				}
+				if th.Submitted != 2*ops {
+					t.Errorf("Submitted = %d, want %d", th.Submitted, 2*ops)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func pattern(lba uint64) []byte {
+	return bytes.Repeat([]byte{byte(0x11 + lba)}, 512)
+}
+
+// TestShardedConcurrentBatchedIO is the race-focused concurrency test
+// (run under `go test -race` in CI): four submitter tasks on four cores,
+// each with its own sharded queue-pair set and coalesced completion
+// interrupts, under delayed and duplicated notifications. Every task's
+// commands must complete exactly once with intact data.
+func TestShardedConcurrentBatchedIO(t *testing.T) {
+	const (
+		tasks  = 4
+		rounds = 16
+		unit   = 4
+		span   = 1024 // LBAs per task
+	)
+	cfg := aeodriver.Config{
+		Mode:            aeodriver.ModeUserInterrupt,
+		QueueDepth:      64,
+		QueuesPerThread: 4,
+		ShardStride:     32,
+		RecoverTimeout:  50 * time.Microsecond,
+		Coalesce:        nvme.Coalescing{MaxEvents: unit, MaxDelay: 25 * time.Microsecond},
+	}
+	m := machine.New(tasks, nvme.Config{BlockSize: 512, NumBlocks: tasks * span})
+	t.Cleanup(m.Eng.Shutdown)
+	p, err := m.Launch("shards", aeokern.Partition{Start: 0, Blocks: tasks * span, Writable: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failures atomic.Int32
+	errs := make([]error, tasks)
+	for ti := 0; ti < tasks; ti++ {
+		ti := ti
+		m.Eng.Spawn(fmt.Sprintf("submitter%d", ti), m.Eng.Core(ti), func(env *sim.Env) {
+			th, err := p.Driver.CreateQP(env)
+			if err != nil {
+				errs[ti] = err
+				return
+			}
+			plan := faultinject.NewPlan(100 + uint64(ti)).
+				On(faultinject.SiteUintrDelay, faultinject.WithProb(0.3, 0)).
+				On(faultinject.SiteUintrDup, faultinject.WithProb(0.3, 0))
+			if err := p.Driver.SetNotifyHook(env, &faultinject.NotifyFaults{Plan: plan, Delay: 10 * time.Microsecond}); err != nil {
+				errs[ti] = err
+				return
+			}
+			base := uint64(ti * span)
+			for r := 0; r < rounds; r++ {
+				iov := make([]aeodriver.IOVec, unit)
+				for i := range iov {
+					lba := base + uint64((r*unit+i)*7%span)
+					iov[i] = aeodriver.IOVec{LBA: lba, Cnt: 1, Buf: bytes.Repeat([]byte{byte(ti + 1)}, 512)}
+				}
+				if err := p.Driver.WriteVBatch(env, iov); err != nil {
+					errs[ti] = err
+					return
+				}
+				for i := range iov {
+					iov[i].Buf = make([]byte, 512)
+				}
+				if err := p.Driver.ReadVBatch(env, iov); err != nil {
+					errs[ti] = err
+					return
+				}
+				for _, v := range iov {
+					if !bytes.Equal(v.Buf, bytes.Repeat([]byte{byte(ti + 1)}, 512)) {
+						failures.Add(1)
+					}
+				}
+			}
+			if th.PendingRequests() != 0 {
+				errs[ti] = fmt.Errorf("task %d: %d requests pending at exit", ti, th.PendingRequests())
+				return
+			}
+			for si, qp := range th.QueuePairs() {
+				if qp.Submitted != qp.Completed {
+					errs[ti] = fmt.Errorf("task %d shard %d: submitted %d != completed %d",
+						ti, si, qp.Submitted, qp.Completed)
+					return
+				}
+			}
+		})
+	}
+	m.Run(0)
+	for ti, err := range errs {
+		if err != nil {
+			t.Errorf("task %d: %v", ti, err)
+		}
+	}
+	if n := failures.Load(); n != 0 {
+		t.Errorf("%d corrupted read-backs across submitters", n)
+	}
+	if live := m.Eng.LiveTasks(); live != 0 {
+		t.Errorf("%d tasks still live after run (lost completion hang?)", live)
+	}
+}

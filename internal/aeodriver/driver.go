@@ -97,6 +97,32 @@ type Config struct {
 	// 0 disables the watchdog (the default: Aeolia's delivery paths make
 	// it unnecessary unless notifications are faulted).
 	RecoverTimeout time.Duration
+
+	// QueuesPerThread shards each thread's I/O across this many queue
+	// pairs (by LBA, see ShardStride), so independent files issue on
+	// independent qpairs. 0 or 1 selects the classic single-queue layout.
+	QueuesPerThread int
+	// ShardStride is the LBA-run length mapped to one shard before the
+	// next run moves to the next queue pair. 0 selects the default (256
+	// blocks), keeping FS-sized contiguous runs on a single qpair.
+	ShardStride uint64
+	// Coalesce configures CQ interrupt aggregation on every queue pair
+	// the driver creates (zero value: no coalescing).
+	Coalesce nvme.Coalescing
+}
+
+func (c Config) queues() int {
+	if c.QueuesPerThread < 1 {
+		return 1
+	}
+	return c.QueuesPerThread
+}
+
+func (c Config) stride() uint64 {
+	if c.ShardStride == 0 {
+		return 256
+	}
+	return c.ShardStride
 }
 
 func (c Config) maxRetries() int {
@@ -127,6 +153,8 @@ type Request struct {
 	cqe    *sim.Completion // fired when the CQE becomes visible (polling)
 	status nvme.Status
 	cid    uint16
+	// shard is the index of the queue pair the request was issued on.
+	shard int
 	// attempts counts submissions of this request (1 + retries).
 	attempts int
 	// SubmittedAt/DoneAt delimit the request's device-visible lifetime.
@@ -143,18 +171,26 @@ func (r *Request) Err() error {
 	return &CommandError{Op: r.op, LBA: r.lba, Blocks: r.cnt, Status: r.status, Attempts: r.attempts}
 }
 
-// Thread is the per-thread driver state: a dedicated queue pair, a distinct
-// hardware vector (§6.1: per-thread vectors make out-of-schedule interrupts
-// miss UINV), and the thread's UPID.
+// pendKey identifies an in-flight request: queue pairs assign CIDs
+// independently, so a CID alone is ambiguous across shards.
+type pendKey struct {
+	shard int
+	cid   uint16
+}
+
+// Thread is the per-thread driver state: one or more dedicated queue pairs
+// (sharded by LBA), a distinct hardware vector (§6.1: per-thread vectors make
+// out-of-schedule interrupts miss UINV), and the thread's UPID. In
+// ModeUserInterrupt all shards post into the one UPID — shard i posts user
+// vector i — so a single notification delivery drains every pending shard.
 type Thread struct {
 	drv    *Driver
 	task   *sim.Task
-	qp     *nvme.QueuePair
+	qps    []*nvme.QueuePair
 	vector int
-	uv     uint8
 	upid   *uintr.UPID
 
-	pending map[uint16]*Request
+	pending map[pendKey]*Request
 
 	// Stats.
 	Submitted        uint64
@@ -163,10 +199,52 @@ type Thread struct {
 	YieldsFromIRQ    uint64
 	BlockedWaits     uint64
 	ActiveCheckWaits uint64
+	// Batches counts SubmitBatch calls; BatchSubmitted counts commands
+	// issued through them.
+	Batches        uint64
+	BatchSubmitted uint64
 	// Retries counts transient-error re-submissions; NotifyRecovered
 	// counts completions the watchdog reaped after a lost notification.
 	Retries         uint64
 	NotifyRecovered uint64
+}
+
+// QueuePairs exposes the thread's shard set (tests and diagnostics).
+func (th *Thread) QueuePairs() []*nvme.QueuePair { return th.qps }
+
+// PendingRequests reports the number of in-flight requests (tests).
+func (th *Thread) PendingRequests() int { return len(th.pending) }
+
+// shardFor maps an LBA to the queue pair it issues on: runs of stride
+// blocks round-robin across the shards, so contiguous FS extents stay on
+// one qpair while independent files land on independent qpairs.
+func (th *Thread) shardFor(lba uint64) int {
+	if len(th.qps) == 1 {
+		return 0
+	}
+	return int((lba / th.drv.cfg.stride()) % uint64(len(th.qps)))
+}
+
+// hasCompletions reports whether any shard has unconsumed CQEs.
+func (th *Thread) hasCompletions() bool {
+	for _, qp := range th.qps {
+		if qp.HasCompletions() {
+			return true
+		}
+	}
+	return false
+}
+
+// notifyHeld reports whether any shard is intentionally holding back its
+// completion notification under interrupt coalescing (aggregation window
+// still open). The watchdog must not treat such completions as lost.
+func (th *Thread) notifyHeld() bool {
+	for _, qp := range th.qps {
+		if qp.NotifyPending() {
+			return true
+		}
+	}
+	return false
 }
 
 // Driver is an AeoDriver instance: one per process.
@@ -219,7 +297,9 @@ func Open(kern *aeokern.Kernel, proc *aeokern.Process, gate *mpk.Gate, cfg Confi
 // Close releases all driver resources (Table 4 ②).
 func (d *Driver) Close() {
 	for t, th := range d.threads {
-		d.kern.FreeQueuePair(d.proc, th.qp)
+		for _, qp := range th.qps {
+			d.kern.FreeQueuePair(d.proc, qp)
+		}
 		d.kern.UnregisterThreadUintr(t)
 		delete(d.threads, t)
 	}
@@ -242,8 +322,9 @@ func (d *Driver) Mode() CompletionMode { return d.cfg.Mode }
 // Config returns the driver's configuration.
 func (d *Driver) Config() Config { return d.cfg }
 
-// CreateQP allocates the calling task's queue pair and wires its completion
-// path according to the driver's mode (Table 4 ③).
+// CreateQP allocates the calling task's queue pairs (one per configured
+// shard) and wires their completion paths according to the driver's mode
+// (Table 4 ③).
 func (d *Driver) CreateQP(env *sim.Env) (*Thread, error) {
 	if !d.open {
 		return nil, ErrClosed
@@ -252,45 +333,49 @@ func (d *Driver) CreateQP(env *sim.Env) (*Thread, error) {
 	if th, ok := d.threads[t]; ok {
 		return th, nil
 	}
-	qp, err := d.kern.AllocQueuePair(d.proc, d.cfg.QueueDepth)
+	qps, err := d.kern.AllocQueuePairs(d.proc, d.cfg.queues(), d.cfg.QueueDepth)
 	if err != nil {
 		return nil, err
+	}
+	for _, qp := range qps {
+		qp.SetCoalescing(d.cfg.Coalesce)
 	}
 	th := &Thread{
 		drv:     d,
 		task:    t,
-		qp:      qp,
-		pending: make(map[uint16]*Request),
+		qps:     qps,
+		pending: make(map[pendKey]*Request),
+	}
+	freeAll := func() {
+		for _, qp := range qps {
+			d.kern.FreeQueuePair(d.proc, qp)
+		}
 	}
 	switch d.cfg.Mode {
 	case ModeUserInterrupt:
+		// One notification vector and one UPID for the whole thread;
+		// shard i posts user vector i, so recognition of a single
+		// notification transfers every pending shard's bit at once.
 		vec, err := d.kern.AllocVector(th.kernelDeliver)
 		if err != nil {
-			d.kern.FreeQueuePair(d.proc, qp)
+			freeAll()
 			return nil, err
 		}
 		th.vector = vec
-		th.uv = uint8(vec % uintr.MaxVectors)
 		upid, _ := d.kern.MapUPID(t.Affinity(), vec, d.gate)
 		th.upid = upid
-		d.kern.ProgramMSIX(qp, upid, th.uv, t.Affinity(), vec)
+		for i, qp := range qps {
+			d.kern.ProgramMSIX(qp, upid, uint8(i%uintr.MaxVectors), t.Affinity(), vec)
+		}
 		d.kern.RegisterThreadUintr(t, vec, upid, th.userHandler)
 	case ModeKernelNative:
-		vec, err := d.kern.AllocVector(th.kernelNativeDeliver)
-		if err != nil {
-			d.kern.FreeQueuePair(d.proc, qp)
+		if err := th.wireKernelVectors(t, th.kernelNativeDeliver, freeAll); err != nil {
 			return nil, err
 		}
-		th.vector = vec
-		d.kern.ProgramMSIX(qp, nil, 0, t.Affinity(), vec)
 	case ModeKernelInterrupt:
-		vec, err := d.kern.AllocVector(th.kernelIntrDeliver)
-		if err != nil {
-			d.kern.FreeQueuePair(d.proc, qp)
+		if err := th.wireKernelVectors(t, th.kernelIntrDeliver, freeAll); err != nil {
 			return nil, err
 		}
-		th.vector = vec
-		d.kern.ProgramMSIX(qp, nil, 0, t.Affinity(), vec)
 	case ModePoll:
 		// No interrupt wiring; the thread discovers CQEs by polling.
 	}
@@ -298,14 +383,33 @@ func (d *Driver) CreateQP(env *sim.Env) (*Thread, error) {
 	return th, nil
 }
 
-// DeleteQP releases the calling task's queue pair (Table 4 ④).
+// wireKernelVectors allocates one kernel interrupt vector per shard and
+// programs each qpair's MSI-X entry onto it (kernel-path completion modes).
+func (th *Thread) wireKernelVectors(t *sim.Task, deliver aeokern.KernelDeliver, undo func()) error {
+	for i, qp := range th.qps {
+		vec, err := th.drv.kern.AllocVector(deliver)
+		if err != nil {
+			undo()
+			return err
+		}
+		if i == 0 {
+			th.vector = vec
+		}
+		th.drv.kern.ProgramMSIX(qp, nil, 0, t.Affinity(), vec)
+	}
+	return nil
+}
+
+// DeleteQP releases the calling task's queue pairs (Table 4 ④).
 func (d *Driver) DeleteQP(env *sim.Env) error {
 	t := env.Task()
 	th, ok := d.threads[t]
 	if !ok {
 		return ErrNoThread
 	}
-	d.kern.FreeQueuePair(d.proc, th.qp)
+	for _, qp := range th.qps {
+		d.kern.FreeQueuePair(d.proc, qp)
+	}
 	d.kern.UnregisterThreadUintr(t)
 	delete(d.threads, t)
 	return nil
@@ -474,6 +578,163 @@ func (d *Driver) Submit(env *sim.Env, op nvme.Opcode, lba uint64, cnt uint32, bu
 	return req, nil
 }
 
+// IOVec is one segment of a vectored batch request.
+type IOVec struct {
+	LBA uint64
+	Cnt uint32
+	Buf []byte
+}
+
+// SubmitBatch issues a whole vector of same-opcode commands through a single
+// trusted-gate entry, paying the per-command SQE-prep cost once per segment
+// but the gate toll and the doorbell MMIO cost only once per (shard, batch).
+// Segments are routed to their LBA shard and each shard's commands ring one
+// doorbell. Admission is all-or-nothing: if any segment fails its permission
+// check or any shard lacks SQ capacity for its share, nothing is enqueued.
+func (d *Driver) SubmitBatch(env *sim.Env, op nvme.Opcode, iov []IOVec, priv bool) ([]*Request, error) {
+	if !d.open {
+		return nil, ErrClosed
+	}
+	if len(iov) == 0 {
+		return nil, nil
+	}
+	if priv && !d.proc.Thread.InTrustedGate() {
+		return nil, ErrPrivileged
+	}
+	th, err := d.thread(env.Task())
+	if err != nil {
+		return nil, err
+	}
+	var reqs []*Request
+	d.gate.Call(env, d.proc.Thread, func() {
+		// Atomic permission precheck: reject the whole batch before
+		// anything reaches a submission queue.
+		if !priv {
+			for _, v := range iov {
+				if op != nvme.OpFlush && !d.perm.Allows(v.LBA, uint64(v.Cnt), op == nvme.OpWrite) {
+					err = fmt.Errorf("%w: %v [%d,+%d) (batch of %d rejected)", ErrPerm, op, v.LBA, v.Cnt, len(iov))
+					return
+				}
+			}
+		}
+		// Group segments by shard, preserving order within each shard.
+		byShard := make(map[int][]int, len(th.qps))
+		for i, v := range iov {
+			s := th.shardFor(v.LBA)
+			byShard[s] = append(byShard[s], i)
+		}
+		// Capacity precheck across every shard keeps admission atomic.
+		for s, idxs := range byShard {
+			if th.qps[s].Inflight()+len(idxs) > d.cfg.QueueDepth-1 {
+				err = fmt.Errorf("%w (shard %d: %d inflight + %d batch > depth %d)",
+					nvme.ErrSQFull, s, th.qps[s].Inflight(), len(idxs), d.cfg.QueueDepth)
+				return
+			}
+		}
+		env.Exec(time.Duration(len(iov))*timing.SQEPrep + time.Duration(len(byShard))*timing.DoorbellWrite)
+		now := env.Now()
+		reqs = make([]*Request, len(iov))
+		for s, idxs := range byShard {
+			entries := make([]nvme.SubmissionEntry, len(idxs))
+			for j, i := range idxs {
+				v := iov[i]
+				entries[j] = nvme.SubmissionEntry{Opcode: op, SLBA: v.LBA, NLB: v.Cnt, Data: v.Buf}
+			}
+			subs, serr := th.qps[s].SubmitBatch(entries)
+			if serr != nil {
+				err = serr
+				return
+			}
+			for j, i := range idxs {
+				v := iov[i]
+				req := &Request{
+					op:          op,
+					lba:         v.LBA,
+					cnt:         v.Cnt,
+					buf:         v.Buf,
+					done:        sim.NewCompletion(),
+					cqe:         subs[j].Done,
+					cid:         subs[j].CID,
+					shard:       s,
+					attempts:    1,
+					SubmittedAt: now,
+				}
+				th.pending[pendKey{s, req.cid}] = req
+				th.Submitted++
+				th.BatchSubmitted++
+				th.armWatchdog(req)
+				reqs[i] = req
+			}
+		}
+		th.Batches++
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reqs, nil
+}
+
+// WaitAll waits for every request in order and returns the first error.
+func (d *Driver) WaitAll(env *sim.Env, reqs []*Request) error {
+	var first error
+	for _, req := range reqs {
+		if err := d.Wait(env, req); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// syncVBatch submits iov in admission-sized chunks (SubmitBatch is
+// all-or-nothing, so a vector longer than the SQ can hold must be split)
+// and waits for each chunk before submitting the next.
+func (d *Driver) syncVBatch(env *sim.Env, op nvme.Opcode, iov []IOVec, priv bool) error {
+	max := d.cfg.QueueDepth / 2
+	if max < 1 {
+		max = 1
+	}
+	for len(iov) > 0 {
+		n := min(len(iov), max)
+		reqs, err := d.SubmitBatch(env, op, iov[:n], priv)
+		if err != nil {
+			return err
+		}
+		if err := d.WaitAll(env, reqs); err != nil {
+			return err
+		}
+		iov = iov[n:]
+	}
+	return nil
+}
+
+// ReadVBatch reads every segment of iov with one batched submission and
+// waits for all of them (vectored synchronous read).
+func (d *Driver) ReadVBatch(env *sim.Env, iov []IOVec) error {
+	return d.syncVBatch(env, nvme.OpRead, iov, false)
+}
+
+// WriteVBatch writes every segment of iov with one batched submission and
+// waits for all of them (vectored synchronous write).
+func (d *Driver) WriteVBatch(env *sim.Env, iov []IOVec) error {
+	return d.syncVBatch(env, nvme.OpWrite, iov, false)
+}
+
+// ReadVPriv and WriteVPriv are the privileged vectored variants (trusted
+// entities only), used by AeoFS for multi-extent fills and flushes.
+func (d *Driver) ReadVPriv(env *sim.Env, iov []IOVec) error {
+	if !d.proc.Thread.InTrustedGate() {
+		return ErrPrivileged
+	}
+	return d.syncVBatch(env, nvme.OpRead, iov, true)
+}
+
+func (d *Driver) WriteVPriv(env *sim.Env, iov []IOVec) error {
+	if !d.proc.Thread.InTrustedGate() {
+		return ErrPrivileged
+	}
+	return d.syncVBatch(env, nvme.OpWrite, iov, true)
+}
+
 func (th *Thread) submit(env *sim.Env, op nvme.Opcode, lba uint64, cnt uint32, buf []byte) (*Request, error) {
 	req := &Request{
 		op:          op,
@@ -481,17 +742,19 @@ func (th *Thread) submit(env *sim.Env, op nvme.Opcode, lba uint64, cnt uint32, b
 		cnt:         cnt,
 		buf:         buf,
 		done:        sim.NewCompletion(),
+		shard:       th.shardFor(lba),
 		SubmittedAt: env.Now(),
 	}
-	cqe, err := th.qp.Submit(nvme.SubmissionEntry{Opcode: op, SLBA: lba, NLB: cnt, Data: buf})
+	qp := th.qps[req.shard]
+	cqe, err := qp.Submit(nvme.SubmissionEntry{Opcode: op, SLBA: lba, NLB: cnt, Data: buf})
 	if err != nil {
 		return nil, err
 	}
 	req.cqe = cqe
 	// The CID assigned by the queue pair is the last one issued.
-	req.cid = th.lastCID()
+	req.cid = qp.LastCID()
 	req.attempts++
-	th.pending[req.cid] = req
+	th.pending[pendKey{req.shard, req.cid}] = req
 	th.Submitted++
 	th.armWatchdog(req)
 	return req, nil
@@ -504,14 +767,15 @@ func (th *Thread) submit(env *sim.Env, op nvme.Opcode, lba uint64, cnt uint32, b
 func (th *Thread) resubmit(env *sim.Env, req *Request) error {
 	req.done = sim.NewCompletion()
 	req.status = nvme.StatusSuccess
-	cqe, err := th.qp.Submit(nvme.SubmissionEntry{Opcode: req.op, SLBA: req.lba, NLB: req.cnt, Data: req.buf})
+	qp := th.qps[req.shard]
+	cqe, err := qp.Submit(nvme.SubmissionEntry{Opcode: req.op, SLBA: req.lba, NLB: req.cnt, Data: req.buf})
 	if err != nil {
 		return err
 	}
 	req.cqe = cqe
-	req.cid = th.lastCID()
+	req.cid = qp.LastCID()
 	req.attempts++
-	th.pending[req.cid] = req
+	th.pending[pendKey{req.shard, req.cid}] = req
 	th.Submitted++
 	th.Retries++
 	th.armWatchdog(req)
@@ -534,9 +798,13 @@ func (th *Thread) armWatchdog(req *Request) {
 		if done.Done() || req.done != done {
 			return
 		}
-		if th.qp.HasCompletions() {
-			// The CQE is sitting in the queue but nothing consumed
-			// it: the notification was lost. Reap it ourselves.
+		if th.hasCompletions() && !th.notifyHeld() {
+			// A CQE is sitting in a queue with no aggregation window
+			// open and nothing consumed it: the notification was
+			// lost. Reap it ourselves. (When notifyHeld, the CQE is
+			// intentionally parked behind interrupt coalescing — the
+			// armed aggregation timer will deliver it, so reaping
+			// here would be a false recovery.)
 			th.NotifyRecovered++
 			th.drainCQ(eng.Now())
 		}
@@ -546,9 +814,6 @@ func (th *Thread) armWatchdog(req *Request) {
 	}
 	eng.Schedule(d, check)
 }
-
-// lastCID recovers the CID the queue pair just assigned.
-func (th *Thread) lastCID() uint16 { return th.qp.LastCID() }
 
 // Wait blocks (per policy) until req completes, then charges the
 // completion-side software cost and returns the request's status. Transient
@@ -635,15 +900,16 @@ func (d *Driver) othersRunnable(env *sim.Env) bool {
 	return d.ext.Snapshot(c).NrRunning > 1
 }
 
-// drainCQ consumes all visible CQEs and fires their requests.
-func (th *Thread) drainCQ(now time.Duration) int {
+// drainShard consumes all visible CQEs on one queue pair and fires their
+// requests.
+func (th *Thread) drainShard(si int, now time.Duration) int {
 	n := 0
-	for _, ce := range th.qp.Poll(0) {
-		req := th.pending[ce.CID]
+	for _, ce := range th.qps[si].Poll(0) {
+		req := th.pending[pendKey{si, ce.CID}]
 		if req == nil {
 			continue
 		}
-		delete(th.pending, ce.CID)
+		delete(th.pending, pendKey{si, ce.CID})
 		req.status = ce.Status
 		req.DoneAt = now
 		req.done.FireAt(now)
@@ -652,13 +918,28 @@ func (th *Thread) drainCQ(now time.Duration) int {
 	return n
 }
 
+// drainCQ consumes all visible CQEs on every shard and fires their requests.
+func (th *Thread) drainCQ(now time.Duration) int {
+	n := 0
+	for si := range th.qps {
+		n += th.drainShard(si, now)
+	}
+	return n
+}
+
 // userHandler is the userspace user-interrupt handler (§4.2): it identifies
 // the interrupt source by checking the hardware completion queue, handles
 // completions, rewrites the UPID PIR (implicit: recognition cleared it),
-// and evaluates user_try_yield before returning (§6.1 decision point).
+// and evaluates user_try_yield before returning (§6.1 decision point). The
+// delivered user vector names the shard whose CQ raised it; out-of-range
+// vectors (or single-queue layouts) drain everything.
 func (th *Thread) userHandler(ctx *sim.IRQCtx, uv uint8) {
 	th.HandlerRuns++
-	th.drainCQ(ctx.Now())
+	if int(uv) < len(th.qps) {
+		th.drainShard(int(uv), ctx.Now())
+	} else {
+		th.drainCQ(ctx.Now())
+	}
 	// Figure 8: yield only when the policy demands it.
 	snap := th.drv.ext.Snapshot(ctx.Core())
 	if sched.UserTryYield(snap, ctx.Now()) {
@@ -675,9 +956,9 @@ func (th *Thread) userHandler(ctx *sim.IRQCtx, uv uint8) {
 func (th *Thread) kernelDeliver(ctx *sim.IRQCtx, vec int) {
 	th.OutOfSchedDeliv++
 	ctx.Charge(timing.KernelInterrupt)
-	// The kernel observes the posted bits and clears the PIR on the
-	// thread's behalf.
-	th.upid.PIR = 0
+	// The kernel observes the posted bits and consumes the PIR on the
+	// thread's behalf (clearing ON so future posts notify again).
+	th.upid.TakePIR()
 	th.deliverViaKernel(ctx)
 }
 
@@ -732,6 +1013,14 @@ func (d *Driver) DebugThread(t *sim.Task) string {
 	if !ok {
 		return "no-thread"
 	}
+	inflight := 0
+	for _, qp := range th.qps {
+		inflight += qp.Inflight()
+	}
+	var pir uint64
+	if th.upid != nil {
+		pir = th.upid.PIR
+	}
 	return fmt.Sprintf("submitted=%d handler=%d oos=%d pending=%d inflight=%d cqe=%v upidPIR=%#x",
-		th.Submitted, th.HandlerRuns, th.OutOfSchedDeliv, len(th.pending), th.qp.Inflight(), th.qp.HasCompletions(), th.upid.PIR)
+		th.Submitted, th.HandlerRuns, th.OutOfSchedDeliv, len(th.pending), inflight, th.hasCompletions(), pir)
 }

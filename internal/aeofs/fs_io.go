@@ -3,6 +3,7 @@ package aeofs
 import (
 	"fmt"
 
+	"aeolia/internal/aeodriver"
 	"aeolia/internal/sim"
 )
 
@@ -157,11 +158,19 @@ func (fs *FS) readAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, er
 }
 
 // readPagesFromDisk fills consecutive pages [firstPage, ...) from the
-// device, batching runs of contiguous LBAs into single commands.
+// device: contiguous-LBA runs become one command each, and every run of the
+// span is submitted as a single vectored batch (one doorbell per shard, one
+// trusted-gate entry) before the pages are populated.
 func (fs *FS) readPagesFromDisk(env *sim.Env, u *uInode, firstPage uint64, pages []*cachePage) error {
 	u.lock.RLock(env)
 	blocks := u.blocks
 	u.lock.RUnlock(env)
+	type run struct {
+		first int // index into pages
+		n     int
+	}
+	var iov []aeodriver.IOVec
+	var runs []run
 	i := 0
 	for i < len(pages) {
 		p := firstPage + uint64(i)
@@ -179,14 +188,25 @@ func (fs *FS) readPagesFromDisk(env *sim.Env, u *uInode, firstPage uint64, pages
 			}
 			j++
 		}
-		run := make([]byte, (j-i)*BlockSize)
-		if err := fs.drv.ReadBlk(env, blocks[p], uint32(j-i), run); err != nil {
-			return err
-		}
-		for k := i; k < j; k++ {
-			copy(pages[k].data, run[(k-i)*BlockSize:])
-		}
+		iov = append(iov, aeodriver.IOVec{
+			LBA: blocks[p],
+			Cnt: uint32(j - i),
+			Buf: make([]byte, (j-i)*BlockSize),
+		})
+		runs = append(runs, run{first: i, n: j - i})
 		i = j
+	}
+	if len(iov) == 0 {
+		return nil
+	}
+	if err := fs.drv.ReadVBatch(env, iov); err != nil {
+		return err
+	}
+	for r, v := range iov {
+		first := runs[r].first
+		for k := 0; k < runs[r].n; k++ {
+			copy(pages[first+k].data, v.Buf[k*BlockSize:])
+		}
 	}
 	return nil
 }
@@ -365,6 +385,11 @@ func (fs *FS) flushFile(env *sim.Env, u *uInode) error {
 	u.pc.rl.Lock(env, lo, hi, false)
 	defer u.pc.rl.Unlock(env, lo, hi, false)
 
+	// Gather dirty contiguous-LBA runs, then persist the whole flush as
+	// one vectored batch: a single gate entry and one doorbell per shard
+	// instead of one submission round-trip per run.
+	var iov []aeodriver.IOVec
+	var runCPs [][]*cachePage
 	i := 0
 	for i < len(dirty) {
 		p := dirty[i]
@@ -390,14 +415,21 @@ func (fs *FS) flushFile(env *sim.Env, u *uInode) error {
 			cps = append(cps, cp)
 			copy(run[(k-i)*BlockSize:], cp.data)
 		}
-		if err := fs.drv.WriteBlk(env, blocks[p], uint32(j-i), run); err != nil {
-			return fmt.Errorf("flush ino %d pages [%d,%d) granted=%v refs=%d: %w",
-				u.inoNum, dirty[i], dirty[j-1]+1, u.granted, u.openRefs, err)
-		}
+		iov = append(iov, aeodriver.IOVec{LBA: blocks[p], Cnt: uint32(j - i), Buf: run})
+		runCPs = append(runCPs, cps)
+		i = j
+	}
+	if len(iov) == 0 {
+		return nil
+	}
+	if err := fs.drv.WriteVBatch(env, iov); err != nil {
+		return fmt.Errorf("flush ino %d pages [%d,%d) granted=%v refs=%d: %w",
+			u.inoNum, lo, hi, u.granted, u.openRefs, err)
+	}
+	for _, cps := range runCPs {
 		for _, cp := range cps {
 			cp.dirty = false
 		}
-		i = j
 	}
 	return nil
 }

@@ -160,6 +160,28 @@ func (k *Kernel) AllocQueuePair(p *Process, depth int) (*nvme.QueuePair, error) 
 	return qp, nil
 }
 
+// AllocQueuePairs hands the process n queue pairs at once (per-core
+// multi-queue sharding: independent files issue on independent qpairs).
+// Allocation is all-or-nothing: on any failure every queue pair already
+// created is returned to the device and the error is reported.
+func (k *Kernel) AllocQueuePairs(p *Process, n, depth int) ([]*nvme.QueuePair, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("aeokern: invalid queue-pair count %d", n)
+	}
+	qps := make([]*nvme.QueuePair, 0, n)
+	for i := 0; i < n; i++ {
+		qp, err := k.AllocQueuePair(p, depth)
+		if err != nil {
+			for _, q := range qps {
+				k.FreeQueuePair(p, q)
+			}
+			return nil, err
+		}
+		qps = append(qps, qp)
+	}
+	return qps, nil
+}
+
 // FreeQueuePair returns a queue pair to the kernel.
 func (k *Kernel) FreeQueuePair(p *Process, qp *nvme.QueuePair) {
 	k.dev.DeleteQueuePair(qp)

@@ -140,3 +140,30 @@ func TestCheckMapProtDelegates(t *testing.T) {
 		t.Fatal("W^X mapping accepted")
 	}
 }
+
+// TestAllocQueuePairsRollback: multi-queue allocation is all-or-nothing —
+// when the process's qpair budget cannot cover the whole request, the queue
+// pairs already created are returned, leaving the budget untouched.
+func TestAllocQueuePairsRollback(t *testing.T) {
+	_, k := newKernel(t, 1)
+	k.QPPerProcess = 3
+	p, _ := k.NewProcess("p", aeokern.Partition{Start: 0, Blocks: 64})
+	if _, err := k.AllocQueuePairs(p, 4, 8); !errors.Is(err, aeokern.ErrQPLimit) {
+		t.Fatalf("over-budget AllocQueuePairs: %v, want ErrQPLimit", err)
+	}
+	// The failed bulk allocation must have rolled back: the full budget is
+	// still available.
+	qps, err := k.AllocQueuePairs(p, 3, 8)
+	if err != nil {
+		t.Fatalf("AllocQueuePairs after rollback: %v", err)
+	}
+	if len(qps) != 3 {
+		t.Fatalf("got %d queue pairs, want 3", len(qps))
+	}
+	if _, err := k.AllocQueuePair(p, 8); !errors.Is(err, aeokern.ErrQPLimit) {
+		t.Fatalf("budget not consumed by bulk alloc: %v", err)
+	}
+	if _, err := k.AllocQueuePairs(p, 0, 8); err == nil {
+		t.Fatal("AllocQueuePairs(0) succeeded, want error")
+	}
+}

@@ -48,6 +48,7 @@ func All() []*Experiment {
 		{"tab8", "LevelDB throughput (db_bench)", Tab8},
 		{"abl1", "Ablation: eager integrity checking cost", AblTrust},
 		{"abl2", "Ablation: per-thread vs single journal region", AblJournal},
+		{"qdsweep", "Batched submission + interrupt coalescing QD sweep", QDSweep},
 	}
 }
 

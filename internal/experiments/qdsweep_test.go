@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files from current output")
+
+// TestQDSweepGolden snapshots the QD-sweep experiment's rendered table. The
+// whole simulation is deterministic (virtual time, seeded device jitter), so
+// any drift in the cost model, the batching path, or the coalescing logic
+// changes these numbers and fails loudly here.
+//
+// If the change is intentional (e.g. a calibrated cost constant moved),
+// regenerate the snapshot with:
+//
+//	go test ./internal/experiments -run TestQDSweepGolden -update-golden
+//
+// and include the golden diff in the same commit so reviewers see the
+// performance-model shift explicitly.
+func TestQDSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QD sweep takes ~12 windows of simulated I/O; skipped in -short")
+	}
+	tables, err := QDSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		tb.Print(&sb)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "qdsweep.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("QD-sweep output drifted from golden snapshot.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestQDSweepBatchedSpeedupAtQD32 pins the acceptance criterion directly:
+// at queue depth 32 the batched+coalesced path must sustain at least 2x the
+// IOPS of the one-command-per-doorbell path.
+func TestQDSweepBatchedSpeedupAtQD32(t *testing.T) {
+	base, err := qdSweepRun(32, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := qdSweepRun(32, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast < 2*base {
+		t.Fatalf("batched+coalesced = %.1f KIOPS vs one/doorbell = %.1f KIOPS at QD32: speedup %.2fx < 2x",
+			fast, base, fast/base)
+	}
+	t.Logf("QD32: %.1f KIOPS batched vs %.1f KIOPS unbatched (%.2fx)", fast, base, fast/base)
+}

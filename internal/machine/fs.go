@@ -8,6 +8,7 @@ import (
 	"aeolia/internal/aeofs"
 	"aeolia/internal/aeokern"
 	"aeolia/internal/kernfs"
+	"aeolia/internal/nvme"
 	"aeolia/internal/sim"
 	"aeolia/internal/ufsserver"
 	"aeolia/internal/vfs"
@@ -40,6 +41,12 @@ type FSOptions struct {
 	// Journals/JournalBlocks size the AeoFS journal area.
 	Journals      uint64
 	JournalBlocks uint64
+	// QueuesPerThread shards each thread's I/O across this many queue
+	// pairs (0/1: single queue); see aeodriver.Config.
+	QueuesPerThread int
+	// Coalesce configures CQ interrupt aggregation on the driver's queue
+	// pairs (zero value: none).
+	Coalesce nvme.Coalescing
 }
 
 // FSInstance is a built file system ready for workloads.
@@ -86,7 +93,11 @@ func (m *Machine) BuildFS(kind FSKind, opt FSOptions) (*FSInstance, error) {
 	default:
 		return nil, fmt.Errorf("machine: unknown fs kind %q", kind)
 	}
-	p, err := m.Launch(string(kind), opt.Partition, aeodriver.Config{Mode: mode})
+	p, err := m.Launch(string(kind), opt.Partition, aeodriver.Config{
+		Mode:            mode,
+		QueuesPerThread: opt.QueuesPerThread,
+		Coalesce:        opt.Coalesce,
+	})
 	if err != nil {
 		return nil, err
 	}

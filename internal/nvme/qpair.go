@@ -3,9 +3,35 @@ package nvme
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"aeolia/internal/sim"
 )
+
+// Coalescing configures completion-interrupt aggregation on a queue pair,
+// modeled on the NVMe Interrupt Coalescing feature (Set Features 08h): an
+// aggregation threshold (MaxEvents) and an aggregation time (MaxDelay). The
+// device raises the CQ interrupt when MaxEvents completions have accumulated
+// without a notification, or MaxDelay after the first unnotified completion,
+// whichever comes first. The zero value disables coalescing: every CQE
+// raises its own interrupt.
+type Coalescing struct {
+	// MaxEvents is the aggregation threshold; values <= 1 disable
+	// coalescing.
+	MaxEvents int
+	// MaxDelay is the aggregation time. When coalescing is enabled and
+	// MaxDelay is zero, DefaultCoalesceDelay applies, so a stalled queue
+	// can never hold a posted CQE without an eventual interrupt.
+	MaxDelay time.Duration
+}
+
+// DefaultCoalesceDelay is the aggregation time used when Coalescing enables
+// the threshold but leaves MaxDelay zero (100µs, the granularity real NVMe
+// controllers use for the aggregation-time field).
+const DefaultCoalesceDelay = 100 * time.Microsecond
+
+// enabled reports whether the configuration actually aggregates.
+func (c Coalescing) enabled() bool { return c.MaxEvents > 1 }
 
 // QueuePair is one NVMe submission/completion queue pair mapped into a
 // driver's address space. The host fills SQ slots and rings the tail
@@ -40,10 +66,31 @@ type QueuePair struct {
 
 	nextCID uint16
 
+	// coalesce is the interrupt-coalescing configuration; unNotified
+	// counts CQEs posted since the last interrupt, coalesceEv is the
+	// armed aggregation timer and coalesceDeadline its expiry.
+	coalesce         Coalescing
+	unNotified       int
+	coalesceEv       *sim.Event
+	coalesceDeadline time.Duration
+
 	// Submitted counts commands accepted into the SQ.
 	Submitted uint64
 	// Completed counts CQEs posted.
 	Completed uint64
+	// SQDoorbells counts SQ tail doorbell writes; with batched submission
+	// it grows slower than Submitted.
+	SQDoorbells uint64
+	// MaxSQBurst is the largest number of commands one doorbell write
+	// handed to the device.
+	MaxSQBurst int
+	// IRQRaised counts CQ interrupts actually raised; IRQCoalesced counts
+	// completions that were aggregated into a later interrupt instead of
+	// raising their own; IRQSuppressed counts aggregations cancelled
+	// because the host drained the CQ by polling first.
+	IRQRaised     uint64
+	IRQCoalesced  uint64
+	IRQSuppressed uint64
 }
 
 func newQueuePair(d *Device, id, depth int) *QueuePair {
@@ -60,6 +107,31 @@ func newQueuePair(d *Device, id, depth int) *QueuePair {
 
 // Depth returns the queue depth.
 func (qp *QueuePair) Depth() int { return qp.depth }
+
+// SetCoalescing configures CQ interrupt coalescing. Reconfiguring an active
+// queue flushes any armed aggregation immediately so no completion is
+// stranded under the old thresholds.
+func (qp *QueuePair) SetCoalescing(c Coalescing) {
+	if c.enabled() && c.MaxDelay <= 0 {
+		c.MaxDelay = DefaultCoalesceDelay
+	}
+	if qp.unNotified > 0 {
+		qp.raiseCoalesced()
+	}
+	qp.coalesce = c
+}
+
+// CoalescingConfig returns the active coalescing configuration.
+func (qp *QueuePair) CoalescingConfig() Coalescing { return qp.coalesce }
+
+// NotifyPending reports whether completions are sitting in the CQ waiting
+// for the coalescing aggregation to raise their interrupt. Watchdogs use it
+// to distinguish an intentionally-held notification from a lost one.
+func (qp *QueuePair) NotifyPending() bool { return qp.unNotified > 0 }
+
+// CoalesceDeadline returns the armed aggregation timer's expiry (only
+// meaningful while NotifyPending).
+func (qp *QueuePair) CoalesceDeadline() time.Duration { return qp.coalesceDeadline }
 
 // Inflight returns the number of commands submitted whose CQE has not yet
 // been posted.
@@ -97,6 +169,48 @@ func (qp *QueuePair) Submit(e SubmissionEntry) (*sim.Completion, error) {
 	return comp, nil
 }
 
+// Submitted pairs a batch-accepted command's assigned CID with its
+// completion handle.
+type Submitted struct {
+	CID  uint16
+	Done *sim.Completion
+}
+
+// SubmitBatch places all entries into the submission queue and rings the
+// tail doorbell once — the batched-submission hot path: N commands, one
+// MMIO write, and the device drains the whole burst. The batch is
+// all-or-nothing: if the SQ lacks room for every entry, nothing is enqueued
+// and ErrSQFull is returned. Callers must not reuse any entry's Data until
+// its completion fires.
+func (qp *QueuePair) SubmitBatch(entries []SubmissionEntry) ([]Submitted, error) {
+	n := len(entries)
+	if n == 0 {
+		return nil, nil
+	}
+	if qp.Inflight()+n > qp.depth-1 {
+		return nil, fmt.Errorf("%w: queue %d (batch %d, free %d)",
+			ErrSQFull, qp.ID, n, qp.depth-1-qp.Inflight())
+	}
+	out := make([]Submitted, n)
+	tail := qp.sqTail
+	for i, e := range entries {
+		qp.nextCID++
+		e.CID = qp.nextCID
+		qp.sq[tail] = e
+		tail = (tail + 1) % qp.depth
+		comp := sim.NewCompletion()
+		qp.pending[e.CID] = comp
+		out[i] = Submitted{CID: e.CID, Done: comp}
+	}
+	if err := qp.WriteSQDoorbell(tail); err != nil {
+		for _, s := range out {
+			delete(qp.pending, s.CID)
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
 // WriteSQDoorbell writes the submission-queue tail doorbell: the device
 // consumes every SQ slot from the current head up to (excluding) tail. An
 // out-of-range value is rejected, like a controller flagging an invalid
@@ -104,6 +218,10 @@ func (qp *QueuePair) Submit(e SubmissionEntry) (*sim.Completion, error) {
 func (qp *QueuePair) WriteSQDoorbell(tail int) error {
 	if tail < 0 || tail >= qp.depth {
 		return fmt.Errorf("%w: SQ tail %d (depth %d)", ErrDoorbell, tail, qp.depth)
+	}
+	qp.SQDoorbells++
+	if burst := (tail - qp.sqHead + qp.depth) % qp.depth; burst > qp.MaxSQBurst {
+		qp.MaxSQBurst = burst
 	}
 	qp.sqTail = tail
 	for qp.sqHead != tail {
@@ -159,9 +277,50 @@ func (qp *QueuePair) postCompletion(cid uint16, st Status) {
 		comp.FireAt(qp.dev.eng.Now())
 	}
 
-	if qp.OnCompletion != nil {
-		qp.OnCompletion(qp)
+	qp.signalCompletion()
+}
+
+// signalCompletion decides whether the freshly posted CQE raises the CQ
+// interrupt now, joins an armed aggregation, or starts one.
+func (qp *QueuePair) signalCompletion() {
+	if qp.OnCompletion == nil {
+		return
 	}
+	if !qp.coalesce.enabled() {
+		qp.IRQRaised++
+		qp.OnCompletion(qp)
+		return
+	}
+	qp.unNotified++
+	if qp.unNotified >= qp.coalesce.MaxEvents {
+		qp.raiseCoalesced()
+		return
+	}
+	qp.IRQCoalesced++
+	if qp.coalesceEv == nil {
+		qp.coalesceDeadline = qp.dev.eng.Now() + qp.coalesce.MaxDelay
+		qp.coalesceEv = qp.dev.eng.Schedule(qp.coalesce.MaxDelay, func() {
+			qp.coalesceEv = nil
+			if qp.unNotified > 0 {
+				qp.raiseCoalesced()
+			}
+		})
+	}
+}
+
+// raiseCoalesced fires the aggregated CQ interrupt and resets the
+// aggregation state.
+func (qp *QueuePair) raiseCoalesced() {
+	if qp.coalesceEv != nil {
+		qp.coalesceEv.Cancel()
+		qp.coalesceEv = nil
+	}
+	qp.unNotified = 0
+	if qp.OnCompletion == nil {
+		return
+	}
+	qp.IRQRaised++
+	qp.OnCompletion(qp)
 }
 
 // Poll consumes up to max CQEs (0 = all available), firing their completion
@@ -175,8 +334,27 @@ func (qp *QueuePair) Poll(max int) []CompletionEntry {
 		qp.cqCount--
 		out = append(out, ce)
 	}
+	if qp.cqCount == 0 && qp.unNotified > 0 {
+		// The host consumed every aggregated CQE by polling; the armed
+		// interrupt would only find an empty queue, so suppress it.
+		qp.IRQSuppressed += uint64(qp.unNotified)
+		qp.unNotified = 0
+		if qp.coalesceEv != nil {
+			qp.coalesceEv.Cancel()
+			qp.coalesceEv = nil
+		}
+	}
 	return out
 }
+
+// Ring-state accessors for invariant checking (property tests): the SQ
+// head/tail and CQ head/tail indices and the device's current phase bit.
+func (qp *QueuePair) SQHead() int     { return qp.sqHead }
+func (qp *QueuePair) SQTail() int     { return qp.sqTail }
+func (qp *QueuePair) CQHead() int     { return qp.cqHead }
+func (qp *QueuePair) CQTail() int     { return qp.cqTail }
+func (qp *QueuePair) PhaseBit() bool  { return qp.phase }
+func (qp *QueuePair) CQOccupied() int { return qp.cqCount }
 
 // HasCompletions reports whether unconsumed CQEs are pending (the check a
 // shared-vector interrupt handler performs to identify the source, §4.2).

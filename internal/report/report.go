@@ -1,8 +1,10 @@
 // Package report renders benchmark results as aligned text tables (for
-// cmd/aeobench) and markdown (for EXPERIMENTS.md).
+// cmd/aeobench), markdown (for EXPERIMENTS.md), and JSON (for CI bench
+// artifacts).
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -112,6 +114,26 @@ func (t *Table) Markdown(w io.Writer) {
 		fmt.Fprintf(w, "\n*%s*\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// JSON writes a machine-readable rendering (one object per table). CI's
+// bench-smoke job archives this as the BENCH_* trajectory artifact, so the
+// field names are part of that contract.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	type jsonTable struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}
+	out := make([]jsonTable, len(tables))
+	for i, t := range tables {
+		out[i] = jsonTable{ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func pad(s string, n int) string {

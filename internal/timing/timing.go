@@ -111,6 +111,14 @@ const (
 	SubmitCost   = 400 * time.Nanosecond
 	CompleteCost = 250 * time.Nanosecond
 
+	// SQEPrep and DoorbellWrite split SubmitCost into the per-command
+	// half (PRP setup + SQE write) and the per-doorbell half (the MMIO
+	// write, serializing on the uncore). SQEPrep + DoorbellWrite ==
+	// SubmitCost, so a batch of N commands behind one doorbell costs
+	// N*SQEPrep + DoorbellWrite instead of N*SubmitCost.
+	SQEPrep       = 250 * time.Nanosecond
+	DoorbellWrite = 150 * time.Nanosecond
+
 	// HandlerExec is the execution cost of a userspace interrupt handler
 	// body when it runs as an inserted stack frame (§6.1) — the delivery
 	// half of UserInterrupt is avoided in that path.

@@ -1,0 +1,80 @@
+package uintr_test
+
+import (
+	"testing"
+
+	"aeolia/internal/sim"
+	"aeolia/internal/uintr"
+)
+
+// TestOutstandingNotificationCoalesces: while a notification is outstanding
+// (ON set, PIR not yet recognized), further posts accumulate in the PIR
+// without raising additional physical interrupts; recognition drains every
+// accumulated vector with the one delivery and re-arms notification.
+func TestOutstandingNotificationCoalesces(t *testing.T) {
+	e := sim.NewEngine(1, nil)
+	raised := 0
+	e.Core(0).SetIRQHandler(func(ctx *sim.IRQCtx, vec int) { raised++ })
+	u := &uintr.UPID{NV: 0xec, DestCPU: 0}
+
+	uintr.PostAndNotify(e, u, 0)
+	if raised != 1 || !u.ON {
+		t.Fatalf("first post: raised=%d ON=%v, want 1/true", raised, u.ON)
+	}
+	// Two more completions arrive before the core recognizes the first.
+	uintr.PostAndNotify(e, u, 1)
+	uintr.PostAndNotify(e, u, 2)
+	if raised != 1 {
+		t.Fatalf("raised = %d with ON set, want still 1 (coalesced)", raised)
+	}
+	if u.NotifySent != 1 || u.NotifySuppressed != 2 {
+		t.Fatalf("NotifySent/NotifySuppressed = %d/%d, want 1/2", u.NotifySent, u.NotifySuppressed)
+	}
+	if u.PIR != 0b111 {
+		t.Fatalf("PIR = %#x, want all three vectors posted", u.PIR)
+	}
+
+	// Recognition transfers the whole accumulated PIR and clears ON.
+	cs := uintr.NewCoreState()
+	cs.UINV = 0xec
+	cs.UPID = u
+	delivered := 0
+	cs.Handler = func(ctx *sim.IRQCtx, v uint8) { delivered++ }
+	if !cs.Recognize(0xec) {
+		t.Fatal("Recognize failed for matching UINV")
+	}
+	if u.PIR != 0 || u.ON {
+		t.Fatalf("after Recognize: PIR=%#x ON=%v, want 0/false", u.PIR, u.ON)
+	}
+	if n := cs.DeliverPending(nil); n != 3 || delivered != 3 {
+		t.Fatalf("DeliverPending = %d (handler ran %d), want 3 — one delivery drains all pending completions", n, delivered)
+	}
+
+	// ON was cleared, so the next completion notifies again.
+	uintr.PostAndNotify(e, u, 3)
+	if raised != 2 {
+		t.Fatalf("raised = %d after recognition re-armed, want 2", raised)
+	}
+}
+
+// TestDroppedNotificationDoesNotSetON: a fault-injected Drop must leave ON
+// clear — otherwise the lost notification would suppress every future one
+// and the recipient could never recover.
+func TestDroppedNotificationDoesNotSetON(t *testing.T) {
+	e := sim.NewEngine(1, nil)
+	raised := 0
+	e.Core(0).SetIRQHandler(func(ctx *sim.IRQCtx, vec int) { raised++ })
+	u := &uintr.UPID{NV: 0xec, DestCPU: 0}
+	u.Hook = &stubHook{v: uintr.NotifyVerdict{Drop: true}}
+
+	uintr.PostAndNotify(e, u, 0)
+	if u.ON {
+		t.Fatal("dropped notification set ON; recovery would be impossible")
+	}
+	// Remove the fault: the next post must notify normally.
+	u.Hook = nil
+	uintr.PostAndNotify(e, u, 1)
+	if raised != 1 || !u.ON {
+		t.Fatalf("post after drop: raised=%d ON=%v, want 1/true", raised, u.ON)
+	}
+}

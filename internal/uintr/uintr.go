@@ -52,6 +52,12 @@ type UPID struct {
 	PIR uint64
 	// SN (suppress notification) masks physical notification interrupts.
 	SN bool
+	// ON is the outstanding-notification bit: set while a notification
+	// interrupt has been sent but the PIR not yet recognized. Further
+	// posts accumulate in the PIR without raising additional physical
+	// interrupts — the hardware-level coalescing that lets one delivery
+	// drain every pending vector. Recognition (TakePIR) clears it.
+	ON bool
 	// NV is the notification vector delivered to DestCPU when a bit is
 	// posted (the "physical" interrupt the CPU recognizes in step 1).
 	NV int
@@ -65,6 +71,22 @@ type UPID struct {
 	NotifyDropped uint64
 	NotifyDelayed uint64
 	NotifyDuped   uint64
+
+	// NotifySent counts physical notification interrupts actually raised;
+	// NotifySuppressed counts posts coalesced behind an outstanding one.
+	NotifySent       uint64
+	NotifySuppressed uint64
+}
+
+// TakePIR atomically consumes the posted bitmap: it returns the current PIR
+// and clears both PIR and ON, re-arming notification generation. This is the
+// recognition step — everything posted while ON was set is drained here by
+// the single notification that set it.
+func (u *UPID) TakePIR() uint64 {
+	pir := u.PIR
+	u.PIR = 0
+	u.ON = false
+	return pir
 }
 
 // notify raises the UPID's notification vector on its destination core,
@@ -74,16 +96,28 @@ func notify(eng *sim.Engine, u *UPID, vector uint8) {
 	if u.SN {
 		return
 	}
+	if u.ON {
+		// A notification is already in flight and its recognition will
+		// drain this post too (TakePIR). Coalesce: no second interrupt.
+		u.NotifySuppressed++
+		return
+	}
 	raise := func() { eng.Core(u.DestCPU).RaiseIRQ(u.NV) }
 	if u.Hook == nil {
+		u.ON = true
+		u.NotifySent++
 		raise()
 		return
 	}
 	v := u.Hook.OnNotify(u, vector)
 	if v.Drop {
+		// ON deliberately stays clear: a dropped notification must not
+		// suppress future ones, or recovery would be impossible.
 		u.NotifyDropped++
 		return
 	}
+	u.ON = true
+	u.NotifySent++
 	deliver := func() {
 		if v.Delay > 0 {
 			u.NotifyDelayed++
@@ -167,8 +201,7 @@ func (cs *CoreState) Recognize(vector int) bool {
 	if cs.UINV < 0 || vector != cs.UINV || cs.UPID == nil {
 		return false
 	}
-	cs.UIRR |= cs.UPID.PIR
-	cs.UPID.PIR = 0
+	cs.UIRR |= cs.UPID.TakePIR()
 	return true
 }
 
