@@ -8,6 +8,7 @@
 //	aeobench all              # run everything (several minutes)
 //	aeobench -md all          # emit markdown (for EXPERIMENTS.md)
 //	aeobench -json qdsweep    # emit JSON (for CI bench artifacts)
+//	aeobench -trace t.json    # export a Chrome trace of one QD32 window
 package main
 
 import (
@@ -18,19 +19,30 @@ import (
 
 	"aeolia/internal/experiments"
 	"aeolia/internal/report"
+	"aeolia/internal/trace"
 )
 
 func main() {
 	md := flag.Bool("md", false, "emit markdown tables")
 	jsonOut := flag.Bool("json", false, "emit JSON tables")
+	traceOut := flag.String("trace", "", "run one traced QD32 qdsweep window and write Chrome trace_event JSON to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] list | all | <experiment-id>...\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] list | all | <experiment-id>...\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
 		}
 	}
 	flag.Parse()
 	args := flag.Args()
+	if *traceOut != "" {
+		if err := runTraced(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -82,4 +94,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runTraced runs one batched QD32 qdsweep window with tracing on, writes
+// the Chrome trace_event JSON to path, and prints the per-stage latency
+// table the analyzer reconstructed from the same event stream.
+func runTraced(path string) error {
+	tr, kiops, err := experiments.QDSweepTrace(32)
+	if err != nil {
+		return err
+	}
+	evs := tr.Events()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteChrome(f, evs); err != nil {
+		return err
+	}
+	an := trace.Analyze(evs)
+	an.LatencyTable().Print(os.Stdout)
+	for _, v := range an.Violations {
+		fmt.Fprintf(os.Stderr, "aeobench: trace invariant violation: %v\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "[trace: %d events (%d dropped), %.0f KIOPS, %d chains -> %s]\n",
+		len(evs), tr.Dropped(), kiops, len(an.Chains), path)
+	if len(an.Violations) > 0 {
+		return fmt.Errorf("%d trace invariant violation(s)", len(an.Violations))
+	}
+	return nil
 }

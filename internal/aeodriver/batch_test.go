@@ -158,7 +158,7 @@ func TestWatchdogQuietUnderCoalescing(t *testing.T) {
 		if th.HandlerRuns == 0 {
 			t.Error("user-interrupt handler never ran; completion was stolen from the delivery path")
 		}
-		if irqs := th.QueuePairs()[0].IRQRaised; irqs != 1 {
+		if irqs := th.QueuePairs()[0].IRQRaised.Load(); irqs != 1 {
 			t.Errorf("IRQRaised = %d, want exactly 1 aggregated interrupt", irqs)
 		}
 		return nil

@@ -18,6 +18,7 @@ import (
 	"aeolia/internal/sched"
 	"aeolia/internal/sim"
 	"aeolia/internal/timing"
+	"aeolia/internal/trace"
 	"aeolia/internal/uintr"
 )
 
@@ -927,6 +928,16 @@ func (th *Thread) drainCQ(now time.Duration) int {
 	return n
 }
 
+// emitHandler emits a HandlerEnter/HandlerExit bracket on the thread's
+// engine; a no-op when tracing is off. The analyzer uses these brackets to
+// distinguish delivery-path CQ consumption from recovery reaps.
+func (th *Thread) emitHandler(typ trace.Type, core int, aux uint64) {
+	eng := th.drv.kern.Engine()
+	if tr := eng.Tracer; tr != nil {
+		tr.Emit(eng.Now(), typ, core, -1, trace.NoCID, 0, aux)
+	}
+}
+
 // userHandler is the userspace user-interrupt handler (§4.2): it identifies
 // the interrupt source by checking the hardware completion queue, handles
 // completions, rewrites the UPID PIR (implicit: recognition cleared it),
@@ -935,6 +946,8 @@ func (th *Thread) drainCQ(now time.Duration) int {
 // vectors (or single-queue layouts) drain everything.
 func (th *Thread) userHandler(ctx *sim.IRQCtx, uv uint8) {
 	th.HandlerRuns++
+	th.emitHandler(trace.HandlerEnter, ctx.Core().ID, uint64(uv))
+	defer th.emitHandler(trace.HandlerExit, ctx.Core().ID, uint64(uv))
 	if int(uv) < len(th.qps) {
 		th.drainShard(int(uv), ctx.Now())
 	} else {
@@ -969,12 +982,20 @@ func (th *Thread) deliverViaKernel(ctx *sim.IRQCtx) {
 	t := th.task
 	if t.State() == sim.TaskRunning {
 		th.HandlerRuns++
+		th.emitHandler(trace.HandlerEnter, ctx.Core().ID, trace.KernelPathAux)
 		th.drainCQ(ctx.Now())
+		th.emitHandler(trace.HandlerExit, ctx.Core().ID, trace.KernelPathAux)
 		return
 	}
 	t.PushResumeHook(func() time.Duration {
 		th.HandlerRuns++
+		core := -1
+		if c := th.task.Core(); c != nil {
+			core = c.ID
+		}
+		th.emitHandler(trace.HandlerEnter, core, trace.KernelPathAux)
 		th.drainCQ(th.drv.kern.Engine().Now())
+		th.emitHandler(trace.HandlerExit, core, trace.KernelPathAux)
 		return timing.HandlerExec
 	})
 	switch t.State() {

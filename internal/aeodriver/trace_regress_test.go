@@ -1,0 +1,146 @@
+// In-package regression test: the PR 2 watchdog false-recovery bug — the
+// watchdog reaping CQEs that interrupt coalescing was intentionally holding
+// — must be caught by the trace analyzer as a consume-while-held violation,
+// even though the request itself completes successfully. The test replays
+// the buggy behavior by calling the unexported reap path (drainCQ) directly
+// while an aggregation is armed, which is exactly what the old watchdog did
+// before the notifyHeld() guard.
+package aeodriver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aeolia/internal/aeokern"
+	"aeolia/internal/mpk"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sched"
+	"aeolia/internal/sim"
+	"aeolia/internal/trace"
+)
+
+// rawRig wires engine/device/kernel/driver without the machine package
+// (which imports aeodriver and would cycle with an in-package test).
+func rawRig(t *testing.T, tr *trace.Tracer, cfg Config) (*sim.Engine, *Driver) {
+	t.Helper()
+	s := sched.NewEEVDF()
+	eng := sim.NewEngine(1, s)
+	t.Cleanup(eng.Shutdown)
+	eng.Tracer = tr
+	dev := nvme.NewDevice(eng, nvme.Config{BlockSize: 512, NumBlocks: 4096})
+	kern := aeokern.New(eng, s, dev)
+	img := []byte("trusted image")
+	kern.Registry.Register("te", mpk.Sign(img))
+	proc, err := kern.NewProcess("app", aeokern.Partition{Start: 0, Blocks: 4096, Writable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	launcher := mpk.NewLauncher(kern.Sys, kern.Registry)
+	thread, gate, err := launcher.Launch([]byte(fmt.Sprintf("untrusted application %q", "app")),
+		[]mpk.TrustedImage{{Name: "te", Image: img}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Thread = thread
+	drv, err := Open(kern, proc, gate, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, drv
+}
+
+func TestWatchdogFalseRecoveryCaughtByTrace(t *testing.T) {
+	tr := trace.New(1, 1<<12)
+	// Coalescing holds the first CQE (threshold 4, generous timer); the
+	// fixed watchdog is disabled so we can replay the old bug by hand.
+	cfg := Config{
+		Mode:     ModeUserInterrupt,
+		Coalesce: nvme.Coalescing{MaxEvents: 4, MaxDelay: 200 * time.Microsecond},
+	}
+	eng, drv := rawRig(t, tr, cfg)
+	var rerr error
+	eng.Spawn("io", eng.Core(0), func(env *sim.Env) {
+		th, err := drv.CreateQP(env)
+		if err != nil {
+			rerr = err
+			return
+		}
+		req, err := drv.Submit(env, nvme.OpRead, 7, 1, make([]byte, 512), false)
+		if err != nil {
+			rerr = err
+			return
+		}
+		// Give the device time to post the CQE; it joins the armed
+		// aggregation (no interrupt yet).
+		env.Sleep(50 * time.Microsecond)
+		if req.done.Done() {
+			rerr = fmt.Errorf("request completed early; coalescing did not hold the CQE")
+			return
+		}
+		// THE BUG, replayed: reap the CQ directly, outside any handler,
+		// while the aggregation still intends to raise the interrupt.
+		// (The pre-fix watchdog did exactly this on its timeout.)
+		th.drainCQ(env.Now())
+		if !req.done.Done() {
+			rerr = fmt.Errorf("false recovery did not complete the request")
+			return
+		}
+		// Let the aggregation timer fire into an already-empty queue.
+		env.Sleep(300 * time.Microsecond)
+	})
+	eng.Run(0)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+
+	a := trace.Analyze(tr.Events())
+	found := false
+	for _, v := range a.Violations {
+		if v.Rule == "consume-while-held" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("the false-recovery reap must surface as consume-while-held; violations: %v", a.Violations)
+	}
+}
+
+// TestFixedWatchdogLeavesCleanTrace is the positive control: the same
+// coalesced workload through the production wait path (aggregation timer →
+// interrupt → handler drain) — and with the fixed watchdog armed — yields a
+// complete, violation-free trace.
+func TestFixedWatchdogLeavesCleanTrace(t *testing.T) {
+	tr := trace.New(1, 1<<12)
+	cfg := Config{
+		Mode:           ModeUserInterrupt,
+		Coalesce:       nvme.Coalescing{MaxEvents: 4, MaxDelay: 50 * time.Microsecond},
+		RecoverTimeout: 30 * time.Microsecond, // fires before the timer; must NOT reap
+	}
+	eng, drv := rawRig(t, tr, cfg)
+	var rerr error
+	eng.Spawn("io", eng.Core(0), func(env *sim.Env) {
+		if _, err := drv.CreateQP(env); err != nil {
+			rerr = err
+			return
+		}
+		rerr = drv.ReadBlk(env, 7, 1, make([]byte, 512))
+	})
+	eng.Run(0)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+
+	a := trace.Analyze(tr.Events())
+	if len(a.Violations) != 0 {
+		t.Fatalf("fixed watchdog produced violations: %v", a.Violations)
+	}
+	if len(a.Chains) != 1 {
+		t.Fatalf("got %d chains, want 1", len(a.Chains))
+	}
+	for _, c := range a.Chains {
+		if !c.Delivered() {
+			t.Errorf("chain must complete through the handler path: %+v", c)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"aeolia/internal/aeodriver"
 	"aeolia/internal/sim"
+	"aeolia/internal/trace"
 )
 
 // Data path of the untrusted layer: page-cached reads and writes under the
@@ -425,6 +426,9 @@ func (fs *FS) flushFile(env *sim.Env, u *uInode) error {
 	if err := fs.drv.WriteVBatch(env, iov); err != nil {
 		return fmt.Errorf("flush ino %d pages [%d,%d) granted=%v refs=%d: %w",
 			u.inoNum, lo, hi, u.granted, u.openRefs, err)
+	}
+	if eng := fs.drv.Kernel().Engine(); eng.Tracer != nil {
+		eng.Tracer.Emit(eng.Now(), trace.PagecacheFlush, -1, -1, trace.NoCID, iov[0].LBA, uint64(len(dirty)))
 	}
 	for _, cps := range runCPs {
 		for _, cp := range cps {

@@ -8,6 +8,7 @@ import (
 
 	"aeolia/internal/aeodriver"
 	"aeolia/internal/sim"
+	"aeolia/internal/trace"
 )
 
 // Journaling (§7.4): standard block-level physical redo journaling of core
@@ -200,6 +201,9 @@ func (r *journalRegion) writeBatches(env *sim.Env, drv *aeodriver.Driver, pendin
 		bufs = append(bufs, commit)
 		if err := flushRun(next, bufs); err != nil {
 			return err
+		}
+		if eng := drv.Kernel().Engine(); eng.Tracer != nil {
+			eng.Tracer.Emit(eng.Now(), trace.JournalWrite, -1, r.id, trace.NoCID, next, uint64(len(blks)))
 		}
 		next += need
 		r.diskNext = next

@@ -5,6 +5,7 @@ import (
 
 	"aeolia/internal/aeodriver"
 	"aeolia/internal/sim"
+	"aeolia/internal/trace"
 )
 
 // Sync (Table 5 ⑤) commits every thread's in-memory journal and checkpoints
@@ -75,6 +76,11 @@ func (t *TrustLayer) syncLocked(env *sim.Env, drv *aeodriver.Driver) error {
 	}
 	if err := drv.Flush(env); err != nil {
 		return err
+	}
+	// The flush above is the commit point: every batch written in phase 1
+	// is now durable.
+	if eng := drv.Kernel().Engine(); eng.Tracer != nil {
+		eng.Tracer.Emit(eng.Now(), trace.JournalCommit, -1, -1, trace.NoCID, 0, uint64(len(all)))
 	}
 	if err := t.crash(CrashSyncAfterCommit); err != nil {
 		// Crash after the commit records are durable but before any

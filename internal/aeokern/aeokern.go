@@ -10,12 +10,14 @@ package aeokern
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"aeolia/internal/mpk"
 	"aeolia/internal/nvme"
 	"aeolia/internal/sched"
 	"aeolia/internal/sim"
 	"aeolia/internal/timing"
+	"aeolia/internal/trace"
 	"aeolia/internal/uintr"
 )
 
@@ -285,6 +287,10 @@ func (k *Kernel) clearUintr(c *sim.Core) {
 func (k *Kernel) isr(ctx *sim.IRQCtx, vec int) {
 	cs := k.ui[ctx.Core().ID]
 	if cs.Recognize(vec) {
+		if tr := k.eng.Tracer; tr != nil {
+			tr.Emit(k.eng.Now(), trace.UINTRDeliver, ctx.Core().ID, -1, trace.NoCID, 0,
+				uint64(bits.OnesCount64(cs.UIRR)))
+		}
 		ctx.Charge(timing.UserInterrupt)
 		if cs.DeliverPending(ctx) == 0 {
 			cs.Spurious++

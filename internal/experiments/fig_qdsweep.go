@@ -10,6 +10,7 @@ import (
 	"aeolia/internal/nvme"
 	"aeolia/internal/report"
 	"aeolia/internal/sim"
+	"aeolia/internal/trace"
 )
 
 // QD-sweep parameters. 512B commands keep the device's per-command service
@@ -38,6 +39,13 @@ func qdSweepUnit(qd int) int { return min(max(qd/2, 1), qdSweepMaxUnit) }
 // to the unit; otherwise one command per doorbell with per-CQE interrupts.
 // Returns KIOPS.
 func qdSweepRun(qd int, batched bool) (float64, error) {
+	return qdSweepRunTraced(qd, batched, nil)
+}
+
+// qdSweepRunTraced is qdSweepRun with an optional tracer installed on the
+// machine's engine. Tracing consumes no virtual time, so the measured KIOPS
+// are identical with tr nil or not.
+func qdSweepRunTraced(qd int, batched bool, tr *trace.Tracer) (float64, error) {
 	cfg := aeodriver.Config{
 		Mode: aeodriver.ModeUserInterrupt,
 		// Room for the full window plus the next batch, so admission
@@ -51,6 +59,7 @@ func qdSweepRun(qd int, batched bool) (float64, error) {
 	}
 	m := machine.New(1, nvme.Config{BlockSize: qdSweepBlockSize, NumBlocks: qdSweepBlocks})
 	defer m.Eng.Shutdown()
+	m.Eng.Tracer = tr
 	p, err := m.Launch("qdsweep", aeokern.Partition{Start: 0, Blocks: qdSweepBlocks, Writable: true}, cfg)
 	if err != nil {
 		return 0, err
@@ -140,6 +149,18 @@ func qdSweepRun(qd int, batched bool) (float64, error) {
 		return 0, rerr
 	}
 	return kiops, nil
+}
+
+// QDSweepTrace runs one batched qdsweep window at the given queue depth
+// with tracing enabled and returns the tracer (for Chrome export and
+// invariant checking) along with the measured KIOPS.
+func QDSweepTrace(qd int) (*trace.Tracer, float64, error) {
+	tr := trace.New(1, 1<<17)
+	kiops, err := qdSweepRunTraced(qd, true, tr)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tr, kiops, nil
 }
 
 // QDSweep regenerates the batching/coalescing scaling study: 512B random

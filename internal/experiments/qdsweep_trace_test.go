@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"aeolia/internal/trace"
+)
+
+// TestQDSweepTraceCausalChains is the PR acceptance check: a traced QD32
+// batched qdsweep run must yield a complete, handler-delivered causal chain
+// for every CID the workload issued, with zero invariant violations and no
+// ring overflow. This exercises batched doorbells, interrupt coalescing,
+// and the UINTR delivery path at full depth.
+func TestQDSweepTraceCausalChains(t *testing.T) {
+	tr, kiops, err := QDSweepTrace(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kiops <= 0 {
+		t.Fatalf("traced run reported %.1f KIOPS", kiops)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("trace ring overflowed: %d events dropped", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+
+	a := trace.Analyze(evs)
+	if len(a.Violations) != 0 {
+		max := len(a.Violations)
+		if max > 10 {
+			max = 10
+		}
+		t.Fatalf("%d causal violations in QD32 run; first %d: %v",
+			len(a.Violations), max, a.Violations[:max])
+	}
+	if len(a.Chains) == 0 {
+		t.Fatal("no causal chains reconstructed")
+	}
+	for _, c := range a.Chains {
+		if !c.Complete() {
+			t.Fatalf("incomplete chain qid=%d cid=%d: %+v", c.QID, c.CID, c)
+		}
+		if !c.Delivered() {
+			t.Fatalf("chain qid=%d cid=%d consumed outside the handler path", c.QID, c.CID)
+		}
+	}
+
+	// The per-stage histograms must account for every chain end to end.
+	hs := a.StageHistograms()
+	if got := hs[trace.StageEndToEnd].Count(); got != uint64(len(a.Chains)) {
+		t.Errorf("end-to-end histogram count = %d, want %d chains", got, len(a.Chains))
+	}
+	if hs[trace.StageDevice].Percentile(50) <= 0 {
+		t.Error("device stage P50 must be positive")
+	}
+}

@@ -155,7 +155,7 @@ func TestDroppedNotificationRecovered(t *testing.T) {
 		if th.NotifyRecovered == 0 {
 			t.Error("watchdog never reaped a completion (NotifyRecovered = 0)")
 		}
-		if th.UPID().NotifyDropped == 0 {
+		if th.UPID().NotifyDropped.Load() == 0 {
 			t.Error("UPID did not record the dropped notification")
 		}
 		rd := make([]byte, injBlockSize)

@@ -1,0 +1,161 @@
+// Trace-driven invariant tests over the notification fault matrix: run
+// mixed read/write workloads under dropped, delayed, and duplicated UINTR
+// notifications (with coalescing and the recovery watchdog armed) and
+// assert the trace analyzer's causal invariants hold and every command
+// chain runs to consumption. This is the matrix-shaped complement to the
+// targeted regression test in internal/aeodriver.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/aeokern"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sim"
+	"aeolia/internal/trace"
+)
+
+// traceRig is injRig with a tracer installed on the engine before any I/O.
+func traceRig(t *testing.T, tr *trace.Tracer, cfg aeodriver.Config,
+	body func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error) {
+	t.Helper()
+	m := machine.New(1, nvme.Config{BlockSize: injBlockSize, NumBlocks: injBlocks})
+	t.Cleanup(m.Eng.Shutdown)
+	m.Eng.Tracer = tr
+	p, err := m.Launch("trc", aeokern.Partition{Start: 0, Blocks: injBlocks, Writable: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var berr error
+	m.Eng.Spawn("io", m.Eng.Core(0), func(env *sim.Env) {
+		th, e := p.Driver.CreateQP(env)
+		if e != nil {
+			berr = e
+			return
+		}
+		berr = body(env, m, p.Driver, th)
+	})
+	m.Run(0)
+	if berr != nil {
+		t.Fatal(berr)
+	}
+}
+
+// mixedWorkload issues interleaved writes and read-backs and verifies data.
+func mixedWorkload(env *sim.Env, drv *aeodriver.Driver, ops int) error {
+	for i := 0; i < ops; i++ {
+		lba := uint64(100 + i)
+		data := bytes.Repeat([]byte{byte(i + 1)}, injBlockSize)
+		if err := drv.WriteBlk(env, lba, 1, data); err != nil {
+			return fmt.Errorf("write %d: %w", i, err)
+		}
+		rd := make([]byte, injBlockSize)
+		if err := drv.ReadBlk(env, lba, 1, rd); err != nil {
+			return fmt.Errorf("read %d: %w", i, err)
+		}
+		if !bytes.Equal(rd, data) {
+			return fmt.Errorf("block %d diverged", lba)
+		}
+	}
+	return nil
+}
+
+// TestTraceInvariantsUnderNotifyFaults sweeps fault profiles × seeds. Every
+// cell must leave a violation-free trace in which every command chain is
+// complete (prep → doorbell → device → post → consume); chains recovered by
+// the watchdog after a dropped notification are complete but not
+// handler-delivered, which is exactly the legal shape the analyzer allows.
+func TestTraceInvariantsUnderNotifyFaults(t *testing.T) {
+	profiles := []struct {
+		name string
+		plan func(seed uint64) *Plan
+	}{
+		{"drop", func(s uint64) *Plan { return NewPlan(s).On(SiteUintrDrop, Always()) }},
+		{"delay", func(s uint64) *Plan { return NewPlan(s).On(SiteUintrDelay, Always()) }},
+		{"dup", func(s uint64) *Plan { return NewPlan(s).On(SiteUintrDup, Always()) }},
+		{"mixed", func(s uint64) *Plan {
+			return NewPlan(s).
+				On(SiteUintrDrop, WithProb(0.3, 0)).
+				On(SiteUintrDelay, WithProb(0.3, 0)).
+				On(SiteUintrDup, WithProb(0.3, 0))
+		}},
+	}
+	for _, prof := range profiles {
+		for _, seed := range []uint64{1, 2, 42} {
+			t.Run(fmt.Sprintf("%s/seed%d", prof.name, seed), func(t *testing.T) {
+				tr := trace.New(1, 1<<14)
+				cfg := aeodriver.Config{
+					Mode:           aeodriver.ModeUserInterrupt,
+					Coalesce:       nvme.Coalescing{MaxEvents: 4, MaxDelay: 20 * time.Microsecond},
+					RecoverTimeout: 50 * time.Microsecond,
+				}
+				const ops = 8
+				traceRig(t, tr, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+					if err := drv.SetNotifyHook(env, &NotifyFaults{Plan: prof.plan(seed), Delay: 20 * time.Microsecond}); err != nil {
+						return err
+					}
+					return mixedWorkload(env, drv, ops)
+				})
+
+				if tr.Dropped() != 0 {
+					t.Fatalf("trace ring overflowed (%d dropped); grow the ring", tr.Dropped())
+				}
+				a := trace.Analyze(tr.Events())
+				if len(a.Violations) != 0 {
+					t.Fatalf("causal violations under %s faults: %v", prof.name, a.Violations)
+				}
+				if got := len(a.Chains); got != 2*ops {
+					t.Fatalf("got %d chains, want %d (one per command)", got, 2*ops)
+				}
+				for _, c := range a.Chains {
+					if !c.Complete() {
+						t.Errorf("chain qid=%d cid=%d incomplete under %s faults: %+v",
+							c.QID, c.CID, prof.name, c)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTraceDistinguishesRecoveryFromDelivery: under guaranteed drops the
+// analyzer must show watchdog-recovered chains as complete-but-undelivered;
+// with a healthy notification path every chain is handler-delivered. This
+// pins the observable difference between the two completion paths.
+func TestTraceDistinguishesRecoveryFromDelivery(t *testing.T) {
+	run := func(withDrop bool) (delivered, total int) {
+		tr := trace.New(1, 1<<14)
+		cfg := aeodriver.Config{Mode: aeodriver.ModeUserInterrupt, RecoverTimeout: 50 * time.Microsecond}
+		traceRig(t, tr, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+			if withDrop {
+				if err := drv.SetNotifyHook(env, &NotifyFaults{Plan: NewPlan(8).On(SiteUintrDrop, Always())}); err != nil {
+					return err
+				}
+			}
+			return mixedWorkload(env, drv, 4)
+		})
+		a := trace.Analyze(tr.Events())
+		if len(a.Violations) != 0 {
+			t.Fatalf("violations (drop=%v): %v", withDrop, a.Violations)
+		}
+		for _, c := range a.Chains {
+			total++
+			if c.Delivered() {
+				delivered++
+			}
+		}
+		return delivered, total
+	}
+
+	if delivered, total := run(false); delivered != total || total == 0 {
+		t.Errorf("healthy path: %d/%d chains delivered, want all", delivered, total)
+	}
+	if delivered, total := run(true); delivered != 0 || total == 0 {
+		t.Errorf("all-drop path: %d/%d chains delivered, want none (watchdog recovery)", delivered, total)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aeolia/internal/sim"
+	"aeolia/internal/trace"
 )
 
 const chunkBlocks = 1024 // sparse-store allocation unit, in blocks
@@ -314,10 +315,14 @@ func max(a, b time.Duration) time.Duration {
 // process executes a submitted command: schedules data movement and CQE
 // posting at the modeled completion time.
 func (d *Device) process(qp *QueuePair, e SubmissionEntry) {
+	qp.emit(trace.DeviceStart, uint32(e.CID), e.SLBA, uint64(e.NLB))
 	st := d.validate(&e)
 	if st != StatusSuccess {
 		// Errors complete quickly, without touching media.
-		d.eng.Schedule(200*time.Nanosecond, func() { qp.postCompletion(e.CID, st) })
+		d.eng.Schedule(200*time.Nanosecond, func() {
+			qp.emit(trace.DeviceDone, uint32(e.CID), e.SLBA, uint64(st))
+			qp.postCompletion(e.CID, st)
+		})
 		return
 	}
 	var fault CommandFault
@@ -340,11 +345,15 @@ func (d *Device) process(qp *QueuePair, e SubmissionEntry) {
 			tornData := e.Data[:int(torn)*d.cfg.BlockSize]
 			d.eng.Schedule(200*time.Nanosecond+fault.ExtraLatency, func() {
 				d.writeRaw(e.SLBA, torn, tornData)
+				qp.emit(trace.DeviceDone, uint32(e.CID), e.SLBA, uint64(fault.Status))
 				qp.postCompletion(e.CID, fault.Status)
 			})
 			return
 		}
-		d.eng.Schedule(200*time.Nanosecond+fault.ExtraLatency, func() { qp.postCompletion(e.CID, fault.Status) })
+		d.eng.Schedule(200*time.Nanosecond+fault.ExtraLatency, func() {
+			qp.emit(trace.DeviceDone, uint32(e.CID), e.SLBA, uint64(fault.Status))
+			qp.postCompletion(e.CID, fault.Status)
+		})
 		return
 	}
 	done := d.completionTime(&e) + fault.ExtraLatency
@@ -370,6 +379,7 @@ func (d *Device) process(qp *QueuePair, e SubmissionEntry) {
 		case OpFlush:
 			d.destage()
 		}
+		qp.emit(trace.DeviceDone, uint32(e.CID), e.SLBA, uint64(StatusSuccess))
 		qp.postCompletion(e.CID, StatusSuccess)
 	})
 }

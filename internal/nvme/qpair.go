@@ -3,9 +3,11 @@ package nvme
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"aeolia/internal/sim"
+	"aeolia/internal/trace"
 )
 
 // Coalescing configures completion-interrupt aggregation on a queue pair,
@@ -87,10 +89,19 @@ type QueuePair struct {
 	// IRQRaised counts CQ interrupts actually raised; IRQCoalesced counts
 	// completions that were aggregated into a later interrupt instead of
 	// raising their own; IRQSuppressed counts aggregations cancelled
-	// because the host drained the CQ by polling first.
-	IRQRaised     uint64
-	IRQCoalesced  uint64
-	IRQSuppressed uint64
+	// because the host drained the CQ by polling first. Atomic so tests
+	// and monitors may read them while a simulation goroutine mutates.
+	IRQRaised     atomic.Uint64
+	IRQCoalesced  atomic.Uint64
+	IRQSuppressed atomic.Uint64
+}
+
+// emit records a trace event against the owning device's engine; a no-op
+// when tracing is off. Queue-side events have no core context (core -1).
+func (qp *QueuePair) emit(typ trace.Type, cid uint32, lba, aux uint64) {
+	if tr := qp.dev.eng.Tracer; tr != nil {
+		tr.Emit(qp.dev.eng.Now(), typ, -1, qp.ID, cid, lba, aux)
+	}
 }
 
 func newQueuePair(d *Device, id, depth int) *QueuePair {
@@ -160,6 +171,7 @@ func (qp *QueuePair) Submit(e SubmissionEntry) (*sim.Completion, error) {
 	qp.sq[qp.sqTail] = e
 	comp := sim.NewCompletion()
 	qp.pending[e.CID] = comp
+	qp.emit(trace.SQEPrep, uint32(e.CID), e.SLBA, uint64(e.NLB))
 
 	// Ringing the doorbell hands the command to the device.
 	if err := qp.WriteSQDoorbell((qp.sqTail + 1) % qp.depth); err != nil {
@@ -201,6 +213,7 @@ func (qp *QueuePair) SubmitBatch(entries []SubmissionEntry) ([]Submitted, error)
 		comp := sim.NewCompletion()
 		qp.pending[e.CID] = comp
 		out[i] = Submitted{CID: e.CID, Done: comp}
+		qp.emit(trace.SQEPrep, uint32(e.CID), e.SLBA, uint64(e.NLB))
 	}
 	if err := qp.WriteSQDoorbell(tail); err != nil {
 		for _, s := range out {
@@ -220,9 +233,11 @@ func (qp *QueuePair) WriteSQDoorbell(tail int) error {
 		return fmt.Errorf("%w: SQ tail %d (depth %d)", ErrDoorbell, tail, qp.depth)
 	}
 	qp.SQDoorbells++
-	if burst := (tail - qp.sqHead + qp.depth) % qp.depth; burst > qp.MaxSQBurst {
+	burst := (tail - qp.sqHead + qp.depth) % qp.depth
+	if burst > qp.MaxSQBurst {
 		qp.MaxSQBurst = burst
 	}
+	qp.emit(trace.DoorbellWrite, trace.NoCID, 0, uint64(burst))
 	qp.sqTail = tail
 	for qp.sqHead != tail {
 		e := qp.sq[qp.sqHead]
@@ -269,6 +284,7 @@ func (qp *QueuePair) postCompletion(cid uint16, st Status) {
 	}
 	qp.cqCount++
 	qp.Completed++
+	qp.emit(trace.CQEPost, uint32(cid), 0, uint64(st))
 
 	// The command's completion handle fires when its CQE becomes visible:
 	// this is the instant a poller could discover it.
@@ -277,17 +293,18 @@ func (qp *QueuePair) postCompletion(cid uint16, st Status) {
 		comp.FireAt(qp.dev.eng.Now())
 	}
 
-	qp.signalCompletion()
+	qp.signalCompletion(cid)
 }
 
-// signalCompletion decides whether the freshly posted CQE raises the CQ
-// interrupt now, joins an armed aggregation, or starts one.
-func (qp *QueuePair) signalCompletion() {
+// signalCompletion decides whether the freshly posted CQE (cid) raises the
+// CQ interrupt now, joins an armed aggregation, or starts one.
+func (qp *QueuePair) signalCompletion(cid uint16) {
 	if qp.OnCompletion == nil {
 		return
 	}
 	if !qp.coalesce.enabled() {
-		qp.IRQRaised++
+		qp.IRQRaised.Add(1)
+		qp.emit(trace.IRQRaise, uint32(cid), 0, 1)
 		qp.OnCompletion(qp)
 		return
 	}
@@ -296,7 +313,8 @@ func (qp *QueuePair) signalCompletion() {
 		qp.raiseCoalesced()
 		return
 	}
-	qp.IRQCoalesced++
+	qp.IRQCoalesced.Add(1)
+	qp.emit(trace.IRQCoalesce, uint32(cid), 0, uint64(qp.unNotified))
 	if qp.coalesceEv == nil {
 		qp.coalesceDeadline = qp.dev.eng.Now() + qp.coalesce.MaxDelay
 		qp.coalesceEv = qp.dev.eng.Schedule(qp.coalesce.MaxDelay, func() {
@@ -315,11 +333,13 @@ func (qp *QueuePair) raiseCoalesced() {
 		qp.coalesceEv.Cancel()
 		qp.coalesceEv = nil
 	}
+	covered := qp.unNotified
 	qp.unNotified = 0
 	if qp.OnCompletion == nil {
 		return
 	}
-	qp.IRQRaised++
+	qp.IRQRaised.Add(1)
+	qp.emit(trace.IRQRaise, trace.NoCID, 0, uint64(covered))
 	qp.OnCompletion(qp)
 }
 
@@ -333,11 +353,13 @@ func (qp *QueuePair) Poll(max int) []CompletionEntry {
 		qp.cqHead = (qp.cqHead + 1) % qp.depth
 		qp.cqCount--
 		out = append(out, ce)
+		qp.emit(trace.CQEConsume, uint32(ce.CID), 0, uint64(ce.Status))
 	}
 	if qp.cqCount == 0 && qp.unNotified > 0 {
 		// The host consumed every aggregated CQE by polling; the armed
 		// interrupt would only find an empty queue, so suppress it.
-		qp.IRQSuppressed += uint64(qp.unNotified)
+		qp.IRQSuppressed.Add(uint64(qp.unNotified))
+		qp.emit(trace.IRQSuppress, trace.NoCID, 0, uint64(qp.unNotified))
 		qp.unNotified = 0
 		if qp.coalesceEv != nil {
 			qp.coalesceEv.Cancel()

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -51,5 +52,41 @@ func TestFmtOne(t *testing.T) {
 		if got := fmtOne(in); got != want {
 			t.Errorf("fmtOne(%v) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestWriteJSONRoundTrip: the JSON export must decode back into the same
+// id/title/columns/rows/notes, so downstream tooling (CI artifacts, the
+// aeobench -json consumer) can rely on the shape.
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	tables := []*Table{sample(), {ID: "empty", Title: "no rows", Columns: []string{"c"}}}
+	if err := WriteJSON(&sb, tables); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("round-tripped %d tables, want 2", len(got))
+	}
+	if got[0].ID != "fig0" || got[0].Title != "sample" {
+		t.Errorf("table 0 header = %q/%q", got[0].ID, got[0].Title)
+	}
+	if len(got[0].Rows) != 2 || got[0].Rows[0][0] != "alpha" || got[0].Rows[1][1] != "3.14" {
+		t.Errorf("table 0 rows diverged: %v", got[0].Rows)
+	}
+	if len(got[0].Notes) != 1 || got[0].Notes[0] != "a note with 1 args" {
+		t.Errorf("table 0 notes diverged: %v", got[0].Notes)
+	}
+	if got[1].ID != "empty" || len(got[1].Rows) != 0 || len(got[1].Notes) != 0 {
+		t.Errorf("empty table diverged: %+v", got[1])
 	}
 }

@@ -8,7 +8,7 @@ import (
 // Trace, when set, receives engine execution-path notes (debugging).
 var Trace func(format string, args ...any)
 
-func trace(format string, args ...any) {
+func debugf(format string, args ...any) {
 	if Trace != nil {
 		Trace(format, args...)
 	}
@@ -113,7 +113,7 @@ func (c *Core) RaiseIRQ(vector int) {
 func (c *Core) startIRQ(vector int) {
 	e := c.eng
 	c.IRQCount++
-	trace("%v core%d startIRQ vec=%d cur=%v", e.now, c.ID, vector, c.current)
+	debugf("%v core%d startIRQ vec=%d cur=%v", e.now, c.ID, vector, c.current)
 	if c.idle {
 		// Fold accumulated idle time but keep the core logically idle:
 		// the ISR interrupts the idle loop, and leaving idle (with its
@@ -144,7 +144,7 @@ func (c *Core) suspendExec() {
 	if t == nil {
 		return
 	}
-	trace("%v core%d suspendExec %s op=%d ev=%v", c.eng.now, c.ID, t.Name, t.op, c.execEv != nil)
+	debugf("%v core%d suspendExec %s op=%d ev=%v", c.eng.now, c.ID, t.Name, t.op, c.execEv != nil)
 	elapsed := c.eng.now - c.execStart
 	t.CPUTime += elapsed
 	switch t.op {
@@ -206,7 +206,7 @@ func (c *Core) execDone() {
 }
 
 func (c *Core) endIRQ() {
-	trace("%v core%d endIRQ cur=%v", c.eng.now, c.ID, c.current)
+	debugf("%v core%d endIRQ cur=%v", c.eng.now, c.ID, c.current)
 	c.inIRQ = false
 	if len(c.pending) > 0 {
 		next := c.pending[0]
@@ -383,7 +383,7 @@ func (c *Core) drainPending() {
 
 // startTask makes t current on c and resumes its body.
 func (e *Engine) startTask(c *Core, t *Task) {
-	trace("%v core%d startTask %s op=%d", e.now, c.ID, t.Name, t.op)
+	debugf("%v core%d startTask %s op=%d", e.now, c.ID, t.Name, t.op)
 	c.SwitchCount++
 	c.current = t
 	t.core = c
@@ -410,14 +410,14 @@ func (e *Engine) startTask(c *Core, t *Task) {
 			cost += fn()
 		}
 		if cost > 0 {
-			trace("%v core%d hook-transition %s cost=%v", e.now, c.ID, t.Name, cost)
+			debugf("%v core%d hook-transition %s cost=%v", e.now, c.ID, t.Name, cost)
 			t.CPUTime += cost
 			e.Schedule(cost, func() {
 				c.inTransition = false
 				if c.current != t {
 					return
 				}
-				trace("%v core%d hook-continue %s op=%d", e.now, c.ID, t.Name, t.op)
+				debugf("%v core%d hook-continue %s op=%d", e.now, c.ID, t.Name, t.op)
 				e.continueTask(c, t)
 			})
 			return
@@ -454,11 +454,11 @@ func (e *Engine) runCurrent(c *Core) {
 		if t == nil {
 			panic("sim: runCurrent on idle core")
 		}
-		trace("%v core%d runCurrent resume %s", e.now, c.ID, t.Name)
+		debugf("%v core%d runCurrent resume %s", e.now, c.ID, t.Name)
 		// Hand control to the task body.
 		t.resume <- struct{}{}
 		<-t.yield
-		trace("%v core%d parked %s op=%d", e.now, c.ID, t.Name, t.op)
+		debugf("%v core%d parked %s op=%d", e.now, c.ID, t.Name, t.op)
 
 		switch t.op {
 		case opExec:

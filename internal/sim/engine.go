@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"aeolia/internal/timing"
+	"aeolia/internal/trace"
 )
 
 // Engine owns virtual time, the event queue, the cores, and the tasks.
@@ -46,6 +47,12 @@ type Engine struct {
 	TaskRunHook func(c *Core, t *Task)
 	// TaskStopHook runs whenever a task is switched out of a core.
 	TaskStopHook func(c *Core, t *Task)
+
+	// Tracer, when non-nil, receives typed events from every instrumented
+	// subsystem bound to this engine (internal/trace). Emit points pay a
+	// single nil check when tracing is off; emitting never consumes
+	// virtual time, so traced and untraced runs are time-identical.
+	Tracer *trace.Tracer
 }
 
 // Scheduler is the thread-scheduling policy plugged into the engine. The

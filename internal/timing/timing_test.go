@@ -47,3 +47,25 @@ func TestFigure2Arithmetic(t *testing.T) {
 			SubmitCost+CompleteCost, SPDKSoftware)
 	}
 }
+
+// TestSubmitSplitIdentity pins the batching decomposition used by the trace
+// stage model: SQEPrep + DoorbellWrite must equal SubmitCost exactly, so a
+// batch of N commands behind one doorbell costs N*SQEPrep + DoorbellWrite
+// and the unbatched path is the N=1 special case.
+func TestSubmitSplitIdentity(t *testing.T) {
+	if SQEPrep+DoorbellWrite != SubmitCost {
+		t.Fatalf("SQEPrep (%v) + DoorbellWrite (%v) = %v, must equal SubmitCost (%v)",
+			SQEPrep, DoorbellWrite, SQEPrep+DoorbellWrite, SubmitCost)
+	}
+	if SQEPrep <= 0 || DoorbellWrite <= 0 {
+		t.Fatal("both submit components must be positive")
+	}
+	// The batched path must actually be cheaper for every N > 1.
+	for _, n := range []int{2, 8, 32} {
+		batched := time.Duration(n)*SQEPrep + DoorbellWrite
+		unbatched := time.Duration(n) * SubmitCost
+		if batched >= unbatched {
+			t.Errorf("batch of %d costs %v, not cheaper than %v unbatched", n, batched, unbatched)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/report"
+)
+
+// Chain is the reconstructed life of one command (qid, cid): the per-stage
+// timestamps the Analyzer extracted from the event stream. A stage that
+// never happened is left at -1.
+type Chain struct {
+	QID int32
+	CID uint32
+	LBA uint64
+
+	Prep        time.Duration // SQEPrep
+	Doorbell    time.Duration // DoorbellWrite covering this command
+	DeviceStart time.Duration
+	DeviceDone  time.Duration
+	Post        time.Duration // CQEPost
+	Consume     time.Duration // CQEConsume
+
+	// InHandler is true when the consume happened inside a
+	// HandlerEnter/HandlerExit bracket (user-interrupt or kernel-path
+	// delivery), as opposed to a synchronous poll or watchdog reap.
+	InHandler bool
+}
+
+const noStage = time.Duration(-1)
+
+// Complete reports whether every stage from prep through consume was
+// observed, in causal order.
+func (c *Chain) Complete() bool {
+	return c.Prep >= 0 && c.Doorbell >= 0 && c.DeviceStart >= 0 &&
+		c.DeviceDone >= 0 && c.Post >= 0 && c.Consume >= 0 &&
+		c.Prep <= c.Doorbell && c.Doorbell <= c.DeviceStart &&
+		c.DeviceStart <= c.DeviceDone && c.DeviceDone <= c.Post &&
+		c.Post <= c.Consume
+}
+
+// Delivered reports whether the chain is complete AND its completion was
+// consumed from inside an interrupt-delivery handler bracket — the full
+// doorbell → device → CQE → post → deliver → handler path.
+func (c *Chain) Delivered() bool { return c.Complete() && c.InHandler }
+
+// Violation is one invariant breach found in a trace.
+type Violation struct {
+	Seq  uint64 // offending event
+	Rule string // e.g. "doorbell-before-device"
+	Msg  string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("seq=%d %s: %s", v.Seq, v.Rule, v.Msg) }
+
+// Analyzer replays an event stream (in Seq order) and reconstructs causal
+// state: per-command chains, per-queue held aggregations, handler nesting,
+// journal write/commit ordering. The simulation engine serializes all
+// emitting contexts, so a single global replay is sound.
+type Analyzer struct {
+	Chains     map[[2]int64]*Chain // keyed by {qid, cid}
+	Violations []Violation
+
+	// replay state
+	doorbells    map[int32]time.Duration // last doorbell per qid
+	preppedNoDB  map[int32][]*Chain      // per-qid chains prepped but not yet doorbelled
+	undelivered  map[int32]int           // per-qid commands doorbelled but not device-started
+	held         map[[2]int64]bool       // CIDs inside an armed (unraised) aggregation
+	handlerDepth int
+	postsPending map[int32]int // per-core UPID posts not yet recognized
+	journalDirty int           // journal writes since last commit
+}
+
+// key builds the chain map key; cids are unique per queue, not globally.
+func key(qid int32, cid uint32) [2]int64 { return [2]int64{int64(qid), int64(cid)} }
+
+// Analyze replays evs (sorted by Seq, as Tracer.Events returns them) and
+// returns the populated analyzer.
+func Analyze(evs []Event) *Analyzer {
+	a := &Analyzer{
+		Chains:       make(map[[2]int64]*Chain),
+		doorbells:    make(map[int32]time.Duration),
+		preppedNoDB:  make(map[int32][]*Chain),
+		undelivered:  make(map[int32]int),
+		held:         make(map[[2]int64]bool),
+		postsPending: make(map[int32]int),
+	}
+	for _, e := range evs {
+		a.step(e)
+	}
+	if a.handlerDepth != 0 {
+		a.violate(0, "handler-bracket", fmt.Sprintf("trace ends at handler depth %d", a.handlerDepth))
+	}
+	return a
+}
+
+func (a *Analyzer) violate(seq uint64, rule, format string, args ...any) {
+	a.Violations = append(a.Violations, Violation{Seq: seq, Rule: rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// chain returns (creating if needed) the chain for (qid, cid), initializing
+// all stages to "not observed".
+func (a *Analyzer) chain(qid int32, cid uint32, lba uint64) *Chain {
+	k := key(qid, cid)
+	c := a.Chains[k]
+	if c == nil {
+		c = &Chain{QID: qid, CID: cid, LBA: lba,
+			Prep: noStage, Doorbell: noStage, DeviceStart: noStage,
+			DeviceDone: noStage, Post: noStage, Consume: noStage}
+		a.Chains[k] = c
+	}
+	return c
+}
+
+func (a *Analyzer) step(e Event) {
+	switch e.Type {
+	case SQEPrep:
+		c := a.chain(e.QID, e.CID, e.LBA)
+		if c.Prep >= 0 {
+			a.violate(e.Seq, "cid-reuse", "qid=%d cid=%d prepped twice without consume", e.QID, e.CID)
+		}
+		c.Prep = e.At
+		a.preppedNoDB[e.QID] = append(a.preppedNoDB[e.QID], c)
+
+	case DoorbellWrite:
+		a.doorbells[e.QID] = e.At
+		a.undelivered[e.QID] += int(e.Aux)
+		// Stamp the doorbell onto every chain prepped on this queue since
+		// the previous doorbell write.
+		for _, c := range a.preppedNoDB[e.QID] {
+			c.Doorbell = e.At
+		}
+		a.preppedNoDB[e.QID] = a.preppedNoDB[e.QID][:0]
+
+	case DeviceStart:
+		c := a.chain(e.QID, e.CID, e.LBA)
+		if c.Doorbell < 0 {
+			a.violate(e.Seq, "doorbell-before-device",
+				"qid=%d cid=%d started on device without a covering doorbell write", e.QID, e.CID)
+		}
+		if a.undelivered[e.QID] <= 0 {
+			a.violate(e.Seq, "doorbell-before-device",
+				"qid=%d device consumed more SQEs than doorbells handed over", e.QID)
+		} else {
+			a.undelivered[e.QID]--
+		}
+		c.DeviceStart = e.At
+
+	case DeviceDone:
+		c := a.chain(e.QID, e.CID, e.LBA)
+		c.DeviceDone = e.At
+
+	case CQEPost:
+		c := a.chain(e.QID, e.CID, e.LBA)
+		if c.Post >= 0 {
+			a.violate(e.Seq, "cqe-exactly-once", "qid=%d cid=%d posted twice", e.QID, e.CID)
+		}
+		c.Post = e.At
+
+	case CQEConsume:
+		c := a.chain(e.QID, e.CID, e.LBA)
+		if c.Post < 0 {
+			a.violate(e.Seq, "cqe-exactly-once", "qid=%d cid=%d consumed without a post", e.QID, e.CID)
+		}
+		if c.Consume >= 0 {
+			a.violate(e.Seq, "cqe-exactly-once", "qid=%d cid=%d consumed twice", e.QID, e.CID)
+		}
+		k := key(e.QID, e.CID)
+		if a.held[k] && a.handlerDepth == 0 {
+			// The completion joined an armed aggregation (no interrupt
+			// raised yet) and something consumed it outside any delivery
+			// handler: a recovery path reaping completions the device
+			// still intends to signal — the PR 2 watchdog bug.
+			a.violate(e.Seq, "consume-while-held",
+				"qid=%d cid=%d reaped outside a handler while its aggregation was still armed", e.QID, e.CID)
+		}
+		delete(a.held, k)
+		c.Consume = e.At
+		c.InHandler = a.handlerDepth > 0
+
+	case IRQRaise:
+		// The aggregation (if any) fired: nothing on this queue is held.
+		a.releaseQueue(e.QID)
+
+	case IRQCoalesce:
+		a.held[key(e.QID, e.CID)] = true
+
+	case IRQSuppress:
+		// Host drained the CQ by polling; the armed aggregation is
+		// cancelled and its completions are legitimately consumed.
+		a.releaseQueue(e.QID)
+
+	case UPIDPost:
+		a.postsPending[e.Core]++
+
+	case UINTRDeliver:
+		if e.Aux > 0 && a.postsPending[e.Core] <= 0 {
+			a.violate(e.Seq, "delivery-without-post",
+				"core=%d recognized %d vector(s) with no outstanding UPID post", e.Core, e.Aux)
+		}
+		// One recognition consumes all outstanding posts for the core
+		// (PIR is transferred wholesale; ON-bit coalescing means several
+		// posts can collapse into one delivery).
+		a.postsPending[e.Core] = 0
+
+	case HandlerEnter:
+		a.handlerDepth++
+
+	case HandlerExit:
+		a.handlerDepth--
+		if a.handlerDepth < 0 {
+			a.violate(e.Seq, "handler-bracket", "HandlerExit without matching HandlerEnter")
+			a.handlerDepth = 0
+		}
+
+	case JournalWrite:
+		a.journalDirty++
+
+	case JournalCommit:
+		if a.journalDirty == 0 {
+			a.violate(e.Seq, "commit-after-journal-write",
+				"commit of %d txn(s) with no journal batch written since last commit", e.Aux)
+		}
+		a.journalDirty = 0
+
+	case PagecacheFlush:
+		// ordering relative to journal is checked by aeofs crash tests;
+		// nothing to track here.
+	}
+}
+
+// releaseQueue marks every held CID on qid as released (its IRQ fired or
+// was suppressed by a poll).
+func (a *Analyzer) releaseQueue(qid int32) {
+	for k := range a.held {
+		if k[0] == int64(qid) {
+			delete(a.held, k)
+		}
+	}
+}
+
+// Stage latency names, in pipeline order.
+const (
+	StagePrepToDoorbell = "prep→doorbell"
+	StageDoorbellToDev  = "doorbell→device"
+	StageDevice         = "device"
+	StagePostToConsume  = "post→consume"
+	StageEndToEnd       = "end-to-end"
+)
+
+// StageHistograms buckets per-stage latencies across all complete chains.
+func (a *Analyzer) StageHistograms() map[string]*Histogram {
+	hs := map[string]*Histogram{
+		StagePrepToDoorbell: {},
+		StageDoorbellToDev:  {},
+		StageDevice:         {},
+		StagePostToConsume:  {},
+		StageEndToEnd:       {},
+	}
+	for _, c := range a.Chains {
+		if !c.Complete() {
+			continue
+		}
+		hs[StagePrepToDoorbell].Record(c.Doorbell - c.Prep)
+		hs[StageDoorbellToDev].Record(c.DeviceStart - c.Doorbell)
+		hs[StageDevice].Record(c.DeviceDone - c.DeviceStart)
+		hs[StagePostToConsume].Record(c.Consume - c.Post)
+		hs[StageEndToEnd].Record(c.Consume - c.Prep)
+	}
+	return hs
+}
+
+// LatencyTable renders the per-stage histograms as a report table
+// (p50/p90/p99/max in microseconds).
+func (a *Analyzer) LatencyTable() *report.Table {
+	t := &report.Table{
+		Title:   "Per-stage latency (traced)",
+		Columns: []string{"stage", "count", "p50_us", "p90_us", "p99_us", "max_us"},
+	}
+	hs := a.StageHistograms()
+	us := func(d time.Duration) float64 { return float64(d) / 1e3 }
+	for _, stage := range []string{StagePrepToDoorbell, StageDoorbellToDev, StageDevice, StagePostToConsume, StageEndToEnd} {
+		h := hs[stage]
+		t.AddRowf(stage, h.Count(), us(h.Percentile(50)), us(h.Percentile(90)), us(h.Percentile(99)), us(h.Max()))
+	}
+	return t
+}

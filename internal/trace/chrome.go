@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry in the Chrome trace_event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// ph "X" = complete span (with dur), "i" = instant. ts/dur are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders the event stream as Chrome trace_event JSON, loadable
+// in chrome://tracing or https://ui.perfetto.dev. Device-side events (rows
+// keyed by queue) live under pid 0; core-side events under pid 1 with one
+// tid per core. Paired events — DeviceStart/DeviceDone per (qid,cid) and
+// HandlerEnter/HandlerExit per core — become duration spans; everything
+// else an instant with its fields in args.
+func WriteChrome(w io.Writer, evs []Event) error {
+	us := func(e Event) float64 { return float64(e.At) / 1e3 }
+	tid := func(e Event) int {
+		if e.Core >= 0 {
+			return int(e.Core)
+		}
+		if e.QID >= 0 {
+			return int(e.QID)
+		}
+		return 0
+	}
+	pid := func(e Event) int {
+		if e.Core >= 0 {
+			return 1
+		}
+		return 0
+	}
+
+	var out []chromeEvent
+	devStart := make(map[[2]int64]Event)  // (qid,cid) → DeviceStart
+	handlerStart := make(map[int32]Event) // core → HandlerEnter
+
+	for _, e := range evs {
+		switch e.Type {
+		case DeviceStart:
+			devStart[key(e.QID, e.CID)] = e
+		case DeviceDone:
+			if s, ok := devStart[key(e.QID, e.CID)]; ok {
+				delete(devStart, key(e.QID, e.CID))
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("io cid=%d", e.CID), Phase: "X",
+					TS: us(s), Dur: us(e) - us(s), PID: 0, TID: int(e.QID),
+					Args: map[string]any{"cid": e.CID, "lba": e.LBA, "status": e.Aux},
+				})
+			}
+		case HandlerEnter:
+			handlerStart[e.Core] = e
+		case HandlerExit:
+			if s, ok := handlerStart[e.Core]; ok {
+				delete(handlerStart, e.Core)
+				name := "uintr handler"
+				if e.Aux == KernelPathAux {
+					name = "kernel-path drain"
+				}
+				out = append(out, chromeEvent{
+					Name: name, Phase: "X",
+					TS: us(s), Dur: us(e) - us(s), PID: 1, TID: int(e.Core),
+					Args: map[string]any{"vector": s.Aux},
+				})
+			}
+		default:
+			args := map[string]any{"seq": e.Seq, "aux": e.Aux}
+			if e.CID != NoCID {
+				args["cid"] = e.CID
+				args["lba"] = e.LBA
+			}
+			if e.QID >= 0 {
+				args["qid"] = e.QID
+			}
+			out = append(out, chromeEvent{
+				Name: e.Type.String(), Phase: "i", Scope: "t",
+				TS: us(e), PID: pid(e), TID: tid(e), Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string]any{"traceEvents": out})
+}

@@ -1,0 +1,104 @@
+// Golden-trace test (external test package so it can build a full machine):
+// a fixed single-read workload must produce a canonical event sequence.
+// Any hot-path reordering — doorbell before prep, consume outside the
+// handler, a second interrupt — shows up as a golden diff at review time.
+package trace_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/aeokern"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sim"
+	"aeolia/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// normalize renders events with simtime replaced by ordinals (T0, T1, ...)
+// so the golden pins ordering and structure, not the cost model.
+func normalize(evs []trace.Event) string {
+	times := map[time.Duration]int{}
+	var order []time.Duration
+	for _, e := range evs {
+		if _, ok := times[e.At]; !ok {
+			times[e.At] = len(order)
+			order = append(order, e.At)
+		}
+	}
+	var sb strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&sb, "T%d %v core=%d qid=%d cid=%d lba=%d aux=%d\n",
+			times[e.At], e.Type, e.Core, e.QID, int64(int32(e.CID)), e.LBA, e.Aux)
+	}
+	return sb.String()
+}
+
+// TestGoldenSingleRead: one 512B read at LBA 7 through the full
+// user-interrupt stack on a one-core machine.
+func TestGoldenSingleRead(t *testing.T) {
+	tr := trace.New(1, 1<<10)
+	m := machine.New(1, nvme.Config{BlockSize: 512, NumBlocks: 4096})
+	defer m.Eng.Shutdown()
+	m.Eng.Tracer = tr
+	p, err := m.Launch("golden", aeokern.Partition{Start: 0, Blocks: 4096, Writable: true}, aeodriver.Config{Mode: aeodriver.ModeUserInterrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rerr error
+	m.Eng.Spawn("io", m.Eng.Core(0), func(env *sim.Env) {
+		if _, e := p.Driver.CreateQP(env); e != nil {
+			rerr = e
+			return
+		}
+		rerr = p.Driver.ReadBlk(env, 7, 1, make([]byte, 512))
+	})
+	m.Run(0)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+
+	got := normalize(tr.Events())
+	golden := filepath.Join("testdata", "read512.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace diverged from %s (run with -update-golden if intended)\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+
+	// The golden stream must also satisfy every causal invariant and
+	// yield exactly one complete, handler-delivered chain.
+	a := trace.Analyze(tr.Events())
+	if len(a.Violations) != 0 {
+		t.Fatalf("violations in single-read trace: %v", a.Violations)
+	}
+	if len(a.Chains) != 1 {
+		t.Fatalf("got %d chains, want 1", len(a.Chains))
+	}
+	for _, c := range a.Chains {
+		if !c.Delivered() {
+			t.Errorf("chain not delivered via handler: %+v", c)
+		}
+		if c.LBA != 7 {
+			t.Errorf("chain LBA = %d, want 7", c.LBA)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is an HDR-style log-bucketed latency histogram: values below
+// histSub land in unit buckets; above that, each power-of-two range is split
+// into histSub linear sub-buckets, bounding relative quantile error to
+// 1/histSub (~3.1%) while keeping the bucket array small. Values are
+// nanoseconds of virtual time.
+type Histogram struct {
+	counts []uint64
+	count  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // 32 linear sub-buckets per octave
+	// 64-bit values need at most (64-histSubBits) octaves of histSub/2
+	// upper sub-buckets beyond the initial histSub unit buckets.
+	histBuckets = histSub + (64-histSubBits)*histSub/2
+)
+
+// bucketIndex maps a value to its bucket. Unit-width below histSub; above,
+// octave o (values [2^o, 2^(o+1))) occupies histSub/2 sub-buckets of width
+// 2^(o-histSubBits+1).
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	shift := bits.Len64(v) - histSubBits
+	return shift*(histSub/2) + int(v>>uint(shift))
+}
+
+// bucketLower returns the smallest value mapping to bucket idx — the
+// inverse of bucketIndex up to bucket granularity.
+func bucketLower(idx int) uint64 {
+	if idx < histSub {
+		return uint64(idx)
+	}
+	shift := idx/(histSub/2) - 1
+	rem := idx - shift*(histSub/2)
+	return uint64(rem) << uint(shift)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	v := uint64(d)
+	if h.counts == nil {
+		h.counts = make([]uint64, histBuckets)
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Min and Max are exact (tracked outside the buckets).
+func (h *Histogram) Min() time.Duration { return time.Duration(h.min) }
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean is exact: the bucketed representation never loses the sum.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Percentile returns the value at or below which p percent of observations
+// fall, to bucket granularity (lower bound of the containing bucket, exact
+// min/max at the extremes). p is clamped to [0, 100].
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return h.Max()
+	}
+	rank := uint64(p / 100 * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			lo := bucketLower(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			return time.Duration(lo)
+		}
+	}
+	return h.Max()
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the HDR bucket layout: unit buckets below
+// histSub, then histSub/2 linear sub-buckets per power-of-two octave, with
+// no gaps or overlaps at the octave seams.
+func TestBucketBoundaries(t *testing.T) {
+	// Unit range is the identity.
+	for v := uint64(0); v < histSub; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want identity below %d", v, got, histSub)
+		}
+	}
+	// Continuity at the seams: 31|32 and 63|64 must be adjacent buckets.
+	seams := []struct {
+		v    uint64
+		want int
+	}{
+		{31, 31}, {32, 32}, {33, 32}, {63, 47}, {64, 48}, {127, 63}, {128, 64},
+	}
+	for _, s := range seams {
+		if got := bucketIndex(s.v); got != s.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", s.v, got, s.want)
+		}
+	}
+	// Monotone, and bucketLower is a left inverse with bounded error.
+	prev := -1
+	for _, v := range []uint64{0, 1, 17, 31, 32, 33, 63, 64, 100, 1000, 12345,
+		1 << 20, 1<<20 + 3, 1 << 40, (1 << 40) + (1 << 36), 1<<63 - 1, 1 << 63, ^uint64(0)} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = idx
+		lo := bucketLower(idx)
+		if lo > v {
+			t.Fatalf("bucketLower(bucketIndex(%d)) = %d > value", v, lo)
+		}
+		// Relative bucket error bounded by 2/histSub (one sub-bucket of
+		// the octave).
+		if v >= histSub && float64(v-lo) > float64(v)*2/histSub {
+			t.Fatalf("bucket error for %d: lower bound %d too coarse", v, lo)
+		}
+		if idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range %d", v, idx, histBuckets)
+		}
+	}
+}
+
+// TestPercentilesOnKnownDistribution records 1..1000ns once each and checks
+// the quantile math against the exact answers, within bucket granularity.
+func TestPercentilesOnKnownDistribution(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("Min/Max = %v/%v, want 1ns/1000ns (exact)", h.Min(), h.Max())
+	}
+	if h.Mean() != 500 { // 500500/1000 truncated
+		t.Fatalf("Mean = %v, want 500ns (exact sum)", h.Mean())
+	}
+	checks := []struct {
+		p     float64
+		exact float64
+	}{{0, 1}, {50, 500}, {90, 900}, {99, 990}, {100, 1000}}
+	for _, c := range checks {
+		got := float64(h.Percentile(c.p))
+		// Bucket lower bounds may undershoot by up to one sub-bucket
+		// (2/histSub relative).
+		if got > c.exact || got < c.exact*(1-2.0/histSub)-1 {
+			t.Errorf("P%.0f = %.0f, want within one bucket below %.0f", c.p, got, c.exact)
+		}
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Errorf("P100 = %v, want exact max %v", h.Percentile(100), h.Max())
+	}
+}
+
+func TestPercentileSkewedDistribution(t *testing.T) {
+	var h Histogram
+	// 99 fast ops at 100ns, 1 slow at 1ms: p50/p90 must report the fast
+	// mode, p99.5+ the outlier.
+	for i := 0; i < 99; i++ {
+		h.Record(100 * time.Nanosecond)
+	}
+	h.Record(time.Millisecond)
+	if p := h.Percentile(50); p < 90*time.Nanosecond || p > 100*time.Nanosecond {
+		t.Errorf("P50 = %v, want ~100ns", p)
+	}
+	if p := h.Percentile(99.5); p < 900*time.Microsecond {
+		t.Errorf("P99.5 = %v, want ~1ms outlier", p)
+	}
+}
+
+func TestEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamped, must not panic
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative durations must clamp to 0, got min=%v max=%v", h.Min(), h.Max())
+	}
+}

@@ -1,0 +1,255 @@
+// Package trace is the always-on observability layer of the Aeolia
+// reproduction: a lock-free, per-core ring-buffer event tracer that the
+// device model (internal/nvme), the user-interrupt unit (internal/uintr,
+// internal/aeokern), the driver (internal/aeodriver), and the file system
+// (internal/aeofs) thread typed events through, so every I/O command's life —
+// SQE prep, doorbell, device service, CQE post, interrupt raise/coalesce,
+// UPID post, user-interrupt delivery, handler execution — is reconstructable
+// after the fact.
+//
+// The tracer is installed on a sim.Engine (Engine.Tracer); every emit point
+// pays exactly one nil check when tracing is off (Emit is a no-op on a nil
+// *Tracer), so the hot path is unaffected in production runs — the qdsweep
+// golden numbers are byte-identical with and without the package compiled in,
+// because emitting consumes no virtual time.
+//
+// On top of the raw stream sit three consumers:
+//
+//   - Analyzer reconstructs per-CID causal chains and checks ordering
+//     invariants (doorbell-before-device, exactly-once CQ consumption,
+//     no delivery without a post, commit-after-journal-write);
+//   - Histogram provides HDR-style log-bucketed per-stage latency
+//     aggregation, rendered into internal/report tables;
+//   - WriteChrome exports the stream as Chrome trace_event JSON
+//     (chrome://tracing / Perfetto), one row per core plus one per queue.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Type identifies a traced event.
+type Type uint8
+
+// The event taxonomy. One event is emitted per occurrence of each point in
+// the I/O path; see the per-constant comments for the meaning of the Aux
+// field.
+const (
+	Invalid Type = iota
+
+	// SQEPrep: a command was written into an SQ slot (CID assigned, the
+	// doorbell not yet rung). Aux = NLB.
+	SQEPrep
+	// DoorbellWrite: an SQ tail doorbell MMIO handed commands to the
+	// device. Aux = burst size (commands covered by this write).
+	DoorbellWrite
+	// DeviceStart: the device began processing a command. Aux = NLB.
+	DeviceStart
+	// DeviceDone: the device finished a command (data movement complete).
+	// Aux = NVMe status code.
+	DeviceDone
+	// CQEPost: a completion entry became visible in the CQ. Aux = status.
+	CQEPost
+	// CQEConsume: the host consumed a CQE (Poll). This is the
+	// exactly-once consumption point. Aux = status.
+	CQEConsume
+	// IRQRaise: the CQ interrupt was actually raised. Aux = number of
+	// completions the raise covers (1 when coalescing is off).
+	IRQRaise
+	// IRQCoalesce: a completion joined an armed aggregation instead of
+	// raising its own interrupt. CID names the coalesced completion.
+	IRQCoalesce
+	// IRQSuppress: an armed aggregation was cancelled because the host
+	// drained the CQ by polling first. Aux = completions suppressed.
+	IRQSuppress
+	// UPIDPost: a vector was posted into a UPID and its notification
+	// evaluated (the remapped MSI-X write or SENDUIPI). Core = DestCPU,
+	// Aux = user vector.
+	UPIDPost
+	// UINTRDeliver: a notification interrupt was recognized on a core
+	// (PIR transferred into UIRR). Aux = number of pending vectors
+	// recognized (0 for a spurious/duplicate delivery).
+	UINTRDeliver
+	// HandlerEnter / HandlerExit bracket one userspace handler execution
+	// (in-schedule user interrupt, or the kernel-inserted frame of the
+	// out-of-schedule path). Aux = delivered user vector, or
+	// KernelPathAux for kernel-path drains.
+	HandlerEnter
+	HandlerExit
+	// JournalWrite: one journal batch (header + images + commit record)
+	// reached its on-disk region. QID = journal region id, LBA = batch
+	// start block, Aux = block images in the batch.
+	JournalWrite
+	// JournalCommit: a Sync's flush made its journal batches durable (the
+	// commit point). Aux = transactions committed.
+	JournalCommit
+	// PagecacheFlush: a file's dirty pages were written back as a
+	// vectored batch. LBA = first run's start block, Aux = dirty pages.
+	PagecacheFlush
+
+	numTypes
+)
+
+// NoCID marks an event that does not concern a specific command.
+const NoCID = ^uint32(0)
+
+// KernelPathAux is the HandlerEnter/Exit Aux value marking a kernel-path
+// (out-of-schedule) completion drain rather than an in-schedule user
+// interrupt handler.
+const KernelPathAux = ^uint64(0)
+
+var typeNames = [numTypes]string{
+	Invalid:        "Invalid",
+	SQEPrep:        "SQEPrep",
+	DoorbellWrite:  "DoorbellWrite",
+	DeviceStart:    "DeviceStart",
+	DeviceDone:     "DeviceDone",
+	CQEPost:        "CQEPost",
+	CQEConsume:     "CQEConsume",
+	IRQRaise:       "IRQRaise",
+	IRQCoalesce:    "IRQCoalesce",
+	IRQSuppress:    "IRQSuppress",
+	UPIDPost:       "UPIDPost",
+	UINTRDeliver:   "UINTRDeliver",
+	HandlerEnter:   "HandlerEnter",
+	HandlerExit:    "HandlerExit",
+	JournalWrite:   "JournalWrite",
+	JournalCommit:  "JournalCommit",
+	PagecacheFlush: "PagecacheFlush",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Event is one traced occurrence. Core, QID, and CID are -1/NoCID when the
+// event does not concern a core, queue, or command; Aux is type-specific
+// (see the Type constants).
+type Event struct {
+	Seq  uint64        // global emission order (1-based)
+	At   time.Duration // virtual time of the occurrence
+	Type Type
+	Core int32
+	QID  int32
+	CID  uint32
+	LBA  uint64
+	Aux  uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%v core=%d qid=%d cid=%d lba=%d aux=%d",
+		e.Type, e.Core, e.QID, int64(int32(e.CID)), e.LBA, e.Aux)
+}
+
+// ring is one fixed-capacity overwriting event buffer. The cursor is a
+// monotone count of events ever written; slot i holds event (n-1) mod cap.
+type ring struct {
+	buf []Event
+	n   atomic.Uint64
+	// Pad cursors of adjacent rings onto separate cache lines so per-core
+	// emitters do not false-share.
+	_ [48]byte
+}
+
+// Tracer collects events into per-core rings (plus one shared ring for
+// device/global context). Emission is lock-free: one atomic add on the
+// global sequence, one on the ring cursor. A nil *Tracer is a valid sink
+// whose Emit is a no-op — the disabled fast path.
+//
+// Snapshots (Events, Dropped) must not race with emission; in the simulator
+// this holds by construction because callers snapshot after Engine.Run
+// returns (the engine serializes all emitting contexts).
+type Tracer struct {
+	seq   atomic.Uint64
+	rings []ring
+}
+
+// New creates a tracer for a machine with the given core count; perRing is
+// each ring's capacity in events (default 1<<16). Ring 0 receives events
+// with no core context (device, journal); ring i+1 receives core i's.
+func New(cores, perRing int) *Tracer {
+	if cores < 0 {
+		cores = 0
+	}
+	if perRing <= 0 {
+		perRing = 1 << 16
+	}
+	tr := &Tracer{rings: make([]ring, cores+1)}
+	for i := range tr.rings {
+		tr.rings[i].buf = make([]Event, perRing)
+	}
+	return tr
+}
+
+// Emit records one event. Safe (and free) on a nil tracer.
+func (tr *Tracer) Emit(at time.Duration, typ Type, core, qid int, cid uint32, lba, aux uint64) {
+	if tr == nil {
+		return
+	}
+	r := &tr.rings[0]
+	if core >= 0 && core < len(tr.rings)-1 {
+		r = &tr.rings[core+1]
+	}
+	seq := tr.seq.Add(1)
+	i := (r.n.Add(1) - 1) % uint64(len(r.buf))
+	r.buf[i] = Event{Seq: seq, At: at, Type: typ, Core: int32(core), QID: int32(qid), CID: cid, LBA: lba, Aux: aux}
+}
+
+// Len returns the total number of events emitted (including overwritten
+// ones).
+func (tr *Tracer) Len() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.seq.Load()
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (tr *Tracer) Dropped() uint64 {
+	if tr == nil {
+		return 0
+	}
+	var d uint64
+	for i := range tr.rings {
+		n := tr.rings[i].n.Load()
+		if c := uint64(len(tr.rings[i].buf)); n > c {
+			d += n - c
+		}
+	}
+	return d
+}
+
+// Events returns every retained event in global emission order.
+func (tr *Tracer) Events() []Event {
+	if tr == nil {
+		return nil
+	}
+	var out []Event
+	for i := range tr.rings {
+		r := &tr.rings[i]
+		n := r.n.Load()
+		if c := uint64(len(r.buf)); n > c {
+			n = c
+		}
+		out = append(out, r.buf[:n]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reset discards all retained events and restarts the sequence.
+func (tr *Tracer) Reset() {
+	if tr == nil {
+		return
+	}
+	tr.seq.Store(0)
+	for i := range tr.rings {
+		tr.rings[i].n.Store(0)
+	}
+}

@@ -27,8 +27,8 @@ func TestOutstandingNotificationCoalesces(t *testing.T) {
 	if raised != 1 {
 		t.Fatalf("raised = %d with ON set, want still 1 (coalesced)", raised)
 	}
-	if u.NotifySent != 1 || u.NotifySuppressed != 2 {
-		t.Fatalf("NotifySent/NotifySuppressed = %d/%d, want 1/2", u.NotifySent, u.NotifySuppressed)
+	if u.NotifySent.Load() != 1 || u.NotifySuppressed.Load() != 2 {
+		t.Fatalf("NotifySent/NotifySuppressed = %d/%d, want 1/2", u.NotifySent.Load(), u.NotifySuppressed.Load())
 	}
 	if u.PIR != 0b111 {
 		t.Fatalf("PIR = %#x, want all three vectors posted", u.PIR)

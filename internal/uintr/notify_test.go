@@ -40,8 +40,8 @@ func TestNotifyHookDrop(t *testing.T) {
 	if u.PIR != 1<<4 {
 		t.Fatal("drop must not clear the posted bit")
 	}
-	if u.NotifyDropped != 1 || h.calls != 1 {
-		t.Fatalf("NotifyDropped = %d, hook calls = %d, want 1/1", u.NotifyDropped, h.calls)
+	if u.NotifyDropped.Load() != 1 || h.calls != 1 {
+		t.Fatalf("NotifyDropped = %d, hook calls = %d, want 1/1", u.NotifyDropped.Load(), h.calls)
 	}
 }
 
@@ -58,8 +58,8 @@ func TestNotifyHookDelay(t *testing.T) {
 	if *raised != 1 {
 		t.Fatalf("raised = %d after engine run, want 1", *raised)
 	}
-	if u.NotifyDelayed != 1 {
-		t.Fatalf("NotifyDelayed = %d, want 1", u.NotifyDelayed)
+	if u.NotifyDelayed.Load() != 1 {
+		t.Fatalf("NotifyDelayed = %d, want 1", u.NotifyDelayed.Load())
 	}
 }
 
@@ -73,8 +73,8 @@ func TestNotifyHookDuplicates(t *testing.T) {
 	if *raised != 3 {
 		t.Fatalf("raised = %d, want 3 (original + 2 duplicates)", *raised)
 	}
-	if u.NotifyDuped != 2 {
-		t.Fatalf("NotifyDuped = %d, want 2", u.NotifyDuped)
+	if u.NotifyDuped.Load() != 2 {
+		t.Fatalf("NotifyDuped = %d, want 2", u.NotifyDuped.Load())
 	}
 }
 

@@ -11,9 +11,11 @@ package uintr
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"aeolia/internal/sim"
+	"aeolia/internal/trace"
 )
 
 // MaxVectors is the number of user-interrupt vectors per UPID (the PIR is a
@@ -67,15 +69,17 @@ type UPID struct {
 	// Hook, if set, intercepts notifications for fault injection.
 	Hook NotifyHook
 
-	// Notification fault stats (only advanced when Hook is set).
-	NotifyDropped uint64
-	NotifyDelayed uint64
-	NotifyDuped   uint64
+	// Notification fault stats (only advanced when Hook is set). Atomic so
+	// tests and monitors may read them while a simulation goroutine
+	// mutates.
+	NotifyDropped atomic.Uint64
+	NotifyDelayed atomic.Uint64
+	NotifyDuped   atomic.Uint64
 
 	// NotifySent counts physical notification interrupts actually raised;
 	// NotifySuppressed counts posts coalesced behind an outstanding one.
-	NotifySent       uint64
-	NotifySuppressed uint64
+	NotifySent       atomic.Uint64
+	NotifySuppressed atomic.Uint64
 }
 
 // TakePIR atomically consumes the posted bitmap: it returns the current PIR
@@ -99,13 +103,13 @@ func notify(eng *sim.Engine, u *UPID, vector uint8) {
 	if u.ON {
 		// A notification is already in flight and its recognition will
 		// drain this post too (TakePIR). Coalesce: no second interrupt.
-		u.NotifySuppressed++
+		u.NotifySuppressed.Add(1)
 		return
 	}
 	raise := func() { eng.Core(u.DestCPU).RaiseIRQ(u.NV) }
 	if u.Hook == nil {
 		u.ON = true
-		u.NotifySent++
+		u.NotifySent.Add(1)
 		raise()
 		return
 	}
@@ -113,14 +117,14 @@ func notify(eng *sim.Engine, u *UPID, vector uint8) {
 	if v.Drop {
 		// ON deliberately stays clear: a dropped notification must not
 		// suppress future ones, or recovery would be impossible.
-		u.NotifyDropped++
+		u.NotifyDropped.Add(1)
 		return
 	}
 	u.ON = true
-	u.NotifySent++
+	u.NotifySent.Add(1)
 	deliver := func() {
 		if v.Delay > 0 {
-			u.NotifyDelayed++
+			u.NotifyDelayed.Add(1)
 			eng.Schedule(v.Delay, raise)
 		} else {
 			raise()
@@ -128,7 +132,7 @@ func notify(eng *sim.Engine, u *UPID, vector uint8) {
 	}
 	deliver()
 	for i := 0; i < v.Duplicates; i++ {
-		u.NotifyDuped++
+		u.NotifyDuped.Add(1)
 		deliver()
 	}
 }
@@ -247,6 +251,9 @@ func (cs *CoreState) SendUIPI(eng *sim.Engine, index int) (*UPID, error) {
 	}
 	ent := cs.UITT[index]
 	ent.UPID.Post(ent.UV)
+	if tr := eng.Tracer; tr != nil {
+		tr.Emit(eng.Now(), trace.UPIDPost, ent.UPID.DestCPU, -1, trace.NoCID, 0, uint64(ent.UV))
+	}
 	notify(eng, ent.UPID, ent.UV)
 	return ent.UPID, nil
 }
@@ -256,5 +263,8 @@ func (cs *CoreState) SendUIPI(eng *sim.Engine, index int) (*UPID, error) {
 // notification vector on the destination core.
 func PostAndNotify(eng *sim.Engine, u *UPID, vector uint8) {
 	u.Post(vector)
+	if tr := eng.Tracer; tr != nil {
+		tr.Emit(eng.Now(), trace.UPIDPost, u.DestCPU, -1, trace.NoCID, 0, uint64(vector))
+	}
 	notify(eng, u, vector)
 }
