@@ -9,6 +9,7 @@
 //	aeobench -md all          # emit markdown (for EXPERIMENTS.md)
 //	aeobench -json qdsweep    # emit JSON (for CI bench artifacts)
 //	aeobench -trace t.json    # export a Chrome trace of one QD32 window
+//	aeobench -svc             # traced 128-client service run + invariant check
 package main
 
 import (
@@ -26,8 +27,9 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown tables")
 	jsonOut := flag.Bool("json", false, "emit JSON tables")
 	traceOut := flag.String("trace", "", "run one traced QD32 qdsweep window and write Chrome trace_event JSON to this file")
+	svc := flag.Bool("svc", false, "run the traced 128-client service sweep and check trace invariants + admission accounting")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] list | all | <experiment-id>...\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] list | all | <experiment-id>...\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
 		}
@@ -36,6 +38,15 @@ func main() {
 	args := flag.Args()
 	if *traceOut != "" {
 		if err := runTraced(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 && !*svc {
+			return
+		}
+	}
+	if *svc {
+		if err := runSvc(); err != nil {
 			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
 			os.Exit(1)
 		}
@@ -122,6 +133,41 @@ func runTraced(path string) error {
 		len(evs), tr.Dropped(), kiops, len(an.Chains), path)
 	if len(an.Violations) > 0 {
 		return fmt.Errorf("%d trace invariant violation(s)", len(an.Violations))
+	}
+	return nil
+}
+
+// runSvc drives the traced 128-client admission-controlled service sweep,
+// prints the per-stage service latency table the analyzer reconstructed
+// from the trace, and fails (non-zero exit) on any causal-invariant
+// violation or admission accounting mismatch.
+func runSvc() error {
+	tr, r, err := experiments.SvcScaleTrace()
+	if err != nil {
+		return err
+	}
+	evs := tr.Events()
+	an := trace.Analyze(evs)
+	an.SvcLatencyTable().Print(os.Stdout)
+	for _, v := range an.Violations {
+		fmt.Fprintf(os.Stderr, "aeobench: trace invariant violation: %v\n", v)
+	}
+	incomplete := 0
+	for _, c := range an.SvcChains {
+		if !c.Complete() {
+			incomplete++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[svc: %d events (%d dropped), %d ops, p99 %v, %d chains (%d incomplete), %d shed]\n",
+		len(evs), tr.Dropped(), r.Res.Ops, r.Res.Latency.P99(), len(an.SvcChains), incomplete, r.Shed)
+	if len(an.Violations) > 0 {
+		return fmt.Errorf("%d trace invariant violation(s)", len(an.Violations))
+	}
+	if incomplete > 0 {
+		return fmt.Errorf("%d incomplete service chain(s)", incomplete)
+	}
+	if err := r.Srv.CheckAccounting(); err != nil {
+		return fmt.Errorf("admission accounting: %w", err)
 	}
 	return nil
 }

@@ -1,7 +1,10 @@
-// Tenants: two untrusted processes share one disk through Aeolia's
-// protected-sharing design. Tenant B can read the world-readable file but
-// every attempt to touch tenant A's data — through the driver or the
-// trusted file-system layer — is refused.
+// Tenants: two tenants share one disk through the Aeolia storage service.
+// Their requests travel a simulated network fabric, arrive as user
+// interrupts at the service dispatcher, and pass per-tenant admission
+// control: tenant A holds a 40k ops/s contract, tenant B 5k ops/s. Both
+// drive identical closed loops; the token buckets shed B's excess early
+// (B backs off and retries) while A runs nearly unthrottled — protected
+// performance sharing on top of protected data sharing.
 //
 //	go run ./examples/tenants
 package main
@@ -9,98 +12,101 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
-	"aeolia/internal/aeodriver"
 	"aeolia/internal/aeofs"
-	"aeolia/internal/aeokern"
+	"aeolia/internal/aeosvc"
 	"aeolia/internal/machine"
+	"aeolia/internal/netsim"
 	"aeolia/internal/nvme"
 	"aeolia/internal/sim"
 )
 
 func main() {
-	const blocks = 1 << 16
-	m := machine.New(2, nvme.Config{BlockSize: aeofs.BlockSize, NumBlocks: blocks})
-	part := aeokern.Partition{Start: 0, Blocks: blocks, Writable: true}
-
-	tenantA, err := m.Launch("tenantA", part, aeodriver.Config{Mode: aeodriver.ModeUserInterrupt})
-	if err != nil {
-		log.Fatal(err)
-	}
-	tenantB, err := m.Launch("tenantB", part, aeodriver.Config{Mode: aeodriver.ModeUserInterrupt})
+	const blocks = 1 << 15
+	m := machine.New(4, nvme.Config{BlockSize: aeofs.BlockSize, NumBlocks: blocks})
+	fi, err := m.BuildFS(machine.KindAeoFS, machine.FSOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var trust *aeofs.TrustLayer
-	var secretBlocks []uint64
-
-	// Tenant A formats the volume and stores a secret.
-	m.Eng.Spawn("tenantA", m.Eng.Core(0), func(env *sim.Env) {
-		if _, e := tenantA.Driver.CreateQP(env); e != nil {
-			log.Fatal(e)
-		}
-		t, e := aeofs.MkfsAndMount(env, tenantA.Driver, 0, blocks, aeofs.MkfsOptions{})
-		if e != nil {
-			log.Fatal(e)
-		}
-		trust = t
-		fs := aeofs.NewFS(trust, tenantA.Driver, 2)
-		fs.Mkdir(env, "/a")
-		fd, e := fs.Open(env, "/a/secret", aeofs.O_CREATE|aeofs.O_RDWR)
-		if e != nil {
-			log.Fatal(e)
-		}
-		fs.Write(env, fd, []byte("tenant A's private data"))
-		fs.Fsync(env, fd)
-		fs.Close(env, fd)
-		st, _ := fs.Stat(env, "/a/secret")
-		secretBlocks, _ = trust.QueryFileBlocks(env, tenantA.Driver, st.Ino)
-		fmt.Println("tenant A: wrote /a/secret")
+	// The service listens on the fabric; every tenant gets its own link
+	// pair with identical latency and bandwidth — the only asymmetry is
+	// the admission contract.
+	fab := netsim.New(m.Eng, 7)
+	srv := aeosvc.NewServer(fab, m.Kern, fi.Proc.Gate, fi.FS, aeosvc.Config{
+		Admission: true,
+		Tenants: []aeosvc.TenantConfig{
+			{ID: 1, Weight: 4, OpsPerSec: 40000, Burst: 16, MaxBacklog: 64}, // tenant A
+			{ID: 2, Weight: 1, OpsPerSec: 5000, Burst: 4, MaxBacklog: 16},   // tenant B
+		},
 	})
-	m.Eng.Run(0)
+	srv.Start(m.Eng.Core(0), []*sim.Core{m.Eng.Core(1)})
 
-	// Tenant B attaches and attacks.
-	m.Eng.Spawn("tenantB", m.Eng.Core(1), func(env *sim.Env) {
-		if _, e := tenantB.Driver.CreateQP(env); e != nil {
-			log.Fatal(e)
+	link := netsim.Config{
+		Latency:     5 * time.Microsecond,
+		BytesPerSec: 10e9,
+		Jitter:      2 * time.Microsecond,
+		QueueDepth:  256,
+	}
+	mkClients := func(tenant uint16, first, n int) []*aeosvc.Client {
+		var cs []*aeosvc.Client
+		for i := 0; i < n; i++ {
+			c := aeosvc.NewClient(fab, "svc", aeosvc.ClientConfig{
+				ID:       first + i,
+				Tenant:   tenant,
+				QD:       2,
+				Ops:      200,
+				ReadFrac: 0.5,
+				IOBytes:  4096,
+				Seed:     int64(1000*int(tenant) + i),
+			})
+			fab.Connect(c.EndpointName(), "svc", link)
+			fab.Connect("svc", c.EndpointName(), link)
+			cs = append(cs, c)
 		}
-		if e := trust.AttachProcess(env, tenantB.Driver); e != nil {
-			log.Fatal(e)
-		}
-		fs := aeofs.NewFS(trust, tenantB.Driver, 2)
+		return cs
+	}
+	clients := append(mkClients(1, 0, 4), mkClients(2, 4, 4)...)
 
-		// Legal: world-readable data is readable through the FS.
-		fd, e := fs.Open(env, "/a/secret", aeofs.O_RDONLY)
-		if e != nil {
-			log.Fatal(e)
-		}
-		buf := make([]byte, 23)
-		fs.ReadAt(env, fd, buf, 0)
-		fmt.Printf("tenant B: legal read through AeoFS: %q\n", buf)
-		fs.Close(env, fd)
+	spec := &aeosvc.LoadSpec{
+		Eng:     m.Eng,
+		Clients: clients,
+		CoreFor: func(i int) *sim.Core { return m.Eng.Core(2 + i%2) },
+		Horizon: time.Minute,
+		Stop:    srv.Stop,
+	}
+	if _, _, err := spec.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.CheckAccounting(); err != nil {
+		log.Fatal(err)
+	}
 
-		// Illegal 1: writing A's file through the trusted layer.
-		if _, e := fs.Open(env, "/a/secret", aeofs.O_WRONLY); e != nil {
-			fmt.Println("tenant B: open-for-write refused:", e)
+	// Per-tenant goodput over each tenant's own active window.
+	goodput := map[uint16]float64{}
+	for i, c := range clients {
+		tenant := uint16(1)
+		if i >= 4 {
+			tenant = 2 // clients 4-7 (see mkClients calls)
 		}
-		// Illegal 2: raw device access to A's blocks (permission table).
-		raw := make([]byte, aeofs.BlockSize)
-		if e := tenantB.Driver.WriteBlk(env, secretBlocks[0], 1, raw); e != nil {
-			fmt.Println("tenant B: raw block write refused:", e)
+		r := c.Result
+		if span := (r.End - r.Start).Seconds(); span > 0 {
+			goodput[tenant] += float64(r.Ops) / span
 		}
-		if e := tenantB.Driver.ReadBlk(env, secretBlocks[0], 1, raw); e != nil {
-			fmt.Println("tenant B: raw block read refused:", e)
+	}
+	fmt.Println("per-tenant admission accounting (identical offered load):")
+	for _, ts := range srv.Admission().TenantStats() {
+		name := "A (40k ops/s)"
+		if ts.ID == 2 {
+			name = "B ( 5k ops/s)"
 		}
-		// Illegal 3: privileged driver APIs from untrusted code.
-		if e := tenantB.Driver.WritePriv(env, secretBlocks[0], 1, raw); e != nil {
-			fmt.Println("tenant B: write_priv refused:", e)
-		}
-		// Illegal 4: corrupting the directory tree.
-		if e := fs.Unlink(env, "/a/secret"); e != nil {
-			fmt.Println("tenant B: unlink of A's file refused:", e)
-		}
-	})
-	m.Eng.Run(0)
-	fmt.Println("protected sharing held: tenant A's data only ever moved through authorized paths")
+		fmt.Printf("  tenant %s: received %5d  admitted %5d  shed %5d  goodput %7.0f ops/s\n",
+			name, ts.Received, ts.Admitted, ts.Shed, goodput[ts.ID])
+	}
+	a := srv.Admission().TenantStats()[0]
+	b := srv.Admission().TenantStats()[1]
+	if a.Shed < b.Shed && goodput[1] > goodput[2] {
+		fmt.Println("rate limiting held: B's excess was shed at admission; A's contract was honored")
+	}
 }

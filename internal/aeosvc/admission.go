@@ -1,0 +1,214 @@
+package aeosvc
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TenantConfig is one tenant's admission policy.
+type TenantConfig struct {
+	ID uint16
+	// Weight is the tenant's share in the weighted fair dequeue
+	// (default 1).
+	Weight int
+	// OpsPerSec refills the tenant's token bucket; 0 means unlimited.
+	OpsPerSec float64
+	// Burst is the bucket capacity in requests (default 8).
+	Burst int
+	// MaxBacklog bounds the tenant's admitted-but-unserved queue; a full
+	// backlog sheds even when tokens remain (default 0 = unbounded).
+	MaxBacklog int
+}
+
+// TenantStats is one tenant's admission accounting.
+type TenantStats struct {
+	ID                       uint16
+	Received, Admitted, Shed uint64
+}
+
+// pending is one received request waiting for a worker.
+type pending struct {
+	req     Request
+	conn    int32  // connection id (netsim source endpoint)
+	replyTo string // endpoint to send the response to
+	recvAt  time.Duration
+}
+
+// tenantState is the runtime side of one TenantConfig.
+type tenantState struct {
+	cfg     TenantConfig
+	tokens  float64
+	last    time.Duration // last refill
+	queue   []*pending
+	deficit float64 // weighted-fair dequeue credit
+
+	received, admitted, shed uint64
+}
+
+func (ts *tenantState) weight() float64 {
+	if ts.cfg.Weight > 0 {
+		return float64(ts.cfg.Weight)
+	}
+	return 1
+}
+
+func (ts *tenantState) burst() float64 {
+	if ts.cfg.Burst > 0 {
+		return float64(ts.cfg.Burst)
+	}
+	return 8
+}
+
+// refill tops the bucket up to now.
+func (ts *tenantState) refill(now time.Duration) {
+	if ts.cfg.OpsPerSec <= 0 {
+		return
+	}
+	ts.tokens += ts.cfg.OpsPerSec * (now - ts.last).Seconds()
+	if b := ts.burst(); ts.tokens > b {
+		ts.tokens = b
+	}
+	ts.last = now
+}
+
+// Admission is the per-tenant token-bucket rate limiter plus the weighted
+// fair queue feeding the worker pool. When disabled it still provides the
+// (unbounded, unlimited) queues, so the dequeue path is identical in both
+// modes. Engine-single-threaded, like everything in the simulation.
+type Admission struct {
+	enabled bool
+	tenants []*tenantState // sorted by ID for deterministic dequeue
+	byID    map[uint16]*tenantState
+	rr      int // round-robin cursor over tenants
+	queued  int
+}
+
+// NewAdmission builds the admission controller. Requests from tenants not
+// in cfgs are assigned a default (unlimited) tenant config on first use
+// only when enabled is false; with admission enabled, unknown tenants are
+// shed outright.
+func NewAdmission(enabled bool, cfgs []TenantConfig) *Admission {
+	a := &Admission{enabled: enabled, byID: make(map[uint16]*tenantState)}
+	for _, c := range cfgs {
+		a.addTenant(c)
+	}
+	return a
+}
+
+func (a *Admission) addTenant(c TenantConfig) *tenantState {
+	ts := &tenantState{cfg: c, tokens: 0}
+	ts.tokens = ts.burst() // start full
+	a.byID[c.ID] = ts
+	a.tenants = append(a.tenants, ts)
+	sort.Slice(a.tenants, func(i, j int) bool {
+		return a.tenants[i].cfg.ID < a.tenants[j].cfg.ID
+	})
+	a.rr = 0
+	return ts
+}
+
+// Enabled reports whether rate limits and backlog bounds are enforced.
+func (a *Admission) Enabled() bool { return a.enabled }
+
+// Queued returns the number of admitted requests waiting for a worker.
+func (a *Admission) Queued() int { return a.queued }
+
+// Offer presents one received request; it either admits (enqueues) it and
+// returns true, or sheds it and returns false.
+func (a *Admission) Offer(now time.Duration, p *pending) bool {
+	ts := a.byID[p.req.Tenant]
+	if ts == nil {
+		if a.enabled {
+			// Unknown tenant under enforcement: shed (no bucket to
+			// charge, no stats row to lose — count it on a synthetic
+			// row so accounting still balances).
+			ts = a.addTenant(TenantConfig{ID: p.req.Tenant, OpsPerSec: -1})
+			ts.received++
+			ts.shed++
+			return false
+		}
+		ts = a.addTenant(TenantConfig{ID: p.req.Tenant})
+	}
+	ts.received++
+	if a.enabled {
+		if ts.cfg.OpsPerSec < 0 {
+			ts.shed++
+			return false
+		}
+		ts.refill(now)
+		if ts.cfg.OpsPerSec > 0 && ts.tokens < 1 {
+			ts.shed++
+			return false
+		}
+		if ts.cfg.MaxBacklog > 0 && len(ts.queue) >= ts.cfg.MaxBacklog {
+			ts.shed++
+			return false
+		}
+		if ts.cfg.OpsPerSec > 0 {
+			ts.tokens--
+		}
+	}
+	ts.admitted++
+	ts.queue = append(ts.queue, p)
+	a.queued++
+	return true
+}
+
+// Next pops the next admitted request under deficit-weighted round robin:
+// each visit grants a tenant credit proportional to its weight, and a
+// tenant serves one request per unit of credit. Returns nil when every
+// queue is empty. Deterministic: tenants are visited in ID order from a
+// persistent cursor.
+func (a *Admission) Next() *pending {
+	if a.queued == 0 || len(a.tenants) == 0 {
+		return nil
+	}
+	// Two sweeps bound the search: a backlogged tenant is reached and
+	// credited within one lap of the cursor.
+	for pass := 0; pass < 2*len(a.tenants); pass++ {
+		ts := a.tenants[a.rr%len(a.tenants)]
+		if len(ts.queue) == 0 {
+			// An idle tenant holds no credit (classic DRR reset).
+			ts.deficit = 0
+			a.rr++
+			continue
+		}
+		if ts.deficit < 1 {
+			// The cursor just arrived: grant this round's credit.
+			ts.deficit += ts.weight()
+		}
+		ts.deficit--
+		p := ts.queue[0]
+		ts.queue = ts.queue[1:]
+		a.queued--
+		if ts.deficit < 1 {
+			// Credit exhausted; the next dequeue moves on.
+			a.rr++
+		}
+		return p
+	}
+	// Unreachable while queued > 0, but keep the contract total.
+	return nil
+}
+
+// TenantStats returns per-tenant accounting, sorted by tenant id.
+func (a *Admission) TenantStats() []TenantStats {
+	out := make([]TenantStats, 0, len(a.tenants))
+	for _, ts := range a.tenants {
+		out = append(out, TenantStats{ID: ts.cfg.ID,
+			Received: ts.received, Admitted: ts.admitted, Shed: ts.shed})
+	}
+	return out
+}
+
+// CheckAccounting verifies received == admitted + shed for every tenant.
+func (a *Admission) CheckAccounting() error {
+	for _, ts := range a.tenants {
+		if ts.received != ts.admitted+ts.shed {
+			return fmt.Errorf("aeosvc: tenant %d accounting mismatch: received %d != admitted %d + shed %d",
+				ts.cfg.ID, ts.received, ts.admitted, ts.shed)
+		}
+	}
+	return nil
+}

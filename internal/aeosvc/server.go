@@ -1,0 +1,566 @@
+package aeosvc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aeolia/internal/aeokern"
+	"aeolia/internal/kv"
+	"aeolia/internal/mpk"
+	"aeolia/internal/netsim"
+	"aeolia/internal/sched"
+	"aeolia/internal/sim"
+	"aeolia/internal/timing"
+	"aeolia/internal/trace"
+	"aeolia/internal/uintr"
+	"aeolia/internal/vfs"
+)
+
+// rxUserVector is the user-interrupt vector network completions post into
+// the dispatcher's UPID (any value < uintr.MaxVectors works; the handler
+// identifies the source by checking the endpoint inbox, §4.2's "check the
+// hardware queue" step applied to the network).
+const rxUserVector = 7
+
+// Config tunes a Server.
+type Config struct {
+	// Endpoint is the fabric name the service listens on (default "svc").
+	Endpoint string
+	// Admission enables per-tenant rate limits and backlog bounds; off,
+	// every request is admitted (the uncontrolled baseline).
+	Admission bool
+	// Tenants is the admission policy table.
+	Tenants []TenantConfig
+	// RequestCPU is the per-request parse/dispatch cost on the
+	// dispatcher (default 1us).
+	RequestCPU time.Duration
+	// KV serves OpGet/OpPut from an internal/kv store on the shared
+	// file system (directory KVDir, default "/kv").
+	KV    bool
+	KVDir string
+}
+
+func (c Config) endpoint() string {
+	if c.Endpoint == "" {
+		return "svc"
+	}
+	return c.Endpoint
+}
+
+func (c Config) requestCPU() time.Duration {
+	if c.RequestCPU == 0 {
+		return time.Microsecond
+	}
+	return c.RequestCPU
+}
+
+func (c Config) kvDir() string {
+	if c.KVDir == "" {
+		return "/kv"
+	}
+	return c.KVDir
+}
+
+// connState is one connection's server-side state machine: the handles it
+// opened (a per-connection capability table) and its pipelining depth.
+type connState struct {
+	id   int32
+	name string // reply endpoint
+	fds  map[uint32]bool
+
+	outstanding    int // received, not yet replied
+	maxOutstanding int // high-water mark (observed pipelining depth)
+}
+
+// Server is the storage service: one uintr-driven dispatcher task feeding
+// a worker pool through admission control.
+type Server struct {
+	eng  *sim.Engine
+	kern *aeokern.Kernel
+	gate *mpk.Gate
+	fab  *netsim.Fabric
+	fs   vfs.FileSystem
+	cfg  Config
+
+	ep    *netsim.Endpoint
+	adm   *Admission
+	conns map[int32]*connState
+
+	workWQ  sim.WaitQueue
+	stopped bool
+
+	db   *kv.DB
+	kvMu sim.Mutex
+
+	// Dispatcher uintr state.
+	rxTask *sim.Task
+	upid   *uintr.UPID
+	ext    *sched.ExtMap
+
+	// Stats.
+	Received, Admitted, Shed, FSOps, Replied uint64
+	BadRequests                              uint64
+	HandlerRuns, KernelDeliveries            uint64
+	ActiveChecks, BlockedWaits               uint64
+	ReplyRetries                             uint64
+
+	failure error
+}
+
+// NewServer wires a server onto the fabric. kern/gate come from the
+// launched server process (machine.Process); fs is its mounted file system.
+func NewServer(fab *netsim.Fabric, kern *aeokern.Kernel, gate *mpk.Gate, fs vfs.FileSystem, cfg Config) *Server {
+	s := &Server{
+		eng:   kern.Engine(),
+		kern:  kern,
+		gate:  gate,
+		fab:   fab,
+		fs:    fs,
+		cfg:   cfg,
+		ep:    fab.Endpoint(cfg.endpoint()),
+		adm:   NewAdmission(cfg.Admission, cfg.Tenants),
+		conns: make(map[int32]*connState),
+		ext:   kern.ExtMap(),
+	}
+	return s
+}
+
+// Endpoint returns the fabric endpoint the service listens on.
+func (s *Server) Endpoint() *netsim.Endpoint { return s.ep }
+
+// Admission returns the admission controller (stats inspection).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// UPID returns the dispatcher's posting descriptor (nil before ServeRx
+// binds); tests inspect its notification counters.
+func (s *Server) UPID() *uintr.UPID { return s.upid }
+
+// Err returns the first internal failure (nil while healthy).
+func (s *Server) Err() error { return s.failure }
+
+// Start spawns the dispatcher on rxCore and one worker per workerCores
+// entry. Worker tasks create their own driver queue pairs (vfs.PerThreadInit),
+// so they must NOT share a core with the dispatcher: the dispatcher's one
+// uintr registration belongs to the network vector.
+func (s *Server) Start(rxCore *sim.Core, workerCores []*sim.Core) {
+	s.eng.Spawn("svc-rx", rxCore, s.ServeRx)
+	for i, c := range workerCores {
+		s.eng.Spawn(fmt.Sprintf("svc-worker-%d", i), c, s.ServeWorker)
+	}
+}
+
+// Stop initiates shutdown: the dispatcher and workers drain and exit. Safe
+// to call from outside the engine (it schedules an event).
+func (s *Server) Stop() {
+	s.eng.Schedule(0, func() {
+		s.stopped = true
+		s.ep.SignalArrival()
+		s.workWQ.Broadcast(s.eng)
+	})
+}
+
+func (s *Server) fail(err error) {
+	if s.failure == nil {
+		s.failure = err
+	}
+}
+
+// ServeRx is the dispatcher task body: it binds the netsim endpoint to the
+// uintr notification path, then loops receiving, decoding, and admitting
+// requests. Arrival waits follow the driver's policy: block when another
+// task wants the core, otherwise actively check and let the in-schedule
+// user interrupt resume the spin (§2.1/§6.1 applied to the network edge).
+func (s *Server) ServeRx(env *sim.Env) {
+	if err := s.bindRx(env); err != nil {
+		s.fail(err)
+		return
+	}
+	for {
+		m := s.ep.TryRecv()
+		if m == nil {
+			if s.stopped {
+				return
+			}
+			c := s.ep.Arrival()
+			if s.ep.Pending() > 0 || s.stopped {
+				continue
+			}
+			if s.othersRunnable(env) {
+				s.BlockedWaits++
+				env.BlockOn(c)
+			} else {
+				s.ActiveChecks++
+				env.SpinWait(c)
+			}
+			continue
+		}
+		s.handle(env, m)
+	}
+}
+
+// bindRx installs the dispatcher's user-interrupt registration and routes
+// endpoint deliveries into its UPID — the network analogue of remapping an
+// NVMe MSI-X vector (§4.2). The dispatcher task must not also create a
+// driver queue pair: a task has exactly one uintr registration.
+func (s *Server) bindRx(env *sim.Env) error {
+	t := env.Task()
+	s.rxTask = t
+	vec, err := s.kern.AllocVector(s.kernelDeliver)
+	if err != nil {
+		return err
+	}
+	upid, _ := s.kern.MapUPID(t.Affinity(), vec, s.gate)
+	s.upid = upid
+	s.kern.RegisterThreadUintr(t, vec, upid, s.userHandler)
+	s.ep.SetOnDeliver(func(m *netsim.Msg) {
+		uintr.PostAndNotify(s.eng, upid, rxUserVector)
+	})
+	return nil
+}
+
+// othersRunnable consults the sched_ext map: does another task want the
+// dispatcher's core?
+func (s *Server) othersRunnable(env *sim.Env) bool {
+	c := env.Task().Core()
+	if c == nil {
+		return false
+	}
+	return s.ext.Snapshot(c).NrRunning > 1
+}
+
+// emitHandler brackets a handler execution in the trace stream.
+func (s *Server) emitHandler(typ trace.Type, core int, aux uint64) {
+	if tr := s.eng.Tracer; tr != nil {
+		tr.Emit(s.eng.Now(), typ, core, -1, trace.NoCID, 0, aux)
+	}
+}
+
+// userHandler is the dispatcher's in-schedule user-interrupt handler: it
+// identifies the interrupt source (the endpoint inbox), hands the inbox to
+// the task by firing the arrival completion, and evaluates user_try_yield
+// before returning (§6.1 decision point).
+func (s *Server) userHandler(ctx *sim.IRQCtx, uv uint8) {
+	s.HandlerRuns++
+	s.emitHandler(trace.HandlerEnter, ctx.Core().ID, uint64(uv))
+	defer s.emitHandler(trace.HandlerExit, ctx.Core().ID, uint64(uv))
+	s.ep.SignalArrival()
+	snap := s.ext.Snapshot(ctx.Core())
+	if sched.UserTryYield(snap, ctx.Now()) {
+		ctx.Core().SetNeedResched()
+	}
+}
+
+// kernelDeliver is the out-of-schedule path: the notification vector missed
+// UINV (dispatcher context-switched out), so it arrives as a kernel
+// interrupt. The kernel consumes the PIR, inserts the handler frame to run
+// when the dispatcher resumes, and wakes it — exactly the driver's NVMe
+// completion fallback, reused for network completions.
+func (s *Server) kernelDeliver(ctx *sim.IRQCtx, vec int) {
+	s.KernelDeliveries++
+	ctx.Charge(timing.KernelInterrupt)
+	s.upid.TakePIR()
+	t := s.rxTask
+	if t == nil {
+		return
+	}
+	if t.State() == sim.TaskRunning {
+		s.HandlerRuns++
+		s.emitHandler(trace.HandlerEnter, ctx.Core().ID, trace.KernelPathAux)
+		s.ep.SignalArrival()
+		s.emitHandler(trace.HandlerExit, ctx.Core().ID, trace.KernelPathAux)
+		return
+	}
+	t.PushResumeHook(func() time.Duration {
+		s.HandlerRuns++
+		core := -1
+		if c := t.Core(); c != nil {
+			core = c.ID
+		}
+		s.emitHandler(trace.HandlerEnter, core, trace.KernelPathAux)
+		s.ep.SignalArrival()
+		s.emitHandler(trace.HandlerExit, core, trace.KernelPathAux)
+		return timing.HandlerExec
+	})
+	switch t.State() {
+	case sim.TaskBlocked:
+		ctx.Charge(timing.WakeupTTWU)
+		ctx.Engine().Wake(t)
+	case sim.TaskRunnable:
+		if s.kern.Sched().ShouldPreempt(t, ctx.Core()) {
+			ctx.Core().SetNeedResched()
+		}
+	}
+}
+
+// handle decodes, accounts, and admits (or sheds) one received request.
+func (s *Server) handle(env *sim.Env, m *netsim.Msg) {
+	env.Exec(netsim.RxCost + s.cfg.requestCPU())
+	now := env.Now()
+	req, err := DecodeRequest(m.Payload)
+	if err != nil {
+		// Undecodable frame: no request id to reply to.
+		s.BadRequests++
+		return
+	}
+	conn := s.conn(m)
+	conn.outstanding++
+	if conn.outstanding > conn.maxOutstanding {
+		conn.maxOutstanding = conn.outstanding
+	}
+	s.Received++
+	if tr := s.eng.Tracer; tr != nil {
+		tr.Emit(now, trace.SvcReqRecv, s.coreID(env), int(conn.id), uint32(req.ID), 0, uint64(req.Op))
+	}
+	p := &pending{req: req, conn: conn.id, replyTo: m.Src, recvAt: now}
+	if s.adm.Offer(now, p) {
+		s.Admitted++
+		if tr := s.eng.Tracer; tr != nil {
+			tr.Emit(now, trace.SvcAdmit, s.coreID(env), int(conn.id), uint32(req.ID), 0, uint64(req.Tenant))
+		}
+		s.workWQ.Signal(s.eng)
+		return
+	}
+	s.Shed++
+	if tr := s.eng.Tracer; tr != nil {
+		tr.Emit(now, trace.SvcShed, s.coreID(env), int(conn.id), uint32(req.ID), 0, uint64(req.Tenant))
+	}
+	s.reply(env, p, Response{ID: req.ID, Status: StatusThrottled})
+}
+
+// conn returns (creating if needed) the connection state for a message's
+// source endpoint.
+func (s *Server) conn(m *netsim.Msg) *connState {
+	id := int32(m.SrcID)
+	cs := s.conns[id]
+	if cs == nil {
+		cs = &connState{id: id, name: m.Src, fds: make(map[uint32]bool)}
+		s.conns[id] = cs
+	}
+	return cs
+}
+
+// Conn returns a connection's observed pipelining high-water mark (0 for
+// unknown connections).
+func (s *Server) ConnMaxOutstanding(srcID int) int {
+	if cs := s.conns[int32(srcID)]; cs != nil {
+		return cs.maxOutstanding
+	}
+	return 0
+}
+
+func (s *Server) coreID(env *sim.Env) int {
+	if c := env.Task().Core(); c != nil {
+		return c.ID
+	}
+	return -1
+}
+
+// ServeWorker is one worker task body: per-thread driver setup, then a
+// dequeue-execute-reply loop over the admitted queue.
+func (s *Server) ServeWorker(env *sim.Env) {
+	if init, ok := s.fs.(vfs.PerThreadInit); ok {
+		if err := init.InitThread(env); err != nil {
+			s.fail(fmt.Errorf("aeosvc: worker init: %w", err))
+			return
+		}
+	}
+	if s.cfg.KV {
+		s.kvMu.Lock(env)
+		if s.db == nil && s.failure == nil {
+			db, err := kv.Open(env, s.fs, kv.Options{Dir: s.cfg.kvDir()})
+			if err != nil {
+				s.fail(fmt.Errorf("aeosvc: kv open: %w", err))
+			} else {
+				s.db = db
+			}
+		}
+		s.kvMu.Unlock(env)
+	}
+	for {
+		p := s.adm.Next()
+		if p == nil {
+			if s.stopped {
+				return
+			}
+			s.workWQ.Wait(env)
+			continue
+		}
+		resp := s.execute(env, p)
+		if tr := s.eng.Tracer; tr != nil {
+			var moved uint64
+			if resp.Status == StatusOK {
+				moved = uint64(resp.Value)
+			}
+			tr.Emit(env.Now(), trace.SvcFSOp, s.coreID(env), int(p.conn), uint32(p.req.ID), 0, moved)
+		}
+		s.FSOps++
+		s.reply(env, p, resp)
+	}
+}
+
+// execute runs one admitted request against the file system / KV store,
+// enforcing the connection's handle capability table.
+func (s *Server) execute(env *sim.Env, p *pending) Response {
+	req := &p.req
+	resp := Response{ID: req.ID}
+	cs := s.conns[p.conn]
+	fail := func(err error) Response {
+		resp.Status = StatusErr
+		resp.Err = err.Error()
+		return resp
+	}
+	needFD := func() error {
+		if cs == nil || !cs.fds[req.FD] {
+			return fmt.Errorf("aeosvc: conn %d: bad fd %d", p.conn, req.FD)
+		}
+		return nil
+	}
+	switch req.Op {
+	case OpOpen:
+		fd, err := s.fs.Open(env, req.Path, vfs.O_CREATE|vfs.O_RDWR)
+		if err != nil {
+			return fail(err)
+		}
+		if cs != nil {
+			cs.fds[uint32(fd)] = true
+		}
+		resp.Value = uint32(fd)
+	case OpClose:
+		if err := needFD(); err != nil {
+			return fail(err)
+		}
+		if err := s.fs.Close(env, int(req.FD)); err != nil {
+			return fail(err)
+		}
+		delete(cs.fds, req.FD)
+	case OpRead:
+		if err := needFD(); err != nil {
+			return fail(err)
+		}
+		buf := make([]byte, req.Len)
+		n, err := s.fs.ReadAt(env, int(req.FD), buf, req.Off)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = buf[:n]
+		resp.Value = uint32(n)
+	case OpWrite:
+		if err := needFD(); err != nil {
+			return fail(err)
+		}
+		n, err := s.fs.WriteAt(env, int(req.FD), req.Data, req.Off)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Value = uint32(n)
+	case OpFsync:
+		if err := needFD(); err != nil {
+			return fail(err)
+		}
+		if err := s.fs.Fsync(env, int(req.FD)); err != nil {
+			return fail(err)
+		}
+	case OpGet:
+		if s.db == nil {
+			return fail(errors.New("aeosvc: kv disabled"))
+		}
+		s.kvMu.Lock(env)
+		v, err := s.db.Get(env, []byte(req.Path))
+		s.kvMu.Unlock(env)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = v
+		resp.Value = uint32(len(v))
+	case OpPut:
+		if s.db == nil {
+			return fail(errors.New("aeosvc: kv disabled"))
+		}
+		s.kvMu.Lock(env)
+		err := s.db.Put(env, []byte(req.Path), req.Data)
+		s.kvMu.Unlock(env)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Value = uint32(len(req.Data))
+	default:
+		return fail(fmt.Errorf("aeosvc: unhandled op %v", req.Op))
+	}
+	resp.Status = StatusOK
+	return resp
+}
+
+// reply sends the response for p, retiring its connection slot. Reply-link
+// backpressure (ErrOverflow) is absorbed by a bounded retry loop — the
+// closed-loop clients keep reply queues shallow, so this only triggers
+// under deliberately tiny link depths.
+func (s *Server) reply(env *sim.Env, p *pending, resp Response) {
+	enc := resp.Encode()
+	if tr := s.eng.Tracer; tr != nil {
+		tr.Emit(env.Now(), trace.SvcReply, s.coreID(env), int(p.conn), uint32(p.req.ID), 0, uint64(resp.Status))
+	}
+	s.Replied++
+	if cs := s.conns[p.conn]; cs != nil {
+		cs.outstanding--
+	}
+	for {
+		err := s.ep.Send(env, p.replyTo, enc)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, netsim.ErrOverflow) {
+			s.fail(fmt.Errorf("aeosvc: reply to %s: %w", p.replyTo, err))
+			return
+		}
+		s.ReplyRetries++
+		env.Sleep(5 * time.Microsecond)
+	}
+}
+
+// Stats is the server-side accounting snapshot.
+type Stats struct {
+	Received, Admitted, Shed, FSOps, Replied uint64
+	BadRequests                              uint64
+	Tenants                                  []TenantStats
+}
+
+// Stats snapshots the accounting counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Received: s.Received, Admitted: s.Admitted, Shed: s.Shed,
+		FSOps: s.FSOps, Replied: s.Replied, BadRequests: s.BadRequests,
+		Tenants: s.adm.TenantStats(),
+	}
+}
+
+// CheckAccounting cross-checks the admission-control books after a drained
+// run: every received request was admitted or shed (never both), every
+// admitted request executed exactly one fs op, and every received request
+// got exactly one reply.
+func (s *Server) CheckAccounting() error {
+	if s.failure != nil {
+		return s.failure
+	}
+	if s.Received != s.Admitted+s.Shed {
+		return fmt.Errorf("aeosvc: received %d != admitted %d + shed %d",
+			s.Received, s.Admitted, s.Shed)
+	}
+	if s.FSOps != s.Admitted {
+		return fmt.Errorf("aeosvc: %d fs ops for %d admitted requests", s.FSOps, s.Admitted)
+	}
+	if s.Replied != s.Received {
+		return fmt.Errorf("aeosvc: %d replies for %d received requests", s.Replied, s.Received)
+	}
+	var recv, adm, shed uint64
+	for _, ts := range s.adm.TenantStats() {
+		recv += ts.Received
+		adm += ts.Admitted
+		shed += ts.Shed
+	}
+	if recv != s.Received || adm != s.Admitted || shed != s.Shed {
+		return fmt.Errorf("aeosvc: tenant totals (%d/%d/%d) disagree with server counters (%d/%d/%d)",
+			recv, adm, shed, s.Received, s.Admitted, s.Shed)
+	}
+	return s.adm.CheckAccounting()
+}

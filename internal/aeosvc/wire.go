@@ -1,0 +1,205 @@
+// Package aeosvc is the storage service front-end of the Aeolia
+// reproduction: a binary request/response protocol over internal/netsim,
+// per-connection state machines with request pipelining, per-tenant
+// admission control (token buckets + weighted fair dequeue), and a worker
+// pool that executes admitted requests against AeoFS (and internal/kv)
+// through the uintr-driven driver hot path.
+//
+// The service edge reuses the paper's notification machinery end to end:
+// the dispatcher's network arrivals are posted into a UPID and delivered as
+// user interrupts (in-schedule) or via the kernel out-of-schedule path —
+// a network completion is handled exactly like an NVMe completion.
+package aeosvc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op is a wire opcode.
+type Op uint8
+
+// The request opcodes: POSIX-style file ops plus KV get/put riding
+// internal/kv.
+const (
+	OpInvalid Op = iota
+	OpOpen
+	OpClose
+	OpRead
+	OpWrite
+	OpFsync
+	OpGet
+	OpPut
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpInvalid: "invalid",
+	OpOpen:    "open",
+	OpClose:   "close",
+	OpRead:    "read",
+	OpWrite:   "write",
+	OpFsync:   "fsync",
+	OpGet:     "get",
+	OpPut:     "put",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Status is a wire response status.
+type Status uint8
+
+const (
+	// StatusOK: the operation succeeded.
+	StatusOK Status = iota
+	// StatusThrottled: admission control shed the request; the client
+	// should back off and retry with a fresh request id.
+	StatusThrottled
+	// StatusErr: the operation failed; Response.Err carries the message.
+	StatusErr
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusThrottled:
+		return "throttled"
+	case StatusErr:
+		return "err"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Wire format magics (first byte of every frame).
+const (
+	reqMagic  = 0xA7
+	respMagic = 0xA8
+)
+
+// ErrWire is wrapped by every decode failure.
+var ErrWire = errors.New("aeosvc: malformed frame")
+
+// Request is one client request.
+//
+// Wire layout (little-endian):
+//
+//	magic(1) op(1) tenant(2) id(8) fd(4) off(8) len(4) plen(2) dlen(4) path data
+type Request struct {
+	ID     uint64 // unique per connection (until replied)
+	Tenant uint16
+	Op     Op
+	FD     uint32 // file handle (close/read/write/fsync)
+	Off    uint64 // file offset (read/write)
+	Len    uint32 // read length
+	Path   string // open path, or get/put key
+	Data   []byte // write payload, or put value
+}
+
+const reqHeader = 1 + 1 + 2 + 8 + 4 + 8 + 4 + 2 + 4
+
+// Encode serializes the request.
+func (r *Request) Encode() []byte {
+	b := make([]byte, reqHeader+len(r.Path)+len(r.Data))
+	b[0] = reqMagic
+	b[1] = byte(r.Op)
+	binary.LittleEndian.PutUint16(b[2:], r.Tenant)
+	binary.LittleEndian.PutUint64(b[4:], r.ID)
+	binary.LittleEndian.PutUint32(b[12:], r.FD)
+	binary.LittleEndian.PutUint64(b[16:], r.Off)
+	binary.LittleEndian.PutUint32(b[24:], r.Len)
+	binary.LittleEndian.PutUint16(b[28:], uint16(len(r.Path)))
+	binary.LittleEndian.PutUint32(b[30:], uint32(len(r.Data)))
+	copy(b[reqHeader:], r.Path)
+	copy(b[reqHeader+len(r.Path):], r.Data)
+	return b
+}
+
+// DecodeRequest parses one request frame.
+func DecodeRequest(b []byte) (Request, error) {
+	var r Request
+	if len(b) < reqHeader {
+		return r, fmt.Errorf("%w: request header truncated (%d bytes)", ErrWire, len(b))
+	}
+	if b[0] != reqMagic {
+		return r, fmt.Errorf("%w: bad request magic %#x", ErrWire, b[0])
+	}
+	r.Op = Op(b[1])
+	if r.Op == OpInvalid || r.Op >= numOps {
+		return r, fmt.Errorf("%w: unknown opcode %d", ErrWire, b[1])
+	}
+	r.Tenant = binary.LittleEndian.Uint16(b[2:])
+	r.ID = binary.LittleEndian.Uint64(b[4:])
+	r.FD = binary.LittleEndian.Uint32(b[12:])
+	r.Off = binary.LittleEndian.Uint64(b[16:])
+	r.Len = binary.LittleEndian.Uint32(b[24:])
+	plen := int(binary.LittleEndian.Uint16(b[28:]))
+	dlen := int(binary.LittleEndian.Uint32(b[30:]))
+	if len(b) != reqHeader+plen+dlen {
+		return r, fmt.Errorf("%w: request body %d bytes, header promises %d",
+			ErrWire, len(b)-reqHeader, plen+dlen)
+	}
+	r.Path = string(b[reqHeader : reqHeader+plen])
+	r.Data = append([]byte(nil), b[reqHeader+plen:]...)
+	return r, nil
+}
+
+// Response is one server reply.
+//
+// Wire layout (little-endian):
+//
+//	magic(1) status(1) elen(2) id(8) value(4) dlen(4) err data
+type Response struct {
+	ID     uint64
+	Status Status
+	Value  uint32 // open: fd; read/write: byte count
+	Err    string // status == StatusErr
+	Data   []byte // read payload / get value
+}
+
+const respHeader = 1 + 1 + 2 + 8 + 4 + 4
+
+// Encode serializes the response.
+func (r *Response) Encode() []byte {
+	b := make([]byte, respHeader+len(r.Err)+len(r.Data))
+	b[0] = respMagic
+	b[1] = byte(r.Status)
+	binary.LittleEndian.PutUint16(b[2:], uint16(len(r.Err)))
+	binary.LittleEndian.PutUint64(b[4:], r.ID)
+	binary.LittleEndian.PutUint32(b[12:], r.Value)
+	binary.LittleEndian.PutUint32(b[16:], uint32(len(r.Data)))
+	copy(b[respHeader:], r.Err)
+	copy(b[respHeader+len(r.Err):], r.Data)
+	return b
+}
+
+// DecodeResponse parses one response frame.
+func DecodeResponse(b []byte) (Response, error) {
+	var r Response
+	if len(b) < respHeader {
+		return r, fmt.Errorf("%w: response header truncated (%d bytes)", ErrWire, len(b))
+	}
+	if b[0] != respMagic {
+		return r, fmt.Errorf("%w: bad response magic %#x", ErrWire, b[0])
+	}
+	r.Status = Status(b[1])
+	elen := int(binary.LittleEndian.Uint16(b[2:]))
+	r.ID = binary.LittleEndian.Uint64(b[4:])
+	r.Value = binary.LittleEndian.Uint32(b[12:])
+	dlen := int(binary.LittleEndian.Uint32(b[16:]))
+	if len(b) != respHeader+elen+dlen {
+		return r, fmt.Errorf("%w: response body %d bytes, header promises %d",
+			ErrWire, len(b)-respHeader, elen+dlen)
+	}
+	r.Err = string(b[respHeader : respHeader+elen])
+	r.Data = append([]byte(nil), b[respHeader+elen:]...)
+	return r, nil
+}

@@ -49,6 +49,7 @@ func All() []*Experiment {
 		{"abl1", "Ablation: eager integrity checking cost", AblTrust},
 		{"abl2", "Ablation: per-thread vs single journal region", AblJournal},
 		{"qdsweep", "Batched submission + interrupt coalescing QD sweep", QDSweep},
+		{"svcscale", "Service client scaling with/without admission control", SvcScale},
 	}
 }
 
@@ -127,4 +128,3 @@ func runFioSingle(stack string, write bool, ioBytes, blockSize, ops int) (*workl
 	}
 	return res, nil
 }
-

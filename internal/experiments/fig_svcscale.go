@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/aeofs"
+	"aeolia/internal/aeosvc"
+	"aeolia/internal/machine"
+	"aeolia/internal/netsim"
+	"aeolia/internal/nvme"
+	"aeolia/internal/report"
+	"aeolia/internal/sim"
+	"aeolia/internal/trace"
+	"aeolia/internal/workload"
+)
+
+// Client-scaling study parameters: a 5-core host (dispatcher, two workers,
+// two client cores) serving up to 128 closed-loop clients through the
+// service front-end. The per-tenant rates are sized well below the worker
+// pool's capacity so the uncontrolled run queues deeply while the
+// admission-controlled run paces arrivals near the base RTT.
+const (
+	svcSeed      = 42
+	svcBlocks    = 1 << 15
+	svcOpsPerCli = 24
+	svcHorizon   = 20 * time.Second
+)
+
+// svcTenants is the admission policy table: four tenants with 4:2:1:1
+// weights, identical rates, bounded backlogs. Clients map onto tenants
+// round-robin (client i → tenant i%4).
+var svcTenants = []aeosvc.TenantConfig{
+	{ID: 0, Weight: 4, OpsPerSec: 15000, Burst: 16, MaxBacklog: 64},
+	{ID: 1, Weight: 2, OpsPerSec: 15000, Burst: 16, MaxBacklog: 64},
+	{ID: 2, Weight: 1, OpsPerSec: 15000, Burst: 16, MaxBacklog: 64},
+	{ID: 3, Weight: 1, OpsPerSec: 15000, Burst: 16, MaxBacklog: 64},
+}
+
+// svcLink is the fabric configuration used for every client<->service link.
+var svcLink = netsim.Config{
+	Latency:     5 * time.Microsecond,
+	BytesPerSec: 10e9,
+	Jitter:      2 * time.Microsecond,
+	QueueDepth:  256,
+}
+
+// svcScaleResult is one (clients, admission) cell of the sweep.
+type svcScaleResult struct {
+	Res  *workload.Result
+	Shed uint64
+	Srv  *aeosvc.Server
+}
+
+// svcScaleRun boots a machine + fabric + service, drives n closed-loop
+// clients to completion, verifies the admission books, and returns the
+// merged measurement. A non-nil tracer captures the full event stream.
+func svcScaleRun(n int, admission bool, tr *trace.Tracer) (*svcScaleResult, error) {
+	m := machine.New(5, nvme.Config{BlockSize: aeofs.BlockSize, NumBlocks: svcBlocks})
+	defer m.Eng.Shutdown()
+	m.Eng.Tracer = tr
+	fi, err := m.BuildFS(machine.KindAeoFS, machine.FSOptions{})
+	if err != nil {
+		return nil, err
+	}
+	fab := netsim.New(m.Eng, svcSeed)
+	srv := aeosvc.NewServer(fab, m.Kern, fi.Proc.Gate, fi.FS, aeosvc.Config{
+		Admission: admission,
+		Tenants:   svcTenants,
+	})
+	srv.Start(m.Eng.Core(0), []*sim.Core{m.Eng.Core(1), m.Eng.Core(2)})
+
+	clients := make([]*aeosvc.Client, n)
+	for i := 0; i < n; i++ {
+		c := aeosvc.NewClient(fab, "svc", aeosvc.ClientConfig{
+			ID:       i,
+			Tenant:   uint16(i % len(svcTenants)),
+			QD:       2,
+			Ops:      svcOpsPerCli,
+			ReadFrac: 0.6,
+			IOBytes:  4096,
+			Seed:     svcSeed*1000 + int64(i),
+		})
+		fab.Connect(c.EndpointName(), "svc", svcLink)
+		fab.Connect("svc", c.EndpointName(), svcLink)
+		clients[i] = c
+	}
+	spec := &aeosvc.LoadSpec{
+		Eng:     m.Eng,
+		Clients: clients,
+		CoreFor: func(i int) *sim.Core { return m.Eng.Core(3 + i%2) },
+		Horizon: svcHorizon,
+		Stop:    srv.Stop,
+	}
+	res, crs, err := spec.Run()
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.CheckAccounting(); err != nil {
+		return nil, err
+	}
+	out := &svcScaleResult{Res: res, Srv: srv}
+	for _, cr := range crs {
+		out.Shed += cr.Shed
+	}
+	return out, nil
+}
+
+// SvcScale regenerates the service client-scaling study: p50/p99 completion
+// latency and goodput vs client count, with and without per-tenant
+// admission control. At high client counts the uncontrolled service queues
+// every arrival and the tail explodes; admission sheds early (clients back
+// off and retry) and keeps the tail near the base round trip.
+func SvcScale() ([]*report.Table, error) {
+	t := &report.Table{
+		ID:    "svcscale",
+		Title: "Service latency and goodput vs client count, with and without admission control",
+		Columns: []string{"clients", "admission", "p50_us", "p99_us",
+			"goodput_kops", "shed"},
+	}
+	for _, n := range []int{8, 32, 128} {
+		for _, admission := range []bool{false, true} {
+			r, err := svcScaleRun(n, admission, nil)
+			if err != nil {
+				return nil, fmt.Errorf("svcscale %d/%v: %w", n, admission, err)
+			}
+			mode := "off"
+			if admission {
+				mode = "on"
+			}
+			t.AddRowf(fmt.Sprintf("%d", n), mode,
+				usec(r.Res.Latency.Percentile(50)),
+				usec(r.Res.Latency.P99()),
+				fmt.Sprintf("%.1f", r.Res.KOpsPerSec()),
+				fmt.Sprintf("%d", r.Shed))
+		}
+	}
+	t.Note("closed loop, QD 2 per client, %d ops each, 60%% reads; 4 tenants (weights 4:2:1:1), %d ops/s/tenant", svcOpsPerCli, 15000)
+	t.Note("shed requests are retried after client-side exponential backoff; goodput counts completed ops only")
+	return []*report.Table{t}, nil
+}
+
+// SvcScaleTrace runs the largest admission-controlled cell (128 clients)
+// with tracing enabled and returns the tracer for invariant checking and
+// per-stage latency reporting, plus the server for accounting checks.
+func SvcScaleTrace() (*trace.Tracer, *svcScaleResult, error) {
+	tr := trace.New(5, 1<<19)
+	r, err := svcScaleRun(128, true, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d := tr.Dropped(); d != 0 {
+		return nil, nil, fmt.Errorf("svcscale: trace ring dropped %d events", d)
+	}
+	return tr, r, nil
+}

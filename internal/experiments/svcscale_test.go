@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aeolia/internal/report"
+	"aeolia/internal/trace"
+)
+
+// TestSvcScaleDeterministic pins the acceptance criterion that the whole
+// client-scaling sweep — fabric jitter, admission decisions, retries, trace
+// stream — replays byte-identically from its seed: two full runs must
+// serialize to the same report JSON.
+func TestSvcScaleDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the client-scaling sweep twice; skipped in -short")
+	}
+	render := func() []byte {
+		t.Helper()
+		tables, err := SvcScale()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, tables); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("svcscale report JSON not byte-identical across runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestSvcScale128TracedClean pins the acceptance criterion that 128
+// concurrent clients complete the mixed read/write sweep with a full event
+// trace, zero causal-invariant violations, zero ring drops, and balanced
+// admission books.
+func TestSvcScale128TracedClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-client traced run; skipped in -short")
+	}
+	tr, r, err := SvcScaleTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(128 * svcOpsPerCli); r.Res.Ops != want {
+		t.Fatalf("completed %d ops, want %d", r.Res.Ops, want)
+	}
+	an := trace.Analyze(tr.Events())
+	for _, v := range an.Violations {
+		t.Errorf("violation: %+v", v)
+	}
+	if len(an.SvcChains) == 0 {
+		t.Fatal("no service chains in the trace")
+	}
+	for _, c := range an.SvcChains {
+		if !c.Complete() {
+			t.Fatalf("incomplete service chain %+v", c)
+		}
+	}
+	// The per-stage tables the -svc mode prints must have samples.
+	hists := an.SvcStageHistograms()
+	for _, stage := range []string{trace.SvcStageRecvToAdmit, trace.SvcStageAdmitToFSOp,
+		trace.SvcStageFSOpToReply, trace.SvcStageEndToEnd} {
+		if h := hists[stage]; h == nil || h.Count() == 0 {
+			t.Fatalf("stage %q has no samples", stage)
+		}
+	}
+}
+
+// TestSvcScaleAdmissionCutsTail pins the acceptance criterion that at the
+// highest client count, admission control yields a strictly lower p99
+// completion latency than the uncontrolled configuration.
+func TestSvcScaleAdmissionCutsTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 128-client runs; skipped in -short")
+	}
+	base, err := svcScaleRun(128, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	controlled, err := svcScaleRun(128, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp99, cp99 := base.Res.Latency.P99(), controlled.Res.Latency.P99()
+	if cp99 >= bp99 {
+		t.Fatalf("admission p99 = %v, uncontrolled p99 = %v: want strictly lower under control", cp99, bp99)
+	}
+	if controlled.Shed == 0 {
+		t.Fatal("admission control shed nothing at 128 clients — the budget is not binding")
+	}
+	if base.Shed != 0 {
+		t.Fatalf("uncontrolled run shed %d requests", base.Shed)
+	}
+	t.Logf("p99 at 128 clients: %v uncontrolled vs %v admitted (%d shed+retried)", bp99, cp99, controlled.Shed)
+}
+
+// TestSvcScaleGolden snapshots the rendered sweep table; the simulation is
+// deterministic end to end, so any drift in the service, fabric, admission,
+// or cost models fails loudly here. Regenerate intentionally with:
+//
+//	go test ./internal/experiments -run TestSvcScaleGolden -update-golden
+func TestSvcScaleGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full client-scaling sweep; skipped in -short")
+	}
+	tables, err := SvcScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		tb.Print(&sb)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "svcscale.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("svcscale output drifted from golden snapshot.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

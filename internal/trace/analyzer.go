@@ -45,6 +45,36 @@ func (c *Chain) Complete() bool {
 // doorbell → device → CQE → post → deliver → handler path.
 func (c *Chain) Delivered() bool { return c.Complete() && c.InHandler }
 
+// SvcChain is the reconstructed life of one storage-service request
+// (connection id, request id): received off the wire, admitted (or shed),
+// executed against the file system, replied. A stage that never happened is
+// left at -1.
+type SvcChain struct {
+	Conn int32  // connection id (netsim source endpoint)
+	Req  uint32 // per-connection request id
+	Op   uint64 // wire opcode (from SvcReqRecv's Aux)
+
+	Recv  time.Duration // SvcReqRecv
+	Admit time.Duration // SvcAdmit
+	FSOp  time.Duration // SvcFSOp
+	Reply time.Duration // SvcReply
+
+	// Shed is true when admission control rejected the request; a shed
+	// chain is complete with only Recv and Reply.
+	Shed bool
+}
+
+// Complete reports whether the request's full causal chain was observed in
+// order: recv → admit → fs-op → reply for admitted requests, recv → reply
+// for shed ones.
+func (c *SvcChain) Complete() bool {
+	if c.Shed {
+		return c.Recv >= 0 && c.Reply >= 0 && c.Recv <= c.Reply
+	}
+	return c.Recv >= 0 && c.Admit >= 0 && c.FSOp >= 0 && c.Reply >= 0 &&
+		c.Recv <= c.Admit && c.Admit <= c.FSOp && c.FSOp <= c.Reply
+}
+
 // Violation is one invariant breach found in a trace.
 type Violation struct {
 	Seq  uint64 // offending event
@@ -59,7 +89,8 @@ func (v Violation) String() string { return fmt.Sprintf("seq=%d %s: %s", v.Seq, 
 // journal write/commit ordering. The simulation engine serializes all
 // emitting contexts, so a single global replay is sound.
 type Analyzer struct {
-	Chains     map[[2]int64]*Chain // keyed by {qid, cid}
+	Chains     map[[2]int64]*Chain    // keyed by {qid, cid}
+	SvcChains  map[[2]int64]*SvcChain // keyed by {connection id, request id}
 	Violations []Violation
 
 	// replay state
@@ -70,6 +101,8 @@ type Analyzer struct {
 	handlerDepth int
 	postsPending map[int32]int // per-core UPID posts not yet recognized
 	journalDirty int           // journal writes since last commit
+	netSent      map[int32]uint64
+	netArrived   map[int32]uint64 // delivered + dropped, per link
 }
 
 // key builds the chain map key; cids are unique per queue, not globally.
@@ -80,11 +113,14 @@ func key(qid int32, cid uint32) [2]int64 { return [2]int64{int64(qid), int64(cid
 func Analyze(evs []Event) *Analyzer {
 	a := &Analyzer{
 		Chains:       make(map[[2]int64]*Chain),
+		SvcChains:    make(map[[2]int64]*SvcChain),
 		doorbells:    make(map[int32]time.Duration),
 		preppedNoDB:  make(map[int32][]*Chain),
 		undelivered:  make(map[int32]int),
 		held:         make(map[[2]int64]bool),
 		postsPending: make(map[int32]int),
+		netSent:      make(map[int32]uint64),
+		netArrived:   make(map[int32]uint64),
 	}
 	for _, e := range evs {
 		a.step(e)
@@ -227,7 +263,90 @@ func (a *Analyzer) step(e Event) {
 	case PagecacheFlush:
 		// ordering relative to journal is checked by aeofs crash tests;
 		// nothing to track here.
+
+	case NetSend:
+		a.netSent[e.QID]++
+
+	case NetDeliver, NetDrop:
+		a.netArrived[e.QID]++
+		if a.netArrived[e.QID] > a.netSent[e.QID] {
+			a.violate(e.Seq, "net-deliver-without-send",
+				"link=%d delivered/dropped %d message(s) with only %d sent",
+				e.QID, a.netArrived[e.QID], a.netSent[e.QID])
+		}
+
+	case SvcReqRecv:
+		k := key(e.QID, e.CID)
+		if a.SvcChains[k] != nil {
+			a.violate(e.Seq, "svc-reqid-reuse",
+				"conn=%d req=%d received twice", e.QID, e.CID)
+			break
+		}
+		c := a.svcChain(e.QID, e.CID)
+		c.Recv = e.At
+		c.Op = e.Aux
+
+	case SvcAdmit:
+		c := a.svcChain(e.QID, e.CID)
+		if c.Recv < 0 {
+			a.violate(e.Seq, "svc-causal-order",
+				"conn=%d req=%d admitted before being received", e.QID, e.CID)
+		}
+		if c.Shed {
+			a.violate(e.Seq, "svc-admit-or-shed",
+				"conn=%d req=%d admitted after being shed", e.QID, e.CID)
+		}
+		if c.Admit >= 0 {
+			a.violate(e.Seq, "svc-admit-or-shed",
+				"conn=%d req=%d admitted twice", e.QID, e.CID)
+		}
+		c.Admit = e.At
+
+	case SvcShed:
+		c := a.svcChain(e.QID, e.CID)
+		if c.Recv < 0 {
+			a.violate(e.Seq, "svc-causal-order",
+				"conn=%d req=%d shed before being received", e.QID, e.CID)
+		}
+		if c.Admit >= 0 {
+			a.violate(e.Seq, "svc-admit-or-shed",
+				"conn=%d req=%d shed after being admitted", e.QID, e.CID)
+		}
+		c.Shed = true
+
+	case SvcFSOp:
+		c := a.svcChain(e.QID, e.CID)
+		if c.Admit < 0 {
+			a.violate(e.Seq, "svc-causal-order",
+				"conn=%d req=%d executed an fs op without admission", e.QID, e.CID)
+		}
+		c.FSOp = e.At
+
+	case SvcReply:
+		c := a.svcChain(e.QID, e.CID)
+		if c.Recv < 0 {
+			a.violate(e.Seq, "svc-causal-order",
+				"conn=%d req=%d replied without being received", e.QID, e.CID)
+		}
+		if c.Reply >= 0 {
+			a.violate(e.Seq, "svc-reply-exactly-once",
+				"conn=%d req=%d replied twice", e.QID, e.CID)
+		}
+		c.Reply = e.At
 	}
+}
+
+// svcChain returns (creating if needed) the service chain for
+// (connection, request id), initializing all stages to "not observed".
+func (a *Analyzer) svcChain(conn int32, req uint32) *SvcChain {
+	k := key(conn, req)
+	c := a.SvcChains[k]
+	if c == nil {
+		c = &SvcChain{Conn: conn, Req: req,
+			Recv: noStage, Admit: noStage, FSOp: noStage, Reply: noStage}
+		a.SvcChains[k] = c
+	}
+	return c
 }
 
 // releaseQueue marks every held CID on qid as released (its IRQ fired or
@@ -269,6 +388,54 @@ func (a *Analyzer) StageHistograms() map[string]*Histogram {
 		hs[StageEndToEnd].Record(c.Consume - c.Prep)
 	}
 	return hs
+}
+
+// Service stage latency names, in pipeline order.
+const (
+	SvcStageRecvToAdmit = "recv→admit"
+	SvcStageAdmitToFSOp = "admit→fsop"
+	SvcStageFSOpToReply = "fsop→reply"
+	SvcStageEndToEnd    = "svc end-to-end"
+)
+
+// SvcStageHistograms buckets per-stage latencies across all complete,
+// admitted service chains (shed chains carry no fs-op stage and would skew
+// the service-time stages; their end-to-end cost shows up in the client's
+// retry latency instead).
+func (a *Analyzer) SvcStageHistograms() map[string]*Histogram {
+	hs := map[string]*Histogram{
+		SvcStageRecvToAdmit: {},
+		SvcStageAdmitToFSOp: {},
+		SvcStageFSOpToReply: {},
+		SvcStageEndToEnd:    {},
+	}
+	for _, c := range a.SvcChains {
+		if c.Shed || !c.Complete() {
+			continue
+		}
+		hs[SvcStageRecvToAdmit].Record(c.Admit - c.Recv)
+		hs[SvcStageAdmitToFSOp].Record(c.FSOp - c.Admit)
+		hs[SvcStageFSOpToReply].Record(c.Reply - c.FSOp)
+		hs[SvcStageEndToEnd].Record(c.Reply - c.Recv)
+	}
+	return hs
+}
+
+// SvcLatencyTable renders the per-stage service histograms as a report
+// table (p50/p90/p99/max in microseconds).
+func (a *Analyzer) SvcLatencyTable() *report.Table {
+	t := &report.Table{
+		ID:      "svclat",
+		Title:   "Per-stage service latency (traced)",
+		Columns: []string{"stage", "count", "p50_us", "p90_us", "p99_us", "max_us"},
+	}
+	hs := a.SvcStageHistograms()
+	us := func(d time.Duration) float64 { return float64(d) / 1e3 }
+	for _, stage := range []string{SvcStageRecvToAdmit, SvcStageAdmitToFSOp, SvcStageFSOpToReply, SvcStageEndToEnd} {
+		h := hs[stage]
+		t.AddRowf(stage, h.Count(), us(h.Percentile(50)), us(h.Percentile(90)), us(h.Percentile(99)), us(h.Max()))
+	}
+	return t
 }
 
 // LatencyTable renders the per-stage histograms as a report table

@@ -90,6 +90,32 @@ const (
 	// vectored batch. LBA = first run's start block, Aux = dirty pages.
 	PagecacheFlush
 
+	// NetSend: a netsim link accepted a message for transmission (one
+	// event per transmission, so a fault-injected duplicate emits its
+	// own NetSend). QID = link id, Aux = payload bytes.
+	NetSend
+	// NetDeliver: a message arrived at its destination endpoint.
+	// QID = link id, Aux = payload bytes.
+	NetDeliver
+	// NetDrop: a message was lost in flight (seeded fault injection).
+	// QID = link id, Aux = payload bytes.
+	NetDrop
+	// SvcReqRecv: the storage service dispatcher received a request.
+	// QID = connection id, CID = request id, Aux = opcode.
+	SvcReqRecv
+	// SvcAdmit: admission control accepted the request into the service
+	// queue. QID = connection id, CID = request id, Aux = tenant id.
+	SvcAdmit
+	// SvcShed: admission control shed the request (rate limit or backlog
+	// bound). QID = connection id, CID = request id, Aux = tenant id.
+	SvcShed
+	// SvcFSOp: the admitted request's file-system/KV operation finished.
+	// QID = connection id, CID = request id, Aux = bytes moved.
+	SvcFSOp
+	// SvcReply: the service sent the response for a request. QID =
+	// connection id, CID = request id, Aux = wire status code.
+	SvcReply
+
 	numTypes
 )
 
@@ -119,6 +145,14 @@ var typeNames = [numTypes]string{
 	JournalWrite:   "JournalWrite",
 	JournalCommit:  "JournalCommit",
 	PagecacheFlush: "PagecacheFlush",
+	NetSend:        "NetSend",
+	NetDeliver:     "NetDeliver",
+	NetDrop:        "NetDrop",
+	SvcReqRecv:     "SvcReqRecv",
+	SvcAdmit:       "SvcAdmit",
+	SvcShed:        "SvcShed",
+	SvcFSOp:        "SvcFSOp",
+	SvcReply:       "SvcReply",
 }
 
 func (t Type) String() string {

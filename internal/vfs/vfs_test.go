@@ -1,0 +1,184 @@
+package vfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"aeolia/internal/aeofs"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sim"
+	"aeolia/internal/vfs"
+)
+
+// mountAeoFS builds a machine, formats AeoFS, and returns the adapter plus
+// a runner that executes fn on a task with a ready queue pair.
+func mountAeoFS(t *testing.T) (*vfs.AeoFSAdapter, func(fn func(env *sim.Env))) {
+	t.Helper()
+	m := machine.New(1, nvme.Config{BlockSize: aeofs.BlockSize, NumBlocks: 1 << 13})
+	t.Cleanup(m.Eng.Shutdown)
+	fi, err := m.BuildFS(machine.KindAeoFS, machine.FSOptions{})
+	if err != nil {
+		t.Fatalf("build fs: %v", err)
+	}
+	ad, ok := fi.FS.(*vfs.AeoFSAdapter)
+	if !ok {
+		t.Fatalf("BuildFS(aeofs) returned %T, want *vfs.AeoFSAdapter", fi.FS)
+	}
+	run := func(fn func(env *sim.Env)) {
+		done := false
+		m.Eng.Spawn("vfs-test", m.Eng.Core(0), func(env *sim.Env) {
+			if err := ad.InitThread(env); err != nil {
+				t.Errorf("InitThread: %v", err)
+				return
+			}
+			fn(env)
+			done = true
+		})
+		m.Eng.Run(0)
+		if !done {
+			t.Fatal("test task did not finish")
+		}
+	}
+	return ad, run
+}
+
+func TestAdapterName(t *testing.T) {
+	ad, _ := mountAeoFS(t)
+	if ad.Name() != "aeofs" {
+		t.Fatalf("Name() = %q, want aeofs", ad.Name())
+	}
+}
+
+// TestAdapterFileLifecycle drives every file-level method through the
+// adapter: open/write/seek/read/pread/pwrite/fsync/stat/truncate/close.
+func TestAdapterFileLifecycle(t *testing.T) {
+	ad, run := mountAeoFS(t)
+	run(func(env *sim.Env) {
+		fd, err := ad.Open(env, "/f.dat", vfs.O_CREATE|vfs.O_RDWR)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		payload := []byte("through the adapter")
+		if n, err := ad.Write(env, fd, payload); err != nil || n != len(payload) {
+			t.Errorf("write = %d, %v", n, err)
+		}
+		if err := ad.Seek(env, fd, 0); err != nil {
+			t.Errorf("seek: %v", err)
+		}
+		buf := make([]byte, len(payload))
+		if n, err := ad.Read(env, fd, buf); err != nil || n != len(payload) {
+			t.Errorf("read = %d, %v", n, err)
+		}
+		if !bytes.Equal(buf, payload) {
+			t.Errorf("read back %q, want %q", buf, payload)
+		}
+		// Positional I/O does not disturb the cursor.
+		patch := []byte("ADAPTER")
+		if n, err := ad.WriteAt(env, fd, patch, 12); err != nil || n != len(patch) {
+			t.Errorf("writeAt = %d, %v", n, err)
+		}
+		at := make([]byte, len(patch))
+		if n, err := ad.ReadAt(env, fd, at, 12); err != nil || n != len(patch) {
+			t.Errorf("readAt = %d, %v", n, err)
+		}
+		if !bytes.Equal(at, patch) {
+			t.Errorf("readAt %q, want %q", at, patch)
+		}
+		if err := ad.Fsync(env, fd); err != nil {
+			t.Errorf("fsync: %v", err)
+		}
+		fi, err := ad.Stat(env, "/f.dat")
+		if err != nil || fi.Dir || fi.Size != uint64(12+len(patch)) {
+			t.Errorf("stat = %+v, %v (want size %d)", fi, err, 12+len(patch))
+		}
+		if err := ad.Truncate(env, "/f.dat", 4); err != nil {
+			t.Errorf("truncate: %v", err)
+		}
+		if fi, _ := ad.Stat(env, "/f.dat"); fi.Size != 4 {
+			t.Errorf("size after truncate = %d, want 4", fi.Size)
+		}
+		if err := ad.Close(env, fd); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+}
+
+// TestAdapterNamespace drives the directory-level methods: mkdir, readdir,
+// rename, unlink, rmdir.
+func TestAdapterNamespace(t *testing.T) {
+	ad, run := mountAeoFS(t)
+	run(func(env *sim.Env) {
+		if err := ad.Mkdir(env, "/d"); err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		fd, err := ad.Open(env, "/d/a", vfs.O_CREATE|vfs.O_RDWR)
+		if err != nil {
+			t.Errorf("open in dir: %v", err)
+			return
+		}
+		if err := ad.Close(env, fd); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		ds, err := ad.ReadDir(env, "/d")
+		if err != nil || len(ds) != 1 || ds[0].Name != "a" {
+			t.Errorf("readdir = %+v, %v (want one entry \"a\")", ds, err)
+		}
+		if err := ad.Rename(env, "/d/a", "/d/b"); err != nil {
+			t.Errorf("rename: %v", err)
+		}
+		if _, err := ad.Stat(env, "/d/a"); err == nil {
+			t.Error("stat of renamed-away path succeeded")
+		}
+		if _, err := ad.Stat(env, "/d/b"); err != nil {
+			t.Errorf("stat of rename target: %v", err)
+		}
+		if err := ad.Rmdir(env, "/d"); err == nil {
+			t.Error("rmdir of non-empty directory succeeded")
+		}
+		if err := ad.Unlink(env, "/d/b"); err != nil {
+			t.Errorf("unlink: %v", err)
+		}
+		if err := ad.Rmdir(env, "/d"); err != nil {
+			t.Errorf("rmdir: %v", err)
+		}
+		if _, err := ad.Stat(env, "/d"); err == nil {
+			t.Error("stat of removed directory succeeded")
+		}
+	})
+}
+
+// TestAdapterErrorPaths pins the error surface workloads depend on.
+func TestAdapterErrorPaths(t *testing.T) {
+	ad, run := mountAeoFS(t)
+	run(func(env *sim.Env) {
+		if _, err := ad.Open(env, "/absent", vfs.O_RDWR); err == nil {
+			t.Error("open of missing file without O_CREATE succeeded")
+		}
+		if _, err := ad.Stat(env, "/absent"); err == nil {
+			t.Error("stat of missing file succeeded")
+		}
+		if err := ad.Unlink(env, "/absent"); err == nil {
+			t.Error("unlink of missing file succeeded")
+		}
+		fd, err := ad.Open(env, "/x", vfs.O_CREATE|vfs.O_RDWR)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if _, err := ad.Open(env, "/x", vfs.O_CREATE|vfs.O_EXCL|vfs.O_RDWR); err == nil {
+			t.Error("O_EXCL re-create succeeded")
+		}
+		if err := ad.Close(env, fd); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := ad.Close(env, fd); err == nil {
+			t.Error("double close succeeded")
+		}
+		if _, err := ad.Read(env, fd, make([]byte, 8)); err == nil {
+			t.Error("read on closed fd succeeded")
+		}
+	})
+}
