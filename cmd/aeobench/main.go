@@ -28,8 +28,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON tables")
 	traceOut := flag.String("trace", "", "run one traced QD32 qdsweep window and write Chrome trace_event JSON to this file")
 	svc := flag.Bool("svc", false, "run the traced 128-client service sweep and check trace invariants + admission accounting")
+	cache := flag.Bool("cache", false, "run the traced sequential page-cache cell and print cache counters + invariant check")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] list | all | <experiment-id>...\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] [-cache] list | all | <experiment-id>...\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
 		}
@@ -47,6 +48,15 @@ func main() {
 	}
 	if *svc {
 		if err := runSvc(); err != nil {
+			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
+	if *cache {
+		if err := runCache(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
 			os.Exit(1)
 		}
@@ -131,6 +141,50 @@ func runTraced(path string) error {
 	}
 	fmt.Fprintf(os.Stderr, "[trace: %d events (%d dropped), %.0f KIOPS, %d chains -> %s]\n",
 		len(evs), tr.Dropped(), kiops, len(an.Chains), path)
+	if len(an.Violations) > 0 {
+		return fmt.Errorf("%d trace invariant violation(s)", len(an.Violations))
+	}
+	return nil
+}
+
+// runCache drives the traced sequential page-cache cell (default budget,
+// read-ahead on), prints the cache counters — hit/miss, evictions,
+// read-ahead waste, resident high-water mark — and fails (non-zero exit)
+// on any trace-invariant violation.
+func runCache(jsonOut bool) error {
+	tr, r, err := experiments.FigCacheTrace()
+	if err != nil {
+		return err
+	}
+	evs := tr.Events()
+	an := trace.Analyze(evs)
+	s := r.Stats
+	t := &report.Table{
+		ID:    "cache_counters",
+		Title: "Page-cache counters (traced sequential cell, read-ahead on)",
+		Columns: []string{"hits", "misses", "evict", "dirty_evict",
+			"ra_issued", "ra_hits", "ra_waste", "wb_runs", "wb_pages",
+			"throttled", "hwm_kb"},
+	}
+	t.AddRowf(
+		fmt.Sprintf("%d", s.Hits), fmt.Sprintf("%d", s.Misses),
+		fmt.Sprintf("%d", s.Evictions), fmt.Sprintf("%d", s.DirtyEvictions),
+		fmt.Sprintf("%d", s.ReadaheadIssued), fmt.Sprintf("%d", s.ReadaheadHits),
+		fmt.Sprintf("%d", s.ReadaheadWaste), fmt.Sprintf("%d", s.WritebackRuns),
+		fmt.Sprintf("%d", s.WritebackPages), fmt.Sprintf("%d", s.Throttled),
+		fmt.Sprintf("%d", s.ResidentHWM>>10))
+	if jsonOut {
+		if err := report.WriteJSON(os.Stdout, []*report.Table{t}); err != nil {
+			return err
+		}
+	} else {
+		t.Print(os.Stdout)
+	}
+	for _, v := range an.Violations {
+		fmt.Fprintf(os.Stderr, "aeobench: trace invariant violation: %v\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "[cache: %d events (%d dropped), %d ops, %.1f MB/s, p99 %v]\n",
+		len(evs), tr.Dropped(), r.Res.Ops, r.Res.MBps(), r.Res.Latency.P99())
 	if len(an.Violations) > 0 {
 		return fmt.Errorf("%d trace invariant violation(s)", len(an.Violations))
 	}

@@ -172,6 +172,16 @@ func (r *Request) Err() error {
 	return &CommandError{Op: r.op, LBA: r.lba, Blocks: r.cnt, Status: r.status, Attempts: r.attempts}
 }
 
+// OnComplete registers fn to run when the driver has handled the request's
+// CQE (fire-and-forget completion callback; runs immediately if the request
+// is already done). The callback executes in engine context — it must not
+// park (no Exec/Block/mutex), only inspect the request and flip state.
+// Unlike Wait, OnComplete performs no retries: check r.Err() in fn.
+func (r *Request) OnComplete(fn func(*Request)) {
+	done := r.done
+	done.OnFire(func() { fn(r) })
+}
+
 // pendKey identifies an in-flight request: queue pairs assign CIDs
 // independently, so a CID alone is ambiguous across shards.
 type pendKey struct {

@@ -19,6 +19,8 @@ import (
 //	ckpt:mid-write        some merged images written in place
 //	ckpt:before-retire    in-place writes flushed, journal not retired
 //	ckpt:after-retire     region headers rewritten, final flush pending
+//	wb:mid-run            background write-back landed data blocks, the
+//	                      journal commit covering them has not happened
 const (
 	CrashSyncBeforeJournal = "sync:before-journal"
 	CrashSyncMidJournal    = "sync:mid-journal"
@@ -28,6 +30,7 @@ const (
 	CrashCkptMidWrite      = "ckpt:mid-write"
 	CrashCkptBeforeRetire  = "ckpt:before-retire"
 	CrashCkptAfterRetire   = "ckpt:after-retire"
+	CrashWBMidRun          = "wb:mid-run"
 )
 
 // CrashPoints returns the registry of named crash points, in protocol order.
@@ -43,6 +46,7 @@ func CrashPoints() []string {
 		CrashCkptMidWrite,
 		CrashCkptBeforeRetire,
 		CrashCkptAfterRetire,
+		CrashWBMidRun,
 	}
 }
 
@@ -74,13 +78,25 @@ func CrashAt(site string, n int) CrashFunc {
 // CrashOnce crashes on the first visit to the named point.
 func CrashOnce(site string) CrashFunc { return CrashAt(site, 1) }
 
-// crash consults the installed hook at a named point.
+// crash consults the installed hook at a named point. A fired crash is
+// sticky: the simulated machine is down, so every later consultation —
+// from any task, including the background flusher — keeps crashing until
+// the harness remounts a fresh TrustLayer.
 func (t *TrustLayer) crash(site string) error {
+	if t.crashed {
+		return fmt.Errorf("%w at %s: machine already down", ErrCrashInjected, site)
+	}
 	if t.Crash == nil {
 		return nil
 	}
 	if err := t.Crash(site); err != nil {
+		t.crashed = true
 		return fmt.Errorf("%w at %s: %v", ErrCrashInjected, site, err)
 	}
 	return nil
 }
+
+// Crashed reports whether an injected crash has fired on this trust
+// layer. Background tasks (the write-back flusher) consult it to stop
+// doing work for a machine that is simulated as powered off.
+func (t *TrustLayer) Crashed() bool { return t.crashed }

@@ -27,6 +27,10 @@ type FS struct {
 	Trust *TrustLayer
 	drv   *aeodriver.Driver
 
+	// cache is the mount-wide page-cache accountant: residency budget,
+	// CLOCK eviction, read-ahead tuning, background write-back.
+	cache *cacheManager
+
 	fdt     *fdTable
 	ishards [16]uShard
 
@@ -78,13 +82,42 @@ type OpenFile struct {
 	pos   uint64
 }
 
-// NewFS creates a process's FS instance over a mounted trust layer.
+// NewFS creates a process's FS instance over a mounted trust layer with
+// the legacy cache behavior (unbounded, demand-fetch, flush at fsync).
 func NewFS(trust *TrustLayer, drv *aeodriver.Driver, cores int) *FS {
+	return NewFSWithCache(trust, drv, cores, CacheConfig{})
+}
+
+// NewFSWithCache creates an FS instance with an explicit page-cache
+// configuration (budget, read-ahead, background write-back).
+func NewFSWithCache(trust *TrustLayer, drv *aeodriver.Driver, cores int, cfg CacheConfig) *FS {
 	fs := &FS{Trust: trust, drv: drv, fdt: newFDTable(cores)}
 	for i := range fs.ishards {
 		fs.ishards[i].m = make(map[uint64]*uInode)
 	}
+	fs.cache = newCacheManager(fs, cfg)
 	return fs
+}
+
+// CacheStats snapshots the mount's page-cache counters.
+func (fs *FS) CacheStats() CacheStats { return fs.cache.snapshot() }
+
+// DropCaches writes back every open file's dirty pages and then evicts all
+// resident pages — the benchmark boundary between a setup phase and a
+// measured phase (the simulator's `echo 3 > /proc/sys/vm/drop_caches`).
+// Sequential-stream read-ahead state resets with the pages.
+func (fs *FS) DropCaches(env *sim.Env) error {
+	files := append([]*pageCache(nil), fs.cache.files...)
+	for _, pc := range files {
+		if err := fs.flushFile(env, pc.owner); err != nil {
+			return err
+		}
+		pc.dropAll(env)
+		pc.rl.Lock(env, 0, ^uint64(0), true)
+		pc.clockPos, pc.raNext, pc.raIssued, pc.raWindow = 0, 0, 0, 0
+		pc.rl.Unlock(env, 0, ^uint64(0), true)
+	}
+	return nil
 }
 
 // Driver returns the process's AeoDriver.
@@ -108,12 +141,17 @@ func (fs *FS) uiFor(env *sim.Env, ino uint64) *uInode {
 	return u
 }
 
-// dropUI evicts auxiliary state for ino.
+// dropUI evicts auxiliary state for ino, releasing any page-cache
+// residency it held.
 func (fs *FS) dropUI(env *sim.Env, ino uint64) {
 	sh := &fs.ishards[ino%uint64(len(fs.ishards))]
 	sh.lock.Lock(env)
+	u := sh.m[ino]
 	delete(sh.m, ino)
 	sh.lock.Unlock(env)
+	if u != nil && u.pc != nil {
+		fs.cache.unregister(env, u.pc)
+	}
 }
 
 // ensureInode fills u.ino from the trusted layer on first use. Caller must
@@ -332,7 +370,8 @@ func (fs *FS) Open(env *sim.Env, path string, flags int) (int, error) {
 		u.writeRefs++
 	}
 	if u.pc == nil {
-		u.pc = newPageCache()
+		u.pc = newPageCache(fs.cache, u)
+		fs.cache.register(u.pc)
 	}
 	u.lock.Unlock(env)
 	fs.Trust.RegisterOpen(env, fs.drv, ino)

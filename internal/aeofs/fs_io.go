@@ -2,8 +2,10 @@ package aeofs
 
 import (
 	"fmt"
+	"time"
 
 	"aeolia/internal/aeodriver"
+	"aeolia/internal/nvme"
 	"aeolia/internal/sim"
 	"aeolia/internal/trace"
 )
@@ -99,63 +101,264 @@ func (fs *FS) readAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, er
 	p1 := (off + uint64(len(buf)) - 1) / BlockSize
 
 	pc := u.pc
-	pc.rl.Lock(env, p0, p1+1, false)
-	defer pc.rl.Unlock(env, p0, p1+1, false)
+	cm := fs.cache
+	npages := p1 - p0 + 1
+	// Does this read extend the file's detected sequential stream?
+	seq := cm.cfg.MaxReadahead > 0 && p0 == pc.raNext
 
-	// Walk pages; fetch misses in contiguous-LBA batches.
-	type missRun struct {
-		firstPage uint64
-		pages     []*cachePage
-	}
-	var pending missRun
-	flush := func() error {
-		if len(pending.pages) == 0 {
-			return nil
+	// Reserve budget for the worst case (every page a miss) before taking
+	// the range lock: the charge may evict — and write back — pages whose
+	// range locks must stay acquirable. Hits are refunded after the walk.
+	cm.charge(env, npages*BlockSize)
+	kept := uint64(0) // miss pages that ended up resident on our charge
+	raHit := false
+
+	n, err := func() (int, error) {
+		pc.rl.Lock(env, p0, p1+1, false)
+		defer pc.rl.Unlock(env, p0, p1+1, false)
+
+		// Walk pages; fetch misses in contiguous-LBA batches, retaining
+		// page pointers for the copy-out. Pages another reader (or
+		// read-ahead) already has in flight are waited on, not re-read.
+		got := make([]*cachePage, npages)
+		type missRun struct {
+			firstPage uint64
+			pages     []*cachePage
 		}
-		err := fs.readPagesFromDisk(env, u, pending.firstPage, pending.pages)
-		pending.pages = nil
-		return err
-	}
-	for p := p0; p <= p1; p++ {
-		cp := pc.lookup(env, p)
-		if cp == nil {
-			cp = &cachePage{data: make([]byte, BlockSize)}
-			env.Exec(costPageAlloc)
-			pc.insert(env, p, cp)
+		var pending missRun
+		flush := func() error {
 			if len(pending.pages) == 0 {
-				pending.firstPage = p
+				return nil
 			}
-			pending.pages = append(pending.pages, cp)
-			continue
+			pages, first := pending.pages, pending.firstPage
+			pending.pages = nil
+			err := fs.readPagesFromDisk(env, u, first, pages)
+			now := env.Now()
+			for i, cp := range pages {
+				if err != nil {
+					cp.doomed = true
+					pc.drop(env, first+uint64(i))
+				}
+				if cp.doomed {
+					// Failed, or truncated/invalidated while the
+					// read was in flight: the page does not stay
+					// resident on our charge.
+					kept--
+				}
+				// Wake any reader that blocked on the fill; doomed
+				// waiters re-look-up.
+				cp.fill.FireAt(now)
+			}
+			return err
+		}
+		for p := p0; p <= p1; p++ {
+			for {
+				cp := pc.lookup(env, p)
+				if cp == nil {
+					cp = &cachePage{data: make([]byte, BlockSize), fill: sim.NewCompletion()}
+					env.Exec(costPageAlloc)
+					pc.insert(env, p, cp)
+					kept++
+					if len(pending.pages) == 0 {
+						pending.firstPage = p
+					}
+					pending.pages = append(pending.pages, cp)
+					got[p-p0] = cp
+					break
+				}
+				if !cp.filled() {
+					// About to park: submit our own batch first so it
+					// overlaps with the fill we wait on.
+					if err := flush(); err != nil {
+						return 0, err
+					}
+					env.BlockOn(cp.fill)
+				}
+				if cp.doomed {
+					continue // dropped while in flight; re-look-up
+				}
+				if cp.ioErr != nil {
+					// Its asynchronous fill failed; retry synchronously
+					// into the same (already charged) page.
+					if err := fs.readPagesFromDisk(env, u, p, []*cachePage{cp}); err != nil {
+						return 0, err
+					}
+					cp.ioErr = nil
+				}
+				if cp.ra {
+					cp.ra = false
+					cm.raHits++
+					raHit = true
+					if blocks := u.blocks; u.blocksOK && p < uint64(len(blocks)) {
+						cm.emit(trace.ReadaheadHit, trace.NoCID, blocks[p], p)
+					}
+				}
+				got[p-p0] = cp
+				break
+			}
 		}
 		if err := flush(); err != nil {
 			return 0, err
 		}
-	}
-	if err := flush(); err != nil {
-		return 0, err
+
+		// Copy out of the retained pages.
+		n := 0
+		for i, cp := range got {
+			p := p0 + uint64(i)
+			pageOff := 0
+			if p == p0 {
+				pageOff = int(off % BlockSize)
+			}
+			end := BlockSize
+			want := len(buf) - n
+			if end-pageOff > want {
+				end = pageOff + want
+			}
+			copy(buf[n:], cp.data[pageOff:end])
+			n += end - pageOff
+		}
+		env.Exec(copyCost(n))
+		return n, nil
+	}()
+	cm.uncharge((npages - kept) * BlockSize)
+	if err != nil {
+		return n, err
 	}
 
-	// Copy out.
-	n := 0
-	for p := p0; p <= p1; p++ {
-		cp := pc.lookup(env, p)
-		pageOff := 0
-		if p == p0 {
-			pageOff = int(off % BlockSize)
+	// Adapt the read-ahead window and top up the pipeline (outside the
+	// range lock: the speculative charge may need to evict within it).
+	if raHit && pc.raWindow < cm.cfg.MaxReadahead {
+		if pc.raWindow *= 2; pc.raWindow > cm.cfg.MaxReadahead {
+			pc.raWindow = cm.cfg.MaxReadahead
 		}
-		end := BlockSize
-		want := len(buf) - n
-		if end-pageOff > want {
-			end = pageOff + want
-		}
-		copy(buf[n:], cp.data[pageOff:end])
-		n += end - pageOff
 	}
-	env.Exec(copyCost(n))
+	if !seq {
+		pc.raWindow = cm.cfg.InitReadahead
+		pc.raIssued = 0
+	}
+	pc.raNext = p1 + 1
+	if seq {
+		fs.issueReadahead(env, u, p1)
+	}
 	fs.ReadsOps++
 	fs.BytesRead += uint64(n)
 	return n, nil
+}
+
+// issueReadahead tops the file's read-ahead pipeline up to the adaptive
+// window past lastRead, submitting fire-and-forget read batches through
+// the same SubmitBatch path the data plane uses. Pages enter the tree in
+// an in-flight state (fill pending) before submission, so a racing reader
+// blocks on the arriving page instead of duplicating the I/O. Runs are
+// chunked (ReadaheadChunk) so the window arrives as several completions
+// and consumption overlaps the remaining transfers. Called without the
+// range lock held.
+func (fs *FS) issueReadahead(env *sim.Env, u *uInode, lastRead uint64) {
+	cm, pc := fs.cache, u.pc
+	w := pc.raWindow
+	if w <= 0 {
+		w = cm.cfg.InitReadahead
+		pc.raWindow = w
+	}
+	start := lastRead + 1
+	if pc.raIssued > start {
+		start = pc.raIssued
+	}
+	end := lastRead + 1 + uint64(w)
+	u.lock.RLock(env)
+	blocks := u.blocks
+	u.lock.RUnlock(env)
+	if end > uint64(len(blocks)) {
+		end = uint64(len(blocks))
+	}
+	if start >= end {
+		return
+	}
+	// Speculative pages never push the cache over budget: decline the
+	// whole window if eviction cannot make room.
+	if !cm.tryCharge(env, (end-start)*BlockSize) {
+		return
+	}
+	var idxs []uint64
+	var cps []*cachePage
+	env.Exec(costRadixLookup)
+	pc.treeLock.Lock(env)
+	for p := start; p < end; p++ {
+		if pc.tree.Get(p) != nil {
+			continue
+		}
+		cp := &cachePage{fill: sim.NewCompletion(), ra: true}
+		pc.tree.Set(p, cp)
+		idxs = append(idxs, p)
+		cps = append(cps, cp)
+	}
+	pc.treeLock.Unlock(env)
+	pc.raIssued = end
+	cm.uncharge((end - start - uint64(len(idxs))) * BlockSize) // already-resident pages
+	if len(idxs) == 0 {
+		return
+	}
+	env.Exec(time.Duration(len(idxs)) * costPageAlloc)
+
+	// Contiguous page- and LBA-runs become one command each, chunked; DMA
+	// lands directly in the pages' buffers (no copy at completion).
+	var iov []aeodriver.IOVec
+	var runPages [][]*cachePage
+	i := 0
+	for i < len(idxs) {
+		j := i + 1
+		for j < len(idxs) && j-i < cm.cfg.ReadaheadChunk &&
+			idxs[j] == idxs[j-1]+1 && blocks[idxs[j]] == blocks[idxs[j-1]]+1 {
+			j++
+		}
+		run := make([]byte, (j-i)*BlockSize)
+		for k := i; k < j; k++ {
+			cps[k].data = run[(k-i)*BlockSize : (k-i+1)*BlockSize : (k-i+1)*BlockSize]
+		}
+		iov = append(iov, aeodriver.IOVec{LBA: blocks[idxs[i]], Cnt: uint32(j - i), Buf: run})
+		runPages = append(runPages, cps[i:j])
+		i = j
+	}
+	reqs, err := fs.drv.SubmitBatch(env, nvme.OpRead, iov, false)
+	if err != nil {
+		// Admission refused (queue full) or the grant went away: undo
+		// the insertions; waiters that raced in re-look-up and fall
+		// back to demand reads.
+		now := env.Now()
+		pc.treeLock.Lock(env)
+		for k, p := range idxs {
+			if pc.tree.Get(p) == cps[k] {
+				pc.tree.Delete(p)
+			}
+			cps[k].doomed = true
+		}
+		pc.treeLock.Unlock(env)
+		cm.uncharge(uint64(len(idxs)) * BlockSize)
+		for _, cp := range cps {
+			cp.fill.FireAt(now)
+		}
+		return
+	}
+	cm.raIssued += uint64(len(idxs))
+	cm.emit(trace.ReadaheadIssue, trace.NoCID, iov[0].LBA, uint64(len(idxs)))
+	for r := range reqs {
+		req, pages := reqs[r], runPages[r]
+		req.OnComplete(func(rq *aeodriver.Request) {
+			// Engine context: flip page state and wake waiters only.
+			now := cm.eng.Now()
+			ferr := rq.Err()
+			for _, cp := range pages {
+				if cp.doomed {
+					// Truncated/invalidated while in flight: the
+					// drop left the charge to us.
+					cm.uncharge(BlockSize)
+				} else if ferr != nil {
+					cp.ioErr = ferr
+				}
+				cp.fill.FireAt(now)
+			}
+		})
+	}
 }
 
 // readPagesFromDisk fills consecutive pages [firstPage, ...) from the
@@ -257,8 +460,31 @@ func (fs *FS) writeAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, e
 	p0 := off / BlockSize
 	p1 := (end - 1) / BlockSize
 	pc := u.pc
+	cm := fs.cache
 
 	oldPages := (oldSize + BlockSize - 1) / BlockSize
+
+	// Dirty throttling, then a worst-case residency reservation (hole
+	// pages plus the written span), both before any range lock so the
+	// charge's evictions can take their own locks.
+	cm.throttleWriter(env)
+	reserve := p1 - p0 + 1
+	if off > oldSize {
+		reserve += p0 - oldSize/BlockSize
+	}
+	cm.charge(env, reserve*BlockSize)
+	kept := uint64(0) // pages created on our reservation
+
+	// markDirty flips a page dirty exactly once per transition, keeping
+	// the mount-wide dirty accounting (and flusher wake-ups) balanced. It
+	// runs before any parking operation on the page, so eviction always
+	// sees it dirty and routes it through write-back.
+	markDirty := func(cp *cachePage) {
+		if !cp.dirty {
+			cp.dirty = true
+			cm.addDirty(BlockSize)
+		}
+	}
 
 	// A write that jumps past the old EOF leaves hole pages between the
 	// old tail and the write start; fill them with dirty zero pages so
@@ -267,28 +493,36 @@ func (fs *FS) writeAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, e
 		holeStart := oldSize / BlockSize
 		pc.rl.Lock(env, holeStart, p0+1, true)
 		for p := holeStart; p < p0; p++ {
-			cp := pc.lookup(env, p)
+			cp := pc.acquireForWrite(env, p)
 			if cp == nil {
 				cp = &cachePage{data: make([]byte, BlockSize)}
 				env.Exec(costPageAlloc)
 				pc.insert(env, p, cp)
-			} else if p == holeStart {
-				if tail := oldSize % BlockSize; tail != 0 {
-					for i := tail; i < BlockSize; i++ {
-						cp.data[i] = 0
-					}
+				kept++
+			} else {
+				// The page may hold stale device bytes (read-ahead
+				// racing the extension) or the old EOF tail: its
+				// logical content beyond the old size is zeros.
+				valid := uint64(0)
+				if s := p * BlockSize; oldSize > s {
+					valid = oldSize - s
 				}
+				for i := valid; i < BlockSize; i++ {
+					cp.data[i] = 0
+				}
+				cp.ioErr = nil
+				cp.ra = false
 			}
-			cp.dirty = true
+			markDirty(cp)
 		}
 		// The old tail page must be zero-extended even when it is
 		// also the first written page (partial write into it).
 		if holeStart == p0 && oldSize%BlockSize != 0 {
-			if cp := pc.lookup(env, p0); cp != nil {
+			if cp := pc.acquireForWrite(env, p0); cp != nil {
 				for i := oldSize % BlockSize; i < BlockSize; i++ {
 					cp.data[i] = 0
 				}
-				cp.dirty = true
+				markDirty(cp)
 			}
 		}
 		pc.rl.Unlock(env, holeStart, p0+1, true)
@@ -305,15 +539,25 @@ func (fs *FS) writeAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, e
 		if rem := len(buf) - n; pageOff+rem < BlockSize {
 			pageEnd = pageOff + rem
 		}
-		cp := pc.lookup(env, p)
+		cp := pc.acquireForWrite(env, p)
 		if cp == nil {
 			cp = &cachePage{data: make([]byte, BlockSize)}
 			env.Exec(costPageAlloc)
+			pc.insert(env, p, cp)
+			kept++
+			markDirty(cp)
 			// Partial write to a page that existed before this
-			// write: read-modify-write from disk.
+			// write: read-modify-write from disk. The page is dirty
+			// already, so a concurrent evictor routes it through
+			// write-back, which blocks on our write range lock.
 			if (pageOff != 0 || pageEnd != BlockSize) && p < oldPages {
 				if err := fs.readPagesFromDisk(env, u, p, []*cachePage{cp}); err != nil {
+					cp.dirty = false
+					cm.subDirty(BlockSize)
+					pc.drop(env, p)
+					kept--
 					pc.rl.Unlock(env, p0, p1+1, true)
+					cm.uncharge((reserve - kept) * BlockSize)
 					return n, err
 				}
 				// If this page held the old EOF and the write
@@ -325,14 +569,29 @@ func (fs *FS) writeAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, e
 					}
 				}
 			}
-			pc.insert(env, p, cp)
+		} else {
+			if cp.ioErr != nil {
+				// A failed read-ahead left the page invalid; a full
+				// overwrite fixes it, a partial one must read first.
+				if pageOff == 0 && pageEnd == BlockSize {
+					cp.ioErr = nil
+				} else if err := fs.readPagesFromDisk(env, u, p, []*cachePage{cp}); err != nil {
+					pc.rl.Unlock(env, p0, p1+1, true)
+					cm.uncharge((reserve - kept) * BlockSize)
+					return n, err
+				} else {
+					cp.ioErr = nil
+				}
+			}
+			cp.ra = false
+			markDirty(cp)
 		}
 		copy(cp.data[pageOff:pageEnd], buf[n:])
-		cp.dirty = true
 		n += pageEnd - pageOff
 	}
 	env.Exec(copyCost(n))
 	pc.rl.Unlock(env, p0, p1+1, true)
+	cm.uncharge((reserve - kept) * BlockSize)
 	fs.WritesOps++
 	fs.BytesWritten += uint64(n)
 
@@ -364,7 +623,7 @@ func (fs *FS) fsyncInode(env *sim.Env, u *uInode) error {
 }
 
 // flushFile writes the file's dirty pages to their data blocks, batching
-// contiguous LBA runs.
+// contiguous LBA runs (the fsync/close path of write-back).
 func (fs *FS) flushFile(env *sim.Env, u *uInode) error {
 	if u.pc == nil {
 		return nil
@@ -373,6 +632,16 @@ func (fs *FS) flushFile(env *sim.Env, u *uInode) error {
 	if len(dirty) == 0 {
 		return nil
 	}
+	return fs.writebackPages(env, u, dirty, false)
+}
+
+// writebackPages persists the given (sorted) dirty pages of u, shared by
+// fsync/close, the background flusher, and dirty eviction. background
+// marks flusher-driven calls: after the data lands — and before the
+// journal commit that a subsequent Sync would perform — they consult the
+// wb:mid-run crash point, modeling power loss between data write-back and
+// commit.
+func (fs *FS) writebackPages(env *sim.Env, u *uInode, dirty []uint64, background bool) error {
 	if err := fs.ensureBlocks(env, u); err != nil {
 		return err
 	}
@@ -427,12 +696,31 @@ func (fs *FS) flushFile(env *sim.Env, u *uInode) error {
 		return fmt.Errorf("flush ino %d pages [%d,%d) granted=%v refs=%d: %w",
 			u.inoNum, lo, hi, u.granted, u.openRefs, err)
 	}
+	cm := fs.cache
+	for _, v := range iov {
+		cm.wbRuns++
+		cm.wbPages += uint64(v.Cnt)
+		cm.emit(trace.WritebackRun, trace.NoCID, v.LBA, uint64(v.Cnt))
+	}
 	if eng := fs.drv.Kernel().Engine(); eng.Tracer != nil {
 		eng.Tracer.Emit(eng.Now(), trace.PagecacheFlush, -1, -1, trace.NoCID, iov[0].LBA, uint64(len(dirty)))
 	}
+	if background {
+		// The data blocks are durable but nothing has committed the
+		// metadata yet: the power-loss window the crash matrix probes.
+		if err := fs.Trust.crash(CrashWBMidRun); err != nil {
+			return err
+		}
+	}
 	for _, cps := range runCPs {
 		for _, cp := range cps {
-			cp.dirty = false
+			// Check-and-clear: a concurrent flusher (fsync vs
+			// background, compatible read range locks) may have
+			// cleaned the page already.
+			if cp.dirty {
+				cp.dirty = false
+				cm.subDirty(BlockSize)
+			}
 		}
 	}
 	return nil

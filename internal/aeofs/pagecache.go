@@ -1,6 +1,8 @@
 package aeofs
 
 import (
+	"sync/atomic"
+
 	"aeolia/internal/sim"
 )
 
@@ -9,39 +11,102 @@ import (
 // concurrent reads may overlap and concurrent writes to disjoint pages
 // proceed in parallel. Tree structure mutations take a short spinlock-like
 // mutex; data copies happen under the range lock only.
+//
+// Residency accounting and eviction live in the mount-wide cacheManager;
+// the pageCache carries only per-file state: the tree, the CLOCK hand's
+// position within this file, and the sequential read-ahead detector.
 type pageCache struct {
 	rl       rangeLock
 	treeLock sim.Mutex
 	tree     radixTree
 
-	// Hits/Misses count page lookups.
-	Hits, Misses uint64
+	cm    *cacheManager
+	owner *uInode
+
+	// clockPos is the next page index the eviction CLOCK examines in this
+	// file (wraps to 0 when a sweep reaches the end of the tree).
+	clockPos uint64
+
+	// Sequential-stream state, mutated only by readAt. raNext is the page
+	// a read must start at to extend the detected stream; raIssued is the
+	// high-water mark of pages already submitted ahead; raWindow is the
+	// adaptive window in pages (doubled on read-ahead hit, halved on
+	// waste, clamped to [InitReadahead, MaxReadahead]).
+	raNext   uint64
+	raIssued uint64
+	raWindow int
+
+	// Hits/Misses count page lookups. Atomic: lookup bumps them outside
+	// treeLock, and the race tier runs concurrent readers.
+	Hits, Misses atomic.Uint64
 }
 
+// cachePage is one resident (or arriving) page.
 type cachePage struct {
 	data  []byte
 	dirty bool
+	// fill is non-nil while the page's contents are being read in; readers
+	// that find an unfilled page block on it instead of issuing duplicate
+	// I/O. Write-instantiated pages are born filled (fill == nil).
+	fill *sim.Completion
+	// doomed marks a page removed from the tree while its fill was still
+	// in flight (truncate, invalidate, failed I/O); waiters re-look-up.
+	doomed bool
+	// ra marks a read-ahead page not yet consumed by a demand read; its
+	// eviction counts as read-ahead waste.
+	ra bool
+	// ref is the CLOCK reference bit, set on every lookup hit.
+	ref bool
+	// ioErr records a failed asynchronous fill; the first waiter clears
+	// it by re-reading the page synchronously.
+	ioErr error
 }
 
-func newPageCache() *pageCache {
-	return &pageCache{}
+// filled reports whether the page's contents are valid.
+func (p *cachePage) filled() bool { return p.fill == nil || p.fill.Done() }
+
+func newPageCache(cm *cacheManager, owner *uInode) *pageCache {
+	return &pageCache{cm: cm, owner: owner}
 }
 
-// lookup returns the cached page or nil.
+// lookup returns the cached page or nil, setting the CLOCK reference bit
+// on a hit.
 func (pc *pageCache) lookup(env *sim.Env, idx uint64) *cachePage {
 	env.Exec(costRadixLookup)
 	pc.treeLock.Lock(env)
 	v := pc.tree.Get(idx)
 	pc.treeLock.Unlock(env)
 	if v == nil {
-		pc.Misses++
+		pc.Misses.Add(1)
 		return nil
 	}
-	pc.Hits++
-	return v.(*cachePage)
+	cp := v.(*cachePage)
+	cp.ref = true
+	pc.Hits.Add(1)
+	return cp
 }
 
-// insert caches a page.
+// acquireForWrite returns the cached page at idx with any in-flight fill
+// waited out (a write must not race the DMA landing in the same buffer),
+// or nil if the page is absent. Doomed pages are re-looked-up.
+func (pc *pageCache) acquireForWrite(env *sim.Env, idx uint64) *cachePage {
+	for {
+		cp := pc.lookup(env, idx)
+		if cp == nil {
+			return nil
+		}
+		if !cp.filled() {
+			env.BlockOn(cp.fill)
+		}
+		if cp.doomed {
+			continue
+		}
+		return cp
+	}
+}
+
+// insert caches a page. The caller must have charged the cacheManager for
+// it beforehand.
 func (pc *pageCache) insert(env *sim.Env, idx uint64, p *cachePage) {
 	env.Exec(costRadixLookup)
 	pc.treeLock.Lock(env)
@@ -49,27 +114,56 @@ func (pc *pageCache) insert(env *sim.Env, idx uint64, p *cachePage) {
 	pc.treeLock.Unlock(env)
 }
 
-// drop removes a page.
+// drop removes a page from the tree without touching residency accounting
+// (the caller owns the page's charge).
 func (pc *pageCache) drop(env *sim.Env, idx uint64) {
 	pc.treeLock.Lock(env)
 	pc.tree.Delete(idx)
 	pc.treeLock.Unlock(env)
 }
 
-// dropAll empties the cache (auxiliary-state rebuild).
+// forget releases one removed page's accounting: dirty bytes, then the
+// residency charge. Unfilled pages stay charged — their in-flight fill
+// callback (read-ahead) or issuing reader (demand miss) settles the charge
+// when the I/O lands — so the caller must mark them doomed instead.
+func (pc *pageCache) forget(cp *cachePage) {
+	if cp.dirty {
+		cp.dirty = false
+		pc.cm.subDirty(BlockSize)
+	}
+	pc.cm.uncharge(BlockSize)
+}
+
+// dropAll empties the cache (auxiliary-state rebuild). Dirty pages are
+// discarded — callers invalidate only when the on-disk state is already
+// authoritative.
 func (pc *pageCache) dropAll(env *sim.Env) {
 	pc.treeLock.Lock(env)
+	var pages []*cachePage
+	pc.tree.Walk(func(i uint64, v any) bool {
+		pages = append(pages, v.(*cachePage))
+		return true
+	})
 	pc.tree = radixTree{}
 	pc.treeLock.Unlock(env)
+	for _, cp := range pages {
+		if !cp.filled() {
+			cp.doomed = true
+			continue
+		}
+		pc.forget(cp)
+	}
 }
 
 // dropFrom removes all pages at or beyond idx (truncate).
 func (pc *pageCache) dropFrom(env *sim.Env, idx uint64) {
 	pc.treeLock.Lock(env)
 	var doomed []uint64
+	var pages []*cachePage
 	pc.tree.Walk(func(i uint64, v any) bool {
 		if i >= idx {
 			doomed = append(doomed, i)
+			pages = append(pages, v.(*cachePage))
 		}
 		return true
 	})
@@ -77,6 +171,13 @@ func (pc *pageCache) dropFrom(env *sim.Env, idx uint64) {
 		pc.tree.Delete(i)
 	}
 	pc.treeLock.Unlock(env)
+	for _, cp := range pages {
+		if !cp.filled() {
+			cp.doomed = true
+			continue
+		}
+		pc.forget(cp)
+	}
 }
 
 // dirtyPages returns the sorted indices of dirty pages.
@@ -99,4 +200,33 @@ func (pc *pageCache) pages(env *sim.Env) int {
 	n := pc.tree.Len()
 	pc.treeLock.Unlock(env)
 	return n
+}
+
+// clockScan advances this file's CLOCK hand: referenced pages get their
+// bit cleared (second chance); the first unreferenced, filled, undoomed
+// page is returned. Returns (0, nil) when the sweep reaches the end of the
+// tree — the caller resets clockPos and moves to the next file. Runs in
+// engine context without parking, so the tree cannot change mid-scan.
+func (pc *pageCache) clockScan() (uint64, *cachePage) {
+	var idx uint64
+	var found *cachePage
+	pc.tree.Walk(func(i uint64, v any) bool {
+		if i < pc.clockPos {
+			return true
+		}
+		cp := v.(*cachePage)
+		if !cp.filled() || cp.doomed {
+			return true
+		}
+		if cp.ref {
+			cp.ref = false
+			return true
+		}
+		idx, found = i, cp
+		return false
+	})
+	if found != nil {
+		pc.clockPos = idx + 1
+	}
+	return idx, found
 }

@@ -1,0 +1,214 @@
+package aeofs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// collect walks the tree and returns all indices in visit order.
+func collect(t *radixTree) []uint64 {
+	var out []uint64
+	t.Walk(func(i uint64, v any) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+func TestRadixDeleteAbsent(t *testing.T) {
+	var tr radixTree
+
+	// Deleting from an empty tree is a no-op.
+	if v := tr.Delete(0); v != nil {
+		t.Fatalf("Delete(0) on empty tree = %v, want nil", v)
+	}
+	if v := tr.Delete(^uint64(0)); v != nil {
+		t.Fatalf("Delete(max) on empty tree = %v, want nil", v)
+	}
+
+	tr.Set(5, "five")
+	tr.Set(radixSize+1, "sixty-five")
+
+	// Absent keys at several shapes: same leaf node, a different (absent)
+	// subtree, and beyond the tree's current height.
+	for _, idx := range []uint64{0, 4, 6, radixSize, 2 * radixSize, radixSize * radixSize, ^uint64(0)} {
+		if v := tr.Delete(idx); v != nil {
+			t.Fatalf("Delete(%d) of absent key = %v, want nil", idx, v)
+		}
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d after absent deletes, want 2", tr.Len())
+	}
+	if got := tr.Get(5); got != "five" {
+		t.Fatalf("Get(5) = %v after absent deletes", got)
+	}
+
+	// Deleting the same key twice: first returns the value, second nil.
+	if v := tr.Delete(5); v != "five" {
+		t.Fatalf("Delete(5) = %v, want five", v)
+	}
+	if v := tr.Delete(5); v != nil {
+		t.Fatalf("second Delete(5) = %v, want nil", v)
+	}
+	if v := tr.Delete(radixSize + 1); v != "sixty-five" {
+		t.Fatalf("Delete(%d) = %v", radixSize+1, v)
+	}
+	if tr.Len() != 0 || tr.root != nil || tr.height != 0 {
+		t.Fatalf("tree not fully pruned: len=%d root=%v height=%d", tr.Len(), tr.root, tr.height)
+	}
+}
+
+// TestRadixNodeBoundaries exercises keys straddling the fan-out boundaries
+// where an index crosses into a sibling node or forces the tree to grow a
+// level — the shapes pageCache.dropFrom truncation hits.
+func TestRadixNodeBoundaries(t *testing.T) {
+	boundaries := []uint64{
+		0,
+		radixSize - 1, radixSize, radixSize + 1,
+		radixSize*radixSize - 1, radixSize * radixSize, radixSize*radixSize + 1,
+		radixSize*radixSize*radixSize - 1, radixSize * radixSize * radixSize,
+	}
+	var tr radixTree
+	for _, b := range boundaries {
+		tr.Set(b, b)
+	}
+	if tr.Len() != len(boundaries) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(boundaries))
+	}
+	for _, b := range boundaries {
+		if v := tr.Get(b); v != b {
+			t.Fatalf("Get(%d) = %v, want %d", b, v, b)
+		}
+	}
+	// Ascending iteration must visit exactly the boundary keys in order.
+	got := collect(&tr)
+	want := append([]uint64(nil), boundaries...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("walk[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// Truncate-style removal of everything at or beyond a mid-tree
+	// boundary (what dropFrom does under treeLock), then verify the
+	// survivors and that pruning kept lower keys reachable.
+	cut := uint64(radixSize * radixSize)
+	var doomed []uint64
+	tr.Walk(func(i uint64, v any) bool {
+		if i >= cut {
+			doomed = append(doomed, i)
+		}
+		return true
+	})
+	for _, i := range doomed {
+		if v := tr.Delete(i); v != i {
+			t.Fatalf("Delete(%d) = %v during truncate", i, v)
+		}
+	}
+	for _, b := range boundaries {
+		want := any(b)
+		if b >= cut {
+			want = nil
+		}
+		if v := tr.Get(b); v != want {
+			t.Fatalf("after truncate at %d: Get(%d) = %v, want %v", cut, b, v, want)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d after truncate, want 5", tr.Len())
+	}
+}
+
+// TestRadixInterleavedSetDelete drives a randomized interleaving of Set and
+// Delete against a map model, checking Get/Len/Walk stay consistent
+// throughout — including early-stop iteration.
+func TestRadixInterleavedSetDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tr radixTree
+	model := map[uint64]int{}
+
+	keys := make([]uint64, 0, 512)
+	for i := 0; i < 4096; i++ {
+		// A key space clustered around node boundaries plus a sparse
+		// high tail, so grow/prune paths run often.
+		var k uint64
+		switch rng.Intn(3) {
+		case 0:
+			k = uint64(rng.Intn(3 * radixSize))
+		case 1:
+			k = uint64(radixSize*radixSize) + uint64(rng.Intn(2*radixSize))
+		default:
+			k = rng.Uint64() >> uint(rng.Intn(40))
+		}
+		if rng.Intn(3) < 2 {
+			v := rng.Int()
+			tr.Set(k, v)
+			if _, ok := model[k]; !ok {
+				keys = append(keys, k)
+			}
+			model[k] = v
+		} else {
+			got := tr.Delete(k)
+			if want, ok := model[k]; ok {
+				if got != want {
+					t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, want)
+				}
+				delete(model, k)
+			} else if got != nil {
+				t.Fatalf("op %d: Delete(%d) of absent key = %v", i, k, got)
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, model has %d", i, tr.Len(), len(model))
+		}
+	}
+
+	// Every model key present with the right value; every deleted key gone.
+	for _, k := range keys {
+		want, ok := model[k]
+		got := tr.Get(k)
+		if ok && got != want {
+			t.Fatalf("Get(%d) = %v, want %v", k, got, want)
+		}
+		if !ok && got != nil {
+			t.Fatalf("Get(%d) = %v, want nil (deleted)", k, got)
+		}
+	}
+
+	// Full walk agrees with the sorted model.
+	want := make([]uint64, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := collect(&tr)
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %d keys, model has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("walk[%d] = %d, want %d (order broken)", i, got[i], want[i])
+		}
+	}
+
+	// Early stop: visiting exactly the first half and no more.
+	limit := len(want) / 2
+	var visited []uint64
+	tr.Walk(func(i uint64, v any) bool {
+		visited = append(visited, i)
+		return len(visited) < limit
+	})
+	if len(visited) != limit {
+		t.Fatalf("early-stop walk visited %d keys, want %d", len(visited), limit)
+	}
+	for i := range visited {
+		if visited[i] != want[i] {
+			t.Fatalf("early-stop walk[%d] = %d, want %d", i, visited[i], want[i])
+		}
+	}
+}

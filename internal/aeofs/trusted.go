@@ -48,6 +48,9 @@ type TrustLayer struct {
 	// CrashPoints); a non-nil return abandons the operation there,
 	// simulating a crash. Production mounts leave it nil.
 	Crash CrashFunc
+	// crashed latches after the first fired crash: the simulated machine
+	// stays down until a harness mounts a fresh TrustLayer.
+	crashed bool
 
 	// RecoveredTxns reports how many committed transactions mount-time
 	// recovery replayed.

@@ -1,0 +1,105 @@
+package aeofs
+
+import (
+	"errors"
+
+	"aeolia/internal/sim"
+)
+
+// Background write-back: a flusher thread on a simulated core (like the
+// service workers) that wakes when dirty bytes cross the high-water mark
+// or on a periodic timer, writes contiguous dirty runs through the same
+// batched-submission path fsync uses, and releases writers blocked on the
+// dirty hard limit.
+
+// ensureFlusher spawns the flusher task on its configured core the first
+// time dirt appears. Engine context (no parking).
+func (cm *cacheManager) ensureFlusher() {
+	if cm.flusherOn || cm.wbDead || !cm.cfg.writebackEnabled() {
+		return
+	}
+	cm.flusherOn = true
+	cores := cm.eng.Cores()
+	core := cores[cm.cfg.FlusherCore%len(cores)]
+	cm.eng.Spawn("aeofs-flusher", core, cm.flusherLoop)
+}
+
+// flusherLoop is the flusher task body. It parks on cm.wake whenever the
+// dirty set is empty — never holding a pending timer event — so Engine.Run
+// still terminates when the workload drains. It exits (wbDead) on injected
+// crashes, releasing any throttled writers.
+func (cm *cacheManager) flusherLoop(env *sim.Env) {
+	defer func() {
+		cm.wbDead = true
+		cm.throttle.Broadcast(cm.eng)
+	}()
+	if _, err := cm.fs.drv.CreateQP(env); err != nil {
+		return
+	}
+	for {
+		for cm.dirty == 0 {
+			cm.wake.Wait(env)
+		}
+		if cm.fs.Trust.Crashed() {
+			return
+		}
+		// Below the high-water mark there is no urgency: let the
+		// periodic interval pass so more dirt coalesces into runs.
+		if cm.cfg.DirtyHighWater == 0 || cm.dirty < cm.cfg.DirtyHighWater {
+			env.Sleep(cm.cfg.FlushInterval)
+			if cm.dirty == 0 {
+				continue
+			}
+		}
+		if err := cm.flushPass(env); err != nil {
+			return
+		}
+	}
+}
+
+// flushPass writes back every file's dirty pages, one vectored batch per
+// file, broadcasting to throttled writers as dirt drains. Only an
+// injected crash stops the pass (and kills the flusher); per-file I/O
+// errors abandon that file's attempted pages (accounted in
+// WritebackErrors) so the dirty set cannot wedge the mount.
+func (cm *cacheManager) flushPass(env *sim.Env) error {
+	files := append([]*pageCache(nil), cm.files...)
+	for _, f := range files {
+		if cm.fs.Trust.Crashed() {
+			return ErrCrashInjected
+		}
+		dirty := f.dirtyPages(env)
+		if len(dirty) == 0 {
+			continue
+		}
+		err := cm.fs.writebackPages(env, f.owner, dirty, true)
+		if err != nil {
+			if errors.Is(err, ErrCrashInjected) {
+				return err
+			}
+			// The grant is gone (or the device persistently fails):
+			// drop the pages from the dirty accounting — their data
+			// stays resident — and record the loss loudly.
+			cm.wbErrors++
+			cm.dropDirtyAccounting(env, f, dirty)
+		}
+		cm.throttle.Broadcast(cm.eng)
+	}
+	return nil
+}
+
+// dropDirtyAccounting clears the dirty bits of pages a failed background
+// write-back attempted, so the flusher does not spin on a file it can
+// never write again (e.g. revoked grant after close).
+func (cm *cacheManager) dropDirtyAccounting(env *sim.Env, f *pageCache, idxs []uint64) {
+	f.treeLock.Lock(env)
+	for _, idx := range idxs {
+		if v := f.tree.Get(idx); v != nil {
+			if cp := v.(*cachePage); cp.dirty {
+				cp.dirty = false
+				cm.subDirty(BlockSize)
+			}
+		}
+	}
+	f.treeLock.Unlock(env)
+}

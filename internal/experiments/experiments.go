@@ -50,6 +50,7 @@ func All() []*Experiment {
 		{"abl2", "Ablation: per-thread vs single journal region", AblJournal},
 		{"qdsweep", "Batched submission + interrupt coalescing QD sweep", QDSweep},
 		{"svcscale", "Service client scaling with/without admission control", SvcScale},
+		{"fig_cache", "Page-cache budget/read-ahead sweep (throughput, tails, hit rate)", FigCache},
 	}
 }
 

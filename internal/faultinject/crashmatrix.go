@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"aeolia/internal/aeodriver"
 	"aeolia/internal/aeofs"
@@ -138,6 +139,11 @@ func RunCell(opts MatrixOptions) *CellResult {
 	if strings.HasPrefix(opts.Point, "ckpt:") {
 		occurrence = 2
 	}
+	// wb:* points are visited once per background write-back run; the
+	// flusher keeps pace with the workload, so a few runs land early.
+	if strings.HasPrefix(opts.Point, "wb:") {
+		occurrence = 3
+	}
 	plan := NewPlan(opts.Seed).On(opts.Point, At(occurrence))
 	if opts.Torn {
 		// Torn mode: at power loss most unflushed blocks get a seeded
@@ -174,7 +180,15 @@ func RunCell(opts MatrixOptions) *CellResult {
 			werr = e
 			return
 		}
-		fs := aeofs.NewFS(trust, p.Driver, 1)
+		// Mount with the background flusher enabled so the wb:* crash
+		// points are reached; the budget is generous (no eviction
+		// pressure), keeping the workload's durability schedule intact.
+		fs := aeofs.NewFSWithCache(trust, p.Driver, 1, aeofs.CacheConfig{
+			CacheBytes:     64 * aeofs.BlockSize,
+			DirtyHighWater: aeofs.BlockSize,
+			DirtyHardLimit: 32 * aeofs.BlockSize,
+			FlushInterval:  500 * time.Microsecond,
+		})
 		if e := fs.Mkdir(env, "/data"); e != nil {
 			werr = e
 			return

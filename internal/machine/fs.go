@@ -47,6 +47,10 @@ type FSOptions struct {
 	// Coalesce configures CQ interrupt aggregation on the driver's queue
 	// pairs (zero value: none).
 	Coalesce nvme.Coalescing
+	// Cache configures the AeoFS page cache (budget, read-ahead,
+	// background write-back); the zero value keeps the legacy unbounded
+	// demand-fetch behavior.
+	Cache aeofs.CacheConfig
 }
 
 // FSInstance is a built file system ready for workloads.
@@ -116,7 +120,7 @@ func (m *Machine) BuildFS(kind FSKind, opt FSOptions) (*FSInstance, error) {
 			return
 		}
 		fi.Trust = trust
-		fi.AeoFS = aeofs.NewFS(trust, p.Driver, opt.Cores)
+		fi.AeoFS = aeofs.NewFSWithCache(trust, p.Driver, opt.Cores, opt.Cache)
 	})
 	m.Eng.Run(0)
 	if serr != nil {

@@ -68,6 +68,13 @@ type Core struct {
 	inTransition bool
 	pending      []pendingIRQ
 
+	// inBody is set while control is handed to the current task's body
+	// goroutine (between resume and yield). The body is the only context
+	// that can execute during that window, and it cannot be suspended
+	// mid-statement: scheduling operations it triggers (wakes, spawns)
+	// must defer preemption of this core to the next decision point.
+	inBody bool
+
 	irqHandler IRQHandler
 
 	tickEv *Event
@@ -456,12 +463,20 @@ func (e *Engine) runCurrent(c *Core) {
 		}
 		debugf("%v core%d runCurrent resume %s", e.now, c.ID, t.Name)
 		// Hand control to the task body.
+		c.inBody = true
 		t.resume <- struct{}{}
 		<-t.yield
+		c.inBody = false
 		debugf("%v core%d parked %s op=%d", e.now, c.ID, t.Name, t.op)
 
 		switch t.op {
 		case opExec:
+			// A wake from inside the body may have requested
+			// preemption; honor it now that the task has parked.
+			if c.needResched {
+				e.preemptCurrent(c)
+				return
+			}
 			c.execStart = e.now
 			rem := t.execRem
 			if c.execEv != nil {
@@ -473,6 +488,10 @@ func (e *Engine) runCurrent(c *Core) {
 		case opSpin:
 			if t.spinOn.Done() {
 				continue // resume immediately
+			}
+			if c.needResched {
+				e.preemptCurrent(c)
+				return
 			}
 			c.execStart = e.now
 			comp := t.spinOn

@@ -205,6 +205,14 @@ func (e *Engine) kickAfterWake(t *Task) {
 		if c.current != nil && e.sched.ShouldPreempt(t, c) {
 			c.needResched = true
 		}
+	case c.inBody:
+		// The wake came from inside the running task's own body (the
+		// only context that executes while inBody holds). The body
+		// cannot be suspended mid-statement, so record the preemption
+		// and honor it at the task's next park or scheduler tick.
+		if e.sched.ShouldPreempt(t, c) {
+			c.needResched = true
+		}
 	case c.current == nil:
 		e.reschedule(c, true)
 	case e.sched.ShouldPreempt(t, c):

@@ -103,6 +103,11 @@ type Analyzer struct {
 	journalDirty int           // journal writes since last commit
 	netSent      map[int32]uint64
 	netArrived   map[int32]uint64 // delivered + dropped, per link
+
+	// page-cache replay state
+	cacheBudget uint64                 // CacheBytes (0 until a CacheBudget event)
+	ioInflight  map[[2]int64][2]uint64 // open SQEPrep→CQEConsume LBA intervals
+	writtenBack [][2]uint64            // LBA intervals covered by WritebackRun
 }
 
 // key builds the chain map key; cids are unique per queue, not globally.
@@ -121,6 +126,7 @@ func Analyze(evs []Event) *Analyzer {
 		postsPending: make(map[int32]int),
 		netSent:      make(map[int32]uint64),
 		netArrived:   make(map[int32]uint64),
+		ioInflight:   make(map[[2]int64][2]uint64),
 	}
 	for _, e := range evs {
 		a.step(e)
@@ -158,6 +164,11 @@ func (a *Analyzer) step(e Event) {
 		}
 		c.Prep = e.At
 		a.preppedNoDB[e.QID] = append(a.preppedNoDB[e.QID], c)
+		nlb := e.Aux
+		if nlb == 0 {
+			nlb = 1
+		}
+		a.ioInflight[key(e.QID, e.CID)] = [2]uint64{e.LBA, e.LBA + nlb}
 
 	case DoorbellWrite:
 		a.doorbells[e.QID] = e.At
@@ -212,6 +223,7 @@ func (a *Analyzer) step(e Event) {
 				"qid=%d cid=%d reaped outside a handler while its aggregation was still armed", e.QID, e.CID)
 		}
 		delete(a.held, k)
+		delete(a.ioInflight, k)
 		c.Consume = e.At
 		c.InHandler = a.handlerDepth > 0
 
@@ -263,6 +275,54 @@ func (a *Analyzer) step(e Event) {
 	case PagecacheFlush:
 		// ordering relative to journal is checked by aeofs crash tests;
 		// nothing to track here.
+
+	case CacheBudget:
+		a.cacheBudget = e.Aux
+
+	case CacheInsert:
+		if a.cacheBudget > 0 && e.Aux > a.cacheBudget {
+			a.violate(e.Seq, "cache-budget",
+				"%d resident bytes after insert of %d page(s) exceeds budget %d",
+				e.Aux, e.LBA, a.cacheBudget)
+		}
+
+	case CacheEvict:
+		if e.LBA == ^uint64(0) {
+			break
+		}
+		if e.CID == 0 {
+			// A clean page must not be evicted while a command on its
+			// block is still in flight: the eventual CQE would fill a
+			// buffer the cache no longer owns, and a re-read of the page
+			// could observe stale contents.
+			for k, iv := range a.ioInflight {
+				if e.LBA >= iv[0] && e.LBA < iv[1] {
+					a.violate(e.Seq, "evict-while-inflight",
+						"clean evict of lba=%d inside in-flight command qid=%d cid=%d [%d,%d)",
+						e.LBA, k[0], k[1], iv[0], iv[1])
+				}
+			}
+		} else {
+			// A dirty victim must have been written back first.
+			covered := false
+			for _, iv := range a.writtenBack {
+				if e.LBA >= iv[0] && e.LBA < iv[1] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				a.violate(e.Seq, "dirty-evict-without-writeback",
+					"dirty evict of lba=%d with no prior write-back run covering it", e.LBA)
+			}
+		}
+
+	case WritebackRun:
+		n := e.Aux
+		if n == 0 {
+			n = 1
+		}
+		a.writtenBack = append(a.writtenBack, [2]uint64{e.LBA, e.LBA + n})
 
 	case NetSend:
 		a.netSent[e.QID]++

@@ -116,6 +116,29 @@ const (
 	// connection id, CID = request id, Aux = wire status code.
 	SvcReply
 
+	// CacheBudget: a memory-bounded page cache announced its byte budget
+	// (emitted once, before the first charged insertion). Aux = CacheBytes.
+	CacheBudget
+	// CacheInsert: pages were charged against the cache budget. LBA =
+	// pages charged, Aux = resident bytes after the charge.
+	CacheInsert
+	// CacheEvict: the CLOCK hand evicted a resident page. LBA = the page's
+	// backing block (^0 if unmapped), CID = 1 if the victim was dirty and
+	// written back first, 0 if clean. Aux = resident bytes after eviction.
+	CacheEvict
+	// ReadaheadIssue: an asynchronous read-ahead batch was submitted
+	// without waiting. LBA = first block of the batch, Aux = pages.
+	ReadaheadIssue
+	// ReadaheadHit: a demand read consumed a page brought in by
+	// read-ahead. LBA = the page's backing block, Aux = page index.
+	ReadaheadHit
+	// ReadaheadWaste: a read-ahead page was evicted before any demand read
+	// used it. LBA = the page's backing block, Aux = page index.
+	ReadaheadWaste
+	// WritebackRun: one contiguous dirty run reached the device (fsync or
+	// background flusher). LBA = run start block, Aux = pages in the run.
+	WritebackRun
+
 	numTypes
 )
 
@@ -153,6 +176,13 @@ var typeNames = [numTypes]string{
 	SvcShed:        "SvcShed",
 	SvcFSOp:        "SvcFSOp",
 	SvcReply:       "SvcReply",
+	CacheBudget:    "CacheBudget",
+	CacheInsert:    "CacheInsert",
+	CacheEvict:     "CacheEvict",
+	ReadaheadIssue: "ReadaheadIssue",
+	ReadaheadHit:   "ReadaheadHit",
+	ReadaheadWaste: "ReadaheadWaste",
+	WritebackRun:   "WritebackRun",
 }
 
 func (t Type) String() string {
