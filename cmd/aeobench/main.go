@@ -29,8 +29,9 @@ func main() {
 	traceOut := flag.String("trace", "", "run one traced QD32 qdsweep window and write Chrome trace_event JSON to this file")
 	svc := flag.Bool("svc", false, "run the traced 128-client service sweep and check trace invariants + admission accounting")
 	cache := flag.Bool("cache", false, "run the traced sequential page-cache cell and print cache counters + invariant check")
+	slo := flag.Bool("slo", false, "run the fig_slo antagonist sweep plus the traced enforced io_flood cell; fail on trace invariant violations (incl. the urgent delivery bound)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] [-cache] list | all | <experiment-id>...\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] [-cache] [-slo] list | all | <experiment-id>...\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
 		}
@@ -57,6 +58,15 @@ func main() {
 	}
 	if *cache {
 		if err := runCache(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
+	if *slo {
+		if err := runSlo(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
 			os.Exit(1)
 		}
@@ -187,6 +197,57 @@ func runCache(jsonOut bool) error {
 		len(evs), tr.Dropped(), r.Res.Ops, r.Res.MBps(), r.Res.Latency.P99())
 	if len(an.Violations) > 0 {
 		return fmt.Errorf("%d trace invariant violation(s)", len(an.Violations))
+	}
+	return nil
+}
+
+// runSlo is the SLO gate: it prints the full fig_slo antagonist sweep (the
+// JSON form is the CI artifact), then replays the enforced io_flood cell
+// with tracing on and fails on any trace-invariant violation — including
+// priority-ordered delivery and the urgent delivery-latency bound armed by
+// the SLOBound event — an incomplete service chain, or an admission
+// accounting mismatch.
+func runSlo(jsonOut bool) error {
+	tables, err := experiments.FigSlo()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if err := report.WriteJSON(os.Stdout, tables); err != nil {
+			return err
+		}
+	} else {
+		for _, t := range tables {
+			t.Print(os.Stdout)
+		}
+	}
+	tr, r, err := experiments.FigSloTrace()
+	if err != nil {
+		return err
+	}
+	evs := tr.Events()
+	an := trace.Analyze(evs)
+	for _, v := range an.Violations {
+		fmt.Fprintf(os.Stderr, "aeobench: trace invariant violation: %v\n", v)
+	}
+	incomplete := 0
+	for _, c := range an.SvcChains {
+		if !c.Complete() {
+			incomplete++
+		}
+	}
+	urgent := r.Tenants[0]
+	fmt.Fprintf(os.Stderr, "[slo: %d events (%d dropped), urgent p99.9 %v under enforced io_flood, %d antagonist ops, %d preemptions, %d chains (%d incomplete)]\n",
+		len(evs), tr.Dropped(), urgent.Latency.Percentile(99.9), r.AntagOps, r.Preemptions,
+		len(an.SvcChains), incomplete)
+	if len(an.Violations) > 0 {
+		return fmt.Errorf("%d trace invariant violation(s)", len(an.Violations))
+	}
+	if incomplete > 0 {
+		return fmt.Errorf("%d incomplete service chain(s)", incomplete)
+	}
+	if err := r.Srv.CheckAccounting(); err != nil {
+		return fmt.Errorf("admission accounting: %w", err)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"aeolia/internal/machine"
 	"aeolia/internal/nvme"
 	"aeolia/internal/sim"
+	"aeolia/internal/uintr"
 )
 
 // batchRig wires a one-core, 512B-block machine and runs body in a driver
@@ -160,6 +161,51 @@ func TestWatchdogQuietUnderCoalescing(t *testing.T) {
 		}
 		if irqs := th.QueuePairs()[0].IRQRaised.Load(); irqs != 1 {
 			t.Errorf("IRQRaised = %d, want exactly 1 aggregated interrupt", irqs)
+		}
+		return nil
+	})
+}
+
+// TestWatchdogQuietUnderUrgentBypass: an urgent-class completion bypasses
+// the aggregation window — the interrupt is raised immediately and the
+// aggregation state resets, so notifyHeld() goes false while the CQE is
+// still visible. If the notification is slow to land (here: fault-injected
+// 40µs delay, twice the watchdog interval), the watchdog used to see
+// "completion present, no aggregation armed, nothing consumed it" and reap
+// the CQE as lost — double-counting the bypassed completion as both
+// delivered and recovered. The UPID's ON bit says the notification is in
+// flight; the watchdog must stand down on it.
+func TestWatchdogQuietUnderUrgentBypass(t *testing.T) {
+	plan := faultinject.NewPlan(31).On(faultinject.SiteUintrDelay, faultinject.Always())
+	cfg := aeodriver.Config{
+		Mode:           aeodriver.ModeUserInterrupt,
+		QueueDepth:     64,
+		QoS:            true,
+		RecoverTimeout: 20 * time.Microsecond,
+		Coalesce:       nvme.Coalescing{MaxEvents: 64, MaxDelay: 200 * time.Microsecond, UrgentMax: 1},
+	}
+	batchRig(t, cfg, func(env *sim.Env, m *machine.Machine, drv *aeodriver.Driver, th *aeodriver.Thread) error {
+		if err := drv.SetNotifyHook(env, &faultinject.NotifyFaults{Plan: plan, Delay: 40 * time.Microsecond}); err != nil {
+			return err
+		}
+		if err := drv.SetIOClass(env, uintr.ClassUrgent); err != nil {
+			return err
+		}
+		start := env.Now()
+		if err := drv.ReadBlk(env, 5, 1, make([]byte, 512)); err != nil {
+			return err
+		}
+		if waited := env.Now() - start; waited >= 150*time.Microsecond {
+			t.Errorf("read completed after %v: the urgent bypass did not skip the 200µs aggregation", waited)
+		}
+		if th.NotifyRecovered != 0 {
+			t.Errorf("NotifyRecovered = %d: watchdog reaped a bypassed completion whose notification was in flight", th.NotifyRecovered)
+		}
+		if th.HandlerRuns == 0 {
+			t.Error("user-interrupt handler never ran; completion was stolen from the delivery path")
+		}
+		if byp := th.QueuePairs()[0].IRQBypassed.Load(); byp != 1 {
+			t.Errorf("IRQBypassed = %d, want exactly 1", byp)
 		}
 		return nil
 	})

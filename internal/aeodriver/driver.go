@@ -110,6 +110,19 @@ type Config struct {
 	// Coalesce configures CQ interrupt aggregation on every queue pair
 	// the driver creates (zero value: no coalescing).
 	Coalesce nvme.Coalescing
+
+	// QoS enables priority-class delivery (ModeUserInterrupt only): each
+	// thread's user vectors are registered in a UPID ClassMap, and every
+	// command carries the thread's current I/O class as its completion
+	// priority tag (see nvme.Coalescing.UrgentMax for the per-class
+	// aggregation bypass). Off (the default), the legacy class-less
+	// behavior is kept.
+	QoS bool
+	// IOClass is each thread's initial I/O class when QoS is enabled.
+	// Note the zero value is uintr.ClassUrgent — QoS configurations
+	// should set it explicitly (uintr.ClassNormal for mixed workloads);
+	// SetIOClass changes it per thread at runtime.
+	IOClass uintr.Class
 }
 
 func (c Config) queues() int {
@@ -200,6 +213,10 @@ type Thread struct {
 	qps    []*nvme.QueuePair
 	vector int
 	upid   *uintr.UPID
+	// class is the thread's current I/O class (QoS configurations only):
+	// submissions carry it as their completion priority tag and the UPID
+	// class map keeps the shard vectors in it.
+	class uintr.Class
 
 	pending map[pendKey]*Request
 
@@ -256,6 +273,15 @@ func (th *Thread) notifyHeld() bool {
 		}
 	}
 	return false
+}
+
+// notifyInFlight reports whether a notification for this thread's UPID has
+// been raised but not yet recognized (ON set). The completions it covers
+// are on their way — not lost — so the watchdog must stand down. A
+// fault-dropped notification deliberately leaves ON clear, keeping real
+// recovery intact.
+func (th *Thread) notifyInFlight() bool {
+	return th.upid != nil && th.upid.ON
 }
 
 // Driver is an AeoDriver instance: one per process.
@@ -375,6 +401,13 @@ func (d *Driver) CreateQP(env *sim.Env) (*Thread, error) {
 		th.vector = vec
 		upid, _ := d.kern.MapUPID(t.Affinity(), vec, d.gate)
 		th.upid = upid
+		if d.cfg.QoS {
+			th.class = d.cfg.IOClass
+			upid.Classes = uintr.NewClassMap(uintr.ClassNormal)
+			for i := range qps {
+				upid.Classes.Set(uint8(i%uintr.MaxVectors), th.class)
+			}
+		}
 		for i, qp := range qps {
 			d.kern.ProgramMSIX(qp, upid, uint8(i%uintr.MaxVectors), t.Affinity(), vec)
 		}
@@ -649,7 +682,7 @@ func (d *Driver) SubmitBatch(env *sim.Env, op nvme.Opcode, iov []IOVec, priv boo
 			entries := make([]nvme.SubmissionEntry, len(idxs))
 			for j, i := range idxs {
 				v := iov[i]
-				entries[j] = nvme.SubmissionEntry{Opcode: op, SLBA: v.LBA, NLB: v.Cnt, Data: v.Buf}
+				entries[j] = nvme.SubmissionEntry{Opcode: op, SLBA: v.LBA, NLB: v.Cnt, Data: v.Buf, Prio: th.prioTag()}
 			}
 			subs, serr := th.qps[s].SubmitBatch(entries)
 			if serr != nil {
@@ -746,6 +779,46 @@ func (d *Driver) WriteVPriv(env *sim.Env, iov []IOVec) error {
 	return d.syncVBatch(env, nvme.OpWrite, iov, true)
 }
 
+// prioTag encodes the thread's I/O class as the nvme completion priority
+// tag (class+1; 0 = untagged for class-less configurations).
+func (th *Thread) prioTag() uint8 {
+	if !th.drv.cfg.QoS {
+		return 0
+	}
+	return uint8(th.class) + 1
+}
+
+// SetIOClass retags the calling thread's I/O class: subsequent submissions
+// carry it as their completion priority tag, and the thread's UPID vectors
+// move into it so deliveries are ordered (and preempt) accordingly. Service
+// workers call this per admitted request with the tenant's class. No-op
+// unless the driver was configured with QoS.
+func (d *Driver) SetIOClass(env *sim.Env, class uintr.Class) error {
+	th, err := d.thread(env.Task())
+	if err != nil {
+		return err
+	}
+	if !d.cfg.QoS || th.class == class {
+		return nil
+	}
+	th.class = class
+	if th.upid != nil && th.upid.Classes != nil {
+		for i := range th.qps {
+			th.upid.Classes.Set(uint8(i%uintr.MaxVectors), class)
+		}
+	}
+	return nil
+}
+
+// IOClass returns the calling thread's current I/O class.
+func (d *Driver) IOClass(env *sim.Env) (uintr.Class, error) {
+	th, err := d.thread(env.Task())
+	if err != nil {
+		return 0, err
+	}
+	return th.class, nil
+}
+
 func (th *Thread) submit(env *sim.Env, op nvme.Opcode, lba uint64, cnt uint32, buf []byte) (*Request, error) {
 	req := &Request{
 		op:          op,
@@ -757,7 +830,7 @@ func (th *Thread) submit(env *sim.Env, op nvme.Opcode, lba uint64, cnt uint32, b
 		SubmittedAt: env.Now(),
 	}
 	qp := th.qps[req.shard]
-	cqe, err := qp.Submit(nvme.SubmissionEntry{Opcode: op, SLBA: lba, NLB: cnt, Data: buf})
+	cqe, err := qp.Submit(nvme.SubmissionEntry{Opcode: op, SLBA: lba, NLB: cnt, Data: buf, Prio: th.prioTag()})
 	if err != nil {
 		return nil, err
 	}
@@ -779,7 +852,7 @@ func (th *Thread) resubmit(env *sim.Env, req *Request) error {
 	req.done = sim.NewCompletion()
 	req.status = nvme.StatusSuccess
 	qp := th.qps[req.shard]
-	cqe, err := qp.Submit(nvme.SubmissionEntry{Opcode: req.op, SLBA: req.lba, NLB: req.cnt, Data: req.buf})
+	cqe, err := qp.Submit(nvme.SubmissionEntry{Opcode: req.op, SLBA: req.lba, NLB: req.cnt, Data: req.buf, Prio: th.prioTag()})
 	if err != nil {
 		return err
 	}
@@ -809,13 +882,18 @@ func (th *Thread) armWatchdog(req *Request) {
 		if done.Done() || req.done != done {
 			return
 		}
-		if th.hasCompletions() && !th.notifyHeld() {
+		if th.hasCompletions() && !th.notifyHeld() && !th.notifyInFlight() {
 			// A CQE is sitting in a queue with no aggregation window
 			// open and nothing consumed it: the notification was
 			// lost. Reap it ourselves. (When notifyHeld, the CQE is
 			// intentionally parked behind interrupt coalescing — the
 			// armed aggregation timer will deliver it, so reaping
-			// here would be a false recovery.)
+			// here would be a false recovery. When notifyInFlight,
+			// an urgent-class completion already bypassed the
+			// aggregation and its notification is outstanding — the
+			// UPID's ON bit guarantees recognition will drain it, so
+			// reaping here would double-count the completion as both
+			// delivered and recovered.)
 			th.NotifyRecovered++
 			th.drainCQ(eng.Now())
 		}
@@ -981,7 +1059,10 @@ func (th *Thread) kernelDeliver(ctx *sim.IRQCtx, vec int) {
 	ctx.Charge(timing.KernelInterrupt)
 	// The kernel observes the posted bits and consumes the PIR on the
 	// thread's behalf (clearing ON so future posts notify again).
-	th.upid.TakePIR()
+	pir := th.upid.TakePIR()
+	if tr := ctx.Engine().Tracer; tr != nil && th.upid.Classes != nil {
+		tr.Emit(ctx.Now(), trace.UPIDClear, th.upid.DestCPU, -1, trace.NoCID, 0, pir)
+	}
 	th.deliverViaKernel(ctx)
 }
 

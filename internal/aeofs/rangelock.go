@@ -65,9 +65,10 @@ func (l *rangeLock) Lock(env *sim.Env, start, end uint64, write bool) {
 	}
 	w := &rangeWaiter{start: start, end: end, write: write, task: t}
 	l.waiters = append(l.waiters, w)
-	env.Block()
-	if !w.granted {
-		panic("aeofs: range lock wake without grant")
+	// Interruptible sleep: a kernel-path completion notification may wake
+	// this task before dispatch grants its range — re-block until granted.
+	for !w.granted {
+		env.Block()
 	}
 }
 

@@ -86,6 +86,10 @@ type Kernel struct {
 	nextVector int
 
 	threads map[*sim.Task]*threadUintr
+	// vecUPIDs maps a notification vector to the UPID it notifies for, so
+	// the per-core IRQ ranking can rate a raised vector by the most urgent
+	// class pending in that UPID.
+	vecUPIDs map[int]*uintr.UPID
 
 	nextPID int
 
@@ -107,12 +111,14 @@ func New(eng *sim.Engine, sch *sched.EEVDF, dev *nvme.Device) *Kernel {
 		Registry:     mpk.NewRegistry(),
 		vecOwners:    make(map[int]KernelDeliver),
 		threads:      make(map[*sim.Task]*threadUintr),
+		vecUPIDs:     make(map[int]*uintr.UPID),
 		nextVector:   firstDeviceVector,
 		QPPerProcess: 64,
 	}
 	for _, c := range eng.Cores() {
 		k.ui = append(k.ui, uintr.NewCoreState())
 		c.SetIRQHandler(k.isr)
+		c.SetIRQRank(k.irqRank)
 	}
 	eng.TaskRunHook = k.onSwitchIn
 	eng.TaskStopHook = k.onSwitchOut
@@ -211,6 +217,7 @@ func (k *Kernel) AllocVector(deliver KernelDeliver) (int, error) {
 // initialization and maintain it across thread context switches").
 func (k *Kernel) RegisterThreadUintr(t *sim.Task, vector int, upid *uintr.UPID, h uintr.Handler) {
 	k.threads[t] = &threadUintr{vector: vector, upid: upid, handler: h}
+	k.vecUPIDs[vector] = upid
 	// If the thread is already on a core, install immediately.
 	if c := t.Core(); c != nil {
 		k.installUintr(c, k.threads[t])
@@ -219,7 +226,24 @@ func (k *Kernel) RegisterThreadUintr(t *sim.Task, vector int, upid *uintr.UPID, 
 
 // UnregisterThreadUintr removes a thread's user-interrupt state.
 func (k *Kernel) UnregisterThreadUintr(t *sim.Task) {
+	if tu, ok := k.threads[t]; ok {
+		delete(k.vecUPIDs, tu.vector)
+	}
 	delete(k.threads, t)
+}
+
+// irqRank rates a raised vector for the cores' nested-delivery decision:
+// the most urgent priority class pending in the vector's UPID, or
+// NumClasses (never preempts, never preempted by an equal) for unclassed
+// UPIDs and plain kernel vectors. Legacy class-less configurations thus
+// keep strict FIFO delivery.
+func (k *Kernel) irqRank(vec int) int {
+	if u := k.vecUPIDs[vec]; u != nil && u.Classes != nil {
+		if cl, ok := u.Classes.MinClass(u.PIR); ok {
+			return int(cl)
+		}
+	}
+	return int(uintr.NumClasses)
 }
 
 // MapUPID allocates a UPID for delivery to core dest with notification
@@ -292,7 +316,11 @@ func (k *Kernel) isr(ctx *sim.IRQCtx, vec int) {
 				uint64(bits.OnesCount64(cs.UIRR)))
 		}
 		ctx.Charge(timing.UserInterrupt)
-		if cs.DeliverPending(ctx) == 0 {
+		// A recognition that delivers nothing is spurious only when the
+		// UIRR is truly empty: a nested recognition may leave lower-class
+		// bits pending for the interrupted drain (the class floor), and an
+		// out-of-user recognition leaves them for the switch-in path.
+		if cs.DeliverPending(ctx) == 0 && cs.UIRR == 0 {
 			cs.Spurious++
 		}
 		return

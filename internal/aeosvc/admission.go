@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"aeolia/internal/uintr"
 )
 
 // TenantConfig is one tenant's admission policy.
@@ -19,11 +21,19 @@ type TenantConfig struct {
 	// MaxBacklog bounds the tenant's admitted-but-unserved queue; a full
 	// backlog sheds even when tokens remain (default 0 = unbounded).
 	MaxBacklog int
+	// Class is the tenant's delivery priority class. Only meaningful on a
+	// QoS admission controller (NewAdmissionQoS): dequeue is strict
+	// priority across classes, weighted fair within a class, and workers
+	// tag the tenant's I/O so urgent completions bypass coalescing. The
+	// zero value is ClassUrgent — set Class explicitly for every tenant
+	// when QoS is on.
+	Class uintr.Class
 }
 
 // TenantStats is one tenant's admission accounting.
 type TenantStats struct {
 	ID                       uint16
+	Class                    uintr.Class
 	Received, Admitted, Shed uint64
 }
 
@@ -72,15 +82,24 @@ func (ts *tenantState) refill(now time.Duration) {
 	ts.last = now
 }
 
+// admGroup is one dequeue domain: the tenants it serves (ID-sorted) and a
+// persistent DRR cursor. A non-QoS controller has a single group; a QoS
+// controller has one group per priority class, drained strict-highest-first.
+type admGroup struct {
+	members []*tenantState // sorted by ID for deterministic dequeue
+	rr      int            // round-robin cursor
+}
+
 // Admission is the per-tenant token-bucket rate limiter plus the weighted
 // fair queue feeding the worker pool. When disabled it still provides the
 // (unbounded, unlimited) queues, so the dequeue path is identical in both
 // modes. Engine-single-threaded, like everything in the simulation.
 type Admission struct {
 	enabled bool
-	tenants []*tenantState // sorted by ID for deterministic dequeue
+	qos     bool
+	tenants []*tenantState // sorted by ID (stats/accounting order)
 	byID    map[uint16]*tenantState
-	rr      int // round-robin cursor over tenants
+	groups  []*admGroup // dequeue order: 1 group, or NumClasses when qos
 	queued  int
 }
 
@@ -89,11 +108,40 @@ type Admission struct {
 // only when enabled is false; with admission enabled, unknown tenants are
 // shed outright.
 func NewAdmission(enabled bool, cfgs []TenantConfig) *Admission {
-	a := &Admission{enabled: enabled, byID: make(map[uint16]*tenantState)}
+	return NewAdmissionQoS(enabled, false, cfgs)
+}
+
+// NewAdmissionQoS builds a class-aware admission controller: Next drains
+// strictly highest-class-first (ClassUrgent before ClassHigh before ...),
+// with weighted fair dequeue among the tenants of each class. With qos
+// false it degenerates to the single-queue controller, byte-for-byte
+// compatible with NewAdmission.
+func NewAdmissionQoS(enabled, qos bool, cfgs []TenantConfig) *Admission {
+	a := &Admission{enabled: enabled, qos: qos, byID: make(map[uint16]*tenantState)}
+	n := 1
+	if qos {
+		n = int(uintr.NumClasses)
+	}
+	a.groups = make([]*admGroup, n)
+	for i := range a.groups {
+		a.groups[i] = &admGroup{}
+	}
 	for _, c := range cfgs {
 		a.addTenant(c)
 	}
 	return a
+}
+
+// group returns the dequeue group a tenant belongs to.
+func (a *Admission) group(ts *tenantState) *admGroup {
+	if !a.qos {
+		return a.groups[0]
+	}
+	cl := ts.cfg.Class
+	if cl >= uintr.NumClasses {
+		cl = uintr.ClassBulk
+	}
+	return a.groups[cl]
 }
 
 func (a *Admission) addTenant(c TenantConfig) *tenantState {
@@ -104,12 +152,32 @@ func (a *Admission) addTenant(c TenantConfig) *tenantState {
 	sort.Slice(a.tenants, func(i, j int) bool {
 		return a.tenants[i].cfg.ID < a.tenants[j].cfg.ID
 	})
-	a.rr = 0
+	g := a.group(ts)
+	g.members = append(g.members, ts)
+	sort.Slice(g.members, func(i, j int) bool {
+		return g.members[i].cfg.ID < g.members[j].cfg.ID
+	})
+	g.rr = 0
 	return ts
 }
 
 // Enabled reports whether rate limits and backlog bounds are enforced.
 func (a *Admission) Enabled() bool { return a.enabled }
+
+// QoS reports whether dequeue is strict-priority across classes.
+func (a *Admission) QoS() bool { return a.qos }
+
+// ClassOf returns the class the controller will serve a tenant's requests
+// under (ClassNormal for tenants it has not seen).
+func (a *Admission) ClassOf(tenant uint16) uintr.Class {
+	if ts := a.byID[tenant]; ts != nil {
+		if ts.cfg.Class < uintr.NumClasses {
+			return ts.cfg.Class
+		}
+		return uintr.ClassBulk
+	}
+	return uintr.ClassNormal
+}
 
 // Queued returns the number of admitted requests waiting for a worker.
 func (a *Admission) Queued() int { return a.queued }
@@ -155,23 +223,38 @@ func (a *Admission) Offer(now time.Duration, p *pending) bool {
 	return true
 }
 
-// Next pops the next admitted request under deficit-weighted round robin:
-// each visit grants a tenant credit proportional to its weight, and a
-// tenant serves one request per unit of credit. Returns nil when every
-// queue is empty. Deterministic: tenants are visited in ID order from a
-// persistent cursor.
+// Next pops the next admitted request. Groups are visited strictly in
+// priority order (a lower class dequeues only when every higher class is
+// empty; without QoS there is a single group). Within a group, dequeue is
+// deficit-weighted round robin: each visit grants a tenant credit
+// proportional to its weight, and a tenant serves one request per unit of
+// credit. Returns nil when every queue is empty. Deterministic: tenants
+// are visited in ID order from a persistent per-group cursor.
 func (a *Admission) Next() *pending {
-	if a.queued == 0 || len(a.tenants) == 0 {
+	if a.queued == 0 {
 		return nil
 	}
+	for _, g := range a.groups {
+		if p := g.next(); p != nil {
+			a.queued--
+			return p
+		}
+	}
+	// Unreachable while queued > 0, but keep the contract total.
+	return nil
+}
+
+// next pops one request from the group under DRR, or nil if the group has
+// no backlog.
+func (g *admGroup) next() *pending {
 	// Two sweeps bound the search: a backlogged tenant is reached and
 	// credited within one lap of the cursor.
-	for pass := 0; pass < 2*len(a.tenants); pass++ {
-		ts := a.tenants[a.rr%len(a.tenants)]
+	for pass := 0; pass < 2*len(g.members); pass++ {
+		ts := g.members[g.rr%len(g.members)]
 		if len(ts.queue) == 0 {
 			// An idle tenant holds no credit (classic DRR reset).
 			ts.deficit = 0
-			a.rr++
+			g.rr++
 			continue
 		}
 		if ts.deficit < 1 {
@@ -181,14 +264,12 @@ func (a *Admission) Next() *pending {
 		ts.deficit--
 		p := ts.queue[0]
 		ts.queue = ts.queue[1:]
-		a.queued--
 		if ts.deficit < 1 {
 			// Credit exhausted; the next dequeue moves on.
-			a.rr++
+			g.rr++
 		}
 		return p
 	}
-	// Unreachable while queued > 0, but keep the contract total.
 	return nil
 }
 
@@ -196,7 +277,7 @@ func (a *Admission) Next() *pending {
 func (a *Admission) TenantStats() []TenantStats {
 	out := make([]TenantStats, 0, len(a.tenants))
 	for _, ts := range a.tenants {
-		out = append(out, TenantStats{ID: ts.cfg.ID,
+		out = append(out, TenantStats{ID: ts.cfg.ID, Class: ts.cfg.Class,
 			Received: ts.received, Admitted: ts.admitted, Shed: ts.shed})
 	}
 	return out

@@ -13,11 +13,19 @@ import (
 type ClientConfig struct {
 	ID     int
 	Tenant uint16
+	// Class is stamped on every request's wire header. Advisory: the
+	// server's tenant table decides the serving class; the stamp makes the
+	// client's expectation visible on the wire for audit.
+	Class uint8
 	// QD is the pipelining depth: requests kept in flight on the single
 	// connection (default 1).
 	QD int
 	// Ops is the number of measured operations to complete.
 	Ops int
+	// WarmupOps completed before measurement starts are discarded — they
+	// absorb the open/prefill convoy every client rig produces at t=0 and
+	// any cold-cache transient, which would otherwise dominate p99.9.
+	WarmupOps int
 	// ReadFrac of the file ops are reads (the rest writes).
 	ReadFrac float64
 	// KVFrac of the ops target the KV store instead of the file
@@ -155,7 +163,7 @@ func (c *Client) Run(env *sim.Env) error {
 	var nextID uint64 = 1
 
 	path := fmt.Sprintf("/c%d.dat", cfg.ID)
-	resp, err := c.call(env, Request{Tenant: cfg.Tenant, Op: OpOpen, Path: path}, &nextID)
+	resp, err := c.call(env, Request{Tenant: cfg.Tenant, Class: cfg.Class, Op: OpOpen, Path: path}, &nextID)
 	if err != nil {
 		return err
 	}
@@ -168,7 +176,7 @@ func (c *Client) Run(env *sim.Env) error {
 	for i := range prefill {
 		prefill[i] = byte(cfg.ID + i)
 	}
-	resp, err = c.call(env, Request{Tenant: cfg.Tenant, Op: OpWrite, FD: fd, Data: prefill}, &nextID)
+	resp, err = c.call(env, Request{Tenant: cfg.Tenant, Class: cfg.Class, Op: OpWrite, FD: fd, Data: prefill}, &nextID)
 	if err != nil {
 		return err
 	}
@@ -180,9 +188,11 @@ func (c *Client) Run(env *sim.Env) error {
 	inflight := make(map[uint64]*slot)
 	var parked []*slot
 	issued, done := 0, 0
+	warm := cfg.WarmupOps
+	total := cfg.Ops + warm
 
 	mkReq := func() Request {
-		r := Request{Tenant: cfg.Tenant}
+		r := Request{Tenant: cfg.Tenant, Class: cfg.Class}
 		if rng.Float64() < cfg.KVFrac {
 			key := fmt.Sprintf("k%d-%d", cfg.ID, rng.Intn(16))
 			if rng.Float64() < cfg.ReadFrac {
@@ -229,7 +239,7 @@ func (c *Client) Run(env *sim.Env) error {
 		return nil
 	}
 
-	for done < cfg.Ops {
+	for done < total {
 		// Re-issue parked retries that are due.
 		now := env.Now()
 		keep := parked[:0]
@@ -244,7 +254,7 @@ func (c *Client) Run(env *sim.Env) error {
 		}
 		parked = keep
 		// Fill the pipeline with fresh ops.
-		for len(inflight) < cfg.qd() && issued < cfg.Ops {
+		for len(inflight) < cfg.qd() && issued < total {
 			s := &slot{req: mkReq(), firstAt: env.Now(), backoff: cfg.backoff()}
 			if err := send(s); err != nil {
 				return err
@@ -288,6 +298,12 @@ func (c *Client) Run(env *sim.Env) error {
 			parked = append(parked, s)
 		case StatusOK:
 			done++
+			if done <= warm {
+				if done == warm {
+					c.Result.Start = env.Now()
+				}
+				break
+			}
 			c.Result.Ops++
 			switch s.req.Op {
 			case OpRead, OpGet:
@@ -304,7 +320,7 @@ func (c *Client) Run(env *sim.Env) error {
 		}
 	}
 
-	resp, err = c.call(env, Request{Tenant: cfg.Tenant, Op: OpClose, FD: fd}, &nextID)
+	resp, err = c.call(env, Request{Tenant: cfg.Tenant, Class: cfg.Class, Op: OpClose, FD: fd}, &nextID)
 	if err != nil {
 		return err
 	}

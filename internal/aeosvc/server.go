@@ -23,6 +23,13 @@ import (
 // hardware queue" step applied to the network).
 const rxUserVector = 7
 
+// IOClassSetter retags the calling thread's I/O delivery class; the
+// aeodriver Driver implements it. Wired via Config.IO so workers can tag
+// each admitted request's storage I/O with its tenant's class.
+type IOClassSetter interface {
+	SetIOClass(env *sim.Env, class uintr.Class) error
+}
+
 // Config tunes a Server.
 type Config struct {
 	// Endpoint is the fabric name the service listens on (default "svc").
@@ -32,6 +39,13 @@ type Config struct {
 	Admission bool
 	// Tenants is the admission policy table.
 	Tenants []TenantConfig
+	// QoS turns on class-aware service: strict-priority dequeue across
+	// tenant classes (TenantConfig.Class), the dispatcher's rx vector
+	// promoted to ClassHigh, and per-request I/O class tagging through IO.
+	QoS bool
+	// IO, when set with QoS, lets workers retag their storage I/O to the
+	// admitted request's tenant class (pass the process's aeodriver).
+	IO IOClassSetter
 	// RequestCPU is the per-request parse/dispatch cost on the
 	// dispatcher (default 1us).
 	RequestCPU time.Duration
@@ -119,7 +133,7 @@ func NewServer(fab *netsim.Fabric, kern *aeokern.Kernel, gate *mpk.Gate, fs vfs.
 		fs:    fs,
 		cfg:   cfg,
 		ep:    fab.Endpoint(cfg.endpoint()),
-		adm:   NewAdmission(cfg.Admission, cfg.Tenants),
+		adm:   NewAdmissionQoS(cfg.Admission, cfg.QoS, cfg.Tenants),
 		conns: make(map[int32]*connState),
 		ext:   kern.ExtMap(),
 	}
@@ -144,11 +158,36 @@ func (s *Server) Err() error { return s.failure }
 // so they must NOT share a core with the dispatcher: the dispatcher's one
 // uintr registration belongs to the network vector.
 func (s *Server) Start(rxCore *sim.Core, workerCores []*sim.Core) {
+	boost := func(t *sim.Task) {
+		// QoS includes the CPU side: service threads carry tenants of
+		// every class, so they run at elevated scheduling weight (the
+		// nice -10 a real latency-critical I/O service would get). An
+		// admission budget and priority dequeue mean nothing if a
+		// best-effort hog on the worker's core can claim fair share
+		// ahead of an urgent completion.
+		if !s.cfg.QoS {
+			return
+		}
+		type weightSetter interface {
+			SetWeight(*sim.Task, int64)
+		}
+		if ws, ok := s.eng.Scheduler().(weightSetter); ok {
+			ws.SetWeight(t, qosServiceWeight)
+		}
+	}
+	// The rx dispatcher is NOT boosted: it actively checks for arrivals,
+	// and at elevated weight its spin would never yield the core to
+	// housekeeping tasks sharing it (the write-back flusher lives on core
+	// 0 by default).
 	s.eng.Spawn("svc-rx", rxCore, s.ServeRx)
 	for i, c := range workerCores {
-		s.eng.Spawn(fmt.Sprintf("svc-worker-%d", i), c, s.ServeWorker)
+		boost(s.eng.Spawn(fmt.Sprintf("svc-worker-%d", i), c, s.ServeWorker))
 	}
 }
+
+// qosServiceWeight is the EEVDF load weight of QoS-mode service threads,
+// Linux's sched_prio_to_weight value for nice -10.
+const qosServiceWeight = 9548
 
 // Stop initiates shutdown: the dispatcher and workers drain and exit. Safe
 // to call from outside the engine (it schedules an event).
@@ -211,6 +250,12 @@ func (s *Server) bindRx(env *sim.Env) error {
 		return err
 	}
 	upid, _ := s.kern.MapUPID(t.Affinity(), vec, s.gate)
+	if s.cfg.QoS {
+		// Network arrivals outrank bulk storage completions but yield to
+		// urgent-tenant I/O: the dispatcher must never starve the class
+		// the SLO is written against.
+		upid.Classes = uintr.NewClassMap(uintr.ClassNormal).Set(rxUserVector, uintr.ClassHigh)
+	}
 	s.upid = upid
 	s.kern.RegisterThreadUintr(t, vec, upid, s.userHandler)
 	s.ep.SetOnDeliver(func(m *netsim.Msg) {
@@ -259,7 +304,10 @@ func (s *Server) userHandler(ctx *sim.IRQCtx, uv uint8) {
 func (s *Server) kernelDeliver(ctx *sim.IRQCtx, vec int) {
 	s.KernelDeliveries++
 	ctx.Charge(timing.KernelInterrupt)
-	s.upid.TakePIR()
+	pir := s.upid.TakePIR()
+	if tr := s.eng.Tracer; tr != nil && s.upid.Classes != nil {
+		tr.Emit(ctx.Now(), trace.UPIDClear, s.upid.DestCPU, -1, trace.NoCID, 0, pir)
+	}
 	t := s.rxTask
 	if t == nil {
 		return
@@ -313,17 +361,23 @@ func (s *Server) handle(env *sim.Env, m *netsim.Msg) {
 		tr.Emit(now, trace.SvcReqRecv, s.coreID(env), int(conn.id), uint32(req.ID), 0, uint64(req.Op))
 	}
 	p := &pending{req: req, conn: conn.id, replyTo: m.Src, recvAt: now}
+	// With QoS the admit/shed aux also carries the serving class
+	// (class<<16 | tenant); without it the encoding is unchanged.
+	tenantAux := uint64(req.Tenant)
+	if s.cfg.QoS {
+		tenantAux |= uint64(s.adm.ClassOf(req.Tenant)) << 16
+	}
 	if s.adm.Offer(now, p) {
 		s.Admitted++
 		if tr := s.eng.Tracer; tr != nil {
-			tr.Emit(now, trace.SvcAdmit, s.coreID(env), int(conn.id), uint32(req.ID), 0, uint64(req.Tenant))
+			tr.Emit(now, trace.SvcAdmit, s.coreID(env), int(conn.id), uint32(req.ID), 0, tenantAux)
 		}
 		s.workWQ.Signal(s.eng)
 		return
 	}
 	s.Shed++
 	if tr := s.eng.Tracer; tr != nil {
-		tr.Emit(now, trace.SvcShed, s.coreID(env), int(conn.id), uint32(req.ID), 0, uint64(req.Tenant))
+		tr.Emit(now, trace.SvcShed, s.coreID(env), int(conn.id), uint32(req.ID), 0, tenantAux)
 	}
 	s.reply(env, p, Response{ID: req.ID, Status: StatusThrottled})
 }
@@ -385,6 +439,14 @@ func (s *Server) ServeWorker(env *sim.Env) {
 			}
 			s.workWQ.Wait(env)
 			continue
+		}
+		if s.cfg.QoS && s.cfg.IO != nil {
+			// Tag this request's storage I/O with the tenant's class so
+			// urgent completions bypass coalescing end to end.
+			if err := s.cfg.IO.SetIOClass(env, s.adm.ClassOf(p.req.Tenant)); err != nil {
+				s.fail(fmt.Errorf("aeosvc: set io class: %w", err))
+				return
+			}
 		}
 		resp := s.execute(env, p)
 		if tr := s.eng.Tracer; tr != nil {

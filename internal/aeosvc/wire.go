@@ -92,11 +92,12 @@ var ErrWire = errors.New("aeosvc: malformed frame")
 //
 // Wire layout (little-endian):
 //
-//	magic(1) op(1) tenant(2) id(8) fd(4) off(8) len(4) plen(2) dlen(4) path data
+//	magic(1) op(1) tenant(2) id(8) fd(4) off(8) len(4) plen(2) dlen(4) class(1) path data
 type Request struct {
 	ID     uint64 // unique per connection (until replied)
 	Tenant uint16
 	Op     Op
+	Class  uint8  // requested priority class (uintr.Class); the server's tenant table is authoritative
 	FD     uint32 // file handle (close/read/write/fsync)
 	Off    uint64 // file offset (read/write)
 	Len    uint32 // read length
@@ -104,7 +105,7 @@ type Request struct {
 	Data   []byte // write payload, or put value
 }
 
-const reqHeader = 1 + 1 + 2 + 8 + 4 + 8 + 4 + 2 + 4
+const reqHeader = 1 + 1 + 2 + 8 + 4 + 8 + 4 + 2 + 4 + 1
 
 // Encode serializes the request.
 func (r *Request) Encode() []byte {
@@ -118,6 +119,7 @@ func (r *Request) Encode() []byte {
 	binary.LittleEndian.PutUint32(b[24:], r.Len)
 	binary.LittleEndian.PutUint16(b[28:], uint16(len(r.Path)))
 	binary.LittleEndian.PutUint32(b[30:], uint32(len(r.Data)))
+	b[34] = r.Class
 	copy(b[reqHeader:], r.Path)
 	copy(b[reqHeader+len(r.Path):], r.Data)
 	return b
@@ -143,6 +145,7 @@ func DecodeRequest(b []byte) (Request, error) {
 	r.Len = binary.LittleEndian.Uint32(b[24:])
 	plen := int(binary.LittleEndian.Uint16(b[28:]))
 	dlen := int(binary.LittleEndian.Uint32(b[30:]))
+	r.Class = b[34]
 	if len(b) != reqHeader+plen+dlen {
 		return r, fmt.Errorf("%w: request body %d bytes, header promises %d",
 			ErrWire, len(b)-reqHeader, plen+dlen)

@@ -51,6 +51,7 @@ func All() []*Experiment {
 		{"qdsweep", "Batched submission + interrupt coalescing QD sweep", QDSweep},
 		{"svcscale", "Service client scaling with/without admission control", SvcScale},
 		{"fig_cache", "Page-cache budget/read-ahead sweep (throughput, tails, hit rate)", FigCache},
+		{"fig_slo", "Per-tenant tail latency under antagonists, SLO enforcement off/on", FigSlo},
 	}
 }
 

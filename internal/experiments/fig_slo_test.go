@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aeolia/internal/report"
+	"aeolia/internal/trace"
+)
+
+// TestFigSloDeterministic pins that the whole SLO study — antagonists,
+// fabric jitter, admission, QoS dequeue, preemptive delivery — replays
+// byte-identically from its seed: two full runs must serialize to the same
+// report JSON.
+func TestFigSloDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SLO study twice; skipped in -short")
+	}
+	render := func() []byte {
+		t.Helper()
+		tables, err := FigSlo()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, tables); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fig_slo report JSON not byte-identical across runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestFigSloTracedClean pins the acceptance criterion that the io_flood /
+// enforcement-on cell — every QoS mechanism live at once — completes with a
+// full event trace and zero causal-invariant violations. That includes the
+// two new invariants: priority order (a pending higher-class vector is never
+// delivered after a lower-class one recognized at the same poll) and the
+// urgent-class post→delivery latency bound.
+func TestFigSloTracedClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traced antagonist run; skipped in -short")
+	}
+	tr, r, err := FigSloTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := trace.Analyze(tr.Events())
+	for _, v := range an.Violations {
+		t.Errorf("violation: %+v", v)
+	}
+	urgent := r.Tenants[sloUrgentTenant]
+	if urgent == nil || urgent.Ops == 0 {
+		t.Fatal("urgent tenant completed no ops in the traced cell")
+	}
+	if r.AntagOps == 0 {
+		t.Fatal("io_flood antagonist completed no ops — the cell measured nothing adversarial")
+	}
+	for _, c := range an.SvcChains {
+		if !c.Complete() {
+			t.Fatalf("incomplete service chain %+v", c)
+		}
+	}
+}
+
+// TestFigSloEnforcementCutsUrgentTail pins the headline acceptance
+// criterion: under the IO-flood antagonist, SLO enforcement must cut the
+// urgent tenant's p99.9 completion latency by at least 2x.
+func TestFigSloEnforcementCutsUrgentTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two antagonist runs; skipped in -short")
+	}
+	off, err := sloRun("io_flood", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := sloRun("io_flood", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offTail := off.Tenants[sloUrgentTenant].Latency.Percentile(99.9)
+	onTail := on.Tenants[sloUrgentTenant].Latency.Percentile(99.9)
+	if onTail <= 0 || offTail < 2*onTail {
+		t.Fatalf("urgent p99.9 under io_flood: %v unenforced vs %v enforced — want >= 2x reduction", offTail, onTail)
+	}
+	t.Logf("urgent p99.9 under io_flood: %v unenforced vs %v enforced (%.1fx)",
+		offTail, onTail, float64(offTail)/float64(onTail))
+}
+
+// TestFigSloGolden snapshots the rendered study table; the simulation is
+// deterministic end to end, so any drift in the QoS stack, antagonists,
+// fabric, or cost models fails loudly here. Regenerate intentionally with:
+//
+//	go test ./internal/experiments -run TestFigSloGolden -update-golden
+func TestFigSloGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SLO study; skipped in -short")
+	}
+	tables, err := FigSlo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		tb.Print(&sb)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "fig_slo.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fig_slo output drifted from golden snapshot.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

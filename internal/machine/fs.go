@@ -11,6 +11,7 @@ import (
 	"aeolia/internal/nvme"
 	"aeolia/internal/sim"
 	"aeolia/internal/ufsserver"
+	"aeolia/internal/uintr"
 	"aeolia/internal/vfs"
 )
 
@@ -51,6 +52,10 @@ type FSOptions struct {
 	// background write-back); the zero value keeps the legacy unbounded
 	// demand-fetch behavior.
 	Cache aeofs.CacheConfig
+	// QoS enables priority-class delivery in the driver (threads start at
+	// uintr.ClassNormal and retag per request via SetIOClass); see
+	// aeodriver.Config.QoS.
+	QoS bool
 }
 
 // FSInstance is a built file system ready for workloads.
@@ -101,6 +106,8 @@ func (m *Machine) BuildFS(kind FSKind, opt FSOptions) (*FSInstance, error) {
 		Mode:            mode,
 		QueuesPerThread: opt.QueuesPerThread,
 		Coalesce:        opt.Coalesce,
+		QoS:             opt.QoS,
+		IOClass:         uintr.ClassNormal,
 	})
 	if err != nil {
 		return nil, err

@@ -102,6 +102,11 @@ type SubmissionEntry struct {
 	SLBA   uint64
 	NLB    uint32 // number of logical blocks (not 0-based, unlike real NVMe)
 	Data   []byte
+	// Prio is the command's completion priority tag for per-class
+	// interrupt coalescing: 0 is untagged, 1 the most urgent class, larger
+	// values less urgent (drivers encode their delivery class as class+1).
+	// See Coalescing.UrgentMax.
+	Prio uint8
 }
 
 // CompletionEntry is one CQ slot.

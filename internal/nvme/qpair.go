@@ -25,6 +25,47 @@ type Coalescing struct {
 	// MaxDelay is zero, DefaultCoalesceDelay applies, so a stalled queue
 	// can never hold a posted CQE without an eventual interrupt.
 	MaxDelay time.Duration
+	// UrgentMax enables per-class bypass of the aggregation: a completion
+	// whose command carried a non-zero Prio tag <= UrgentMax raises the CQ
+	// interrupt immediately (covering everything aggregated so far)
+	// instead of waiting for MaxEvents/MaxDelay. 0 disables the bypass.
+	UrgentMax uint8
+	// ClassDelays grades the aggregation time by completion class:
+	// ClassDelays[p-1] is the aggregation-time budget for a completion
+	// whose command carried priority tag p. A pending completion with a
+	// shorter budget tightens the armed timer (the interrupt fires at the
+	// minimum deadline across everything aggregated), so an impatient
+	// class never waits out a patient one's full MaxDelay. Tags beyond the
+	// table, untagged completions, and zero entries all use MaxDelay;
+	// entries are clamped to MaxDelay (MaxDelay stays the worst case the
+	// driver's lost-notification watchdog may assume). Nil disables
+	// grading: every completion waits MaxDelay.
+	ClassDelays []time.Duration
+}
+
+// delayFor returns the aggregation-time budget for a completion carrying
+// priority tag prio (0 = untagged).
+func (c Coalescing) delayFor(prio uint8) time.Duration {
+	if prio == 0 || int(prio) > len(c.ClassDelays) {
+		return c.MaxDelay
+	}
+	d := c.ClassDelays[prio-1]
+	if d <= 0 || d > c.MaxDelay {
+		return c.MaxDelay
+	}
+	return d
+}
+
+// GradedDelays builds a ClassDelays table for n priority tags where each
+// more-urgent class halves the aggregation time: tag n (least urgent)
+// waits the full maxDelay, tag n-1 half of it, and so on. The most urgent
+// tags are normally also covered by UrgentMax and never consult the table.
+func GradedDelays(maxDelay time.Duration, n int) []time.Duration {
+	ds := make([]time.Duration, n)
+	for i := range ds {
+		ds[i] = maxDelay >> uint(n-1-i)
+	}
+	return ds
 }
 
 // DefaultCoalesceDelay is the aggregation time used when Coalescing enables
@@ -65,6 +106,9 @@ type QueuePair struct {
 	// pending maps CID -> per-command completion handles, letting driver
 	// models wait for specific commands.
 	pending map[uint16]*sim.Completion
+	// prio remembers in-flight commands' non-zero priority tags so the
+	// completion side can apply the per-class coalescing bypass.
+	prio map[uint16]uint8
 
 	nextCID uint16
 
@@ -94,6 +138,9 @@ type QueuePair struct {
 	IRQRaised     atomic.Uint64
 	IRQCoalesced  atomic.Uint64
 	IRQSuppressed atomic.Uint64
+	// IRQBypassed counts urgent-class completions that bypassed an armed
+	// aggregation and raised their interrupt immediately (Coalescing.UrgentMax).
+	IRQBypassed atomic.Uint64
 }
 
 // emit records a trace event against the owning device's engine; a no-op
@@ -113,6 +160,7 @@ func newQueuePair(d *Device, id, depth int) *QueuePair {
 		cq:      make([]CompletionEntry, depth),
 		phase:   true,
 		pending: make(map[uint16]*sim.Completion),
+		prio:    make(map[uint16]uint8),
 	}
 }
 
@@ -171,11 +219,15 @@ func (qp *QueuePair) Submit(e SubmissionEntry) (*sim.Completion, error) {
 	qp.sq[qp.sqTail] = e
 	comp := sim.NewCompletion()
 	qp.pending[e.CID] = comp
+	if e.Prio != 0 {
+		qp.prio[e.CID] = e.Prio
+	}
 	qp.emit(trace.SQEPrep, uint32(e.CID), e.SLBA, uint64(e.NLB))
 
 	// Ringing the doorbell hands the command to the device.
 	if err := qp.WriteSQDoorbell((qp.sqTail + 1) % qp.depth); err != nil {
 		delete(qp.pending, e.CID)
+		delete(qp.prio, e.CID)
 		return nil, err
 	}
 	return comp, nil
@@ -212,12 +264,16 @@ func (qp *QueuePair) SubmitBatch(entries []SubmissionEntry) ([]Submitted, error)
 		tail = (tail + 1) % qp.depth
 		comp := sim.NewCompletion()
 		qp.pending[e.CID] = comp
+		if e.Prio != 0 {
+			qp.prio[e.CID] = e.Prio
+		}
 		out[i] = Submitted{CID: e.CID, Done: comp}
 		qp.emit(trace.SQEPrep, uint32(e.CID), e.SLBA, uint64(e.NLB))
 	}
 	if err := qp.WriteSQDoorbell(tail); err != nil {
 		for _, s := range out {
 			delete(qp.pending, s.CID)
+			delete(qp.prio, s.CID)
 		}
 		return nil, err
 	}
@@ -293,12 +349,17 @@ func (qp *QueuePair) postCompletion(cid uint16, st Status) {
 		comp.FireAt(qp.dev.eng.Now())
 	}
 
-	qp.signalCompletion(cid)
+	prio := qp.prio[cid]
+	delete(qp.prio, cid)
+	qp.signalCompletion(cid, prio)
 }
 
 // signalCompletion decides whether the freshly posted CQE (cid) raises the
-// CQ interrupt now, joins an armed aggregation, or starts one.
-func (qp *QueuePair) signalCompletion(cid uint16) {
+// CQ interrupt now, joins an armed aggregation, or starts one. An
+// urgent-tagged completion (prio <= UrgentMax, non-zero) never waits:
+// it fires the interrupt immediately, covering everything aggregated so
+// far.
+func (qp *QueuePair) signalCompletion(cid uint16, prio uint8) {
 	if qp.OnCompletion == nil {
 		return
 	}
@@ -309,21 +370,38 @@ func (qp *QueuePair) signalCompletion(cid uint16) {
 		return
 	}
 	qp.unNotified++
+	if qp.coalesce.UrgentMax > 0 && prio != 0 && prio <= qp.coalesce.UrgentMax {
+		qp.IRQBypassed.Add(1)
+		qp.emit(trace.IRQBypass, uint32(cid), 0, uint64(qp.unNotified))
+		qp.raiseCoalesced()
+		return
+	}
 	if qp.unNotified >= qp.coalesce.MaxEvents {
 		qp.raiseCoalesced()
 		return
 	}
 	qp.IRQCoalesced.Add(1)
 	qp.emit(trace.IRQCoalesce, uint32(cid), 0, uint64(qp.unNotified))
+	deadline := qp.dev.eng.Now() + qp.coalesce.delayFor(prio)
 	if qp.coalesceEv == nil {
-		qp.coalesceDeadline = qp.dev.eng.Now() + qp.coalesce.MaxDelay
-		qp.coalesceEv = qp.dev.eng.Schedule(qp.coalesce.MaxDelay, func() {
-			qp.coalesceEv = nil
-			if qp.unNotified > 0 {
-				qp.raiseCoalesced()
-			}
-		})
+		qp.armCoalesce(deadline)
+	} else if deadline < qp.coalesceDeadline {
+		// A more impatient class joined the aggregation: tighten the armed
+		// timer to its budget. The deadline only ever moves earlier.
+		qp.coalesceEv.Cancel()
+		qp.armCoalesce(deadline)
 	}
+}
+
+// armCoalesce schedules the aggregation timer to fire at deadline.
+func (qp *QueuePair) armCoalesce(deadline time.Duration) {
+	qp.coalesceDeadline = deadline
+	qp.coalesceEv = qp.dev.eng.Schedule(deadline-qp.dev.eng.Now(), func() {
+		qp.coalesceEv = nil
+		if qp.unNotified > 0 {
+			qp.raiseCoalesced()
+		}
+	})
 }
 
 // raiseCoalesced fires the aggregated CQ interrupt and resets the

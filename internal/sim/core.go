@@ -46,6 +46,23 @@ type pendingIRQ struct {
 	vector int
 }
 
+// irqFrame is one in-service interrupt on the core's IRQ stack. The bottom
+// frame is started by startIRQ and charges its handler cost through endEv;
+// nested frames (preemptive delivery of a more urgent vector) run their
+// handler synchronously and push their cost into the frame they
+// interrupted.
+type irqFrame struct {
+	vector int
+	rank   int
+	ctx    *IRQCtx
+	endEv  *Event        // bottom frame only: pending end-of-IRQ event
+	endAt  time.Duration // virtual time endEv fires at
+}
+
+// DefaultMaxIRQNest bounds the IRQ stack depth (bottom frame plus nested
+// preemptive deliveries) when Core.MaxIRQNest is unset.
+const DefaultMaxIRQNest = 4
+
 // Core is one simulated CPU. At any instant it is either idle, running a
 // task (possibly mid-Exec or spinning), servicing an interrupt, or in a
 // context-switch transition.
@@ -67,6 +84,12 @@ type Core struct {
 	inIRQ        bool
 	inTransition bool
 	pending      []pendingIRQ
+	irqStack     []*irqFrame
+	irqRank      func(vector int) int
+
+	// MaxIRQNest bounds the IRQ stack depth when an IRQ ranking is
+	// installed (DefaultMaxIRQNest if zero).
+	MaxIRQNest int
 
 	// inBody is set while control is handed to the current task's body
 	// goroutine (between resume and yield). The body is the only context
@@ -80,11 +103,12 @@ type Core struct {
 	tickEv *Event
 
 	// Stats.
-	IdleTime     time.Duration
-	idleSince    time.Duration
-	IRQCount     int
-	SwitchCount  int
-	PreemptCount int
+	IdleTime       time.Duration
+	idleSince      time.Duration
+	IRQCount       int
+	NestedIRQCount int
+	SwitchCount    int
+	PreemptCount   int
 }
 
 func newCore(e *Engine, id int) *Core {
@@ -100,6 +124,28 @@ func (c *Core) Idle() bool { return c.idle }
 // SetIRQHandler installs the core's interrupt handler.
 func (c *Core) SetIRQHandler(h IRQHandler) { c.irqHandler = h }
 
+// SetIRQRank installs a priority ranking for interrupt vectors: lower rank
+// is more urgent. With a ranking installed, a raised vector that strictly
+// outranks the one in service is delivered immediately as a nested
+// interrupt (bounded by MaxIRQNest frames) instead of waiting for it to
+// finish, and pended vectors are drained most-urgent-first. A nil ranking
+// (the default) keeps strict FIFO, non-nesting delivery.
+func (c *Core) SetIRQRank(rank func(vector int) int) { c.irqRank = rank }
+
+func (c *Core) rankOf(vector int) int {
+	if c.irqRank == nil {
+		return 0
+	}
+	return c.irqRank(vector)
+}
+
+func (c *Core) maxNest() int {
+	if c.MaxIRQNest > 0 {
+		return c.MaxIRQNest
+	}
+	return DefaultMaxIRQNest
+}
+
 // SetNeedResched marks the core for rescheduling at the next scheduling
 // decision point (interrupt return or tick).
 func (c *Core) SetNeedResched() { c.needResched = true }
@@ -108,9 +154,21 @@ func (c *Core) SetNeedResched() { c.needResched = true }
 func (c *Core) NeedResched() bool { return c.needResched }
 
 // RaiseIRQ raises vector on the core. If the core is servicing another
-// interrupt or mid context-switch, delivery is deferred until it finishes.
+// interrupt or mid context-switch, delivery is deferred until it finishes —
+// unless an IRQ ranking is installed and vector strictly outranks the
+// interrupt in service, in which case it preempts it as a nested interrupt.
 func (c *Core) RaiseIRQ(vector int) {
-	if c.inIRQ || c.inTransition {
+	if c.inTransition {
+		c.pending = append(c.pending, pendingIRQ{vector})
+		return
+	}
+	if c.inIRQ {
+		if c.irqRank != nil && len(c.irqStack) < c.maxNest() {
+			if inner := c.irqStack[len(c.irqStack)-1]; c.irqRank(vector) < inner.rank {
+				c.nestIRQ(vector)
+				return
+			}
+		}
 		c.pending = append(c.pending, pendingIRQ{vector})
 		return
 	}
@@ -133,15 +191,47 @@ func (c *Core) startIRQ(vector int) {
 		c.suspendExec()
 	}
 	c.inIRQ = true
-	ctx := &IRQCtx{eng: e, core: c}
+	f := &irqFrame{vector: vector, rank: c.rankOf(vector), ctx: &IRQCtx{eng: e, core: c}}
+	c.irqStack = append(c.irqStack, f)
 	if c.irqHandler != nil {
-		c.irqHandler(ctx, vector)
+		c.irqHandler(f.ctx, vector)
 	}
-	if ctx.cost > 0 {
-		e.Schedule(ctx.cost, func() { c.endIRQ() })
-	} else {
-		c.endIRQ()
+	if f.ctx.cost > 0 {
+		f.endAt = e.now + f.ctx.cost
+		f.endEv = e.Schedule(f.ctx.cost, func() { c.frameEnd(f) })
+		return
 	}
+	c.frameEnd(f)
+}
+
+// nestIRQ services vector immediately on top of the in-progress interrupt:
+// the handler runs now, and its execution time pushes back the completion
+// of the interrupted frame — by rescheduling its end event, or, when the
+// interrupted handler is itself still executing, by folding into the charge
+// it is accumulating.
+func (c *Core) nestIRQ(vector int) {
+	e := c.eng
+	c.IRQCount++
+	c.NestedIRQCount++
+	debugf("%v core%d nestIRQ vec=%d depth=%d", e.now, c.ID, vector, len(c.irqStack))
+	f := &irqFrame{vector: vector, rank: c.rankOf(vector), ctx: &IRQCtx{eng: e, core: c}}
+	c.irqStack = append(c.irqStack, f)
+	if c.irqHandler != nil {
+		c.irqHandler(f.ctx, vector)
+	}
+	c.irqStack = c.irqStack[:len(c.irqStack)-1]
+	cost := f.ctx.cost
+	if cost <= 0 {
+		return
+	}
+	parent := c.irqStack[len(c.irqStack)-1]
+	if parent.endEv == nil {
+		parent.ctx.cost += cost
+		return
+	}
+	parent.endEv.Cancel()
+	parent.endAt += cost
+	parent.endEv = e.ScheduleAt(parent.endAt, func() { c.frameEnd(parent) })
 }
 
 // suspendExec pauses the current task's Exec/Spin slice, folding the elapsed
@@ -212,16 +302,38 @@ func (c *Core) execDone() {
 	c.eng.runCurrent(c)
 }
 
-func (c *Core) endIRQ() {
-	debugf("%v core%d endIRQ cur=%v", c.eng.now, c.ID, c.current)
+// frameEnd retires the bottom IRQ frame once its charged cost has elapsed
+// (nested frames retire synchronously inside nestIRQ).
+func (c *Core) frameEnd(f *irqFrame) {
+	debugf("%v core%d endIRQ vec=%d cur=%v", c.eng.now, c.ID, f.vector, c.current)
+	if n := len(c.irqStack); n == 0 || c.irqStack[n-1] != f {
+		panic("sim: IRQ frame ended out of order")
+	}
+	c.irqStack = c.irqStack[:len(c.irqStack)-1]
+	f.endEv = nil
 	c.inIRQ = false
 	if len(c.pending) > 0 {
-		next := c.pending[0]
-		c.pending = c.pending[1:]
-		c.startIRQ(next.vector)
+		c.startIRQ(c.popPending())
 		return
 	}
 	c.afterIRQ()
+}
+
+// popPending removes and returns the next pended vector: the most urgent by
+// the installed rank (FIFO among equals), or plain FIFO without a ranking.
+func (c *Core) popPending() int {
+	best := 0
+	if c.irqRank != nil {
+		r := c.irqRank(c.pending[0].vector)
+		for i := 1; i < len(c.pending); i++ {
+			if ri := c.irqRank(c.pending[i].vector); ri < r {
+				best, r = i, ri
+			}
+		}
+	}
+	v := c.pending[best].vector
+	c.pending = append(c.pending[:best], c.pending[best+1:]...)
+	return v
 }
 
 // afterIRQ is the return-from-interrupt scheduling decision point.
@@ -382,9 +494,7 @@ func (e *Engine) reschedule(c *Core, charge bool) {
 
 func (c *Core) drainPending() {
 	for len(c.pending) > 0 && !c.inIRQ && !c.inTransition {
-		next := c.pending[0]
-		c.pending = c.pending[1:]
-		c.startIRQ(next.vector)
+		c.startIRQ(c.popPending())
 	}
 }
 

@@ -5,6 +5,13 @@ package sim
 // multicore-scalability result in the paper — is measured by the simulation
 // rather than scripted. All primitives are engine-single-threaded: they must
 // only be used from task bodies and engine callbacks.
+//
+// Sleeps here are interruptible, like the kernel's TASK_INTERRUPTIBLE: a
+// kernel-path notification (Engine.Wake from an interrupt-delivery fallback)
+// may resume a task whose condition has not been granted yet. Every wait
+// therefore re-checks its condition and re-blocks on a spurious resume;
+// grants always update the primitive's state before waking, so the check is
+// race-free under the single-threaded engine.
 
 // Mutex is a virtual-time mutual exclusion lock with FIFO handoff.
 type Mutex struct {
@@ -29,9 +36,8 @@ func (m *Mutex) Lock(env *Env) {
 	}
 	m.Contended++
 	m.waiters = append(m.waiters, t)
-	env.Block()
-	if m.owner != t {
-		panic("sim: woke without lock ownership")
+	for m.owner != t {
+		env.Block()
 	}
 }
 
@@ -73,7 +79,7 @@ type RWMutex struct {
 	readers     int
 	writer      *Task
 	waitWriters []*Task
-	waitReaders []*Task
+	waitReaders []*rwWaiter
 	// Contended counts acquisitions that had to wait.
 	Contended uint64
 	// Acquired counts total acquisitions (read and write).
@@ -88,9 +94,18 @@ func (rw *RWMutex) RLock(env *Env) {
 		return
 	}
 	rw.Contended++
-	t := env.Task()
-	rw.waitReaders = append(rw.waitReaders, t)
-	env.Block()
+	w := &rwWaiter{task: env.Task()}
+	rw.waitReaders = append(rw.waitReaders, w)
+	for !w.granted {
+		env.Block()
+	}
+}
+
+// rwWaiter is one parked reader; granted flips (with readers++) before the
+// wake, so a spuriously resumed reader can tell a grant from an interrupt.
+type rwWaiter struct {
+	task    *Task
+	granted bool
 }
 
 // RUnlock releases a read lock.
@@ -112,9 +127,8 @@ func (rw *RWMutex) Lock(env *Env) {
 	rw.Contended++
 	t := env.Task()
 	rw.waitWriters = append(rw.waitWriters, t)
-	env.Block()
-	if rw.writer != t {
-		panic("sim: woke without write ownership")
+	for rw.writer != t {
+		env.Block()
 	}
 }
 
@@ -139,9 +153,10 @@ func (rw *RWMutex) dispatch(e *Engine) {
 		return
 	}
 	if len(rw.waitWriters) == 0 {
-		for _, r := range rw.waitReaders {
+		for _, w := range rw.waitReaders {
 			rw.readers++
-			e.Wake(r)
+			w.granted = true
+			e.Wake(w.task)
 		}
 		rw.waitReaders = nil
 	}
@@ -153,10 +168,21 @@ type WaitQueue struct {
 	waiters []*Task
 }
 
-// Wait parks the calling task on the queue.
+// Wait parks the calling task on the queue. The sleep is interruptible: a
+// kernel-path notification may resume the task before Signal/Broadcast, in
+// which case Wait returns with the task removed from the queue. Callers
+// must re-check their condition in a loop (they all do — that is the wait
+// queue contract).
 func (wq *WaitQueue) Wait(env *Env) {
-	wq.waiters = append(wq.waiters, env.Task())
+	t := env.Task()
+	wq.waiters = append(wq.waiters, t)
 	env.Block()
+	for i, w := range wq.waiters {
+		if w == t {
+			wq.waiters = append(wq.waiters[:i], wq.waiters[i+1:]...)
+			break
+		}
+	}
 }
 
 // Signal wakes the longest-waiting task, if any, and reports whether one
@@ -187,18 +213,24 @@ func (wq *WaitQueue) Len() int { return len(wq.waiters) }
 type Barrier struct {
 	n       int
 	arrived int
+	gen     int
 	wq      WaitQueue
 }
 
 // NewBarrier returns a barrier for n tasks.
 func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
 
-// Wait parks the calling task until all n participants have arrived.
+// Wait parks the calling task until all n participants have arrived. The
+// generation counter keeps a spuriously resumed participant parked until
+// the release actually happens.
 func (b *Barrier) Wait(env *Env) {
 	b.arrived++
 	if b.arrived >= b.n {
+		b.gen++
 		b.wq.Broadcast(env.Engine())
 		return
 	}
-	b.wq.Wait(env)
+	for gen := b.gen; gen == b.gen; {
+		b.wq.Wait(env)
+	}
 }

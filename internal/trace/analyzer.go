@@ -108,6 +108,17 @@ type Analyzer struct {
 	cacheBudget uint64                 // CacheBytes (0 until a CacheBudget event)
 	ioInflight  map[[2]int64][2]uint64 // open SQEPrep→CQEConsume LBA intervals
 	writtenBack [][2]uint64            // LBA intervals covered by WritebackRun
+
+	// priority-delivery replay state
+	recogClass map[[2]int64]uint64      // (core, recognition id) → highest class delivered so far
+	postMarks  map[[2]int64]postMark    // (core, vector) → earliest outstanding classed post
+	sloBounds  map[uint32]time.Duration // class → delivery-latency bound (SLOBound)
+}
+
+// postMark is one outstanding classed UPID post awaiting delivery.
+type postMark struct {
+	at    time.Duration
+	class uint32
 }
 
 // key builds the chain map key; cids are unique per queue, not globally.
@@ -127,6 +138,9 @@ func Analyze(evs []Event) *Analyzer {
 		netSent:      make(map[int32]uint64),
 		netArrived:   make(map[int32]uint64),
 		ioInflight:   make(map[[2]int64][2]uint64),
+		recogClass:   make(map[[2]int64]uint64),
+		postMarks:    make(map[[2]int64]postMark),
+		sloBounds:    make(map[uint32]time.Duration),
 	}
 	for _, e := range evs {
 		a.step(e)
@@ -241,6 +255,16 @@ func (a *Analyzer) step(e Event) {
 
 	case UPIDPost:
 		a.postsPending[e.Core]++
+		// A classed post (LBA = class+1; 0 for unclassed UPIDs) starts the
+		// delivery-latency clock for its vector unless one is already
+		// ticking — ON-bit coalescing means the earliest post bounds them
+		// all.
+		if e.LBA > 0 {
+			k := key(e.Core, uint32(e.Aux))
+			if _, ok := a.postMarks[k]; !ok {
+				a.postMarks[k] = postMark{at: e.At, class: uint32(e.LBA - 1)}
+			}
+		}
 
 	case UINTRDeliver:
 		if e.Aux > 0 && a.postsPending[e.Core] <= 0 {
@@ -251,6 +275,54 @@ func (a *Analyzer) step(e Event) {
 		// (PIR is transferred wholesale; ON-bit coalescing means several
 		// posts can collapse into one delivery).
 		a.postsPending[e.Core] = 0
+
+	case UINTRVecDeliver:
+		// Within one recognition (one poll of the PIR), deliveries must be
+		// ordered strictly highest-class-first: a pending higher-class
+		// (numerically lower) vector delivered after a lower-class one was
+		// passed over in the drain — a priority inversion. Nested
+		// (preemptive) deliveries carry a fresh recognition id and so form
+		// their own group.
+		gk := key(e.Core, e.CID)
+		if prev, ok := a.recogClass[gk]; ok && e.Aux < prev {
+			a.violate(e.Seq, "priority-order",
+				"core=%d recognition=%d delivered class-%d vector %d after a class-%d delivery in the same poll",
+				e.Core, e.CID, e.Aux, e.LBA, prev)
+		} else if !ok || e.Aux > prev {
+			a.recogClass[gk] = e.Aux
+		}
+		vk := key(e.Core, uint32(e.LBA))
+		if m, ok := a.postMarks[vk]; ok {
+			delete(a.postMarks, vk)
+			if bound, bok := a.sloBounds[uint32(e.Aux)]; bok && e.At-m.at > bound {
+				a.violate(e.Seq, "slo-delivery-bound",
+					"core=%d vector=%d class=%d delivered %v after its post, over the %v bound",
+					e.Core, e.LBA, e.Aux, e.At-m.at, bound)
+			}
+		}
+
+	case UINTRPreempt:
+		if a.handlerDepth == 0 {
+			a.violate(e.Seq, "preempt-outside-handler",
+				"core=%d preemptive delivery (class=%d vector=%d) with no handler in progress",
+				e.Core, e.Aux>>8, e.Aux&0xff)
+		}
+
+	case UPIDClear:
+		// The kernel path consumed the posted bitmap wholesale; its vectors
+		// are no longer awaiting an in-schedule delivery.
+		for v := uint32(0); v < 64; v++ {
+			if e.Aux&(uint64(1)<<v) != 0 {
+				delete(a.postMarks, key(e.Core, v))
+			}
+		}
+
+	case SLOBound:
+		a.sloBounds[e.CID] = time.Duration(e.Aux)
+
+	case IRQBypass:
+		// Informational: the immediate IRQRaise that follows releases any
+		// held aggregation on the queue.
 
 	case HandlerEnter:
 		a.handlerDepth++

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// Unit tests for the two PR-6 invariants: priority-ordered delivery within
+// one recognition, and the urgent delivery-latency SLO bound. The event
+// encodings mirror the emitters: UPIDPost carries class+1 in LBA and the
+// vector in Aux; UINTRVecDeliver carries the recognition id in CID, the
+// vector in LBA and the class in Aux; UINTRPreempt carries the interrupted
+// depth in CID and (class<<8)|vector in Aux.
+
+func TestAnalyzerPriorityOrderClean(t *testing.T) {
+	var b evb
+	// One recognition (id 7) draining urgent (0) then normal (2): legal.
+	b.add(0, UINTRVecDeliver, 0, -1, 7, 3, 0).
+		add(0, UINTRVecDeliver, 0, -1, 7, 9, 2)
+	a := Analyze(b.evs)
+	if hasViolation(a, "priority-order") {
+		t.Fatalf("ordered drain flagged: %v", a.Violations)
+	}
+}
+
+func TestAnalyzerPriorityInversion(t *testing.T) {
+	var b evb
+	// Same recognition delivers a class-2 vector, then a class-0 one that
+	// must have been pending at the same poll — an inversion.
+	b.add(0, UINTRVecDeliver, 0, -1, 7, 9, 2).
+		add(0, UINTRVecDeliver, 0, -1, 7, 3, 0)
+	a := Analyze(b.evs)
+	if !hasViolation(a, "priority-order") {
+		t.Fatal("priority inversion not flagged")
+	}
+}
+
+func TestAnalyzerPreemptionNestsAcrossRecognitions(t *testing.T) {
+	var b evb
+	// A nested recognition (fresh id 8) delivering a more urgent vector
+	// mid-handler forms its own group: no inversion, and the preempt event
+	// inside the handler bracket is legal.
+	b.add(0, UINTRVecDeliver, 0, -1, 7, 9, 2).
+		add(0, HandlerEnter, 0, -1, NoCID, 0, 9).
+		add(1, UINTRPreempt, 0, -1, 1, 2, 0<<8|3).
+		add(1, UINTRVecDeliver, 0, -1, 8, 3, 0).
+		add(1, HandlerEnter, 0, -1, NoCID, 0, 3).
+		add(2, HandlerExit, 0, -1, NoCID, 0, 3).
+		add(3, HandlerExit, 0, -1, NoCID, 0, 9)
+	a := Analyze(b.evs)
+	if len(a.Violations) != 0 {
+		t.Fatalf("legal preemptive nesting flagged: %v", a.Violations)
+	}
+}
+
+func TestAnalyzerPreemptOutsideHandler(t *testing.T) {
+	var b evb
+	// A preemptive delivery with no handler in progress: the bracket it
+	// claims to interrupt does not exist.
+	b.add(0, UINTRPreempt, 0, -1, 1, 2, 0<<8|3)
+	a := Analyze(b.evs)
+	if !hasViolation(a, "preempt-outside-handler") {
+		t.Fatal("preempt outside any handler not flagged")
+	}
+}
+
+func TestAnalyzerUnbalancedPreemptionBrackets(t *testing.T) {
+	var b evb
+	// The nested handler's bracket never closes: the trace ends at depth 1.
+	b.add(0, HandlerEnter, 0, -1, NoCID, 0, 9).
+		add(1, UINTRPreempt, 0, -1, 1, 2, 0<<8|3).
+		add(1, HandlerEnter, 0, -1, NoCID, 0, 3).
+		add(2, HandlerExit, 0, -1, NoCID, 0, 3)
+	a := Analyze(b.evs)
+	if !hasViolation(a, "handler-bracket") {
+		t.Fatal("unbalanced preemption brackets not flagged")
+	}
+}
+
+func TestAnalyzerSLODeliveryBound(t *testing.T) {
+	bound := 200 * time.Microsecond
+	mk := func(lat time.Duration) *Analyzer {
+		var b evb
+		// Arm a 200µs bound for class 0, post vector 3 as class 0
+		// (LBA = class+1), deliver it lat later.
+		b.add(0, SLOBound, -1, -1, 0, 0, uint64(bound)).
+			add(0, UPIDPost, 0, -1, NoCID, 1, 3).
+			add(lat, UINTRVecDeliver, 0, -1, 7, 3, 0)
+		return Analyze(b.evs)
+	}
+	if a := mk(bound / 2); hasViolation(a, "slo-delivery-bound") {
+		t.Fatalf("under-bound delivery flagged: %v", a.Violations)
+	}
+	if a := mk(2 * bound); !hasViolation(a, "slo-delivery-bound") {
+		t.Fatal("over-bound delivery not flagged")
+	}
+}
+
+func TestAnalyzerSLOBoundCoalescedPosts(t *testing.T) {
+	var b evb
+	bound := 200 * time.Microsecond
+	// ON-bit coalescing: the earliest outstanding post starts the clock,
+	// so a second post just before delivery must not reset it.
+	b.add(0, SLOBound, -1, -1, 0, 0, uint64(bound)).
+		add(0, UPIDPost, 0, -1, NoCID, 1, 3).
+		add(300*time.Microsecond, UPIDPost, 0, -1, NoCID, 1, 3).
+		add(350*time.Microsecond, UINTRVecDeliver, 0, -1, 7, 3, 0)
+	a := Analyze(b.evs)
+	if !hasViolation(a, "slo-delivery-bound") {
+		t.Fatal("coalesced post's delivery latency not measured from the earliest post")
+	}
+}
+
+func TestAnalyzerUPIDClearStopsSLOClock(t *testing.T) {
+	var b evb
+	bound := 200 * time.Microsecond
+	// The kernel fallback path consumed the posted bitmap (UPIDClear with
+	// vector 3's bit): a much later in-schedule delivery of a fresh post
+	// must not be charged the stale post's latency.
+	b.add(0, SLOBound, -1, -1, 0, 0, uint64(bound)).
+		add(0, UPIDPost, 0, -1, NoCID, 1, 3).
+		add(10*time.Microsecond, UPIDClear, 0, -1, NoCID, 0, 1<<3).
+		add(time.Millisecond, UPIDPost, 0, -1, NoCID, 1, 3).
+		add(time.Millisecond+50*time.Microsecond, UINTRVecDeliver, 0, -1, 7, 3, 0)
+	a := Analyze(b.evs)
+	if hasViolation(a, "slo-delivery-bound") {
+		t.Fatalf("kernel-consumed post still charged to a later delivery: %v", a.Violations)
+	}
+}

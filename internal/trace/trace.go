@@ -139,6 +139,29 @@ const (
 	// background flusher). LBA = run start block, Aux = pages in the run.
 	WritebackRun
 
+	// UINTRVecDeliver: one classed user vector was delivered to the user
+	// handler (emitted only when a priority ClassMap is installed on the
+	// UPID). CID = recognition id (grouping the deliveries drained by one
+	// poll of the PIR), LBA = user vector, Aux = priority class.
+	UINTRVecDeliver
+	// UINTRPreempt: a more urgent vector's delivery preempted an
+	// in-progress lower-class handler (nested delivery). CID = nesting
+	// depth at the preemption, LBA = the preempted handler's class,
+	// Aux = class<<8 | vector of the preempting delivery.
+	UINTRPreempt
+	// UPIDClear: the kernel-path (out-of-schedule) fallback consumed a
+	// UPID's posted bitmap without per-vector deliveries. Core = DestCPU,
+	// Aux = the PIR bitmap taken.
+	UPIDClear
+	// SLOBound: an experiment announced the delivery-latency bound for a
+	// priority class (emitted before load, once per bounded class).
+	// CID = class, Aux = bound in nanoseconds.
+	SLOBound
+	// IRQBypass: an urgent-class completion bypassed the armed CQ
+	// aggregation and raised its interrupt immediately. CID = the urgent
+	// completion, Aux = completions covered by the immediate raise.
+	IRQBypass
+
 	numTypes
 )
 
@@ -183,6 +206,12 @@ var typeNames = [numTypes]string{
 	ReadaheadHit:   "ReadaheadHit",
 	ReadaheadWaste: "ReadaheadWaste",
 	WritebackRun:   "WritebackRun",
+
+	UINTRVecDeliver: "UINTRVecDeliver",
+	UINTRPreempt:    "UINTRPreempt",
+	UPIDClear:       "UPIDClear",
+	SLOBound:        "SLOBound",
+	IRQBypass:       "IRQBypass",
 }
 
 func (t Type) String() string {

@@ -1,0 +1,104 @@
+package uintr
+
+// Class is a user-interrupt delivery priority class. Lower values are more
+// urgent: ClassUrgent outranks everything, ClassBulk yields to everything.
+// The 64-vector PIR is partitioned into classes by a ClassMap; delivery
+// (DeliverPending) drains strictly highest-class-first, and a post in a
+// more urgent class may preempt an in-progress lower-class handler.
+type Class uint8
+
+const (
+	// ClassUrgent is latency-critical traffic: it bypasses CQ interrupt
+	// aggregation and preempts in-progress lower-class handlers.
+	ClassUrgent Class = iota
+	// ClassHigh is interactive traffic (e.g. service request reception).
+	ClassHigh
+	// ClassNormal is the default class; vectors of a UPID without a
+	// ClassMap all behave as ClassNormal.
+	ClassNormal
+	// ClassBulk is background/batch traffic, delivered after everything
+	// else pending.
+	ClassBulk
+
+	// NumClasses is the number of priority classes.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassUrgent:
+		return "urgent"
+	case ClassHigh:
+		return "high"
+	case ClassNormal:
+		return "normal"
+	case ClassBulk:
+		return "bulk"
+	}
+	return "class?"
+}
+
+// ClassMap partitions a UPID's 64 user vectors into priority classes. A nil
+// *ClassMap is valid everywhere and treats every vector as ClassNormal —
+// the legacy class-less behavior.
+type ClassMap struct {
+	class [MaxVectors]Class
+}
+
+// NewClassMap returns a map assigning every vector to def.
+func NewClassMap(def Class) *ClassMap {
+	m := &ClassMap{}
+	for i := range m.class {
+		m.class[i] = def
+	}
+	return m
+}
+
+// Set assigns vector to class c; it returns the map for chaining.
+func (m *ClassMap) Set(vector uint8, c Class) *ClassMap {
+	m.class[vector] = c
+	return m
+}
+
+// Of returns vector's class. A nil map puts every vector in ClassNormal.
+func (m *ClassMap) Of(vector uint8) Class {
+	if m == nil {
+		return ClassNormal
+	}
+	return m.class[vector]
+}
+
+// Mask returns the bitmap of vectors assigned to class c.
+func (m *ClassMap) Mask(c Class) uint64 {
+	if m == nil {
+		if c == ClassNormal {
+			return ^uint64(0)
+		}
+		return 0
+	}
+	var bits uint64
+	for v := 0; v < MaxVectors; v++ {
+		if m.class[v] == c {
+			bits |= uint64(1) << v
+		}
+	}
+	return bits
+}
+
+// MinClass returns the most urgent class among the set bits of pir, and
+// whether pir had any bit set.
+func (m *ClassMap) MinClass(pir uint64) (Class, bool) {
+	if pir == 0 {
+		return 0, false
+	}
+	if m == nil {
+		return ClassNormal, true
+	}
+	best := NumClasses
+	for v := 0; v < MaxVectors; v++ {
+		if pir&(uint64(1)<<v) != 0 && m.class[v] < best {
+			best = m.class[v]
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,117 @@
+package uintr_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aeolia/internal/sim"
+	"aeolia/internal/uintr"
+)
+
+// Property tests for the classed delivery state machine. These exercise the
+// invariants the trace analyzer later checks end-to-end, but directly
+// against randomized vector/class assignments instead of a full stack run.
+
+// buildClassMap spreads an arbitrary class byte per vector across the real
+// class range.
+func buildClassMap(classes [uintr.MaxVectors]uint8) *uintr.ClassMap {
+	cm := uintr.NewClassMap(uintr.ClassNormal)
+	for v, c := range classes {
+		cm.Set(uint8(v), uintr.Class(c%uint8(uintr.NumClasses)))
+	}
+	return cm
+}
+
+// TestDeliverPendingOrderProperty: for any pending bitmap and any class
+// assignment, DeliverPending drains exactly the pending vectors, each once,
+// in the order of a stable sort by (class ascending, vector descending) —
+// strictly highest-class-first, hardware vector order within a class.
+func TestDeliverPendingOrderProperty(t *testing.T) {
+	f := func(pir uint64, classes [uintr.MaxVectors]uint8) bool {
+		cm := buildClassMap(classes)
+		u := &uintr.UPID{NV: 0xec, Classes: cm}
+		cs := uintr.NewCoreState()
+		cs.UINV = 0xec
+		cs.UPID = u
+
+		var got []uint8
+		cs.Handler = func(_ *sim.IRQCtx, v uint8) { got = append(got, v) }
+
+		u.PIR = pir
+		if !cs.Recognize(0xec) {
+			return false
+		}
+		n := cs.DeliverPending(nil)
+
+		var want []uint8
+		for cl := uintr.Class(0); cl < uintr.NumClasses; cl++ {
+			for v := uintr.MaxVectors - 1; v >= 0; v-- {
+				if pir&(uint64(1)<<uint(v)) != 0 && cm.Of(uint8(v)) == cl {
+					want = append(want, uint8(v))
+				}
+			}
+		}
+		if n != len(want) || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return cs.UIRR == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTakePIRNoLossProperty: across any interleaving of posts with
+// recognition and delivery — including posts issued by the handler while a
+// drain is in progress — every newly set PIR bit is delivered exactly once
+// and nothing is pending once the queues drain. Posts to an already-pending
+// vector coalesce (Post reports false) and are excluded by construction.
+func TestTakePIRNoLossProperty(t *testing.T) {
+	f := func(seed int64, roundSeed uint8, classes [uintr.MaxVectors]uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := &uintr.UPID{NV: 0xec, Classes: buildClassMap(classes)}
+		cs := uintr.NewCoreState()
+		cs.UINV = 0xec
+		cs.UPID = u
+
+		posted, delivered := 0, 0
+		post := func(v uint8) {
+			if u.Post(v) {
+				posted++
+			}
+		}
+		cs.Handler = func(_ *sim.IRQCtx, v uint8) {
+			delivered++
+			// A quarter of handler runs post mid-drain: the "concurrent"
+			// completion arriving while recognition already consumed the PIR.
+			if rng.Intn(4) == 0 {
+				post(uint8(rng.Intn(uintr.MaxVectors)))
+			}
+		}
+
+		rounds := int(roundSeed%16) + 1
+		for r := 0; r < rounds; r++ {
+			for i, k := 0, rng.Intn(8); i < k; i++ {
+				post(uint8(rng.Intn(uintr.MaxVectors)))
+			}
+			if cs.Recognize(0xec) {
+				cs.DeliverPending(nil)
+			}
+		}
+		// Drain the tail the handler's own posts left behind.
+		for u.PIR != 0 || cs.UIRR != 0 {
+			cs.Recognize(0xec)
+			cs.DeliverPending(nil)
+		}
+		return delivered == posted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -66,6 +66,12 @@ type UPID struct {
 	// DestCPU is the core user IPIs and notifications are sent to.
 	DestCPU int
 
+	// Classes, if set, partitions the PIR's vectors into priority classes
+	// (delivery drains strictly highest-class-first and urgent posts may
+	// preempt lower-class handlers). Nil keeps the legacy class-less
+	// behavior.
+	Classes *ClassMap
+
 	// Hook, if set, intercepts notifications for fault injection.
 	Hook NotifyHook
 
@@ -189,6 +195,17 @@ type CoreState struct {
 	// Spurious counts deliveries that found no pending vector (e.g. the
 	// vector-sharing artifact of §4.2).
 	Spurious uint64
+	// Preemptions counts nested (preemptive) deliveries: a more urgent
+	// vector delivered while a lower-class handler was in progress.
+	Preemptions uint64
+
+	// active is the stack of classes whose handlers are currently
+	// executing (innermost last); a nested recognition only delivers
+	// vectors strictly more urgent than the innermost active class.
+	active []Class
+	// recog counts recognitions; per-vector delivery trace events carry it
+	// so the analyzer can group the deliveries drained by one poll.
+	recog uint32
 }
 
 // NewCoreState returns a disabled user-interrupt unit.
@@ -206,28 +223,82 @@ func (cs *CoreState) Recognize(vector int) bool {
 		return false
 	}
 	cs.UIRR |= cs.UPID.TakePIR()
+	cs.recog++
 	return true
 }
 
+// HandlerDepth returns the number of user-interrupt handlers currently
+// executing on the core (>1 during a preemptive nested delivery).
+func (cs *CoreState) HandlerDepth() int { return len(cs.active) }
+
 // DeliverPending implements steps 3-4: if the core is in user mode, invoke
-// the user handler once per pending UIRR bit (highest vector first, as the
-// hardware does). Each delivery clears its bit. Returns the number of
-// handler invocations.
+// the user handler once per pending UIRR bit. Without a priority ClassMap
+// on the UPID the drain order is highest vector first, as the hardware
+// does. With one, the drain is strictly highest-class-first (ascending
+// Class value; highest vector first within a class), and a DeliverPending
+// that interrupts an in-progress handler — a preemptive nested delivery —
+// only drains vectors strictly more urgent than that handler's class,
+// leaving the rest in the UIRR for the interrupted drain to pick up. Each
+// delivery clears its bit. Returns the number of handler invocations.
 func (cs *CoreState) DeliverPending(ctx *sim.IRQCtx) int {
 	if cs.InUser != nil && !cs.InUser() {
 		return 0
 	}
+	floor := NumClasses
+	if d := len(cs.active); d > 0 {
+		floor = cs.active[d-1]
+	}
+	rid := cs.recog
+	classed := cs.UPID != nil && cs.UPID.Classes != nil
 	n := 0
-	for cs.UIRR != 0 {
-		v := uint8(63 - leadingZeros64(cs.UIRR))
+	for {
+		v, cl, ok := cs.nextPending(floor)
+		if !ok {
+			return n
+		}
 		cs.UIRR &^= uint64(1) << v
 		cs.Delivered++
 		n++
+		nested := len(cs.active) > 0
+		if nested {
+			cs.Preemptions++
+		}
+		if ctx != nil && classed {
+			if tr := ctx.Engine().Tracer; tr != nil {
+				core := ctx.Core().ID
+				now := ctx.Now()
+				if nested {
+					tr.Emit(now, trace.UINTRPreempt, core, -1, uint32(len(cs.active)),
+						uint64(cs.active[len(cs.active)-1]), uint64(cl)<<8|uint64(v))
+				}
+				tr.Emit(now, trace.UINTRVecDeliver, core, -1, rid, uint64(v), uint64(cl))
+			}
+		}
+		cs.active = append(cs.active, cl)
 		if cs.Handler != nil {
 			cs.Handler(ctx, v)
 		}
+		cs.active = cs.active[:len(cs.active)-1]
 	}
-	return n
+}
+
+// nextPending returns the next vector to deliver: the highest vector of the
+// most urgent pending class, considering only classes strictly more urgent
+// than floor.
+func (cs *CoreState) nextPending(floor Class) (uint8, Class, bool) {
+	if cs.UIRR == 0 {
+		return 0, 0, false
+	}
+	var m *ClassMap
+	if cs.UPID != nil {
+		m = cs.UPID.Classes
+	}
+	for cl := Class(0); cl < floor; cl++ {
+		if bits := cs.UIRR & m.Mask(cl); bits != 0 {
+			return uint8(63 - leadingZeros64(bits)), cl, true
+		}
+	}
+	return 0, 0, false
 }
 
 func leadingZeros64(x uint64) int {
@@ -252,7 +323,7 @@ func (cs *CoreState) SendUIPI(eng *sim.Engine, index int) (*UPID, error) {
 	ent := cs.UITT[index]
 	ent.UPID.Post(ent.UV)
 	if tr := eng.Tracer; tr != nil {
-		tr.Emit(eng.Now(), trace.UPIDPost, ent.UPID.DestCPU, -1, trace.NoCID, 0, uint64(ent.UV))
+		tr.Emit(eng.Now(), trace.UPIDPost, ent.UPID.DestCPU, -1, trace.NoCID, postClassLBA(ent.UPID, ent.UV), uint64(ent.UV))
 	}
 	notify(eng, ent.UPID, ent.UV)
 	return ent.UPID, nil
@@ -264,7 +335,16 @@ func (cs *CoreState) SendUIPI(eng *sim.Engine, index int) (*UPID, error) {
 func PostAndNotify(eng *sim.Engine, u *UPID, vector uint8) {
 	u.Post(vector)
 	if tr := eng.Tracer; tr != nil {
-		tr.Emit(eng.Now(), trace.UPIDPost, u.DestCPU, -1, trace.NoCID, 0, uint64(vector))
+		tr.Emit(eng.Now(), trace.UPIDPost, u.DestCPU, -1, trace.NoCID, postClassLBA(u, vector), uint64(vector))
 	}
 	notify(eng, u, vector)
+}
+
+// postClassLBA encodes a classed post's class into the UPIDPost event's LBA
+// field as class+1; unclassed UPIDs emit 0, keeping legacy traces stable.
+func postClassLBA(u *UPID, vector uint8) uint64 {
+	if u.Classes == nil {
+		return 0
+	}
+	return uint64(u.Classes.Of(vector)) + 1
 }
