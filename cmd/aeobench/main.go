@@ -30,8 +30,9 @@ func main() {
 	svc := flag.Bool("svc", false, "run the traced 128-client service sweep and check trace invariants + admission accounting")
 	cache := flag.Bool("cache", false, "run the traced sequential page-cache cell and print cache counters + invariant check")
 	slo := flag.Bool("slo", false, "run the fig_slo antagonist sweep plus the traced enforced io_flood cell; fail on trace invariant violations (incl. the urgent delivery bound)")
+	repl := flag.Bool("repl", false, "run the fig_replication sweep plus the traced rf=3 leader-crash cell; fail on linearizability violations or lost acked writes")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] [-cache] [-slo] list | all | <experiment-id>...\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] [-cache] [-slo] [-repl] list | all | <experiment-id>...\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
 		}
@@ -67,6 +68,15 @@ func main() {
 	}
 	if *slo {
 		if err := runSlo(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
+	if *repl {
+		if err := runRepl(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
 			os.Exit(1)
 		}
@@ -248,6 +258,50 @@ func runSlo(jsonOut bool) error {
 	}
 	if err := r.Srv.CheckAccounting(); err != nil {
 		return fmt.Errorf("admission accounting: %w", err)
+	}
+	return nil
+}
+
+// runRepl is the replication gate: it prints the full fig_replication sweep
+// (the JSON form is the CI artifact), then replays the rf=3 leader-crash
+// cell with tracing on and fails on any linearizability violation —
+// commit-index monotonicity, divergent committed entries, acks before
+// quorum, stale reads after acknowledged writes — or any acknowledged write
+// the post-run audit cannot find intact on every replica.
+func runRepl(jsonOut bool) error {
+	tables, err := experiments.FigReplication()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if err := report.WriteJSON(os.Stdout, tables); err != nil {
+			return err
+		}
+	} else {
+		for _, t := range tables {
+			t.Print(os.Stdout)
+		}
+	}
+	tr, r, err := experiments.FigReplicationTrace()
+	if err != nil {
+		return err
+	}
+	evs := tr.Events()
+	an := trace.Analyze(evs)
+	for _, v := range an.Violations {
+		fmt.Fprintf(os.Stderr, "aeobench: trace invariant violation: %v\n", v)
+	}
+	lost := r.C.VerifyAcks()
+	for _, e := range lost {
+		fmt.Fprintf(os.Stderr, "aeobench: lost-write audit: %v\n", e)
+	}
+	fmt.Fprintf(os.Stderr, "[repl: %d events (%d dropped), %d acked writes, %d crashes, %d elections, worst recovery %v]\n",
+		len(evs), tr.Dropped(), r.Stats.AckedWrites, r.Stats.Crashes, r.Stats.Elections, r.Recovery)
+	if len(an.Violations) > 0 {
+		return fmt.Errorf("%d trace invariant violation(s)", len(an.Violations))
+	}
+	if len(lost) > 0 {
+		return fmt.Errorf("%d lost or divergent acked write(s)", len(lost))
 	}
 	return nil
 }

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aeolia/internal/faultinject"
+	"aeolia/internal/raft"
+	"aeolia/internal/trace"
+)
+
+// The failover fault matrix: every fault kind (CrashAndReset, symmetric
+// partition, asymmetric partition) injected at every named point of the
+// replicated-write path (pre-append, post-quorum, pre-apply) on the acting
+// leader of the single placement group. Every cell must
+//
+//   - finish the full client workload (the cluster recovers; elections are
+//     bounded by the run horizon),
+//   - lose no acknowledged write (VerifyAcks replays every ack against
+//     every replica), and
+//   - produce a linearizability-clean trace (commit monotonicity, no
+//     divergent commits, no acks before quorum, no stale reads).
+//
+// For crash cells the recovery bound is asserted explicitly: the first
+// acknowledgement after the crash must land within recoveryBound of it.
+const recoveryBound = 50 * time.Millisecond
+
+func matrixConfig(seed uint64, p *faultinject.Plan) Config {
+	return Config{Nodes: 3, PGs: 1, RF: 3, Clients: 2, OpsPerClient: 30,
+		Seed: seed, Plan: p}
+}
+
+// warmLeader drives the engine until the group has elected a leader,
+// returning its node id.
+func warmLeader(t *testing.T, c *Cluster) int {
+	t.Helper()
+	eng := c.M.Eng
+	for i := 0; i < 5000; i++ {
+		eng.Run(eng.Now() + 100*time.Microsecond)
+		if err := c.Err(); err != nil {
+			t.Fatalf("cluster failed during warm-up: %v", err)
+		}
+		for id := 0; id < 3; id++ {
+			if g := c.Node(id).Group(0); g != nil && g.State() == raft.Leader {
+				return id
+			}
+		}
+	}
+	t.Fatal("no leader elected during warm-up")
+	return -1
+}
+
+func TestFailoverMatrix(t *testing.T) {
+	kinds := []string{KindCrash, KindPartSym, KindPartAsym}
+	points := []string{PointPreAppend, PointPostQuorum, PointPreApply}
+	for ki, kind := range kinds {
+		for pi, point := range points {
+			t.Run(fmt.Sprintf("%s/%s", kind, point), func(t *testing.T) {
+				seed := uint64(100 + ki*10 + pi)
+				p := faultinject.NewPlan(seed)
+				c, err := New(matrixConfig(seed, p))
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				tr := trace.New(6, 1<<18)
+				c.M.Eng.Tracer = tr
+				c.Start()
+				leader := warmLeader(t, c)
+
+				// Arm the fault for the acting leader only: the matrix is
+				// about leader failure at each point of the write path.
+				switch kind {
+				case KindCrash:
+					CrashAndReset(p, point, leader)
+				case KindPartSym:
+					Partition(p, point, leader, true)
+				case KindPartAsym:
+					Partition(p, point, leader, false)
+				}
+
+				c.Run(2 * time.Second)
+				if err := c.Err(); err != nil {
+					t.Fatalf("cluster did not recover: %v", err)
+				}
+				if d := tr.Dropped(); d > 0 {
+					t.Fatalf("trace ring dropped %d events", d)
+				}
+				s := c.Stats()
+				switch kind {
+				case KindCrash:
+					if s.Crashes != 1 {
+						t.Fatalf("crash cell fired %d crashes, want 1", s.Crashes)
+					}
+				default:
+					if s.Partitions != 1 {
+						t.Fatalf("partition cell fired %d partitions, want 1", s.Partitions)
+					}
+				}
+				for _, e := range c.VerifyAcks() {
+					t.Errorf("lost-write audit: %v", e)
+				}
+				rep := trace.Analyze(tr.Events())
+				for _, v := range rep.Violations {
+					t.Errorf("trace violation: %s", v)
+				}
+				if s.AckedWrites == 0 {
+					t.Fatal("no writes acknowledged through the fault")
+				}
+
+				if kind == KindCrash {
+					if len(c.CrashTimes) != 1 {
+						t.Fatalf("recorded %d crash times, want 1", len(c.CrashTimes))
+					}
+					crashAt := c.CrashTimes[0]
+					first := time.Duration(-1)
+					for _, a := range c.Acks() {
+						if a.At > crashAt && (first < 0 || a.At < first) {
+							first = a.At
+						}
+					}
+					if first < 0 {
+						t.Fatalf("no acknowledgement after the crash at %v", crashAt)
+					}
+					if rec := first - crashAt; rec > recoveryBound {
+						t.Errorf("recovery took %v after crash, bound %v", rec, recoveryBound)
+					} else {
+						t.Logf("leader=%d crash at %v, recovered in %v (elections=%d)",
+							leader, crashAt, rec, s.Elections)
+					}
+				} else {
+					t.Logf("leader=%d partitions=%d elections=%d acks=%d retries=%d",
+						leader, s.Partitions, s.Elections, s.AckedWrites, s.Retries)
+				}
+			})
+		}
+	}
+}
+
+// TestRepeatedLeaderCrashes drives several consecutive crash-at-post-quorum
+// cycles: each time a new leader emerges and passes the point it crashes
+// too, up to three times. The workload must still finish with nothing lost.
+func TestRepeatedLeaderCrashes(t *testing.T) {
+	p := faultinject.NewPlan(77)
+	// Arm post-quorum crashes on every node: whichever nodes lead will
+	// crash the first time they acknowledge a committed write.
+	for id := 0; id < 3; id++ {
+		CrashAndReset(p, PointPostQuorum, id)
+	}
+	cfg := matrixConfig(77, p)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tr := trace.New(6, 1<<18)
+	c.M.Eng.Tracer = tr
+	c.Start()
+	c.Run(2 * time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatalf("cluster did not recover: %v", err)
+	}
+	s := c.Stats()
+	if s.Crashes == 0 {
+		t.Fatal("no crashes fired")
+	}
+	for _, e := range c.VerifyAcks() {
+		t.Errorf("lost-write audit: %v", e)
+	}
+	rep := trace.Analyze(tr.Events())
+	for _, v := range rep.Violations {
+		t.Errorf("trace violation: %s", v)
+	}
+	t.Logf("crashes=%d elections=%d acks=%d", s.Crashes, s.Elections, s.AckedWrites)
+}

@@ -1,0 +1,524 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"aeolia/internal/machine"
+	"aeolia/internal/netsim"
+	"aeolia/internal/raft"
+	"aeolia/internal/sched"
+	"aeolia/internal/sim"
+	"aeolia/internal/timing"
+	"aeolia/internal/trace"
+	"aeolia/internal/uintr"
+)
+
+// User-interrupt vectors of a node's rx UPID. Raft traffic (AppendEntries,
+// votes, heartbeats) posts the urgent vector so elections don't fire
+// spuriously while the node digests a client burst; client requests post
+// the normal one.
+const (
+	raftUserVector   = 6
+	clientUserVector = 7
+)
+
+// pendingCmd is a proposed-but-unacknowledged client command on its
+// proposer. Volatile: a crash loses it and the client retries.
+type pendingCmd struct {
+	term   uint64 // proposal term: a different term at apply means the entry was replaced
+	id     uint32
+	reply  string
+	lba    uint64
+	isRead bool
+}
+
+// group is one placement group's replica on a node: the raft instance plus
+// the applied block store. The store and appliedHash audit map model the
+// node's durable local device — they survive CrashAndReset; pending does
+// not.
+type group struct {
+	pg    int
+	peers []int
+	raft  *raft.Node
+
+	store       map[uint64][]byte // lba → applied block payload
+	appliedHash map[uint64]uint32 // raft index → applied payload hash (audit)
+	pending     map[uint64]pendingCmd
+
+	announceTerm  uint64 // set by the OnLeader hook, drained to a monitor report
+	announcedTerm uint64
+}
+
+// OSD is one storage node: an endpoint on the fabric, a uintr-driven rx
+// loop, and one raft group per placement group it hosts.
+type OSD struct {
+	c    *Cluster
+	id   int
+	proc *machine.Process
+	ep   *netsim.Endpoint
+
+	groups map[int]*group
+	pgs    []int // hosted pgs, sorted (deterministic iteration)
+
+	down    bool
+	tickDue bool
+
+	task *sim.Task
+	upid *uintr.UPID
+	ext  *sched.ExtMap
+
+	ticksToCompact int
+
+	// Stats.
+	Crashes, Partitions           uint64
+	RaftMsgs, TxOverflows         uint64
+	Compactions                   uint64
+	HandlerRuns, KernelDeliveries uint64
+}
+
+func newOSD(c *Cluster, id int, proc *machine.Process) *OSD {
+	n := &OSD{c: c, id: id, proc: proc, ep: c.Fab.Endpoint(osdName(id)),
+		groups: make(map[int]*group), ext: c.M.Kern.ExtMap(),
+		ticksToCompact: c.cfg.CompactEvery}
+	for pg, ms := range c.members {
+		hosted := false
+		for _, m := range ms {
+			if m == id {
+				hosted = true
+			}
+		}
+		if !hosted {
+			continue
+		}
+		g := &group{pg: pg, peers: ms,
+			store:       make(map[uint64][]byte),
+			appliedHash: make(map[uint64]uint32),
+			pending:     make(map[uint64]pendingCmd)}
+		g.raft = raft.New(n.raftConfig(ms), raft.HardState{Vote: raft.None}, raft.NewLog())
+		n.installHooks(g)
+		n.groups[pg] = g
+		n.pgs = append(n.pgs, pg)
+	}
+	sort.Ints(n.pgs)
+	return n
+}
+
+func (n *OSD) raftConfig(peers []int) raft.Config {
+	return raft.Config{ID: n.id, Peers: peers,
+		ElectionTicks:  n.c.cfg.ElectionTicks,
+		HeartbeatTicks: n.c.cfg.HeartbeatTicks,
+		Seed:           n.c.cfg.Seed}
+}
+
+// installHooks wires the group's raft transitions into the trace stream.
+// Hooks run synchronously inside Step/Propose/Tick, so emission order
+// matches causal order exactly.
+func (n *OSD) installHooks(g *group) {
+	eng := n.c.M.Eng
+	g.raft.SetHooks(raft.Hooks{
+		OnLeader: func(term uint64) {
+			g.announceTerm = term
+			if tr := eng.Tracer; tr != nil {
+				tr.Emit(eng.Now(), trace.RaftLeader, n.id, g.pg, uint32(n.id), 0, term)
+			}
+		},
+		OnAccept: func(index, term uint64) {
+			if tr := eng.Tracer; tr != nil {
+				tr.Emit(eng.Now(), trace.RaftAccept, n.id, g.pg, uint32(n.id), index, term)
+			}
+		},
+		OnCommit: func(index uint64) {
+			if tr := eng.Tracer; tr != nil {
+				tr.Emit(eng.Now(), trace.RaftCommit, n.id, g.pg, uint32(n.id), index, 0)
+			}
+		},
+	})
+}
+
+// Group returns the node's replica of pg (nil if not hosted).
+func (n *OSD) Group(pg int) *raft.Node {
+	if g := n.groups[pg]; g != nil {
+		return g.raft
+	}
+	return nil
+}
+
+// Down reports whether the node is currently crashed.
+func (n *OSD) Down() bool { return n.down }
+
+// run is the node task body: bind the uintr rx path, then loop over ticks,
+// raft frames, and client requests.
+func (n *OSD) run(env *sim.Env) {
+	if err := n.bindRx(env); err != nil {
+		n.c.fail(fmt.Errorf("cluster: %s bind: %w", osdName(n.id), err))
+		return
+	}
+	n.scheduleTick()
+	for {
+		if n.c.stopped {
+			return
+		}
+		if n.tickDue {
+			n.tickDue = false
+			if !n.down {
+				n.tick(env)
+			}
+		}
+		m := n.ep.TryRecv()
+		if m == nil {
+			c := n.ep.Arrival()
+			if n.ep.Pending() > 0 || n.c.stopped || n.tickDue {
+				continue
+			}
+			env.BlockOn(c)
+			continue
+		}
+		if !n.down {
+			n.handle(env, m)
+		}
+	}
+}
+
+// scheduleTick arms the repeating logical-clock event; it only marks the
+// tick due and wakes the task — raft work happens in task context where CPU
+// can be charged.
+func (n *OSD) scheduleTick() {
+	eng := n.c.M.Eng
+	eng.ScheduleAt(eng.Now()+n.c.cfg.tickInterval(), func() {
+		if n.c.stopped {
+			return
+		}
+		n.tickDue = true
+		n.ep.SignalArrival()
+		n.scheduleTick()
+	})
+}
+
+func (n *OSD) tick(env *sim.Env) {
+	compact := false
+	if n.c.cfg.CompactEvery > 0 {
+		n.ticksToCompact--
+		if n.ticksToCompact <= 0 {
+			n.ticksToCompact = n.c.cfg.CompactEvery
+			compact = true
+		}
+	}
+	for _, pg := range n.pgs {
+		g := n.groups[pg]
+		g.raft.Tick()
+		if compact && g.raft.State() == raft.Leader {
+			if to := g.raft.MaybeCompact(compactKeepTail); to > 0 {
+				n.Compactions++
+			}
+		}
+	}
+	n.drain(env)
+}
+
+// handle processes one received frame.
+func (n *OSD) handle(env *sim.Env, m *netsim.Msg) {
+	env.Exec(netsim.RxCost)
+	if len(m.Payload) == 0 {
+		return
+	}
+	switch m.Payload[0] {
+	case magicRaft:
+		f, err := decodeRaftFrame(m.Payload)
+		if err != nil {
+			return
+		}
+		n.RaftMsgs++
+		g := n.groups[int(f.PG)]
+		if g == nil {
+			return
+		}
+		g.raft.Step(f.Msg)
+		n.drain(env)
+
+	case magicReq:
+		req, err := decodeRequest(m.Payload)
+		if err != nil {
+			return
+		}
+		n.handleRequest(env, m, req)
+	}
+}
+
+func (n *OSD) handleRequest(env *sim.Env, m *netsim.Msg, req request) {
+	g := n.groups[int(req.PG)]
+	resp := response{ID: req.ID, PG: req.PG, Leader: -1}
+	if g == nil {
+		resp.Status = StatusErr
+		n.send(env, m.Src, resp.encode())
+		return
+	}
+	if g.raft.State() != raft.Leader {
+		resp.Status = StatusNotLeader
+		resp.Leader = int16(g.raft.Leader())
+		n.send(env, m.Src, resp.encode())
+		return
+	}
+	// The pre-append point: the leader holds the write but has not yet
+	// appended or fanned it out.
+	if req.Op == OpWrite && n.faultPoint(env, PointPreAppend) {
+		return
+	}
+	cmd := command{Op: req.Op, ID: req.ID, LBA: req.LBA, Reply: m.Src, Data: req.Data}
+	idx, term, ok := g.raft.Propose(cmd.encode())
+	if !ok {
+		resp.Status = StatusNotLeader
+		resp.Leader = int16(g.raft.Leader())
+		n.send(env, m.Src, resp.encode())
+		return
+	}
+	g.pending[idx] = pendingCmd{term: term, id: req.ID, reply: m.Src,
+		lba: req.LBA, isRead: req.Op == OpRead}
+	n.drain(env)
+}
+
+// drain flushes every group's outbox, leadership reports, and committed
+// entries. Called after any Tick/Step/Propose.
+func (n *OSD) drain(env *sim.Env) {
+	for _, pg := range n.pgs {
+		g := n.groups[pg]
+		if g.announceTerm > g.announcedTerm {
+			g.announcedTerm = g.announceTerm
+			n.send(env, "mon", monReport{PG: uint16(pg), Term: g.announceTerm,
+				Leader: int16(n.id)}.encode())
+		}
+		for _, msg := range g.raft.Messages() {
+			n.send(env, osdName(msg.To), raftFrame{PG: uint16(pg), Msg: msg}.encode())
+		}
+		if n.applyCommitted(env, g) {
+			return // crashed mid-apply
+		}
+		if n.down {
+			return
+		}
+	}
+}
+
+// applyCommitted applies every newly committed entry to the group's store,
+// answering the proposals this node still holds pending. Returns true if a
+// fault-point crash interrupted the node.
+func (n *OSD) applyCommitted(env *sim.Env, g *group) bool {
+	eng := n.c.M.Eng
+	for _, ie := range g.raft.CommittedEntries() {
+		if len(ie.Entry.Data) > 0 && n.faultPoint(env, PointPreApply) {
+			// Committed but not applied: recovery re-applies from the
+			// compaction boundary, idempotently.
+			return true
+		}
+		entryHash := fnv32(ie.Entry.Data)
+		cmd, cmdOK := command{}, false
+		if len(ie.Entry.Data) > 0 {
+			if c, err := decodeCommand(ie.Entry.Data); err == nil {
+				cmd, cmdOK = c, true
+			}
+		}
+		appliedHash := entryHash
+		if cmdOK && cmd.Op == OpWrite {
+			g.store[cmd.LBA] = cmd.Data
+			appliedHash = fnv32(cmd.Data)
+		}
+		g.appliedHash[ie.Index] = appliedHash
+		if tr := eng.Tracer; tr != nil {
+			tr.Emit(eng.Now(), trace.RaftApply, n.id, g.pg, uint32(n.id), ie.Index, uint64(entryHash))
+		}
+		p, isPending := g.pending[ie.Index]
+		if !isPending {
+			continue
+		}
+		delete(g.pending, ie.Index)
+		if p.term != ie.Entry.Term {
+			// The proposal was replaced by another leader's entry at this
+			// index; the client will time out and retry.
+			continue
+		}
+		// The post-quorum point: committed and applied, ack not yet sent.
+		if n.faultPoint(env, PointPostQuorum) {
+			return true
+		}
+		resp := response{Status: StatusOK, ID: p.id, PG: uint16(g.pg), Leader: int16(n.id), Index: ie.Index}
+		if p.isRead {
+			val := g.store[p.lba]
+			resp.Hash = fnv32(val)
+			resp.Data = val
+			if tr := eng.Tracer; tr != nil {
+				tr.Emit(eng.Now(), trace.ClusterRead, n.id, g.pg, p.id, p.lba,
+					ie.Index<<32|uint64(resp.Hash))
+			}
+		} else {
+			resp.Hash = fnv32(cmd.Data)
+		}
+		n.send(env, p.reply, resp.encode())
+	}
+	return false
+}
+
+// send transmits best-effort: link overflow is counted and dropped (raft
+// retransmits, clients retry); other errors are fatal wiring bugs.
+func (n *OSD) send(env *sim.Env, dst string, payload []byte) {
+	if err := n.ep.Send(env, dst, payload); err != nil {
+		if errors.Is(err, netsim.ErrOverflow) {
+			n.TxOverflows++
+			return
+		}
+		n.c.fail(fmt.Errorf("cluster: %s send to %s: %w", osdName(n.id), dst, err))
+	}
+}
+
+// fire consults the fault plan.
+func (n *OSD) fire(site string) bool {
+	p := n.c.cfg.Plan
+	return p != nil && p.Fire(site)
+}
+
+// faultPoint evaluates the crash/partition sites for point on this node.
+// Returns true when the node crashed (the caller must stop processing).
+func (n *OSD) faultPoint(env *sim.Env, point string) bool {
+	if n.fire(Site(KindCrash, point, n.id)) {
+		n.crash(env)
+		return true
+	}
+	if n.fire(Site(KindPartSym, point, n.id)) {
+		n.c.partition(n.id, true)
+	}
+	if n.fire(Site(KindPartAsym, point, n.id)) {
+		n.c.partition(n.id, false)
+	}
+	return false
+}
+
+// crash is CrashAndReset: the node drops off the fabric, loses all volatile
+// state, and restarts from stable storage (HardState + log + applied store)
+// after RestartDelay.
+func (n *OSD) crash(env *sim.Env) {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.Crashes++
+	n.c.CrashTimes = append(n.c.CrashTimes, env.Now())
+	n.ep.Close()
+	for _, pg := range n.pgs {
+		n.groups[pg].pending = make(map[uint64]pendingCmd)
+	}
+	eng := n.c.M.Eng
+	eng.ScheduleAt(eng.Now()+n.c.cfg.restartDelay(), func() {
+		if n.c.stopped {
+			return
+		}
+		n.restart()
+		n.ep.SignalArrival()
+	})
+}
+
+// restart rebuilds every raft group from its stable state (event context:
+// pure state reconstruction, no CPU charged — the model is a fast reboot
+// whose cost is RestartDelay).
+func (n *OSD) restart() {
+	eng := n.c.M.Eng
+	for _, pg := range n.pgs {
+		g := n.groups[pg]
+		hs, lg := g.raft.HardState(), g.raft.Log()
+		g.raft = raft.New(n.raftConfig(g.peers), hs, lg)
+		n.installHooks(g)
+		if tr := eng.Tracer; tr != nil {
+			tr.Emit(eng.Now(), trace.RaftRestart, n.id, pg, uint32(n.id), 0, 0)
+		}
+	}
+	n.ep.Reopen()
+	n.down = false
+}
+
+// bindRx installs the node's user-interrupt registration and routes
+// endpoint deliveries into its UPID with per-magic vector classes: raft
+// frames post the urgent vector, client frames the normal one — the PR-6
+// prioritized delivery path applied to replication traffic.
+func (n *OSD) bindRx(env *sim.Env) error {
+	t := env.Task()
+	n.task = t
+	kern := n.c.M.Kern
+	vec, err := kern.AllocVector(n.kernelDeliver)
+	if err != nil {
+		return err
+	}
+	upid, _ := kern.MapUPID(t.Affinity(), vec, n.proc.Gate)
+	upid.Classes = uintr.NewClassMap(uintr.ClassNormal).Set(raftUserVector, uintr.ClassUrgent)
+	n.upid = upid
+	kern.RegisterThreadUintr(t, vec, upid, n.userHandler)
+	eng := n.c.M.Eng
+	n.ep.SetOnDeliver(func(m *netsim.Msg) {
+		uv := uint8(clientUserVector)
+		if len(m.Payload) > 0 && m.Payload[0] == magicRaft {
+			uv = raftUserVector
+		}
+		uintr.PostAndNotify(eng, upid, uv)
+	})
+	return nil
+}
+
+func (n *OSD) emitHandler(typ trace.Type, core int, aux uint64) {
+	if tr := n.c.M.Eng.Tracer; tr != nil {
+		tr.Emit(n.c.M.Eng.Now(), typ, core, -1, trace.NoCID, 0, aux)
+	}
+}
+
+// userHandler is the in-schedule delivery path: hand the inbox to the task.
+func (n *OSD) userHandler(ctx *sim.IRQCtx, uv uint8) {
+	n.HandlerRuns++
+	n.emitHandler(trace.HandlerEnter, ctx.Core().ID, uint64(uv))
+	defer n.emitHandler(trace.HandlerExit, ctx.Core().ID, uint64(uv))
+	n.ep.SignalArrival()
+	snap := n.ext.Snapshot(ctx.Core())
+	if sched.UserTryYield(snap, ctx.Now()) {
+		ctx.Core().SetNeedResched()
+	}
+}
+
+// kernelDeliver is the out-of-schedule fallback, mirroring the aeosvc
+// dispatcher: consume the PIR, insert a resume-time handler frame, wake the
+// node task.
+func (n *OSD) kernelDeliver(ctx *sim.IRQCtx, vec int) {
+	n.KernelDeliveries++
+	ctx.Charge(timing.KernelInterrupt)
+	pir := n.upid.TakePIR()
+	if tr := n.c.M.Eng.Tracer; tr != nil && n.upid.Classes != nil {
+		tr.Emit(ctx.Now(), trace.UPIDClear, n.upid.DestCPU, -1, trace.NoCID, 0, pir)
+	}
+	t := n.task
+	if t == nil {
+		return
+	}
+	if t.State() == sim.TaskRunning {
+		n.HandlerRuns++
+		n.emitHandler(trace.HandlerEnter, ctx.Core().ID, trace.KernelPathAux)
+		n.ep.SignalArrival()
+		n.emitHandler(trace.HandlerExit, ctx.Core().ID, trace.KernelPathAux)
+		return
+	}
+	t.PushResumeHook(func() time.Duration {
+		n.HandlerRuns++
+		core := -1
+		if c := t.Core(); c != nil {
+			core = c.ID
+		}
+		n.emitHandler(trace.HandlerEnter, core, trace.KernelPathAux)
+		n.ep.SignalArrival()
+		n.emitHandler(trace.HandlerExit, core, trace.KernelPathAux)
+		return timing.HandlerExec
+	})
+	switch t.State() {
+	case sim.TaskBlocked:
+		ctx.Charge(timing.WakeupTTWU)
+		ctx.Engine().Wake(t)
+	case sim.TaskRunnable:
+		if n.c.M.Kern.Sched().ShouldPreempt(t, ctx.Core()) {
+			ctx.Core().SetNeedResched()
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"aeolia/internal/raft"
+)
+
+// Frame magics: the first payload byte routes a message to the raft path
+// (urgent uintr class) or the client path (normal class) before decoding.
+const (
+	magicRaft      = 0xB1
+	magicReq       = 0xB2
+	magicResp      = 0xB3
+	magicMonReq    = 0xB4
+	magicMonResp   = 0xB5
+	magicMonReport = 0xB6
+)
+
+// Client operations.
+const (
+	OpWrite = 1
+	OpRead  = 2
+)
+
+// Response statuses.
+const (
+	StatusOK        = 0
+	StatusNotLeader = 1
+	StatusErr       = 2
+)
+
+var errShort = errors.New("cluster: short frame")
+
+// fnv32 hashes payload bytes; it is the 32-bit value carried in
+// ClusterAck/ClusterRead/RaftApply trace events and compared across replicas.
+func fnv32(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// raftFrame wraps one raft message for a placement group on the wire.
+type raftFrame struct {
+	PG  uint16
+	Msg raft.Message
+}
+
+func (f raftFrame) encode() []byte {
+	n := 1 + 2 + 1 + 2 + 2 + 8*5 + 1 + 2
+	for _, e := range f.Msg.Entries {
+		n += 8 + 2 + len(e.Data)
+	}
+	b := make([]byte, 0, n)
+	b = append(b, magicRaft)
+	b = binary.LittleEndian.AppendUint16(b, f.PG)
+	m := f.Msg
+	b = append(b, byte(m.Type))
+	b = binary.LittleEndian.AppendUint16(b, uint16(int16(m.From)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(int16(m.To)))
+	b = binary.LittleEndian.AppendUint64(b, m.Term)
+	b = binary.LittleEndian.AppendUint64(b, m.Index)
+	b = binary.LittleEndian.AppendUint64(b, m.LogTerm)
+	b = binary.LittleEndian.AppendUint64(b, m.Commit)
+	b = binary.LittleEndian.AppendUint64(b, m.Compact)
+	if m.Reject {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Entries)))
+	for _, e := range m.Entries {
+		b = binary.LittleEndian.AppendUint64(b, e.Term)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(e.Data)))
+		b = append(b, e.Data...)
+	}
+	return b
+}
+
+func decodeRaftFrame(b []byte) (raftFrame, error) {
+	var f raftFrame
+	if len(b) < 51 || b[0] != magicRaft {
+		return f, errShort
+	}
+	f.PG = binary.LittleEndian.Uint16(b[1:])
+	m := &f.Msg
+	m.Type = raft.MsgType(b[3])
+	m.From = int(int16(binary.LittleEndian.Uint16(b[4:])))
+	m.To = int(int16(binary.LittleEndian.Uint16(b[6:])))
+	m.Term = binary.LittleEndian.Uint64(b[8:])
+	m.Index = binary.LittleEndian.Uint64(b[16:])
+	m.LogTerm = binary.LittleEndian.Uint64(b[24:])
+	m.Commit = binary.LittleEndian.Uint64(b[32:])
+	m.Compact = binary.LittleEndian.Uint64(b[40:])
+	m.Reject = b[48] != 0
+	nEnts := int(binary.LittleEndian.Uint16(b[49:]))
+	off := 51
+	m.Entries = make([]raft.Entry, 0, nEnts)
+	for i := 0; i < nEnts; i++ {
+		if len(b) < off+10 {
+			return f, errShort
+		}
+		term := binary.LittleEndian.Uint64(b[off:])
+		dl := int(binary.LittleEndian.Uint16(b[off+8:]))
+		off += 10
+		if len(b) < off+dl {
+			return f, errShort
+		}
+		var data []byte
+		if dl > 0 {
+			data = append([]byte(nil), b[off:off+dl]...)
+		}
+		off += dl
+		m.Entries = append(m.Entries, raft.Entry{Term: term, Data: data})
+	}
+	return f, nil
+}
+
+// request is one client command on the wire.
+type request struct {
+	Op    uint8
+	ID    uint32 // request id (client id << 24 | per-client sequence)
+	PG    uint16
+	LBA   uint64
+	Data  []byte
+	Reply string // reply endpoint (encoded so retried commands survive in the log)
+}
+
+func (r request) encode() []byte {
+	b := make([]byte, 0, 19+len(r.Reply)+len(r.Data))
+	b = append(b, magicReq, r.Op)
+	b = binary.LittleEndian.AppendUint32(b, r.ID)
+	b = binary.LittleEndian.AppendUint16(b, r.PG)
+	b = binary.LittleEndian.AppendUint64(b, r.LBA)
+	b = append(b, byte(len(r.Reply)))
+	b = append(b, r.Reply...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Data)))
+	b = append(b, r.Data...)
+	return b
+}
+
+func decodeRequest(b []byte) (request, error) {
+	var r request
+	if len(b) < 17 || b[0] != magicReq {
+		return r, errShort
+	}
+	r.Op = b[1]
+	r.ID = binary.LittleEndian.Uint32(b[2:])
+	r.PG = binary.LittleEndian.Uint16(b[6:])
+	r.LBA = binary.LittleEndian.Uint64(b[8:])
+	nl := int(b[16])
+	if len(b) < 17+nl+2 {
+		return r, errShort
+	}
+	r.Reply = string(b[17 : 17+nl])
+	dl := int(binary.LittleEndian.Uint16(b[17+nl:]))
+	off := 19 + nl
+	if len(b) < off+dl {
+		return r, errShort
+	}
+	if dl > 0 {
+		r.Data = append([]byte(nil), b[off:off+dl]...)
+	}
+	return r, nil
+}
+
+// response answers one client command.
+type response struct {
+	Status uint8
+	ID     uint32
+	PG     uint16
+	Leader int16 // hint on StatusNotLeader (-1 when unknown)
+	Index  uint64
+	Hash   uint32
+	Data   []byte
+}
+
+func (r response) encode() []byte {
+	b := make([]byte, 0, 24+len(r.Data))
+	b = append(b, magicResp, r.Status)
+	b = binary.LittleEndian.AppendUint32(b, r.ID)
+	b = binary.LittleEndian.AppendUint16(b, r.PG)
+	b = binary.LittleEndian.AppendUint16(b, uint16(r.Leader))
+	b = binary.LittleEndian.AppendUint64(b, r.Index)
+	b = binary.LittleEndian.AppendUint32(b, r.Hash)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Data)))
+	b = append(b, r.Data...)
+	return b
+}
+
+func decodeResponse(b []byte) (response, error) {
+	var r response
+	if len(b) < 24 || b[0] != magicResp {
+		return r, errShort
+	}
+	r.Status = b[1]
+	r.ID = binary.LittleEndian.Uint32(b[2:])
+	r.PG = binary.LittleEndian.Uint16(b[6:])
+	r.Leader = int16(binary.LittleEndian.Uint16(b[8:]))
+	r.Index = binary.LittleEndian.Uint64(b[10:])
+	r.Hash = binary.LittleEndian.Uint32(b[18:])
+	dl := int(binary.LittleEndian.Uint16(b[22:]))
+	if len(b) < 24+dl {
+		return r, errShort
+	}
+	if dl > 0 {
+		r.Data = append([]byte(nil), b[24:24+dl]...)
+	}
+	return r, nil
+}
+
+// command is the payload serialized into raft entries: the replicated
+// operation every replica applies. Reads are serialized through the log too
+// (log-ordered reads), which is what makes the stale-read invariant sound.
+type command struct {
+	Op    uint8
+	ID    uint32
+	LBA   uint64
+	Reply string
+	Data  []byte
+}
+
+func (c command) encode() []byte {
+	b := make([]byte, 0, 16+len(c.Reply)+len(c.Data))
+	b = append(b, c.Op)
+	b = binary.LittleEndian.AppendUint32(b, c.ID)
+	b = binary.LittleEndian.AppendUint64(b, c.LBA)
+	b = append(b, byte(len(c.Reply)))
+	b = append(b, c.Reply...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Data)))
+	b = append(b, c.Data...)
+	return b
+}
+
+func decodeCommand(b []byte) (command, error) {
+	var c command
+	if len(b) < 14 {
+		return c, errShort
+	}
+	c.Op = b[0]
+	c.ID = binary.LittleEndian.Uint32(b[1:])
+	c.LBA = binary.LittleEndian.Uint64(b[5:])
+	nl := int(b[13])
+	if len(b) < 14+nl+2 {
+		return c, errShort
+	}
+	c.Reply = string(b[14 : 14+nl])
+	dl := int(binary.LittleEndian.Uint16(b[14+nl:]))
+	off := 16 + nl
+	if len(b) < off+dl {
+		return c, errShort
+	}
+	if dl > 0 {
+		c.Data = append([]byte(nil), b[off:off+dl]...)
+	}
+	return c, nil
+}
+
+// monResp is the monitor's osd/pg map answer: per-pg membership and the
+// last reported leader.
+type monResp struct {
+	RF      int
+	Members [][]int
+	Leaders []int
+}
+
+func encodeMonReq() []byte { return []byte{magicMonReq} }
+
+func (mr monResp) encode() []byte {
+	b := []byte{magicMonResp, byte(mr.RF)}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(mr.Members)))
+	for pg, ms := range mr.Members {
+		b = append(b, byte(len(ms)))
+		for _, m := range ms {
+			b = binary.LittleEndian.AppendUint16(b, uint16(int16(m)))
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(int16(mr.Leaders[pg])))
+	}
+	return b
+}
+
+func decodeMonResp(b []byte) (monResp, error) {
+	var mr monResp
+	if len(b) < 4 || b[0] != magicMonResp {
+		return mr, errShort
+	}
+	mr.RF = int(b[1])
+	npg := int(binary.LittleEndian.Uint16(b[2:]))
+	off := 4
+	for pg := 0; pg < npg; pg++ {
+		if len(b) < off+1 {
+			return mr, errShort
+		}
+		nm := int(b[off])
+		off++
+		if len(b) < off+2*nm+2 {
+			return mr, errShort
+		}
+		ms := make([]int, nm)
+		for i := range ms {
+			ms[i] = int(int16(binary.LittleEndian.Uint16(b[off:])))
+			off += 2
+		}
+		mr.Members = append(mr.Members, ms)
+		mr.Leaders = append(mr.Leaders, int(int16(binary.LittleEndian.Uint16(b[off:]))))
+		off += 2
+	}
+	return mr, nil
+}
+
+// monReport is a node's leadership-change report to the monitor.
+type monReport struct {
+	PG     uint16
+	Term   uint64
+	Leader int16
+}
+
+func (r monReport) encode() []byte {
+	b := make([]byte, 0, 13)
+	b = append(b, magicMonReport)
+	b = binary.LittleEndian.AppendUint16(b, r.PG)
+	b = binary.LittleEndian.AppendUint64(b, r.Term)
+	b = binary.LittleEndian.AppendUint16(b, uint16(r.Leader))
+	return b
+}
+
+func decodeMonReport(b []byte) (monReport, error) {
+	var r monReport
+	if len(b) < 13 || b[0] != magicMonReport {
+		return r, errShort
+	}
+	r.PG = binary.LittleEndian.Uint16(b[1:])
+	r.Term = binary.LittleEndian.Uint64(b[3:])
+	r.Leader = int16(binary.LittleEndian.Uint16(b[11:]))
+	return r, nil
+}
+
+func (r response) String() string {
+	return fmt.Sprintf("resp{status=%d id=%d pg=%d leader=%d idx=%d}", r.Status, r.ID, r.PG, r.Leader, r.Index)
+}

@@ -52,6 +52,7 @@ func All() []*Experiment {
 		{"svcscale", "Service client scaling with/without admission control", SvcScale},
 		{"fig_cache", "Page-cache budget/read-ahead sweep (throughput, tails, hit rate)", FigCache},
 		{"fig_slo", "Per-tenant tail latency under antagonists, SLO enforcement off/on", FigSlo},
+		{"fig_replication", "Replicated multi-raft block cluster: goodput/latency vs replication factor under faults", FigReplication},
 	}
 }
 

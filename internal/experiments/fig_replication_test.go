@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aeolia/internal/report"
+	"aeolia/internal/trace"
+)
+
+// TestFigReplicationDeterministic pins that the whole replication study —
+// elections, fabric jitter, frame loss, leader crashes, failover — replays
+// byte-identically from its seeds: two full runs must serialize to the same
+// report JSON.
+func TestFigReplicationDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the replication study twice; skipped in -short")
+	}
+	render := func() []byte {
+		t.Helper()
+		tables, err := FigReplication()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, tables); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fig_replication report JSON not byte-identical across runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestFigReplicationTracedClean pins the acceptance criterion on the
+// hardest cell (rf=3 with every acting leader crashing post-quorum): the
+// full event trace must satisfy every linearizability invariant — commit
+// monotonicity, no divergent committed entries, no acknowledgement before
+// quorum, no stale read after an acknowledged write — and the post-run
+// audit must find every acknowledged write on every replica.
+func TestFigReplicationTracedClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traced crash cell; skipped in -short")
+	}
+	tr, r, err := FigReplicationTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := trace.Analyze(tr.Events())
+	for _, v := range an.Violations {
+		t.Errorf("violation: %+v", v)
+	}
+	if r.LostWrites != 0 {
+		for _, e := range r.C.VerifyAcks() {
+			t.Errorf("lost-write audit: %v", e)
+		}
+	}
+	if r.Stats.Crashes == 0 {
+		t.Fatal("crash cell fired no crashes — the cell measured nothing adversarial")
+	}
+	if r.Stats.AckedWrites == 0 {
+		t.Fatal("no writes acknowledged in the traced cell")
+	}
+	if r.Recovery == 0 {
+		t.Fatal("no recovery time observed despite crashes")
+	}
+}
+
+// TestFigReplicationGolden snapshots the rendered study table; the
+// simulation is deterministic end to end, so any drift in raft, the
+// cluster, the fabric, or cost models fails loudly here. Regenerate
+// intentionally with:
+//
+//	go test ./internal/experiments -run TestFigReplicationGolden -update-golden
+func TestFigReplicationGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replication study; skipped in -short")
+	}
+	tables, err := FigReplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		tb.Print(&sb)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "fig_replication.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fig_replication output drifted from golden snapshot.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

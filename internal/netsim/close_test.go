@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"aeolia/internal/faultinject"
+	"aeolia/internal/sim"
+)
+
+// Regression for the PR-7 fix: a seeded duplicate delivery must not re-wake
+// a receiver after connection close. Before the fix, a dup still in flight
+// when the receiver closed would land in the inbox and fire the delivery
+// hook / arrival completion, waking a task that had already shut down.
+func TestDupAfterCloseDroppedAndAccounted(t *testing.T) {
+	eng := newEngine(2)
+	defer eng.Shutdown()
+	f := New(eng, 3)
+	f.Connect("a", "b", Config{Latency: 10 * time.Microsecond})
+	// Duplicate every transmission on a->b.
+	plan := faultinject.NewPlan(1)
+	plan.On("net:dup:a->b", faultinject.Always())
+	f.UsePlan(plan)
+
+	b := f.Endpoint("b")
+	var woken int
+	b.SetOnDeliver(func(*Msg) { woken++ })
+
+	eng.Spawn("tx", eng.Core(0), func(env *sim.Env) {
+		if err := f.Endpoint("a").Send(env, "b", []byte("payload")); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	// Consume the first delivery, then close — while the dup is still in
+	// flight (both copies arrive at the same latency horizon, so close at
+	// the first hook invocation).
+	b.SetOnDeliver(func(*Msg) {
+		woken++
+		if m := b.TryRecv(); m == nil {
+			t.Error("hook fired with empty inbox")
+		}
+		b.Close()
+	})
+	eng.Run(0)
+
+	if woken != 1 {
+		t.Fatalf("receiver woken %d times; the duplicate must not re-wake a closed endpoint", woken)
+	}
+	if b.DroppedClosed != 1 {
+		t.Fatalf("DroppedClosed = %d, want 1 (the dup)", b.DroppedClosed)
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("closed endpoint holds %d pending message(s)", b.Pending())
+	}
+	l := f.Links()[0]
+	if l.Duped != 1 || l.Dropped != 1 {
+		t.Fatalf("link accounting Duped=%d Dropped=%d, want 1/1", l.Duped, l.Dropped)
+	}
+	// Sent == Delivered + Dropped must balance so trace accounting holds.
+	if l.Sent != l.Delivered+l.Dropped {
+		t.Fatalf("link books don't balance: sent=%d delivered=%d dropped=%d",
+			l.Sent, l.Delivered, l.Dropped)
+	}
+}
+
+// A closed endpoint that reopens (crash-restart on the same address) receives
+// new traffic again, but messages dropped while closed stay dropped.
+func TestReopenAfterClose(t *testing.T) {
+	eng := newEngine(2)
+	defer eng.Shutdown()
+	f := New(eng, 3)
+	f.Connect("a", "b", Config{Latency: time.Microsecond})
+	b := f.Endpoint("b")
+	b.Close()
+
+	eng.Spawn("tx", eng.Core(0), func(env *sim.Env) {
+		f.Endpoint("a").Send(env, "b", []byte("lost"))
+		env.Sleep(10 * time.Microsecond)
+		b.Reopen()
+		f.Endpoint("a").Send(env, "b", []byte("kept"))
+	})
+	eng.Run(0)
+
+	if b.DroppedClosed != 1 {
+		t.Fatalf("DroppedClosed = %d, want 1", b.DroppedClosed)
+	}
+	m := b.TryRecv()
+	if m == nil || string(m.Payload) != "kept" {
+		t.Fatalf("post-reopen delivery = %v, want \"kept\"", m)
+	}
+}
+
+// SetDown partitions a link: in-flight and new messages are dropped and
+// accounted until the link heals.
+func TestLinkSetDownPartitions(t *testing.T) {
+	eng := newEngine(2)
+	defer eng.Shutdown()
+	f := New(eng, 3)
+	l := f.Connect("a", "b", Config{Latency: 10 * time.Microsecond})
+	b := f.Endpoint("b")
+
+	eng.Spawn("tx", eng.Core(0), func(env *sim.Env) {
+		// In flight when the partition hits.
+		f.Endpoint("a").Send(env, "b", []byte("m1"))
+		l.SetDown(true)
+		f.Endpoint("a").Send(env, "b", []byte("m2"))
+		env.Sleep(50 * time.Microsecond)
+		l.SetDown(false)
+		f.Endpoint("a").Send(env, "b", []byte("m3"))
+	})
+	eng.Run(0)
+
+	if l.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2 (in-flight + during-partition)", l.Dropped)
+	}
+	m := b.TryRecv()
+	if m == nil || string(m.Payload) != "m3" {
+		t.Fatalf("post-heal delivery = %v, want \"m3\"", m)
+	}
+	if b.TryRecv() != nil {
+		t.Fatal("partitioned messages leaked through")
+	}
+}

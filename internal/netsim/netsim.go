@@ -132,9 +132,13 @@ type Endpoint struct {
 	arrival *sim.Completion
 	deliver func(*Msg)
 	out     map[string]*Link
+	closed  bool
 
 	// Delivered counts messages that reached this endpoint's inbox.
 	Delivered uint64
+	// DroppedClosed counts messages (fault-injected duplicates included)
+	// that arrived after Close and were discarded instead of delivered.
+	DroppedClosed uint64
 }
 
 // Name returns the endpoint's name.
@@ -145,6 +149,24 @@ func (ep *Endpoint) ID() int { return ep.id }
 
 // Pending returns the number of queued undelivered messages.
 func (ep *Endpoint) Pending() int { return len(ep.inbox) }
+
+// Close marks the endpoint closed: in-flight messages that arrive later —
+// including fault-injected duplicates of messages consumed before the close
+// — are dropped and accounted, never appended to the inbox, and never fire
+// the delivery hook or arrival completion (a dup must not re-wake a receiver
+// that already shut down). The inbox is cleared so no stale message can be
+// popped after the fact.
+func (ep *Endpoint) Close() {
+	ep.closed = true
+	ep.inbox = nil
+}
+
+// Reopen re-enables delivery after Close (a crashed node restarting on the
+// same address). Messages dropped while closed stay dropped.
+func (ep *Endpoint) Reopen() { ep.closed = false }
+
+// Closed reports whether the endpoint is closed.
+func (ep *Endpoint) Closed() bool { return ep.closed }
 
 // SetOnDeliver installs a hook invoked in event context whenever a message
 // is appended to the inbox. When a hook is installed the fabric does NOT
@@ -223,6 +245,7 @@ type Link struct {
 	lastArrive time.Duration // FIFO floor on arrival times
 	queued     int           // accepted but not yet departed
 	seq        uint64        // per-link transmission counter (jitter draws)
+	down       bool          // partitioned: everything arriving is lost
 
 	// Stats.
 	Sent, Delivered, Dropped, Duped, Overflows uint64
@@ -236,6 +259,15 @@ func (l *Link) Name() string { return l.site }
 
 // Queued returns the number of messages accepted but not yet serialized.
 func (l *Link) Queued() int { return l.queued }
+
+// SetDown partitions (true) or heals (false) the link. While down, every
+// arrival — including messages already in flight — is dropped and accounted;
+// senders still pay transmit costs, exactly like a cable cut. Downing only
+// one direction of a pair models an asymmetric partition.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is partitioned.
+func (l *Link) Down() bool { return l.down }
 
 func (l *Link) depth() int {
 	if l.cfg.QueueDepth > 0 {
@@ -309,7 +341,7 @@ func (l *Link) schedule(payload []byte, dup bool) {
 		Payload: payload, SentAt: now, Dup: dup}
 	eng.ScheduleAt(depart, func() { l.queued-- })
 	eng.ScheduleAt(arrive, func() {
-		if drop {
+		if drop || l.down {
 			l.Dropped++
 			if tr := eng.Tracer; tr != nil {
 				tr.Emit(eng.Now(), trace.NetDrop, -1, l.id, trace.NoCID, 0, uint64(len(payload)))
@@ -324,6 +356,17 @@ func (l *Link) schedule(payload []byte, dup bool) {
 func (l *Link) deliverMsg(m *Msg) {
 	eng := l.fab.eng
 	now := eng.Now()
+	if l.dst.closed {
+		// The receiver is gone: account the message as dropped on the link
+		// (it was sent but never delivered) and on the endpoint, and do not
+		// wake anyone.
+		l.Dropped++
+		l.dst.DroppedClosed++
+		if tr := eng.Tracer; tr != nil {
+			tr.Emit(now, trace.NetDrop, -1, l.id, trace.NoCID, 0, uint64(len(m.Payload)))
+		}
+		return
+	}
 	m.DeliveredAt = now
 	l.Delivered++
 	if tr := eng.Tracer; tr != nil {

@@ -1,0 +1,583 @@
+// Package raft is a deterministic, message-driven raft consensus core for
+// the Aeolia reproduction's replicated block cluster (internal/cluster):
+// leader election, log replication, term/commit safety, and snapshot-free
+// compaction by truncation (a leader only sanctions discarding prefixes
+// every replica already stores, so a lagging follower never needs a
+// snapshot transfer).
+//
+// The core is transport- and clock-free: callers feed it Step(msg) and
+// Tick() and drain Messages() / CommittedEntries(). All randomness (the
+// per-term election timeout) is a pure function of (seed, id, term), so a
+// cluster of nodes driven from a deterministic event loop replays
+// byte-identically — the property every golden experiment and the failover
+// fault matrix rely on.
+package raft
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is a node's role.
+type State uint8
+
+const (
+	// Follower nodes accept entries from the leader of their term.
+	Follower State = iota
+	// Candidate nodes are soliciting votes after an election timeout.
+	Candidate
+	// Leader nodes accept proposals and replicate them.
+	Leader
+)
+
+func (s State) String() string {
+	switch s {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	}
+	return "state?"
+}
+
+// None marks an unknown node id (no vote cast, no known leader).
+const None = -1
+
+// HardState is the durable per-node state raft requires across crashes.
+// The log itself is the third piece of stable storage.
+type HardState struct {
+	Term uint64
+	Vote int
+}
+
+// Config parameterizes one node.
+type Config struct {
+	// ID is this node's id; Peers lists every member id including ID.
+	ID    int
+	Peers []int
+	// ElectionTicks is the base election timeout in ticks (default 10);
+	// each term draws a deterministic extra in [0, ElectionTicks) from
+	// (Seed, ID, Term). HeartbeatTicks is the leader's heartbeat interval
+	// (default 2).
+	ElectionTicks  int
+	HeartbeatTicks int
+	// MaxBatch bounds entries per AppendEntries (default 64).
+	MaxBatch int
+	// Seed drives the randomized election timeouts.
+	Seed uint64
+}
+
+func (c Config) electionTicks() int {
+	if c.ElectionTicks <= 0 {
+		return 10
+	}
+	return c.ElectionTicks
+}
+
+func (c Config) heartbeatTicks() int {
+	if c.HeartbeatTicks <= 0 {
+		return 2
+	}
+	return c.HeartbeatTicks
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return 64
+	}
+	return c.MaxBatch
+}
+
+// IndexedEntry is a committed entry ready to apply, paired with its index.
+type IndexedEntry struct {
+	Index uint64
+	Entry Entry
+}
+
+// Hooks observe the safety-relevant transitions (for tracing). All fields
+// are optional; hooks must not call back into the node.
+type Hooks struct {
+	// OnLeader fires when this node becomes leader of the given term.
+	OnLeader func(term uint64)
+	// OnAccept fires when an entry is appended (stored durably), including
+	// conflict overwrites at a previously accepted index.
+	OnAccept func(index, term uint64)
+	// OnCommit fires when the commit index advances.
+	OnCommit func(index uint64)
+}
+
+// Node is one raft participant.
+type Node struct {
+	cfg   Config
+	state State
+	term  uint64
+	vote  int
+	lead  int
+	log   *Log
+
+	commit  uint64
+	applied uint64
+
+	elapsed int // ticks since last heartbeat (leader) / last reset (others)
+	timeout int // this term's randomized election timeout in ticks
+
+	votes       map[int]bool
+	next, match map[int]uint64
+
+	msgs  []Message
+	hooks Hooks
+
+	// Elections counts campaigns started; Grants counts votes this node
+	// granted; Heartbeats counts heartbeat broadcasts sent as leader.
+	Elections, Grants, Heartbeats uint64
+}
+
+// New builds a node from its durable state. Fresh nodes pass
+// HardState{Vote: None} and NewLog(); a restarting node passes whatever it
+// persisted — volatile state (commit index, role, peers' progress) is
+// rebuilt by the protocol.
+func New(cfg Config, hs HardState, log *Log) *Node {
+	if log == nil {
+		log = NewLog()
+	}
+	if hs.Vote == 0 && hs.Term == 0 {
+		hs.Vote = None
+	}
+	n := &Node{cfg: cfg, log: log}
+	n.becomeFollower(hs.Term, None)
+	n.vote = hs.Vote
+	// Restarted nodes may only re-apply from the compaction boundary; the
+	// boundary prefix is applied state by construction.
+	n.applied = log.FirstIndex() - 1
+	n.commit = n.applied
+	return n
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// State returns the node's current role.
+func (n *Node) State() State { return n.state }
+
+// Term returns the current term.
+func (n *Node) Term() uint64 { return n.term }
+
+// Leader returns the known leader of the current term (None if unknown).
+func (n *Node) Leader() int { return n.lead }
+
+// Commit returns the commit index.
+func (n *Node) Commit() uint64 { return n.commit }
+
+// Applied returns the last applied index.
+func (n *Node) Applied() uint64 { return n.applied }
+
+// Log exposes the underlying log (stable storage; the cluster node hands it
+// back to New on restart).
+func (n *Node) Log() *Log { return n.log }
+
+// HardState returns the durable state to persist alongside the log.
+func (n *Node) HardState() HardState { return HardState{Term: n.term, Vote: n.vote} }
+
+// SetHooks installs observation hooks (replacing any previous set).
+func (n *Node) SetHooks(h Hooks) { n.hooks = h }
+
+func (n *Node) notifyAccept(index, term uint64) {
+	if n.hooks.OnAccept != nil {
+		n.hooks.OnAccept(index, term)
+	}
+}
+
+func (n *Node) setCommit(c uint64) {
+	if c <= n.commit {
+		return
+	}
+	n.commit = c
+	if n.hooks.OnCommit != nil {
+		n.hooks.OnCommit(c)
+	}
+}
+
+// Messages drains the outbox: every message generated since the last drain,
+// in generation order.
+func (n *Node) Messages() []Message {
+	out := n.msgs
+	n.msgs = nil
+	return out
+}
+
+// CommittedEntries returns the entries in (applied, commit] and marks them
+// applied. The caller must apply them in order before the next call.
+func (n *Node) CommittedEntries() []IndexedEntry {
+	if n.applied >= n.commit {
+		return nil
+	}
+	es := n.log.Entries(n.applied+1, n.commit)
+	out := make([]IndexedEntry, len(es))
+	for i, e := range es {
+		out[i] = IndexedEntry{Index: n.applied + 1 + uint64(i), Entry: e}
+	}
+	n.applied = n.commit
+	return out
+}
+
+// quorum returns the majority size.
+func (n *Node) quorum() int { return len(n.cfg.Peers)/2 + 1 }
+
+func (n *Node) send(m Message) {
+	m.From = n.cfg.ID
+	m.Term = n.term
+	n.msgs = append(n.msgs, m)
+}
+
+// resetTimeout draws this term's election timeout: base + uniform in
+// [0, base), deterministic in (seed, id, term) so identically seeded runs
+// elect identically.
+func (n *Node) resetTimeout() {
+	base := n.cfg.electionTicks()
+	h := splitmix64(n.cfg.Seed ^ uint64(n.cfg.ID)*0x9e3779b97f4a7c15 ^ n.term<<17)
+	n.timeout = base + int(h%uint64(base))
+	n.elapsed = 0
+}
+
+func (n *Node) becomeFollower(term uint64, lead int) {
+	if term > n.term {
+		n.vote = None
+	}
+	n.state = Follower
+	n.term = term
+	n.lead = lead
+	n.votes = nil
+	n.next, n.match = nil, nil
+	n.resetTimeout()
+}
+
+func (n *Node) becomeCandidate() {
+	n.state = Candidate
+	n.term++
+	n.vote = n.cfg.ID
+	n.lead = None
+	n.votes = map[int]bool{n.cfg.ID: true}
+	n.resetTimeout()
+	n.Elections++
+}
+
+func (n *Node) becomeLeader() {
+	n.state = Leader
+	n.lead = n.cfg.ID
+	n.elapsed = 0
+	n.next = make(map[int]uint64, len(n.cfg.Peers))
+	n.match = make(map[int]uint64, len(n.cfg.Peers))
+	last := n.log.LastIndex()
+	for _, p := range n.cfg.Peers {
+		n.next[p] = last + 1
+		n.match[p] = 0
+	}
+	// The no-op: a leader may only count replicas of its own term toward
+	// commit, so it commits one immediately to unblock older entries.
+	n.log.Append(Entry{Term: n.term})
+	n.match[n.cfg.ID] = n.log.LastIndex()
+	if n.hooks.OnLeader != nil {
+		n.hooks.OnLeader(n.term)
+	}
+	n.notifyAccept(n.log.LastIndex(), n.term)
+	n.maybeCommit()
+	n.bcastAppend()
+}
+
+// Tick advances the node's logical clock by one tick. Leaders heartbeat;
+// others campaign when the election timeout expires.
+func (n *Node) Tick() {
+	n.elapsed++
+	if n.state == Leader {
+		if n.elapsed >= n.cfg.heartbeatTicks() {
+			n.elapsed = 0
+			n.Heartbeats++
+			n.bcastAppend()
+		}
+		return
+	}
+	if n.elapsed >= n.timeout {
+		n.campaign()
+	}
+}
+
+func (n *Node) campaign() {
+	n.becomeCandidate()
+	if n.quorum() == 1 {
+		n.becomeLeader()
+		return
+	}
+	last := n.log.LastIndex()
+	lastTerm, _ := n.log.Term(last)
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		n.send(Message{Type: MsgVote, To: p, Index: last, LogTerm: lastTerm})
+	}
+}
+
+// Propose appends data to the log if this node is the leader, returning the
+// entry's (index, term). ok is false on non-leaders.
+func (n *Node) Propose(data []byte) (index, term uint64, ok bool) {
+	if n.state != Leader {
+		return 0, 0, false
+	}
+	idx := n.log.Append(Entry{Term: n.term, Data: data})
+	n.match[n.cfg.ID] = idx
+	n.notifyAccept(idx, n.term)
+	n.maybeCommit()
+	n.bcastAppend()
+	return idx, n.term, true
+}
+
+// Step feeds one message into the state machine.
+func (n *Node) Step(m Message) {
+	if m.Term > n.term {
+		lead := None
+		if m.Type == MsgApp {
+			lead = m.From
+		}
+		n.becomeFollower(m.Term, lead)
+	}
+	if m.Term < n.term {
+		switch m.Type {
+		case MsgVote:
+			n.send(Message{Type: MsgVoteResp, To: m.From, Reject: true})
+		case MsgApp:
+			// Tell a stale leader about the newer term.
+			n.send(Message{Type: MsgAppResp, To: m.From, Reject: true, Index: n.log.LastIndex()})
+		}
+		return
+	}
+	switch m.Type {
+	case MsgVote:
+		n.handleVote(m)
+	case MsgVoteResp:
+		if n.state != Candidate {
+			return
+		}
+		n.votes[m.From] = !m.Reject
+		granted := 0
+		for _, g := range n.votes {
+			if g {
+				granted++
+			}
+		}
+		if granted >= n.quorum() {
+			n.becomeLeader()
+		}
+	case MsgApp:
+		if n.state != Follower {
+			// Same-term candidate (or impossible same-term leader): a
+			// legitimate leader exists, step down.
+			n.becomeFollower(m.Term, m.From)
+		}
+		n.lead = m.From
+		n.elapsed = 0
+		n.handleAppend(m)
+	case MsgAppResp:
+		if n.state != Leader {
+			return
+		}
+		n.handleAppendResp(m)
+	}
+}
+
+func (n *Node) handleVote(m Message) {
+	last := n.log.LastIndex()
+	lastTerm, _ := n.log.Term(last)
+	upToDate := m.LogTerm > lastTerm || (m.LogTerm == lastTerm && m.Index >= last)
+	canVote := n.vote == None || n.vote == m.From
+	if canVote && upToDate && n.lead == None {
+		n.vote = m.From
+		n.elapsed = 0
+		n.Grants++
+		n.send(Message{Type: MsgVoteResp, To: m.From})
+		return
+	}
+	n.send(Message{Type: MsgVoteResp, To: m.From, Reject: true})
+}
+
+func (n *Node) handleAppend(m Message) {
+	// Consistency check at prevIndex.
+	if m.Index < n.log.FirstIndex()-1 {
+		// The prev point is inside our compacted prefix: everything there
+		// is committed and identical by construction; answer with our
+		// boundary so the leader fast-forwards.
+		n.send(Message{Type: MsgAppResp, To: m.From, Index: n.log.FirstIndex() - 1})
+		return
+	}
+	t, ok := n.log.Term(m.Index)
+	if !ok || t != m.LogTerm {
+		hint := n.log.LastIndex()
+		if m.Index < hint {
+			hint = m.Index
+		}
+		if hint > 0 {
+			hint--
+		}
+		n.send(Message{Type: MsgAppResp, To: m.From, Reject: true, Index: hint})
+		return
+	}
+	// Scan for the first conflict; truncate and append the rest.
+	lastNew := m.Index + uint64(len(m.Entries))
+	for i, e := range m.Entries {
+		idx := m.Index + 1 + uint64(i)
+		if et, ok := n.log.Term(idx); ok {
+			if et == e.Term {
+				continue
+			}
+			if idx <= n.commit {
+				panic(fmt.Sprintf("raft: node %d: conflict at committed index %d (term %d vs %d)",
+					n.cfg.ID, idx, et, e.Term))
+			}
+			n.log.TruncateSuffix(idx)
+		}
+		n.log.Append(m.Entries[i:]...)
+		for j := i; j < len(m.Entries); j++ {
+			n.notifyAccept(m.Index+1+uint64(j), m.Entries[j].Term)
+		}
+		break
+	}
+	if c := m.Commit; c > n.commit {
+		if lastNew < c {
+			c = lastNew
+		}
+		n.setCommit(c)
+	}
+	if m.Compact > 0 {
+		// The leader sanctions compaction only up to the index every
+		// replica stores; we additionally wait until we applied it.
+		c := m.Compact
+		if c > n.applied {
+			c = n.applied
+		}
+		n.log.CompactPrefix(c)
+	}
+	n.send(Message{Type: MsgAppResp, To: m.From, Index: lastNew})
+}
+
+func (n *Node) handleAppendResp(m Message) {
+	if m.Reject {
+		nx := n.next[m.From]
+		if m.Index+1 < nx {
+			nx = m.Index + 1
+		} else if nx > 1 {
+			nx--
+		}
+		if first := n.log.FirstIndex(); nx < first {
+			nx = first
+		}
+		n.next[m.From] = nx
+		n.sendAppend(m.From)
+		return
+	}
+	if m.Index > n.match[m.From] {
+		n.match[m.From] = m.Index
+	}
+	if m.Index+1 > n.next[m.From] {
+		n.next[m.From] = m.Index + 1
+	}
+	before := n.commit
+	n.maybeCommit()
+	if n.commit > before {
+		// Propagate the advanced commit index right away instead of waiting
+		// for the next heartbeat; caught-up followers get an empty MsgApp.
+		n.bcastAppend()
+		return
+	}
+	// Keep streaming if the follower is still behind.
+	if n.next[m.From] <= n.log.LastIndex() {
+		n.sendAppend(m.From)
+	}
+}
+
+// maybeCommit advances the commit index to the highest index replicated on
+// a quorum whose entry is from the current term.
+func (n *Node) maybeCommit() {
+	ms := make([]uint64, 0, len(n.cfg.Peers))
+	for _, p := range n.cfg.Peers {
+		ms = append(ms, n.match[p])
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i] > ms[j] })
+	mid := ms[n.quorum()-1]
+	if mid <= n.commit {
+		return
+	}
+	if t, ok := n.log.Term(mid); ok && t == n.term {
+		n.setCommit(mid)
+	}
+}
+
+// compactTo returns the leader-sanctioned compaction boundary: the highest
+// index every replica has acknowledged and this node has applied.
+func (n *Node) compactTo() uint64 {
+	if n.state != Leader {
+		return 0
+	}
+	min := n.applied
+	for _, p := range n.cfg.Peers {
+		if n.match[p] < min {
+			min = n.match[p]
+		}
+	}
+	return min
+}
+
+// MaybeCompact truncates the leader's applied, fully replicated prefix,
+// keeping keepTail entries of history for straggler probes. It returns the
+// new boundary (0 when nothing was compacted). Followers compact when the
+// boundary arrives on subsequent MsgApps.
+func (n *Node) MaybeCompact(keepTail uint64) uint64 {
+	to := n.compactTo()
+	if to <= keepTail {
+		return 0
+	}
+	to -= keepTail
+	if to < n.log.FirstIndex() {
+		return 0
+	}
+	n.log.CompactPrefix(to)
+	return to
+}
+
+func (n *Node) bcastAppend() {
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		n.sendAppend(p)
+	}
+}
+
+func (n *Node) sendAppend(to int) {
+	nx := n.next[to]
+	if first := n.log.FirstIndex(); nx < first {
+		// The prefix below first is compacted; by the compaction contract
+		// the follower already stores it.
+		nx = first
+		n.next[to] = nx
+	}
+	prev := nx - 1
+	prevTerm, ok := n.log.Term(prev)
+	if !ok {
+		panic(fmt.Sprintf("raft: node %d: no term for prev index %d (first %d last %d)",
+			n.cfg.ID, prev, n.log.FirstIndex(), n.log.LastIndex()))
+	}
+	hi := nx + uint64(n.cfg.maxBatch()) - 1
+	es := n.log.Entries(nx, hi)
+	n.send(Message{
+		Type: MsgApp, To: to, Index: prev, LogTerm: prevTerm,
+		Commit: n.commit, Compact: n.log.FirstIndex() - 1, Entries: es,
+	})
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -113,6 +113,15 @@ type Analyzer struct {
 	recogClass map[[2]int64]uint64      // (core, recognition id) → highest class delivered so far
 	postMarks  map[[2]int64]postMark    // (core, vector) → earliest outstanding classed post
 	sloBounds  map[uint32]time.Duration // class → delivery-latency bound (SLOBound)
+
+	// replication replay state (cross-node causal chains)
+	pgRF       map[int32]uint64            // pg → replication factor (ClusterPG)
+	raftCommit map[[2]int64]uint64         // (pg, node) → last commit index this incarnation
+	raftApply  map[[2]int64]uint64         // (pg, node) → last applied index
+	applyHash  map[[2]int64]uint64         // (pg, index) → first observed apply hash
+	acceptSets map[[2]int64]map[uint64]map[uint32]bool // (pg, index) → term → accepting nodes
+	ackIdx     map[[2]int64]uint64         // (pg, lba) → highest acked raft index
+	readFloor  map[[2]int64]uint64         // (pg, request id) → acked-index floor at ReadStart
 }
 
 // postMark is one outstanding classed UPID post awaiting delivery.
@@ -141,6 +150,13 @@ func Analyze(evs []Event) *Analyzer {
 		recogClass:   make(map[[2]int64]uint64),
 		postMarks:    make(map[[2]int64]postMark),
 		sloBounds:    make(map[uint32]time.Duration),
+		pgRF:         make(map[int32]uint64),
+		raftCommit:   make(map[[2]int64]uint64),
+		raftApply:    make(map[[2]int64]uint64),
+		applyHash:    make(map[[2]int64]uint64),
+		acceptSets:   make(map[[2]int64]map[uint64]map[uint32]bool),
+		ackIdx:       make(map[[2]int64]uint64),
+		readFloor:    make(map[[2]int64]uint64),
 	}
 	for _, e := range evs {
 		a.step(e)
@@ -465,6 +481,112 @@ func (a *Analyzer) step(e Event) {
 				"conn=%d req=%d replied twice", e.QID, e.CID)
 		}
 		c.Reply = e.At
+
+	case ClusterPG:
+		a.pgRF[e.QID] = e.Aux
+
+	case RaftLeader:
+		// Informational anchor for the cross-node chain; term safety is
+		// enforced inside internal/raft.
+
+	case RaftRestart:
+		// Volatile raft state (commit/applied) legitimately resets across a
+		// crash; the monotonicity floors restart with the incarnation.
+		nk := key(e.QID, e.CID)
+		delete(a.raftCommit, nk)
+		delete(a.raftApply, nk)
+
+	case RaftAccept:
+		ik := [2]int64{int64(e.QID), int64(e.LBA)}
+		terms := a.acceptSets[ik]
+		if terms == nil {
+			terms = make(map[uint64]map[uint32]bool)
+			a.acceptSets[ik] = terms
+		}
+		if terms[e.Aux] == nil {
+			terms[e.Aux] = make(map[uint32]bool)
+		}
+		terms[e.Aux][e.CID] = true
+
+	case RaftCommit:
+		nk := key(e.QID, e.CID)
+		if prev, ok := a.raftCommit[nk]; ok && e.LBA < prev {
+			a.violate(e.Seq, "commit-monotonic",
+				"pg=%d node=%d commit index regressed %d -> %d without a restart",
+				e.QID, e.CID, prev, e.LBA)
+		}
+		a.raftCommit[nk] = e.LBA
+
+	case RaftApply:
+		nk := key(e.QID, e.CID)
+		if e.LBA > a.raftCommit[nk] {
+			a.violate(e.Seq, "apply-beyond-commit",
+				"pg=%d node=%d applied index %d above its commit index %d",
+				e.QID, e.CID, e.LBA, a.raftCommit[nk])
+		}
+		if prev, ok := a.raftApply[nk]; ok && e.LBA <= prev {
+			a.violate(e.Seq, "apply-order",
+				"pg=%d node=%d applied index %d after index %d", e.QID, e.CID, e.LBA, prev)
+		}
+		a.raftApply[nk] = e.LBA
+		ik := [2]int64{int64(e.QID), int64(e.LBA)}
+		if h, ok := a.applyHash[ik]; ok {
+			if h != e.Aux {
+				a.violate(e.Seq, "divergent-commit",
+					"pg=%d index=%d applied with hash %#x on node %d but %#x elsewhere",
+					e.QID, e.LBA, e.Aux, e.CID, h)
+			}
+		} else {
+			a.applyHash[ik] = e.Aux
+		}
+
+	case ClusterAck:
+		idx := e.Aux >> 32
+		// The ack must be backed by a quorum of durable accepts of one term
+		// at that index.
+		rf := a.pgRF[e.QID]
+		if rf == 0 {
+			rf = 1
+		}
+		quorum := int(rf/2 + 1)
+		backed := false
+		for _, nodes := range a.acceptSets[[2]int64{int64(e.QID), int64(idx)}] {
+			if len(nodes) >= quorum {
+				backed = true
+				break
+			}
+		}
+		if !backed {
+			a.violate(e.Seq, "ack-before-quorum",
+				"pg=%d req=%d acked write at index %d without a quorum (%d/%d) of accepts",
+				e.QID, e.CID, idx, quorum, rf)
+		}
+		lk := [2]int64{int64(e.QID), int64(e.LBA)}
+		if idx > a.ackIdx[lk] {
+			a.ackIdx[lk] = idx
+		}
+
+	case ClusterReadStart:
+		// Freeze the linearizability floor: the newest write already acked
+		// for this block when the read was issued.
+		a.readFloor[key(e.QID, e.CID)] = a.ackIdx[[2]int64{int64(e.QID), int64(e.LBA)}]
+
+	case ClusterRead:
+		// A retried read may be served more than once (each timed-out
+		// attempt that still committed serves it again); every serve must
+		// clear the floor frozen at the single ReadStart.
+		rk := key(e.QID, e.CID)
+		floor, ok := a.readFloor[rk]
+		if !ok {
+			a.violate(e.Seq, "read-chain",
+				"pg=%d req=%d read served without a ClusterReadStart", e.QID, e.CID)
+			break
+		}
+		if idx := e.Aux >> 32; idx < floor {
+			a.violate(e.Seq, "stale-read-after-commit",
+				"pg=%d req=%d lba=%d read served at index %d below the acked-write floor %d",
+				e.QID, e.CID, e.LBA, idx, floor)
+		}
 	}
 }
 

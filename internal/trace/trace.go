@@ -162,6 +162,40 @@ const (
 	// completion, Aux = completions covered by the immediate raise.
 	IRQBypass
 
+	// RaftLeader: a node won an election for a placement group. QID =
+	// placement group, CID = node id, Aux = term.
+	RaftLeader
+	// RaftAccept: a node appended (stored durably) a raft entry. QID =
+	// placement group, CID = node id, LBA = log index, Aux = entry term.
+	RaftAccept
+	// RaftCommit: a node advanced its commit index. QID = placement group,
+	// CID = node id, LBA = new commit index.
+	RaftCommit
+	// RaftApply: a node applied a committed entry to its block store.
+	// QID = placement group, CID = node id, LBA = log index, Aux = a hash
+	// of the entry payload (identical across replicas or the logs diverged).
+	RaftApply
+	// RaftRestart: a node rebuilt a raft group from stable storage after a
+	// crash (volatile state — commit/applied — resets). QID = placement
+	// group, CID = node id.
+	RaftRestart
+	// ClusterPG: the monitor announced a placement group's membership
+	// (emitted once per group before traffic). QID = placement group,
+	// Aux = replication factor.
+	ClusterPG
+	// ClusterAck: the client received a write acknowledgement. QID =
+	// placement group, CID = request id, LBA = block address, Aux =
+	// raft index << 32 | payload hash (low 32 bits).
+	ClusterAck
+	// ClusterReadStart: the client issued a read (the linearizability
+	// clock's start point). QID = placement group, CID = request id,
+	// LBA = block address.
+	ClusterReadStart
+	// ClusterRead: the leader served a read at apply time. QID = placement
+	// group, CID = request id, LBA = block address, Aux = the serving
+	// entry's raft index << 32 | returned-data hash (low 32 bits).
+	ClusterRead
+
 	numTypes
 )
 
@@ -212,6 +246,16 @@ var typeNames = [numTypes]string{
 	UPIDClear:       "UPIDClear",
 	SLOBound:        "SLOBound",
 	IRQBypass:       "IRQBypass",
+
+	RaftLeader:       "RaftLeader",
+	RaftAccept:       "RaftAccept",
+	RaftCommit:       "RaftCommit",
+	RaftApply:        "RaftApply",
+	RaftRestart:      "RaftRestart",
+	ClusterPG:        "ClusterPG",
+	ClusterAck:       "ClusterAck",
+	ClusterReadStart: "ClusterReadStart",
+	ClusterRead:      "ClusterRead",
 }
 
 func (t Type) String() string {
