@@ -31,8 +31,9 @@ func main() {
 	cache := flag.Bool("cache", false, "run the traced sequential page-cache cell and print cache counters + invariant check")
 	slo := flag.Bool("slo", false, "run the fig_slo antagonist sweep plus the traced enforced io_flood cell; fail on trace invariant violations (incl. the urgent delivery bound)")
 	repl := flag.Bool("repl", false, "run the fig_replication sweep plus the traced rf=3 leader-crash cell; fail on linearizability violations or lost acked writes")
+	simscale := flag.Bool("simscale", false, "run the fig_simscale 64-node/1024-client deployment serially and with parallel lanes; fail unless the two modes are byte-identical")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] [-cache] [-slo] [-repl] list | all | <experiment-id>...\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] [-cache] [-slo] [-repl] [-simscale] list | all | <experiment-id>...\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
 		}
@@ -77,6 +78,15 @@ func main() {
 	}
 	if *repl {
 		if err := runRepl(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
+	if *simscale {
+		if err := runSimScale(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
 			os.Exit(1)
 		}
@@ -302,6 +312,40 @@ func runRepl(jsonOut bool) error {
 	}
 	if len(lost) > 0 {
 		return fmt.Errorf("%d lost or divergent acked write(s)", len(lost))
+	}
+	return nil
+}
+
+// runSimScale is the scale gate: FigSimScale runs the 64-node/1024-client
+// deployment serially and with parallel lanes and errors internally unless
+// acks, stats, and the FNV ack hash are byte-identical; this wrapper prints
+// the tables (the JSON form is the CI artifact) and summarizes the measured
+// wall-clock cost of each mode. Speedup is a measurement, not a gate — on a
+// single-core runner the parallel mode is pure overhead by design.
+func runSimScale(jsonOut bool) error {
+	tables, err := experiments.FigSimScale()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if err := report.WriteJSON(os.Stdout, tables); err != nil {
+			return err
+		}
+	} else {
+		for _, t := range tables {
+			t.Print(os.Stdout)
+		}
+	}
+	for _, t := range tables {
+		if t.ID != "fig_simscale_timing" {
+			continue
+		}
+		for _, row := range t.Rows {
+			if len(row) >= 7 && row[0] == "cluster_64x1024" {
+				fmt.Fprintf(os.Stderr, "[simscale: %s gomaxprocs=%s wall=%sms speedup=%s]\n",
+					row[1], row[2], row[3], row[6])
+			}
+		}
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"aeolia/internal/mpk"
 	"aeolia/internal/nvme"
@@ -85,7 +86,14 @@ type Kernel struct {
 	vecOwners  map[int]KernelDeliver
 	nextVector int
 
-	threads map[*sim.Task]*threadUintr
+	// threadsMu guards threads and vecUPIDs: registration runs in task
+	// bodies (possibly inside a parallel window, on a lane goroutine)
+	// while every core's context switches and IRQ ranking read the maps.
+	// Distinct lanes always touch distinct task keys and vectors, so the
+	// lock only rules out the physical data race — it never changes an
+	// outcome.
+	threadsMu sync.RWMutex
+	threads   map[*sim.Task]*threadUintr
 	// vecUPIDs maps a notification vector to the UPID it notifies for, so
 	// the per-core IRQ ranking can rate a raised vector by the most urgent
 	// class pending in that UPID.
@@ -216,20 +224,25 @@ func (k *Kernel) AllocVector(deliver KernelDeliver) (int, error) {
 // for this thread (§4.2: "the kernel can configure UINV upon AeoDriver
 // initialization and maintain it across thread context switches").
 func (k *Kernel) RegisterThreadUintr(t *sim.Task, vector int, upid *uintr.UPID, h uintr.Handler) {
-	k.threads[t] = &threadUintr{vector: vector, upid: upid, handler: h}
+	tu := &threadUintr{vector: vector, upid: upid, handler: h}
+	k.threadsMu.Lock()
+	k.threads[t] = tu
 	k.vecUPIDs[vector] = upid
+	k.threadsMu.Unlock()
 	// If the thread is already on a core, install immediately.
 	if c := t.Core(); c != nil {
-		k.installUintr(c, k.threads[t])
+		k.installUintr(c, tu)
 	}
 }
 
 // UnregisterThreadUintr removes a thread's user-interrupt state.
 func (k *Kernel) UnregisterThreadUintr(t *sim.Task) {
+	k.threadsMu.Lock()
 	if tu, ok := k.threads[t]; ok {
 		delete(k.vecUPIDs, tu.vector)
 	}
 	delete(k.threads, t)
+	k.threadsMu.Unlock()
 }
 
 // irqRank rates a raised vector for the cores' nested-delivery decision:
@@ -238,7 +251,10 @@ func (k *Kernel) UnregisterThreadUintr(t *sim.Task) {
 // UPIDs and plain kernel vectors. Legacy class-less configurations thus
 // keep strict FIFO delivery.
 func (k *Kernel) irqRank(vec int) int {
-	if u := k.vecUPIDs[vec]; u != nil && u.Classes != nil {
+	k.threadsMu.RLock()
+	u := k.vecUPIDs[vec]
+	k.threadsMu.RUnlock()
+	if u != nil && u.Classes != nil {
 		if cl, ok := u.Classes.MinClass(u.PIR); ok {
 			return int(cl)
 		}
@@ -277,7 +293,10 @@ func (k *Kernel) CheckMapProt(p mpk.Prot) error { return mpk.CheckMapProt(p) }
 
 // onSwitchIn installs the incoming thread's UINTR state on the core.
 func (k *Kernel) onSwitchIn(c *sim.Core, t *sim.Task) {
-	if tu, ok := k.threads[t]; ok {
+	k.threadsMu.RLock()
+	tu, ok := k.threads[t]
+	k.threadsMu.RUnlock()
+	if ok {
 		k.installUintr(c, tu)
 		return
 	}

@@ -14,9 +14,10 @@ import (
 // routing each to the placement group's leader and retrying through leader
 // changes, crashes, and partitions until the operation is acknowledged.
 type Client struct {
-	c  *Cluster
-	id int
-	ep *netsim.Endpoint
+	c    *Cluster
+	id   int
+	ep   *netsim.Endpoint
+	core *sim.Core
 
 	members [][]int
 	leaders []int // per-pg leader cache: monitor hint refined by responses
@@ -35,7 +36,10 @@ type Client struct {
 }
 
 func newClient(c *Cluster, id int) *Client {
-	return &Client{c: c, id: id, ep: c.Fab.Endpoint(clientName(id))}
+	cl := &Client{c: c, id: id, ep: c.Fab.Endpoint(clientName(id)),
+		core: c.M.Eng.Core(c.cfg.Nodes + 1 + id)}
+	cl.ep.BindCore(cl.core)
+	return cl
 }
 
 // Acks returns the client's observed write acknowledgements.
@@ -203,8 +207,7 @@ func (cl *Client) doOp(env *sim.Env, req request) {
 // acknowledgements of retried commands) are discarded by id mismatch here
 // and by the caller having moved on.
 func (cl *Client) await(env *sim.Env, deadline time.Duration, want uint32) (response, bool) {
-	eng := cl.c.M.Eng
-	eng.ScheduleAt(deadline, cl.ep.SignalArrival)
+	env.ScheduleAt(deadline, cl.ep.SignalArrival)
 	for {
 		m := cl.ep.TryRecv()
 		if m == nil {
@@ -228,8 +231,7 @@ func (cl *Client) await(env *sim.Env, deadline time.Duration, want uint32) (resp
 }
 
 func (cl *Client) awaitMap(env *sim.Env, deadline time.Duration) (monResp, bool) {
-	eng := cl.c.M.Eng
-	eng.ScheduleAt(deadline, cl.ep.SignalArrival)
+	env.ScheduleAt(deadline, cl.ep.SignalArrival)
 	for {
 		m := cl.ep.TryRecv()
 		if m == nil {

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"aeolia/internal/netsim"
+)
+
+// laneRun drives one cluster to completion and returns its acks and stats.
+func laneRun(t *testing.T, cfg Config) (*Cluster, []Ack, Stats) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.Start()
+	c.Run(2 * time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatalf("cluster failed: %v", err)
+	}
+	return c, c.Acks(), c.Stats()
+}
+
+// TestParallelLanesMatchSerial is the cluster-level determinism contract for
+// conservative parallel execution: the same seeded configuration run serially
+// and with ParallelLanes must produce identical ack sequences and stats.
+func TestParallelLanesMatchSerial(t *testing.T) {
+	base := Config{Nodes: 5, PGs: 4, RF: 3, Clients: 4, OpsPerClient: 20, Seed: 77,
+		Link: netsim.Config{Latency: 5 * time.Microsecond}}
+
+	serial := base
+	c1, a1, s1 := laneRun(t, serial)
+	if w := c1.M.Eng.Stats().Windows; w != 0 {
+		t.Fatalf("serial run executed %d parallel windows", w)
+	}
+
+	par := base
+	par.ParallelLanes = true
+	c2, a2, s2 := laneRun(t, par)
+	if w := c2.M.Eng.Stats().Windows; w == 0 {
+		t.Fatal("ParallelLanes run executed zero parallel windows; test is vacuous")
+	}
+	t.Logf("parallel stats: %+v", c2.M.Eng.Stats())
+
+	if s1 != s2 {
+		t.Fatalf("stats diverge:\nserial:   %+v\nparallel: %+v", s1, s2)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("ack counts diverge: serial %d vs parallel %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("ack %d diverges:\nserial:   %+v\nparallel: %+v", i, a1[i], a2[i])
+		}
+	}
+	for _, e := range c2.VerifyAcks() {
+		t.Errorf("lost-write audit (parallel): %v", e)
+	}
+}
+
+// TestParallelLanesJitter repeats the parity check with per-message jitter
+// enabled: jitter draws are per-link (site ⊕ per-link sequence), so they must
+// not depend on cross-lane interleaving.
+func TestParallelLanesJitter(t *testing.T) {
+	base := Config{Nodes: 3, PGs: 2, RF: 3, Clients: 3, OpsPerClient: 15, Seed: 13,
+		Link: netsim.Config{Latency: 8 * time.Microsecond, Jitter: 3 * time.Microsecond}}
+
+	_, a1, s1 := laneRun(t, base)
+	par := base
+	par.ParallelLanes = true
+	c2, a2, s2 := laneRun(t, par)
+	if w := c2.M.Eng.Stats().Windows; w == 0 {
+		t.Fatal("ParallelLanes run executed zero parallel windows")
+	}
+	if s1 != s2 {
+		t.Fatalf("stats diverge:\nserial:   %+v\nparallel: %+v", s1, s2)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("ack %d diverges: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+}
+
+// TestSparseMeshMatchFull checks that skipping client↔client links changes
+// nothing observable: clients never talk to each other, and endpoint ids are
+// assigned before link wiring.
+func TestSparseMeshMatchFull(t *testing.T) {
+	base := Config{Nodes: 3, PGs: 2, RF: 3, Clients: 3, OpsPerClient: 15, Seed: 21,
+		Link: netsim.Config{Latency: 5 * time.Microsecond}}
+
+	_, a1, s1 := laneRun(t, base)
+	sparse := base
+	sparse.SparseMesh = true
+	_, a2, s2 := laneRun(t, sparse)
+	if s1 != s2 {
+		t.Fatalf("stats diverge:\nfull:   %+v\nsparse: %+v", s1, s2)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("ack counts diverge: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("ack %d diverges: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+}

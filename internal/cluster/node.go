@@ -59,6 +59,7 @@ type OSD struct {
 	id   int
 	proc *machine.Process
 	ep   *netsim.Endpoint
+	core *sim.Core
 
 	groups map[int]*group
 	pgs    []int // hosted pgs, sorted (deterministic iteration)
@@ -81,8 +82,10 @@ type OSD struct {
 
 func newOSD(c *Cluster, id int, proc *machine.Process) *OSD {
 	n := &OSD{c: c, id: id, proc: proc, ep: c.Fab.Endpoint(osdName(id)),
+		core:   c.M.Eng.Core(id),
 		groups: make(map[int]*group), ext: c.M.Kern.ExtMap(),
 		ticksToCompact: c.cfg.CompactEvery}
+	n.ep.BindCore(n.core)
 	for pg, ms := range c.members {
 		hosted := false
 		for _, m := range ms {
@@ -186,8 +189,7 @@ func (n *OSD) run(env *sim.Env) {
 // tick due and wakes the task — raft work happens in task context where CPU
 // can be charged.
 func (n *OSD) scheduleTick() {
-	eng := n.c.M.Eng
-	eng.ScheduleAt(eng.Now()+n.c.cfg.tickInterval(), func() {
+	n.core.Schedule(n.c.cfg.tickInterval(), func() {
 		if n.c.stopped {
 			return
 		}
@@ -407,8 +409,7 @@ func (n *OSD) crash(env *sim.Env) {
 	for _, pg := range n.pgs {
 		n.groups[pg].pending = make(map[uint64]pendingCmd)
 	}
-	eng := n.c.M.Eng
-	eng.ScheduleAt(eng.Now()+n.c.cfg.restartDelay(), func() {
+	env.Schedule(n.c.cfg.restartDelay(), func() {
 		if n.c.stopped {
 			return
 		}

@@ -53,6 +53,7 @@ func All() []*Experiment {
 		{"fig_cache", "Page-cache budget/read-ahead sweep (throughput, tails, hit rate)", FigCache},
 		{"fig_slo", "Per-tenant tail latency under antagonists, SLO enforcement off/on", FigSlo},
 		{"fig_replication", "Replicated multi-raft block cluster: goodput/latency vs replication factor under faults", FigReplication},
+		{"fig_simscale", "Simulator scale: 64-node/1024-client cluster, serial vs parallel lanes", FigSimScale},
 	}
 }
 

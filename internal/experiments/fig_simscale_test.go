@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aeolia/internal/report"
+)
+
+// deterministicTables drops wall-clock tables (ID suffix "_timing") — the
+// only tables an experiment is allowed to vary between identical runs.
+func deterministicTables(tables []*report.Table) []*report.Table {
+	var out []*report.Table
+	for _, tb := range tables {
+		if strings.HasSuffix(tb.ID, "_timing") {
+			continue
+		}
+		out = append(out, tb)
+	}
+	return out
+}
+
+// TestFigSimScaleGolden snapshots the deterministic simscale table: the
+// 64-node/1024-client deployment, serial and parallel rows, ack hash
+// included. FigSimScale itself hard-gates serial/parallel identity, so this
+// golden doubles as the CI guard that parallel lanes reproduce a committed
+// result. Regenerate intentionally with:
+//
+//	go test ./internal/experiments -run TestFigSimScaleGolden -update-golden
+func TestFigSimScaleGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the scale deployment twice; skipped in -short")
+	}
+	tables, err := FigSimScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range deterministicTables(tables) {
+		tb.Print(&sb)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "fig_simscale.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fig_simscale output drifted from golden snapshot.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestMetamorphicExperiments is the metamorphic determinism battery: every
+// fig_* experiment (plus the golden-backed qdsweep and svcscale sweeps)
+// runs twice in this one process, and both runs must serialize to
+// byte-identical report JSON. The first run leaves behind warmed pools,
+// grown heaps, and GC pressure; a second run that still matches proves the
+// engine's output depends on nothing but its inputs — not allocation
+// addresses, map iteration, pool recycling order, or parallel-lane
+// interleaving (fig_simscale runs lanes inside each pass and hard-gates
+// them against serial itself).
+func TestMetamorphicExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each experiment twice; skipped in -short")
+	}
+	ids := []string{"qdsweep", "svcscale", "fig_cache", "fig_slo",
+		"fig_replication", "fig_simscale"}
+	for _, id := range ids {
+		e := Lookup(id)
+		if e == nil {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+		render := func() []byte {
+			tables, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			var buf bytes.Buffer
+			if err := report.WriteJSON(&buf, deterministicTables(tables)); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			return buf.Bytes()
+		}
+		a := render()
+		b := render()
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: report JSON not byte-identical across in-process runs.\n--- first ---\n%s\n--- second ---\n%s", id, a, b)
+		}
+	}
+}

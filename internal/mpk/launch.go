@@ -92,15 +92,32 @@ type TrustedImage struct {
 	Init func(gate *Gate) error
 }
 
-// Launcher is the privileged launching process.
+// Launcher is the privileged launching process. Each launcher stands for
+// one process's address space: protection keys are a per-address-space
+// resource (pkey_alloc allocates from the calling process's 16 keys, not a
+// machine-wide pool), so every launcher owns a fresh key namespace. Key
+// collisions across processes are harmless — a PKRU is only ever checked
+// against regions of its own process, and untrusted threads deny every
+// nonzero key regardless of which process allocated it.
 type Launcher struct {
-	sys *System
-	reg *Registry
+	sys     *System
+	reg     *Registry
+	nextKey Key
 }
 
 // NewLauncher builds a launcher over the kernel's signature registry.
 func NewLauncher(sys *System, reg *Registry) *Launcher {
-	return &Launcher{sys: sys, reg: reg}
+	return &Launcher{sys: sys, reg: reg, nextKey: 1}
+}
+
+// allocKey allocates a protection key from this address space (pkey_alloc).
+func (l *Launcher) allocKey() (Key, error) {
+	if l.nextKey >= NumKeys {
+		return 0, ErrNoKeys
+	}
+	k := l.nextKey
+	l.nextKey++
+	return k, nil
 }
 
 // Launch verifies and maps the trusted entities, scans the untrusted binary
@@ -118,7 +135,7 @@ func (l *Launcher) Launch(untrustedBinary []byte, entities []TrustedImage) (*Thr
 			return nil, nil, err
 		}
 	}
-	key, err := l.sys.AllocKey()
+	key, err := l.allocKey()
 	if err != nil {
 		return nil, nil, err
 	}

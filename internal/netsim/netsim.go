@@ -128,6 +128,12 @@ type Endpoint struct {
 	name string
 	id   int
 
+	// home, when bound, is the core whose event lane owns this endpoint's
+	// fabric events: departures book on the sender's home lane, arrivals
+	// on the receiver's. Required for parallel-lane execution; unbound
+	// endpoints fall back to unattributed (engine-lane) scheduling.
+	home *sim.Core
+
 	inbox   []*Msg
 	arrival *sim.Completion
 	deliver func(*Msg)
@@ -143,6 +149,19 @@ type Endpoint struct {
 
 // Name returns the endpoint's name.
 func (ep *Endpoint) Name() string { return ep.name }
+
+// BindCore declares c the endpoint's home core: the fabric attributes this
+// endpoint's events (and clock reads) to c's lane. Bind during setup,
+// before traffic flows.
+func (ep *Endpoint) BindCore(c *sim.Core) { ep.home = c }
+
+// now reads virtual time in the endpoint's execution context.
+func (ep *Endpoint) now() time.Duration {
+	if ep.home != nil {
+		return ep.home.Now()
+	}
+	return ep.fab.eng.Now()
+}
 
 // ID returns the endpoint's fabric-wide id (creation order).
 func (ep *Endpoint) ID() int { return ep.id }
@@ -191,7 +210,7 @@ func (ep *Endpoint) Arrival() *sim.Completion {
 // interrupt handler calls this to hand the inbox to the waiting task.
 func (ep *Endpoint) SignalArrival() {
 	if ep.arrival != nil {
-		ep.arrival.FireAt(ep.fab.eng.Now())
+		ep.arrival.FireAt(ep.now())
 	}
 }
 
@@ -312,10 +331,14 @@ func (l *Link) transmit(payload []byte) error {
 }
 
 // schedule books one transmission: serialization on the wire, propagation,
-// jitter (clamped to preserve per-link FIFO), and the delivery event.
+// jitter (clamped to preserve per-link FIFO), and the delivery event. The
+// departure event (releasing the sender-side queue slot) belongs to the
+// sender's lane; the arrival event belongs to the receiver's lane and, in
+// parallel-lane runs, is the cross-lane interaction the lookahead bound is
+// derived from (arrive >= now + Latency).
 func (l *Link) schedule(payload []byte, dup bool) {
 	eng := l.fab.eng
-	now := eng.Now()
+	now := l.src.now()
 	l.queued++
 	l.seq++
 	l.Sent++
@@ -339,23 +362,34 @@ func (l *Link) schedule(payload []byte, dup bool) {
 	}
 	m := &Msg{Src: l.src.name, Dst: l.dst.name, SrcID: l.src.id, DstID: l.dst.id,
 		Payload: payload, SentAt: now, Dup: dup}
-	eng.ScheduleAt(depart, func() { l.queued-- })
-	eng.ScheduleAt(arrive, func() {
+	onArrive := func() {
 		if drop || l.down {
 			l.Dropped++
 			if tr := eng.Tracer; tr != nil {
-				tr.Emit(eng.Now(), trace.NetDrop, -1, l.id, trace.NoCID, 0, uint64(len(payload)))
+				tr.Emit(l.dst.now(), trace.NetDrop, -1, l.id, trace.NoCID, 0, uint64(len(payload)))
 			}
 			return
 		}
 		l.deliverMsg(m)
-	})
+	}
+	if src := l.src.home; src != nil {
+		src.ScheduleAt(depart, func() { l.queued-- })
+		if dst := l.dst.home; dst != nil {
+			src.ScheduleOn(dst, arrive, onArrive)
+		} else {
+			src.ScheduleOn(nil, arrive, onArrive)
+		}
+		return
+	}
+	eng.ScheduleAt(depart, func() { l.queued-- })
+	eng.ScheduleAt(arrive, onArrive)
 }
 
-// deliverMsg lands one message at the destination endpoint (event context).
+// deliverMsg lands one message at the destination endpoint (event context,
+// on the destination's lane).
 func (l *Link) deliverMsg(m *Msg) {
 	eng := l.fab.eng
-	now := eng.Now()
+	now := l.dst.now()
 	if l.dst.closed {
 		// The receiver is gone: account the message as dropped on the link
 		// (it was sent but never delivered) and on the endpoint, and do not

@@ -117,7 +117,7 @@ type QueuePair struct {
 	// armed aggregation timer and coalesceDeadline its expiry.
 	coalesce         Coalescing
 	unNotified       int
-	coalesceEv       *sim.Event
+	coalesceEv       sim.Timer
 	coalesceDeadline time.Duration
 
 	// Submitted counts commands accepted into the SQ.
@@ -383,7 +383,7 @@ func (qp *QueuePair) signalCompletion(cid uint16, prio uint8) {
 	qp.IRQCoalesced.Add(1)
 	qp.emit(trace.IRQCoalesce, uint32(cid), 0, uint64(qp.unNotified))
 	deadline := qp.dev.eng.Now() + qp.coalesce.delayFor(prio)
-	if qp.coalesceEv == nil {
+	if !qp.coalesceEv.Armed() {
 		qp.armCoalesce(deadline)
 	} else if deadline < qp.coalesceDeadline {
 		// A more impatient class joined the aggregation: tighten the armed
@@ -397,7 +397,7 @@ func (qp *QueuePair) signalCompletion(cid uint16, prio uint8) {
 func (qp *QueuePair) armCoalesce(deadline time.Duration) {
 	qp.coalesceDeadline = deadline
 	qp.coalesceEv = qp.dev.eng.Schedule(deadline-qp.dev.eng.Now(), func() {
-		qp.coalesceEv = nil
+		qp.coalesceEv = sim.Timer{}
 		if qp.unNotified > 0 {
 			qp.raiseCoalesced()
 		}
@@ -407,10 +407,10 @@ func (qp *QueuePair) armCoalesce(deadline time.Duration) {
 // raiseCoalesced fires the aggregated CQ interrupt and resets the
 // aggregation state.
 func (qp *QueuePair) raiseCoalesced() {
-	if qp.coalesceEv != nil {
+	if qp.coalesceEv.Armed() {
 		qp.coalesceEv.Cancel()
-		qp.coalesceEv = nil
 	}
+	qp.coalesceEv = sim.Timer{}
 	covered := qp.unNotified
 	qp.unNotified = 0
 	if qp.OnCompletion == nil {
@@ -439,10 +439,10 @@ func (qp *QueuePair) Poll(max int) []CompletionEntry {
 		qp.IRQSuppressed.Add(uint64(qp.unNotified))
 		qp.emit(trace.IRQSuppress, trace.NoCID, 0, uint64(qp.unNotified))
 		qp.unNotified = 0
-		if qp.coalesceEv != nil {
+		if qp.coalesceEv.Armed() {
 			qp.coalesceEv.Cancel()
-			qp.coalesceEv = nil
 		}
+		qp.coalesceEv = sim.Timer{}
 	}
 	return out
 }

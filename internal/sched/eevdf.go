@@ -35,6 +35,7 @@ func (e *entity) calcDelta(d time.Duration) time.Duration {
 }
 
 type runqueue struct {
+	core  *sim.Core
 	queue []*entity
 	curr  *entity
 	// minVruntime tracks the smallest vruntime seen, used to place newly
@@ -63,7 +64,7 @@ func (s *EEVDF) Bind(e *sim.Engine) {
 	s.eng = e
 	s.rqs = make([]*runqueue, len(e.Cores()))
 	for i := range s.rqs {
-		s.rqs[i] = &runqueue{}
+		s.rqs[i] = &runqueue{core: e.Core(i)}
 	}
 }
 
@@ -197,7 +198,7 @@ func (s *EEVDF) updateCurr(rq *runqueue) {
 	if e == nil {
 		return
 	}
-	now := s.eng.Now()
+	now := rq.core.Now()
 	delta := now - e.execStart
 	if delta <= 0 {
 		return
@@ -216,7 +217,7 @@ func (s *EEVDF) updateCurr(rq *runqueue) {
 func (s *EEVDF) OnRun(t *sim.Task) {
 	rq := s.rq(t.Affinity())
 	e := s.ent(t)
-	e.execStart = s.eng.Now()
+	e.execStart = rq.core.Now()
 	rq.curr = e
 }
 

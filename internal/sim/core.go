@@ -35,8 +35,8 @@ func (c *IRQCtx) Engine() *Engine { return c.eng }
 // Core returns the interrupted core.
 func (c *IRQCtx) Core() *Core { return c.core }
 
-// Now returns the current virtual time.
-func (c *IRQCtx) Now() time.Duration { return c.eng.Now() }
+// Now returns the current virtual time on the interrupted core.
+func (c *IRQCtx) Now() time.Duration { return c.core.now() }
 
 // Current returns the task that was running when the interrupt arrived
 // (nil if the core was idle).
@@ -55,7 +55,7 @@ type irqFrame struct {
 	vector int
 	rank   int
 	ctx    *IRQCtx
-	endEv  *Event        // bottom frame only: pending end-of-IRQ event
+	endEv  Timer         // bottom frame only: pending end-of-IRQ event
 	endAt  time.Duration // virtual time endEv fires at
 }
 
@@ -70,6 +70,11 @@ type Core struct {
 	ID  int
 	eng *Engine
 
+	// lane is the event lane this core belongs to (0 = the serial engine
+	// lane). Cores on distinct non-zero lanes may execute concurrently
+	// inside parallel windows.
+	lane int32
+
 	current *Task
 	idle    bool
 
@@ -78,7 +83,7 @@ type Core struct {
 	// Mid-exec bookkeeping: when the current task is inside Exec or
 	// SpinWait, execStart records when the current slice began.
 	execStart  time.Duration
-	execEv     *Event // pending exec-completion event (nil while spinning)
+	execEv     Timer // pending exec-completion event (unarmed while spinning)
 	execEvFrom string
 
 	inIRQ        bool
@@ -100,7 +105,7 @@ type Core struct {
 
 	irqHandler IRQHandler
 
-	tickEv *Event
+	tickEv Timer
 
 	// Stats.
 	IdleTime       time.Duration
@@ -120,6 +125,57 @@ func (c *Core) Current() *Task { return c.current }
 
 // Idle reports whether the core is idle.
 func (c *Core) Idle() bool { return c.idle }
+
+// Lane returns the event lane this core belongs to.
+func (c *Core) Lane() int { return int(c.lane) }
+
+// SetLane assigns the core to an event lane created with Engine.NewLane.
+// Must be called during setup, before the simulation runs.
+func (c *Core) SetLane(lane int) {
+	if lane < 0 || lane >= len(c.eng.cal.shards) {
+		panic("sim: SetLane: no such lane")
+	}
+	c.lane = int32(lane)
+}
+
+// now returns the core's current virtual time: the lane-local clock inside
+// a parallel window, the global clock otherwise.
+func (c *Core) now() time.Duration {
+	if w := c.eng.win; w != nil {
+		lc := w.lcs[c.lane]
+		if lc == nil {
+			panic("sim: clock read on a lane not participating in the window")
+		}
+		return lc.now
+	}
+	return c.eng.now
+}
+
+// Now returns the current virtual time as observed on this core.
+func (c *Core) Now() time.Duration { return c.now() }
+
+// Schedule enqueues fn on this core's lane after delay of core-local
+// virtual time.
+func (c *Core) Schedule(delay time.Duration, fn func()) Timer {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	return c.eng.schedule(c, c, c.now()+delay, fn)
+}
+
+// ScheduleAt enqueues fn on this core's lane at absolute virtual time at.
+func (c *Core) ScheduleAt(at time.Duration, fn func()) Timer {
+	return c.eng.schedule(c, c, at, fn)
+}
+
+// ScheduleOn enqueues fn on target's lane at absolute virtual time at,
+// attributed to this core's execution context. This is the cross-lane
+// scheduling primitive (netsim frame arrivals); inside a parallel window,
+// at must fall at or beyond the window end — i.e. at least the lookahead
+// bound away — or the engine panics.
+func (c *Core) ScheduleOn(target *Core, at time.Duration, fn func()) Timer {
+	return c.eng.schedule(c, target, at, fn)
+}
 
 // SetIRQHandler installs the core's interrupt handler.
 func (c *Core) SetIRQHandler(h IRQHandler) { c.irqHandler = h }
@@ -177,15 +233,16 @@ func (c *Core) RaiseIRQ(vector int) {
 
 func (c *Core) startIRQ(vector int) {
 	e := c.eng
+	now := c.now()
 	c.IRQCount++
-	debugf("%v core%d startIRQ vec=%d cur=%v", e.now, c.ID, vector, c.current)
+	debugf("%v core%d startIRQ vec=%d cur=%v", now, c.ID, vector, c.current)
 	if c.idle {
 		// Fold accumulated idle time but keep the core logically idle:
 		// the ISR interrupts the idle loop, and leaving idle (with its
 		// statistics-update toll) only happens if the IRQ return path
 		// dispatches a task.
-		c.IdleTime += e.now - c.idleSince
-		c.idleSince = e.now
+		c.IdleTime += now - c.idleSince
+		c.idleSince = now
 	}
 	if c.current != nil {
 		c.suspendExec()
@@ -197,8 +254,8 @@ func (c *Core) startIRQ(vector int) {
 		c.irqHandler(f.ctx, vector)
 	}
 	if f.ctx.cost > 0 {
-		f.endAt = e.now + f.ctx.cost
-		f.endEv = e.Schedule(f.ctx.cost, func() { c.frameEnd(f) })
+		f.endAt = c.now() + f.ctx.cost
+		f.endEv = c.Schedule(f.ctx.cost, func() { c.frameEnd(f) })
 		return
 	}
 	c.frameEnd(f)
@@ -213,7 +270,7 @@ func (c *Core) nestIRQ(vector int) {
 	e := c.eng
 	c.IRQCount++
 	c.NestedIRQCount++
-	debugf("%v core%d nestIRQ vec=%d depth=%d", e.now, c.ID, vector, len(c.irqStack))
+	debugf("%v core%d nestIRQ vec=%d depth=%d", c.now(), c.ID, vector, len(c.irqStack))
 	f := &irqFrame{vector: vector, rank: c.rankOf(vector), ctx: &IRQCtx{eng: e, core: c}}
 	c.irqStack = append(c.irqStack, f)
 	if c.irqHandler != nil {
@@ -225,13 +282,13 @@ func (c *Core) nestIRQ(vector int) {
 		return
 	}
 	parent := c.irqStack[len(c.irqStack)-1]
-	if parent.endEv == nil {
+	if !parent.endEv.Armed() {
 		parent.ctx.cost += cost
 		return
 	}
 	parent.endEv.Cancel()
 	parent.endAt += cost
-	parent.endEv = e.ScheduleAt(parent.endAt, func() { c.frameEnd(parent) })
+	parent.endEv = c.ScheduleAt(parent.endAt, func() { c.frameEnd(parent) })
 }
 
 // suspendExec pauses the current task's Exec/Spin slice, folding the elapsed
@@ -241,8 +298,9 @@ func (c *Core) suspendExec() {
 	if t == nil {
 		return
 	}
-	debugf("%v core%d suspendExec %s op=%d ev=%v", c.eng.now, c.ID, t.Name, t.op, c.execEv != nil)
-	elapsed := c.eng.now - c.execStart
+	now := c.now()
+	debugf("%v core%d suspendExec %s op=%d ev=%v", now, c.ID, t.Name, t.op, c.execEv.Armed())
+	elapsed := now - c.execStart
 	t.CPUTime += elapsed
 	switch t.op {
 	case opExec:
@@ -250,14 +308,14 @@ func (c *Core) suspendExec() {
 		if t.execRem < 0 {
 			t.execRem = 0
 		}
-		if c.execEv != nil {
+		if c.execEv.Armed() {
 			c.execEv.Cancel()
-			c.execEv = nil
 		}
+		c.execEv = Timer{}
 	case opSpin:
 		// Nothing to cancel; spinning has no completion event.
 	}
-	c.execStart = c.eng.now
+	c.execStart = now
 }
 
 // resumeExec restarts the current task's suspended Exec/Spin slice, or
@@ -267,19 +325,19 @@ func (c *Core) resumeExec() {
 	if t == nil {
 		panic("sim: resumeExec on empty core")
 	}
-	c.execStart = c.eng.now
+	c.execStart = c.now()
 	switch t.op {
 	case opExec:
 		if t.execRem <= 0 {
 			c.eng.runCurrent(c)
 			return
 		}
-		if c.execEv != nil {
-			panic(fmt.Sprintf("sim: resumeExec overwriting pending execEv from %s cancelled=%v at=%v now=%v cur=%s",
-				c.execEvFrom, c.execEv.Cancelled(), c.execEv.At(), c.eng.now, t.Name))
+		if c.execEv.Armed() {
+			panic(fmt.Sprintf("sim: resumeExec overwriting pending execEv from %s at=%v now=%v cur=%s",
+				c.execEvFrom, c.execEv.At(), c.now(), t.Name))
 		}
 		c.execEvFrom = "resumeExec"
-		c.execEv = c.eng.Schedule(t.execRem, func() { c.execDone() })
+		c.execEv = c.Schedule(t.execRem, func() { c.execDone() })
 	case opSpin:
 		if t.spinOn.Done() {
 			c.eng.runCurrent(c)
@@ -293,11 +351,11 @@ func (c *Core) resumeExec() {
 
 func (c *Core) execDone() {
 	t := c.current
-	c.execEv = nil
+	c.execEv = Timer{}
 	if t == nil || t.op != opExec {
 		panic(fmt.Sprintf("sim: stray execDone: %s", c.eng.DebugCore(c)))
 	}
-	t.CPUTime += c.eng.now - c.execStart
+	t.CPUTime += c.now() - c.execStart
 	t.execRem = 0
 	c.eng.runCurrent(c)
 }
@@ -305,12 +363,12 @@ func (c *Core) execDone() {
 // frameEnd retires the bottom IRQ frame once its charged cost has elapsed
 // (nested frames retire synchronously inside nestIRQ).
 func (c *Core) frameEnd(f *irqFrame) {
-	debugf("%v core%d endIRQ vec=%d cur=%v", c.eng.now, c.ID, f.vector, c.current)
+	debugf("%v core%d endIRQ vec=%d cur=%v", c.now(), c.ID, f.vector, c.current)
 	if n := len(c.irqStack); n == 0 || c.irqStack[n-1] != f {
 		panic("sim: IRQ frame ended out of order")
 	}
 	c.irqStack = c.irqStack[:len(c.irqStack)-1]
-	f.endEv = nil
+	f.endEv = Timer{}
 	c.inIRQ = false
 	if len(c.pending) > 0 {
 		c.startIRQ(c.popPending())
@@ -365,29 +423,29 @@ func (c *Core) kick() {
 
 func (c *Core) leaveIdleAccounting() {
 	if c.idle {
-		c.IdleTime += c.eng.now - c.idleSince
+		c.IdleTime += c.now() - c.idleSince
 		c.idle = false
 	}
 }
 
 func (c *Core) goIdle() {
 	c.idle = true
-	c.idleSince = c.eng.now
+	c.idleSince = c.now()
 	c.stopTick()
 }
 
 func (c *Core) armTick() {
 	e := c.eng
-	if e.TickPeriod <= 0 || c.tickEv != nil {
+	if e.TickPeriod <= 0 || c.tickEv.Armed() {
 		return
 	}
 	var tick func()
 	tick = func() {
-		c.tickEv = nil
+		c.tickEv = Timer{}
 		if c.current == nil {
 			return
 		}
-		c.tickEv = e.Schedule(e.TickPeriod, tick)
+		c.tickEv = c.Schedule(e.TickPeriod, tick)
 		if e.sched != nil {
 			e.sched.Tick(c)
 		}
@@ -396,14 +454,14 @@ func (c *Core) armTick() {
 			e.preemptCurrent(c)
 		}
 	}
-	c.tickEv = e.Schedule(e.TickPeriod, tick)
+	c.tickEv = c.Schedule(e.TickPeriod, tick)
 }
 
 func (c *Core) stopTick() {
-	if c.tickEv != nil {
+	if c.tickEv.Armed() {
 		c.tickEv.Cancel()
-		c.tickEv = nil
 	}
+	c.tickEv = Timer{}
 }
 
 // preemptCurrent moves the running task back to the runqueue and schedules
@@ -419,7 +477,7 @@ func (e *Engine) preemptCurrent(c *Core) {
 	}
 	e.sched.OnStop(t, true)
 	t.state = TaskRunnable
-	t.waitStart = e.now
+	t.waitStart = c.now()
 	t.core = nil
 	c.current = nil
 	e.sched.Enqueue(t)
@@ -453,7 +511,7 @@ func (e *Engine) reschedule(c *Core, charge bool) {
 			// overlapped with whatever the core was waiting for.
 			if charge && e.CtxSwitchCost > 0 {
 				c.inTransition = true
-				e.Schedule(e.CtxSwitchCost, func() {
+				c.Schedule(e.CtxSwitchCost, func() {
 					c.inTransition = false
 					if c.current == nil && e.sched.NrRunnable(c) > 0 {
 						e.reschedule(c, true)
@@ -483,7 +541,7 @@ func (e *Engine) reschedule(c *Core, charge bool) {
 	c.needResched = false
 	if cost > 0 {
 		c.inTransition = true
-		e.Schedule(cost, func() {
+		c.Schedule(cost, func() {
 			c.inTransition = false
 			e.startTask(c, next)
 		})
@@ -500,7 +558,7 @@ func (c *Core) drainPending() {
 
 // startTask makes t current on c and resumes its body.
 func (e *Engine) startTask(c *Core, t *Task) {
-	debugf("%v core%d startTask %s op=%d", e.now, c.ID, t.Name, t.op)
+	debugf("%v core%d startTask %s op=%d", c.now(), c.ID, t.Name, t.op)
 	c.SwitchCount++
 	c.current = t
 	t.core = c
@@ -527,14 +585,14 @@ func (e *Engine) startTask(c *Core, t *Task) {
 			cost += fn()
 		}
 		if cost > 0 {
-			debugf("%v core%d hook-transition %s cost=%v", e.now, c.ID, t.Name, cost)
+			debugf("%v core%d hook-transition %s cost=%v", c.now(), c.ID, t.Name, cost)
 			t.CPUTime += cost
-			e.Schedule(cost, func() {
+			c.Schedule(cost, func() {
 				c.inTransition = false
 				if c.current != t {
 					return
 				}
-				debugf("%v core%d hook-continue %s op=%d", e.now, c.ID, t.Name, t.op)
+				debugf("%v core%d hook-continue %s op=%d", c.now(), c.ID, t.Name, t.op)
 				e.continueTask(c, t)
 			})
 			return
@@ -549,7 +607,7 @@ func (e *Engine) continueTask(c *Core, t *Task) {
 	if len(c.pending) > 0 {
 		// An interrupt arrived during the switch; deliver it before
 		// the task makes progress.
-		c.execStart = e.now
+		c.execStart = c.now()
 		c.drainPending()
 		return
 	}
@@ -571,13 +629,13 @@ func (e *Engine) runCurrent(c *Core) {
 		if t == nil {
 			panic("sim: runCurrent on idle core")
 		}
-		debugf("%v core%d runCurrent resume %s", e.now, c.ID, t.Name)
+		debugf("%v core%d runCurrent resume %s", c.now(), c.ID, t.Name)
 		// Hand control to the task body.
 		c.inBody = true
 		t.resume <- struct{}{}
 		<-t.yield
 		c.inBody = false
-		debugf("%v core%d parked %s op=%d", e.now, c.ID, t.Name, t.op)
+		debugf("%v core%d parked %s op=%d", c.now(), c.ID, t.Name, t.op)
 
 		switch t.op {
 		case opExec:
@@ -587,13 +645,13 @@ func (e *Engine) runCurrent(c *Core) {
 				e.preemptCurrent(c)
 				return
 			}
-			c.execStart = e.now
+			c.execStart = c.now()
 			rem := t.execRem
-			if c.execEv != nil {
+			if c.execEv.Armed() {
 				panic("sim: runCurrent overwriting pending execEv from " + c.execEvFrom)
 			}
 			c.execEvFrom = "runCurrent:" + t.Name
-			c.execEv = e.Schedule(rem, func() { c.execDone() })
+			c.execEv = c.Schedule(rem, func() { c.execDone() })
 			return
 		case opSpin:
 			if t.spinOn.Done() {
@@ -603,7 +661,7 @@ func (e *Engine) runCurrent(c *Core) {
 				e.preemptCurrent(c)
 				return
 			}
-			c.execStart = e.now
+			c.execStart = c.now()
 			comp := t.spinOn
 			spinTask := t
 			comp.OnFire(func() { e.spinFired(spinTask) })
@@ -624,7 +682,7 @@ func (e *Engine) runCurrent(c *Core) {
 			}
 			e.sched.OnStop(t, true)
 			t.state = TaskRunnable
-			t.waitStart = e.now
+			t.waitStart = c.now()
 			t.core = nil
 			c.current = nil
 			e.sched.Enqueue(t)
@@ -665,6 +723,6 @@ func (e *Engine) spinFired(t *Task) {
 		// accruing cost; afterIRQ/resumeExec will notice Done().
 		return
 	}
-	t.CPUTime += e.now - c.execStart
+	t.CPUTime += c.now() - c.execStart
 	e.runCurrent(c)
 }

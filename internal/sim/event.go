@@ -1,35 +1,93 @@
 package sim
 
-import (
-	"container/heap"
-	"time"
+import "time"
+
+// Event lifecycle states. Nodes cycle through the engine's free pool; the
+// generation counter in Timer makes stale handles to recycled nodes inert.
+const (
+	evFree    uint8 = iota // in the free pool, awaiting reuse
+	evPending              // queued in its lane's calendar shard
+	evWindow               // detached into a lane's in-window heap
+	evEmitted              // created during a parallel window, awaiting merge
+	evDone                 // fired (or executed inside a window, pre-merge)
 )
+
+// tentBit marks a tentative (in-window, pre-merge) sequence number. Real
+// sequence numbers stay far below it, so at equal timestamps every
+// pre-window event orders before every window-born one — exactly the order
+// a serial run produces, since window-born events would have been assigned
+// larger sequence numbers there too.
+const tentBit = uint64(1) << 63
 
 // Event is a scheduled callback in virtual time. Events are ordered by time
 // and, for equal times, by insertion sequence, which makes runs fully
-// deterministic.
+// deterministic. Event nodes are pooled and recycled after firing; callers
+// hold Timer handles, never *Event.
 type Event struct {
 	at        time.Duration
 	seq       uint64
 	fn        func()
-	cancelled bool
-	index     int // heap index, -1 when popped
+	eng       *Engine
+	gen       uint64 // bumped on every recycle; Timer handles check it
+	lane      int32  // the lane whose shard/window owns the event
+	state     uint8
+	cancelled bool // evEmitted only: cancelled before the merge
+	index     int  // heap index in whichever heap holds the node
+
+	// emits collects the events scheduled while this event executed inside
+	// a parallel window, in program order; the merge replays them to assign
+	// real sequence numbers.
+	emits []*Event
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired event
-// is a no-op.
-func (ev *Event) Cancel() {
-	if ev != nil {
-		ev.cancelled = true
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// valid and unarmed. Handles are generation-checked: once the event fires
+// (or is cancelled) its node may be recycled for an unrelated event, and
+// the stale handle turns into a no-op instead of cancelling a stranger.
+type Timer struct {
+	ev  *Event
+	gen uint64
+}
+
+// Armed reports whether the event is still scheduled to fire.
+func (tm Timer) Armed() bool {
+	ev := tm.ev
+	if ev == nil || ev.gen != tm.gen {
+		return false
 	}
+	switch ev.state {
+	case evPending, evWindow:
+		return true
+	case evEmitted:
+		return !ev.cancelled
+	}
+	return false
 }
 
-// Cancelled reports whether the event was cancelled.
-func (ev *Event) Cancelled() bool { return ev != nil && ev.cancelled }
+// Cancel prevents the event from firing. Cancelling an already-fired (or
+// already-cancelled) event is a no-op. Unlike a lazy cancellation mark, the
+// node is removed from its heap immediately, so re-arm loops (watchdogs,
+// coalescing timers) cannot grow the queue without bound.
+func (tm Timer) Cancel() {
+	ev := tm.ev
+	if ev == nil || ev.gen != tm.gen {
+		return
+	}
+	ev.eng.cancelEvent(ev)
+}
 
-// At returns the virtual time the event is scheduled for.
-func (ev *Event) At() time.Duration { return ev.at }
+// At returns the virtual time the event is scheduled for (0 if the handle
+// is stale or zero).
+func (tm Timer) At() time.Duration {
+	if tm.ev == nil || tm.ev.gen != tm.gen {
+		return 0
+	}
+	return tm.ev.at
+}
 
+// eventHeap is a binary min-heap of events ordered by (at, seq). It backs
+// every per-lane calendar shard, the in-window lane heaps, and the merge's
+// replay heap.
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -61,27 +119,4 @@ func (h *eventHeap) Pop() any {
 	ev.index = -1
 	*h = old[:n-1]
 	return ev
-}
-
-func (h *eventHeap) push(ev *Event) { heap.Push(h, ev) }
-
-func (h *eventHeap) pop() *Event {
-	for h.Len() > 0 {
-		ev := heap.Pop(h).(*Event)
-		if !ev.cancelled {
-			return ev
-		}
-	}
-	return nil
-}
-
-func (h *eventHeap) peek() *Event {
-	for h.Len() > 0 {
-		ev := (*h)[0]
-		if !ev.cancelled {
-			return ev
-		}
-		heap.Pop(h)
-	}
-	return nil
 }

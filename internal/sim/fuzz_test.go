@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fuzzRun interprets data as an op stream applied by a driver chain that
+// fires once per microsecond: byte i is executed at virtual time i+1 µs.
+// Each byte is op = b&3, arg = b>>2:
+//
+//	0: schedule a new timer at now + (arg%8) µs — 0 delta forces an
+//	   equal-timestamp tie with everything else due this instant
+//	1: cancel timer arg%len (no-op if already fired — the gen check)
+//	2: re-arm timer arg&7: cancel, then schedule at now + ((arg>>3)&7) µs
+//	3: idle step
+//
+// It returns the ids of the scheduled timers in firing order. Pooled nodes
+// are recycled constantly (every fire and every cancel frees one), so any
+// reuse bug that perturbed (at, seq) ordering shows up as a wrong sequence.
+func fuzzRun(data []byte) []int {
+	e := NewEngine(0, nil)
+	var fired []int
+	var timers []Timer
+	var step func(i int)
+	sched := func(id int, delay time.Duration) Timer {
+		return e.Schedule(delay, func() { fired = append(fired, id) })
+	}
+	step = func(i int) {
+		if i >= len(data) {
+			return
+		}
+		b := data[i]
+		arg := int(b >> 2)
+		switch b & 3 {
+		case 0:
+			timers = append(timers, sched(len(timers), time.Duration(arg%8)*time.Microsecond))
+		case 1:
+			if len(timers) > 0 {
+				timers[arg%len(timers)].Cancel()
+			}
+		case 2:
+			if len(timers) > 0 {
+				id := arg & 7 % len(timers)
+				timers[id].Cancel()
+				timers[id] = sched(id, time.Duration((arg>>3)&7)*time.Microsecond)
+			}
+		}
+		e.Schedule(time.Microsecond, func() { step(i + 1) })
+	}
+	e.Schedule(time.Microsecond, func() { step(0) })
+	e.Run(0)
+	return fired
+}
+
+// fuzzModel predicts fuzzRun's firing order from first principles: every
+// schedule is a (at, schedOrder, id) triple; a cancel succeeds iff the
+// target is still strictly in the future; survivors fire sorted by (at,
+// schedOrder) — the engine's (at, seq) contract.
+func fuzzModel(data []byte) []int {
+	type rec struct {
+		at        time.Duration
+		ord       int
+		id        int
+		cancelled bool
+	}
+	var recs []*rec
+	live := map[int]*rec{} // id → latest arming
+	ord := 0
+	ids := 0
+	now := time.Duration(0)
+	sched := func(id int, delay time.Duration) {
+		r := &rec{at: now + delay, ord: ord, id: id}
+		ord++
+		recs = append(recs, r)
+		live[id] = r
+	}
+	cancel := func(id int) {
+		if r := live[id]; r != nil && r.at > now {
+			r.cancelled = true
+		}
+	}
+	for i, b := range data {
+		now = time.Duration(i+1) * time.Microsecond
+		arg := int(b >> 2)
+		switch b & 3 {
+		case 0:
+			sched(ids, time.Duration(arg%8)*time.Microsecond)
+			ids++
+		case 1:
+			if ids > 0 {
+				cancel(arg % ids)
+			}
+		case 2:
+			if ids > 0 {
+				id := arg & 7 % ids
+				cancel(id)
+				sched(id, time.Duration((arg>>3)&7)*time.Microsecond)
+			}
+		}
+	}
+	var out []int
+	// Stable selection sort by (at, ord): small inputs, clarity over speed.
+	for {
+		var best *rec
+		for _, r := range recs {
+			if r.cancelled {
+				continue
+			}
+			if best == nil || r.at < best.at || (r.at == best.at && r.ord < best.ord) {
+				best = r
+			}
+		}
+		if best == nil {
+			return out
+		}
+		best.cancelled = true
+		out = append(out, best.id)
+	}
+}
+
+// FuzzEventOrder checks the engine's total event order against the model
+// and its own replay: equal-timestamp tie-breaks, cancellation of the queue
+// head, and pooled-event reuse must never change the firing sequence.
+func FuzzEventOrder(f *testing.F) {
+	// Watchdog shape: one timer re-armed every step.
+	f.Add(bytes.Repeat([]byte{0 | 3<<2, 2 | 2<<5}, 20))
+	// CQ-coalescing shape: arm a deadline, cancel it just before it fires,
+	// arm the next.
+	f.Add(bytes.Repeat([]byte{0 | 2<<2, 3, 1 | 0<<2}, 15))
+	// Equal-timestamp burst: many zero-delta schedules in one step window.
+	f.Add(bytes.Repeat([]byte{0}, 32))
+	// Mixed ops with idle gaps.
+	f.Add([]byte{0 | 5<<2, 3, 0 | 1<<2, 2 | 9<<2, 3, 1 | 1<<2, 0, 0 | 7<<2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		got := fuzzRun(data)
+		want := fuzzModel(data)
+		if len(got) != len(want) {
+			t.Fatalf("fired %d timers, model says %d\n got %v\nwant %v", len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("firing %d = timer %d, model says %d\n got %v\nwant %v", i, got[i], want[i], got, want)
+			}
+		}
+		again := fuzzRun(data)
+		if len(again) != len(got) {
+			t.Fatalf("replay fired %d, first run %d", len(again), len(got))
+		}
+		for i := range got {
+			if again[i] != got[i] {
+				t.Fatalf("replay diverges at firing %d: %d vs %d", i, again[i], got[i])
+			}
+		}
+	})
+}

@@ -78,6 +78,9 @@ type Task struct {
 	// affinity is the core whose runqueue the task belongs to; tasks are
 	// pinned for the lifetime of the simulation.
 	affinity *Core
+	// runner is the pooled goroutine executing the body; it is released
+	// back to the engine's pool when the task finishes.
+	runner *runner
 	// aborted is set by Engine.Shutdown to unwind the goroutine.
 	aborted bool
 
@@ -139,8 +142,18 @@ type Env struct {
 	t *Task
 }
 
-// Now returns the current virtual time.
-func (e *Env) Now() time.Duration { return e.t.eng.Now() }
+// Now returns the current virtual time as observed on the task's core.
+func (e *Env) Now() time.Duration { return e.t.affinity.now() }
+
+// Schedule enqueues fn on the task's core after delay of virtual time.
+func (e *Env) Schedule(delay time.Duration, fn func()) Timer {
+	return e.t.affinity.Schedule(delay, fn)
+}
+
+// ScheduleAt enqueues fn on the task's core at absolute virtual time at.
+func (e *Env) ScheduleAt(at time.Duration, fn func()) Timer {
+	return e.t.affinity.ScheduleAt(at, fn)
+}
 
 // Task returns the task this environment belongs to.
 func (e *Env) Task() *Task { return e.t }
@@ -196,7 +209,7 @@ func (e *Env) Yield() {
 // Sleep blocks the task for d of virtual time.
 func (e *Env) Sleep(d time.Duration) {
 	t := e.t
-	t.eng.Schedule(d, func() { t.eng.Wake(t) })
+	t.affinity.Schedule(d, func() { t.eng.Wake(t) })
 	e.Block()
 }
 
