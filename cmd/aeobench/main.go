@@ -32,8 +32,9 @@ func main() {
 	slo := flag.Bool("slo", false, "run the fig_slo antagonist sweep plus the traced enforced io_flood cell; fail on trace invariant violations (incl. the urgent delivery bound)")
 	repl := flag.Bool("repl", false, "run the fig_replication sweep plus the traced rf=3 leader-crash cell; fail on linearizability violations or lost acked writes")
 	simscale := flag.Bool("simscale", false, "run the fig_simscale 64-node/1024-client deployment serially and with parallel lanes; fail unless the two modes are byte-identical")
+	mds := flag.Bool("mds", false, "run the fig_mdscale sweep plus the traced 8-shard cell; fail on trace invariant violations (lease lifecycle, data-I/O-under-lease, rename visibility) or a lease-accounting mismatch")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] [-cache] [-slo] [-repl] [-simscale] list | all | <experiment-id>...\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] [-cache] [-slo] [-repl] [-simscale] [-mds] list | all | <experiment-id>...\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
 		}
@@ -87,6 +88,15 @@ func main() {
 	}
 	if *simscale {
 		if err := runSimScale(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
+	if *mds {
+		if err := runMDS(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
 			os.Exit(1)
 		}
@@ -346,6 +356,52 @@ func runSimScale(jsonOut bool) error {
 					row[1], row[2], row[3], row[6])
 			}
 		}
+	}
+	return nil
+}
+
+// runMDS is the metadata-service gate: it prints the full fig_mdscale
+// sweep (the JSON form is the CI artifact), then replays the 8-shard /
+// 4-data-node cell with tracing on and fails on any trace-invariant
+// violation — lease lifecycle, data I/O under a dead lease, rename
+// visibility ordering — or a lease-accounting mismatch between the
+// service books and the traced grant stream.
+func runMDS(jsonOut bool) error {
+	tables, err := experiments.MDScale()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if err := report.WriteJSON(os.Stdout, tables); err != nil {
+			return err
+		}
+	} else {
+		for _, t := range tables {
+			t.Print(os.Stdout)
+		}
+	}
+	tr, r, err := experiments.MDScaleTrace()
+	if err != nil {
+		return err
+	}
+	evs := tr.Events()
+	an := trace.Analyze(evs)
+	for _, v := range an.Violations {
+		fmt.Fprintf(os.Stderr, "aeobench: trace invariant violation: %v\n", v)
+	}
+	var grants uint64
+	for _, ev := range evs {
+		if ev.Type == trace.MDSLeaseGrant {
+			grants++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[mds: %d events (%d dropped), %.1f ns-kops, otfb p99 %v; leases %d granted / %d released / %d revoked]\n",
+		len(evs), tr.Dropped(), r.KOps(), r.OTFB.P99(), r.Svc.Granted, r.Svc.Released, r.Svc.Revoked)
+	if len(an.Violations) > 0 {
+		return fmt.Errorf("%d trace invariant violation(s)", len(an.Violations))
+	}
+	if r.Svc.Granted != grants {
+		return fmt.Errorf("lease accounting: books say %d granted, trace says %d", r.Svc.Granted, grants)
 	}
 	return nil
 }

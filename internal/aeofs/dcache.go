@@ -1,8 +1,7 @@
 package aeofs
 
 import (
-	"hash/fnv"
-
+	"aeolia/internal/dcache"
 	"aeolia/internal/sim"
 )
 
@@ -11,6 +10,13 @@ import (
 // its own readers-writer lock, allowing concurrent lookups while minimizing
 // insert/delete contention. Resizing locks every bucket — the rehash
 // bottleneck the paper's Figure 16 analysis calls out.
+//
+// The hash and growth policy live in internal/dcache (shared with the
+// aeomds namespace shards); this wrapper adds the per-bucket sim locking
+// and virtual-time costs. It caches no negative entries on purpose: a miss
+// here always falls through to the trusted layer, so a stale "not found"
+// can never be served — the MDS variant does cache negatives and owns the
+// matching invalidation rules.
 type dentCache struct {
 	buckets []dentBucket
 	count   int
@@ -32,20 +38,13 @@ type dentEntry struct {
 	ino  uint64
 }
 
-const (
-	dentCacheInitBuckets = 16
-	dentCacheMaxLoad     = 4 // entries per bucket before growing
-)
-
 func newDentCache() *dentCache {
-	return &dentCache{buckets: make([]dentBucket, dentCacheInitBuckets)}
+	return &dentCache{buckets: make([]dentBucket, dcache.InitBuckets)}
 }
 
-func dentHash(name string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return h.Sum64()
-}
+// dentHash delegates to the shared FNV-64a hash so this wrapper and the
+// MDS shards agree on bucket layout.
+func dentHash(name string) uint64 { return dcache.Hash(name) }
 
 func (c *dentCache) bucket(name string) *dentBucket {
 	return &c.buckets[dentHash(name)%uint64(len(c.buckets))]
@@ -80,7 +79,7 @@ func (c *dentCache) Insert(env *sim.Env, name string, ino uint64) {
 	}
 	b.entries = append(b.entries, dentEntry{name, ino})
 	c.count++
-	grow := c.count > dentCacheMaxLoad*len(c.buckets)
+	grow := dcache.NeedGrow(c.count, len(c.buckets))
 	b.lock.Unlock(env)
 	if grow {
 		c.grow(env)
@@ -110,7 +109,7 @@ func (c *dentCache) Len() int { return c.count }
 // paper identifies as AeoFS's eventual metadata-scalability limit.
 func (c *dentCache) grow(env *sim.Env) {
 	c.resizing.Lock(env)
-	if c.count <= dentCacheMaxLoad*len(c.buckets) {
+	if !dcache.NeedGrow(c.count, len(c.buckets)) {
 		c.resizing.Unlock(env)
 		return // someone else grew it first
 	}

@@ -431,8 +431,15 @@ func (fs *FS) Close(env *sim.Env, fd int) error {
 		u.lock.Unlock(env)
 		u.closeMu.Unlock(env)
 	}
-	if err := fs.Trust.UnregisterOpen(env, fs.drv, u.inoNum); err != nil {
+	freed, err := fs.Trust.UnregisterOpen(env, fs.drv, u.inoNum)
+	if err != nil {
 		return err
+	}
+	if freed {
+		// This close completed a deferred unlink/rename-over: the ino went
+		// back to the allocator, so its cached auxiliary state must go too
+		// or a reused ino would inherit stale grants and pages.
+		fs.dropUI(env, u.inoNum)
 	}
 	fs.Closes++
 	return nil
@@ -542,11 +549,25 @@ func (fs *FS) Rename(env *sim.Env, src, dst string) error {
 	if err != nil {
 		return err
 	}
-	if err := fs.Trust.Rename(env, fs.drv, sp, sn, dp, dn); err != nil {
+	replaced, err := fs.Trust.Rename(env, fs.drv, sp, sn, dp, dn)
+	if err != nil {
 		return err
 	}
 	fs.dcacheOf(env, sp).Remove(env, sn)
 	fs.dcacheOf(env, dp).Insert(env, dn, ino)
+	if replaced != 0 && replaced != ino {
+		// The displaced destination inode was destroyed (or orphaned until
+		// its last close): drop its cached auxiliary state — granted-access
+		// flags, dentry cache, page-cache residency — so a reused inode
+		// number cannot inherit it. Mirrors Unlink.
+		u := fs.uiFor(env, replaced)
+		u.lock.RLock(env)
+		open := u.openRefs > 0
+		u.lock.RUnlock(env)
+		if !open {
+			fs.dropUI(env, replaced)
+		}
+	}
 	fs.staleInode(env, sp)
 	fs.staleInode(env, dp)
 	fs.afterSharedMeta(env, sp)

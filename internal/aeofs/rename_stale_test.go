@@ -1,0 +1,129 @@
+package aeofs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"aeolia/internal/aeofs"
+	"aeolia/internal/sim"
+)
+
+// TestRenameOverwriteDropsStaleState is the regression test for the
+// stale-entry-after-rename hazard: renaming A over an existing B used to
+// leave B's old inode's cached auxiliary state (page-cache pages, granted
+// direct-access flags) in the FS's inode map even though the trusted layer
+// destroyed the inode and returned its number to the allocator, so a later
+// create that reused the number inherited the stale size and cached bytes.
+func TestRenameOverwriteDropsStaleState(t *testing.T) {
+	fx := newFixture(t, 1)
+	oldData := pattern(8192, 1)
+	newData := pattern(300, 2)
+	fx.run(t, "rename-overwrite", func(env *sim.Env) error {
+		// Create the victim B and read it back so its pages are cached.
+		if err := writeFile(env, fx.fs, "/b", oldData); err != nil {
+			return err
+		}
+		if got, err := readFile(env, fx.fs, "/b"); err != nil {
+			return err
+		} else if !bytes.Equal(got, oldData) {
+			return fmt.Errorf("pre-rename read of /b mismatched")
+		}
+		stB, err := fx.fs.Stat(env, "/b")
+		if err != nil {
+			return err
+		}
+		if !fx.fs.HasUI(stB.Ino) {
+			return fmt.Errorf("expected cached state for /b before rename")
+		}
+		// Create A and rename it over B, destroying B's inode.
+		if err := writeFile(env, fx.fs, "/a", newData); err != nil {
+			return err
+		}
+		if err := fx.fs.Rename(env, "/a", "/b"); err != nil {
+			return err
+		}
+		if got, err := readFile(env, fx.fs, "/b"); err != nil {
+			return err
+		} else if !bytes.Equal(got, newData) {
+			return fmt.Errorf("post-rename /b = %d bytes, want A's %d", len(got), len(newData))
+		}
+		// The displaced inode number is back in the allocator; no stale
+		// auxiliary state may remain keyed on it.
+		if fx.fs.HasUI(stB.Ino) {
+			return fmt.Errorf("stale cached state for destroyed ino %d survived rename", stB.Ino)
+		}
+		if _, err := fx.fs.Stat(env, "/a"); err == nil {
+			return fmt.Errorf("/a still visible after rename")
+		}
+		return nil
+	})
+}
+
+// TestRenameOverwriteOpenDestination covers the orphan path: when the
+// displaced destination is still open, its inode must be kept alive
+// (orphaned) until the last close — readable through the open fd the whole
+// time — and only that close frees the number and drops the cached state.
+func TestRenameOverwriteOpenDestination(t *testing.T) {
+	fx := newFixture(t, 1)
+	oldData := pattern(4096, 5)
+	newData := pattern(100, 6)
+	fx.run(t, "rename-overwrite-open", func(env *sim.Env) error {
+		if err := writeFile(env, fx.fs, "/b", oldData); err != nil {
+			return err
+		}
+		fd, err := fx.fs.Open(env, "/b", aeofs.O_RDONLY)
+		if err != nil {
+			return err
+		}
+		stB, err := fx.fs.FStat(env, fd)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(env, fx.fs, "/a", newData); err != nil {
+			return err
+		}
+		if err := fx.fs.Rename(env, "/a", "/b"); err != nil {
+			return err
+		}
+		// Churn the allocators: if rename had freed the orphan's blocks,
+		// this write would reuse them and corrupt the reads below.
+		if err := writeFile(env, fx.fs, "/churn", pattern(8192, 7)); err != nil {
+			return err
+		}
+		// The orphaned inode stays readable through the open fd.
+		buf := make([]byte, len(oldData))
+		if n, err := fx.fs.ReadAt(env, fd, buf, 0); err != nil {
+			return err
+		} else if !bytes.Equal(buf[:n], oldData) {
+			return fmt.Errorf("orphaned /b read mismatched (%d bytes)", n)
+		}
+		if !fx.fs.HasUI(stB.Ino) {
+			return fmt.Errorf("orphaned ino %d lost its cached state while open", stB.Ino)
+		}
+		// Last close destroys the orphan; its number and cached state go
+		// together, so a future reuse starts clean.
+		if err := fx.fs.Close(env, fd); err != nil {
+			return err
+		}
+		if fx.fs.HasUI(stB.Ino) {
+			return fmt.Errorf("stale cached state for orphan ino %d survived last close", stB.Ino)
+		}
+		st, err := fx.fs.Stat(env, "/b")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(mustRead(env, fx.fs, "/b"), newData) || st.Size != uint64(len(newData)) {
+			return fmt.Errorf("/b does not carry A's contents after close")
+		}
+		return nil
+	})
+}
+
+func mustRead(env *sim.Env, fs *aeofs.FS, path string) []byte {
+	b, err := readFile(env, fs, path)
+	if err != nil {
+		return nil
+	}
+	return b
+}

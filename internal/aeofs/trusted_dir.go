@@ -325,8 +325,15 @@ func (t *TrustLayer) destroyInodeLocked(env *sim.Env, drv *aeodriver.Driver, chi
 // compatible (and empty for directories); and moving a directory never
 // disconnects the tree or forms a cycle — the destination directory must
 // not be a descendant of the moved directory.
-func (t *TrustLayer) Rename(env *sim.Env, drv *aeodriver.Driver, srcDir uint64, srcName string, dstDir uint64, dstName string) error {
-	return t.enter(env, drv, func() error {
+//
+// replaced is the inode number of a destination entry the rename displaced
+// (0 when the destination did not exist): the caller must drop any
+// auxiliary state it keyed by that ino, because the number returns to the
+// allocator and will be reused. A replaced file that is still open is
+// orphaned (POSIX rename-over-open-file) and freed on its last close,
+// exactly like unlink.
+func (t *TrustLayer) Rename(env *sim.Env, drv *aeodriver.Driver, srcDir uint64, srcName string, dstDir uint64, dstName string) (replaced uint64, err error) {
+	err = t.enter(env, drv, func() error {
 		if err := ValidateName(srcName); err != nil {
 			return t.failCheck(err)
 		}
@@ -443,11 +450,21 @@ func (t *TrustLayer) Rename(env *sim.Env, drv *aeodriver.Driver, srcDir uint64, 
 				ei.lock.Unlock(env)
 				return err
 			}
-			if err := t.destroyInodeLocked(env, drv, ei, b); err != nil {
+			if t.hasOpeners(env, existing) && ei.ino.Type != TypeDir {
+				// POSIX rename-over-open-file: defer the free to last
+				// close, like unlink.
+				t.markOrphan(env, existing)
+				ei.ino.Nlink = 0
+				if err := t.storeInode(env, drv, ei, b); err != nil {
+					ei.lock.Unlock(env)
+					return err
+				}
+			} else if err := t.destroyInodeLocked(env, drv, ei, b); err != nil {
 				ei.lock.Unlock(env)
 				return err
 			}
 			ei.lock.Unlock(env)
+			replaced = existing
 		}
 
 		if err := t.removeDirentLocked(env, drv, sd, srcName, b); err != nil {
@@ -488,6 +505,10 @@ func (t *TrustLayer) Rename(env *sim.Env, drv *aeodriver.Driver, srcDir uint64, 
 		t.noteWriter(env, dstDir, drv.Process().ID)
 		return nil
 	})
+	if err != nil {
+		return 0, err
+	}
+	return replaced, nil
 }
 
 // parentOf returns a directory's parent ino, loading dents when needed.

@@ -250,8 +250,11 @@ func (t *TrustLayer) RegisterOpen(env *sim.Env, drv *aeodriver.Driver, ino uint6
 }
 
 // UnregisterOpen drops an open reference; when the last reference of an
-// orphaned (unlinked-while-open) inode goes away, its storage is freed.
-func (t *TrustLayer) UnregisterOpen(env *sim.Env, drv *aeodriver.Driver, ino uint64) error {
+// orphaned (unlinked- or renamed-over-while-open) inode goes away, its
+// storage is freed. freed reports that deferred destruction ran — the ino
+// is back in the allocator, so the caller must drop auxiliary state keyed
+// by it.
+func (t *TrustLayer) UnregisterOpen(env *sim.Env, drv *aeodriver.Driver, ino uint64) (freed bool, err error) {
 	pid := drv.Process().ID
 	t.openersLock.Lock(env)
 	m := t.openers[ino]
@@ -268,10 +271,10 @@ func (t *TrustLayer) UnregisterOpen(env *sim.Env, drv *aeodriver.Driver, ino uin
 	orphan := t.orphans[ino]
 	t.openersLock.Unlock(env)
 	if !lastClose || !orphan {
-		return nil
+		return false, nil
 	}
 	// Complete the deferred unlink.
-	return t.enter(env, drv, func() error {
+	err = t.enter(env, drv, func() error {
 		t.openersLock.Lock(env)
 		delete(t.orphans, ino)
 		t.openersLock.Unlock(env)
@@ -288,6 +291,7 @@ func (t *TrustLayer) UnregisterOpen(env *sim.Env, drv *aeodriver.Driver, ino uin
 		b.commit()
 		return nil
 	})
+	return err == nil, err
 }
 
 // IsShared reports whether ino is open by more than one process.

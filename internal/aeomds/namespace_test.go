@@ -1,0 +1,502 @@
+package aeomds
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// ---------------------------------------------------------------------------
+// Reference model: the whole namespace as flat maps, no sharding, no
+// dcache. The sharded namespace must be observationally equivalent.
+// ---------------------------------------------------------------------------
+
+type refFile struct {
+	size uint64
+	mode uint32
+}
+
+type refModel struct {
+	dirs  map[string]bool
+	files map[string]*refFile // full path → record
+}
+
+func newRefModel() *refModel {
+	return &refModel{dirs: map[string]bool{"/": true}, files: make(map[string]*refFile)}
+}
+
+func (r *refModel) open(dir, name string, create, write bool, mode uint32) error {
+	if !r.dirs[dir] {
+		return ErrNotFound
+	}
+	p := JoinPath(dir, name)
+	if r.dirs[p] {
+		return ErrIsDir
+	}
+	if f := r.files[p]; f != nil {
+		if write && f.mode&0200 == 0 {
+			return ErrAccess
+		}
+		return nil
+	}
+	if !create {
+		return ErrNotFound
+	}
+	if mode == 0 {
+		mode = 0644
+	}
+	r.files[p] = &refFile{mode: mode}
+	return nil
+}
+
+func (r *refModel) mkdir(dir, name string) error {
+	if !r.dirs[dir] {
+		return ErrNotFound
+	}
+	p := JoinPath(dir, name)
+	if r.dirs[p] || r.files[p] != nil {
+		return ErrExists
+	}
+	r.dirs[p] = true
+	return nil
+}
+
+func (r *refModel) unlink(dir, name string) error {
+	if !r.dirs[dir] {
+		return ErrNotFound
+	}
+	p := JoinPath(dir, name)
+	if r.dirs[p] {
+		return ErrIsDir
+	}
+	if r.files[p] == nil {
+		return ErrNotFound
+	}
+	delete(r.files, p)
+	return nil
+}
+
+// lookup reports (isDir, size, mode, err).
+func (r *refModel) lookup(dir, name string) (bool, uint64, uint32, error) {
+	if !r.dirs[dir] {
+		return false, 0, 0, ErrNotFound
+	}
+	p := JoinPath(dir, name)
+	if r.dirs[p] {
+		return true, 0, 0, nil
+	}
+	if f := r.files[p]; f != nil {
+		return false, f.size, f.mode, nil
+	}
+	return false, 0, 0, ErrNotFound
+}
+
+func (r *refModel) readdir(dir string) ([]Dirent, error) {
+	if !r.dirs[dir] {
+		return nil, ErrNotFound
+	}
+	var out []Dirent
+	for p := range r.dirs {
+		if d, n := SplitPath(p); p != "/" && d == dir {
+			out = append(out, Dirent{Name: n, Dir: true})
+		}
+	}
+	for p, _ := range r.files {
+		if d, n := SplitPath(p); d == dir {
+			out = append(out, Dirent{Name: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func (r *refModel) setSize(dir, name string, size uint64) error {
+	if !r.dirs[dir] {
+		return ErrNotFound
+	}
+	p := JoinPath(dir, name)
+	if r.dirs[p] {
+		return ErrIsDir
+	}
+	f := r.files[p]
+	if f == nil {
+		return ErrNotFound
+	}
+	f.size = size
+	return nil
+}
+
+func (r *refModel) chmod(dir, name string, mode uint32) error {
+	if !r.dirs[dir] {
+		return ErrNotFound
+	}
+	p := JoinPath(dir, name)
+	if r.dirs[p] {
+		return ErrIsDir
+	}
+	f := r.files[p]
+	if f == nil {
+		return ErrNotFound
+	}
+	f.mode = mode
+	return nil
+}
+
+func (r *refModel) rename(srcDir, srcName, dstDir, dstName string) error {
+	if srcDir == dstDir && srcName == dstName {
+		if !r.dirs[srcDir] {
+			return ErrNotFound
+		}
+		p := JoinPath(srcDir, srcName)
+		if r.dirs[p] {
+			return ErrIsDir
+		}
+		if r.files[p] == nil {
+			return ErrNotFound
+		}
+		return nil
+	}
+	if !r.dirs[srcDir] {
+		return ErrNotFound
+	}
+	sp := JoinPath(srcDir, srcName)
+	if r.dirs[sp] {
+		return ErrIsDir
+	}
+	f := r.files[sp]
+	if f == nil {
+		return ErrNotFound
+	}
+	if !r.dirs[dstDir] {
+		return ErrNotFound
+	}
+	dp := JoinPath(dstDir, dstName)
+	if r.dirs[dp] {
+		return ErrIsDir
+	}
+	delete(r.files, sp)
+	r.files[dp] = f
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Script generation: ops over a small path vocabulary so that creates,
+// collisions, displacing renames, and missing-parent errors all occur.
+// ---------------------------------------------------------------------------
+
+type opKind uint8
+
+const (
+	opCreate opKind = iota
+	opOpenR
+	opMkdir
+	opUnlink
+	opLookup
+	opReaddir
+	opRename
+	opTruncate
+	opChmod
+	numOpKinds
+)
+
+var dirVocab = []string{"/", "/d0", "/d1", "/d2", "/d0/s0", "/d1/s1"}
+var nameVocab = []string{"f0", "f1", "f2", "f3", "d0", "s0", "x"}
+
+type scriptStep struct {
+	kind           opKind
+	d1, n1, d2, n2 uint8
+	write          bool
+	size           uint16
+	mode           uint16
+}
+
+func (st scriptStep) dir1() string  { return dirVocab[int(st.d1)%len(dirVocab)] }
+func (st scriptStep) name1() string { return nameVocab[int(st.n1)%len(nameVocab)] }
+func (st scriptStep) dir2() string  { return dirVocab[int(st.d2)%len(dirVocab)] }
+func (st scriptStep) name2() string { return nameVocab[int(st.n2)%len(nameVocab)] }
+
+type script []scriptStep
+
+// Generate implements quick.Generator: 30–130 steps, mkdir-heavy early so
+// later ops land in existing directories often enough to be interesting.
+func (script) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 30 + r.Intn(100)
+	s := make(script, n)
+	for i := range s {
+		k := opKind(r.Intn(int(numOpKinds)))
+		if i < 8 && r.Intn(2) == 0 {
+			k = opMkdir
+		}
+		s[i] = scriptStep{
+			kind:  k,
+			d1:    uint8(r.Intn(256)),
+			n1:    uint8(r.Intn(256)),
+			d2:    uint8(r.Intn(256)),
+			n2:    uint8(r.Intn(256)),
+			write: r.Intn(2) == 0,
+			size:  uint16(r.Intn(1 << 16)),
+			mode:  uint16(r.Intn(01000)),
+		}
+	}
+	return reflect.ValueOf(s)
+}
+
+func newScript(seed int64) script {
+	r := rand.New(rand.NewSource(seed))
+	return script{}.Generate(r, 50).Interface().(script)
+}
+
+// outcome flattens one step's observable result (error identity plus
+// returned values) into a comparable string. Inode numbers are deliberately
+// excluded — they are shard-local and legitimately differ across shard
+// counts.
+func runStep(ns *Namespace, st scriptStep) string {
+	e := func(err error) string {
+		if err == nil {
+			return "ok"
+		}
+		return err.Error()
+	}
+	switch st.kind {
+	case opCreate:
+		m, err := ns.Open(st.dir1(), st.name1(), true, st.write, uint32(st.mode)&0777)
+		if err != nil {
+			return "create:" + e(err)
+		}
+		return fmt.Sprintf("create:ok mode=%o nodes=%d", m.Mode, len(m.Nodes))
+	case opOpenR:
+		m, err := ns.Open(st.dir1(), st.name1(), false, st.write, 0)
+		if err != nil {
+			return "open:" + e(err)
+		}
+		return fmt.Sprintf("open:ok size=%d mode=%o", m.Size, m.Mode)
+	case opMkdir:
+		return "mkdir:" + e(ns.Mkdir(st.dir1(), st.name1()))
+	case opUnlink:
+		_, err := ns.Unlink(st.dir1(), st.name1())
+		return "unlink:" + e(err)
+	case opLookup:
+		_, m, err := ns.Lookup(st.dir1(), st.name1())
+		if err != nil {
+			return "lookup:" + e(err)
+		}
+		if m == nil {
+			return "lookup:dir"
+		}
+		return fmt.Sprintf("lookup:file size=%d mode=%o", m.Size, m.Mode)
+	case opReaddir:
+		ents, err := ns.Readdir(st.dir1())
+		if err != nil {
+			return "readdir:" + e(err)
+		}
+		return "readdir:" + direntString(ents)
+	case opRename:
+		_, err := ns.Rename(st.dir1(), st.name1(), st.dir2(), st.name2())
+		return "rename:" + e(err)
+	case opTruncate:
+		_, err := ns.SetSize(st.dir1(), st.name1(), uint64(st.size))
+		return "truncate:" + e(err)
+	case opChmod:
+		_, err := ns.Chmod(st.dir1(), st.name1(), uint32(st.mode)&0777)
+		return "chmod:" + e(err)
+	}
+	return "?"
+}
+
+func runRefStep(r *refModel, st scriptStep) string {
+	e := func(err error) string {
+		if err == nil {
+			return "ok"
+		}
+		return err.Error()
+	}
+	switch st.kind {
+	case opCreate:
+		mode := uint32(st.mode) & 0777
+		err := r.open(st.dir1(), st.name1(), true, st.write, mode)
+		if err != nil {
+			return "create:" + e(err)
+		}
+		_, _, m, _ := r.lookup(st.dir1(), st.name1())
+		// Width: default layout is min(2, dataNodes); tests use >=2 nodes.
+		return fmt.Sprintf("create:ok mode=%o nodes=%d", m, 2)
+	case opOpenR:
+		err := r.open(st.dir1(), st.name1(), false, st.write, 0)
+		if err != nil {
+			return "open:" + e(err)
+		}
+		_, sz, m, _ := r.lookup(st.dir1(), st.name1())
+		return fmt.Sprintf("open:ok size=%d mode=%o", sz, m)
+	case opMkdir:
+		return "mkdir:" + e(r.mkdir(st.dir1(), st.name1()))
+	case opUnlink:
+		return "unlink:" + e(r.unlink(st.dir1(), st.name1()))
+	case opLookup:
+		isDir, sz, m, err := r.lookup(st.dir1(), st.name1())
+		if err != nil {
+			return "lookup:" + e(err)
+		}
+		if isDir {
+			return "lookup:dir"
+		}
+		return fmt.Sprintf("lookup:file size=%d mode=%o", sz, m)
+	case opReaddir:
+		ents, err := r.readdir(st.dir1())
+		if err != nil {
+			return "readdir:" + e(err)
+		}
+		return "readdir:" + direntString(ents)
+	case opRename:
+		return "rename:" + e(r.rename(st.dir1(), st.name1(), st.dir2(), st.name2()))
+	case opTruncate:
+		return "truncate:" + e(r.setSize(st.dir1(), st.name1(), uint64(st.size)))
+	case opChmod:
+		return "chmod:" + e(r.chmod(st.dir1(), st.name1(), uint32(st.mode)&0777))
+	}
+	return "?"
+}
+
+func direntString(ents []Dirent) string {
+	s := ""
+	for _, e := range ents {
+		kind := "f"
+		if e.Dir {
+			kind = "d"
+		}
+		s += e.Name + ":" + kind + ","
+	}
+	return s
+}
+
+// TestQuickDifferential drives random op scripts through the sharded
+// namespace and the flat reference model and demands identical observable
+// outcomes, step by step.
+func TestQuickDifferential(t *testing.T) {
+	f := func(s script) bool {
+		ns := NewNamespace(3, 4, Layout{})
+		ref := newRefModel()
+		for i, st := range s {
+			got := runStep(ns, st)
+			want := runRefStep(ref, st)
+			if got != want {
+				t.Logf("step %d (%v %s/%s): sharded=%q ref=%q", i, st.kind, st.dir1(), st.name1(), got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardCountInvariance runs the same seeded scripts at 1/2/4/8 shards:
+// every observable outcome (errors, sizes, modes, directory listings — not
+// inode numbers) must be identical regardless of how the namespace is
+// partitioned.
+func TestShardCountInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		s := newScript(seed)
+		var base []string
+		for _, shards := range []int{1, 2, 4, 8} {
+			ns := NewNamespace(shards, 4, Layout{})
+			var out []string
+			for _, st := range s {
+				out = append(out, runStep(ns, st))
+			}
+			if base == nil {
+				base = out
+				continue
+			}
+			for i := range out {
+				if out[i] != base[i] {
+					t.Fatalf("seed %d step %d: %d shards diverged: %q vs 1 shard %q",
+						seed, i, shards, out[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNamespaceBasics pins the non-random contract: layout defaults,
+// disjoint per-shard ino spaces, negative-entry stats, and the
+// never-invisible rename guarantee at the namespace level.
+func TestNamespaceBasics(t *testing.T) {
+	ns := NewNamespace(4, 6, Layout{StripeUnit: 4096, Width: 3})
+	if err := ns.Mkdir("/", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Mkdir("/", "b"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ns.Open("/a", "f", true, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mode != 0644 || m.StripeUnit != 4096 || len(m.Nodes) != 3 {
+		t.Fatalf("create defaults wrong: %+v", m)
+	}
+	if m.Ino>>32 == 0 {
+		t.Fatalf("ino %d not in a shard-tagged space", m.Ino)
+	}
+	// Lookup miss caches a negative entry; the repeat hits it.
+	sh := ns.shardFor("/a")
+	if _, _, err := ns.Lookup("/a", "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup miss: %v", err)
+	}
+	before := sh.NegHits
+	if _, _, err := ns.Lookup("/a", "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup miss: %v", err)
+	}
+	if sh.NegHits != before+1 {
+		t.Fatalf("negative entry not hit: %d -> %d", before, sh.NegHits)
+	}
+	// Create through the negative entry.
+	if _, err := ns.Open("/a", "nope", true, false, 0); err != nil {
+		t.Fatalf("create over negative entry: %v", err)
+	}
+	// Cross-directory rename preserves identity and displaces.
+	vic, err := ns.Open("/b", "g", true, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	displaced, err := ns.Rename("/a", "f", "/b", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if displaced == nil || displaced.Ino != vic.Ino {
+		t.Fatalf("displaced record wrong: %+v want ino %d", displaced, vic.Ino)
+	}
+	_, got, err := ns.Lookup("/b", "g")
+	if err != nil || got == nil || got.Ino != m.Ino {
+		t.Fatalf("rename lost identity: %+v, %v", got, err)
+	}
+	if _, _, err := ns.Lookup("/a", "f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("source still visible: %v", err)
+	}
+	// Directory renames are refused.
+	if _, err := ns.Rename("/", "a", "/", "c"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("dir rename: %v", err)
+	}
+}
+
+func TestSplitJoinPath(t *testing.T) {
+	cases := []struct{ path, dir, name string }{
+		{"/f", "/", "f"},
+		{"/a/b", "/a", "b"},
+		{"/a/b/c", "/a/b", "c"},
+	}
+	for _, c := range cases {
+		d, n := SplitPath(c.path)
+		if d != c.dir || n != c.name {
+			t.Fatalf("SplitPath(%q) = %q,%q", c.path, d, n)
+		}
+		if got := JoinPath(c.dir, c.name); got != c.path {
+			t.Fatalf("JoinPath(%q,%q) = %q", c.dir, c.name, got)
+		}
+	}
+}

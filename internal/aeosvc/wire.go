@@ -12,9 +12,10 @@
 package aeosvc
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"aeolia/internal/wire"
 )
 
 // Op is a wire opcode.
@@ -109,20 +110,11 @@ const reqHeader = 1 + 1 + 2 + 8 + 4 + 8 + 4 + 2 + 4 + 1
 
 // Encode serializes the request.
 func (r *Request) Encode() []byte {
-	b := make([]byte, reqHeader+len(r.Path)+len(r.Data))
-	b[0] = reqMagic
-	b[1] = byte(r.Op)
-	binary.LittleEndian.PutUint16(b[2:], r.Tenant)
-	binary.LittleEndian.PutUint64(b[4:], r.ID)
-	binary.LittleEndian.PutUint32(b[12:], r.FD)
-	binary.LittleEndian.PutUint64(b[16:], r.Off)
-	binary.LittleEndian.PutUint32(b[24:], r.Len)
-	binary.LittleEndian.PutUint16(b[28:], uint16(len(r.Path)))
-	binary.LittleEndian.PutUint32(b[30:], uint32(len(r.Data)))
-	b[34] = r.Class
-	copy(b[reqHeader:], r.Path)
-	copy(b[reqHeader+len(r.Path):], r.Data)
-	return b
+	return wire.NewWriter(reqHeader + len(r.Path) + len(r.Data)).
+		U8(reqMagic).U8(byte(r.Op)).U16(r.Tenant).U64(r.ID).
+		U32(r.FD).U64(r.Off).U32(r.Len).
+		U16(uint16(len(r.Path))).U32(uint32(len(r.Data))).U8(r.Class).
+		Str(r.Path).Bytes(r.Data).Frame()
 }
 
 // DecodeRequest parses one request frame.
@@ -131,27 +123,28 @@ func DecodeRequest(b []byte) (Request, error) {
 	if len(b) < reqHeader {
 		return r, fmt.Errorf("%w: request header truncated (%d bytes)", ErrWire, len(b))
 	}
-	if b[0] != reqMagic {
-		return r, fmt.Errorf("%w: bad request magic %#x", ErrWire, b[0])
+	d := wire.NewReader(b)
+	if magic := d.U8(); magic != reqMagic {
+		return r, fmt.Errorf("%w: bad request magic %#x", ErrWire, magic)
 	}
-	r.Op = Op(b[1])
+	r.Op = Op(d.U8())
 	if r.Op == OpInvalid || r.Op >= numOps {
-		return r, fmt.Errorf("%w: unknown opcode %d", ErrWire, b[1])
+		return r, fmt.Errorf("%w: unknown opcode %d", ErrWire, uint8(r.Op))
 	}
-	r.Tenant = binary.LittleEndian.Uint16(b[2:])
-	r.ID = binary.LittleEndian.Uint64(b[4:])
-	r.FD = binary.LittleEndian.Uint32(b[12:])
-	r.Off = binary.LittleEndian.Uint64(b[16:])
-	r.Len = binary.LittleEndian.Uint32(b[24:])
-	plen := int(binary.LittleEndian.Uint16(b[28:]))
-	dlen := int(binary.LittleEndian.Uint32(b[30:]))
-	r.Class = b[34]
+	r.Tenant = d.U16()
+	r.ID = d.U64()
+	r.FD = d.U32()
+	r.Off = d.U64()
+	r.Len = d.U32()
+	plen := int(d.U16())
+	dlen := int(d.U32())
+	r.Class = d.U8()
 	if len(b) != reqHeader+plen+dlen {
 		return r, fmt.Errorf("%w: request body %d bytes, header promises %d",
 			ErrWire, len(b)-reqHeader, plen+dlen)
 	}
-	r.Path = string(b[reqHeader : reqHeader+plen])
-	r.Data = append([]byte(nil), b[reqHeader+plen:]...)
+	r.Path = d.Str(plen)
+	r.Data = d.Bytes(dlen)
 	return r, nil
 }
 
@@ -172,16 +165,10 @@ const respHeader = 1 + 1 + 2 + 8 + 4 + 4
 
 // Encode serializes the response.
 func (r *Response) Encode() []byte {
-	b := make([]byte, respHeader+len(r.Err)+len(r.Data))
-	b[0] = respMagic
-	b[1] = byte(r.Status)
-	binary.LittleEndian.PutUint16(b[2:], uint16(len(r.Err)))
-	binary.LittleEndian.PutUint64(b[4:], r.ID)
-	binary.LittleEndian.PutUint32(b[12:], r.Value)
-	binary.LittleEndian.PutUint32(b[16:], uint32(len(r.Data)))
-	copy(b[respHeader:], r.Err)
-	copy(b[respHeader+len(r.Err):], r.Data)
-	return b
+	return wire.NewWriter(respHeader + len(r.Err) + len(r.Data)).
+		U8(respMagic).U8(byte(r.Status)).U16(uint16(len(r.Err))).
+		U64(r.ID).U32(r.Value).U32(uint32(len(r.Data))).
+		Str(r.Err).Bytes(r.Data).Frame()
 }
 
 // DecodeResponse parses one response frame.
@@ -190,19 +177,20 @@ func DecodeResponse(b []byte) (Response, error) {
 	if len(b) < respHeader {
 		return r, fmt.Errorf("%w: response header truncated (%d bytes)", ErrWire, len(b))
 	}
-	if b[0] != respMagic {
-		return r, fmt.Errorf("%w: bad response magic %#x", ErrWire, b[0])
+	d := wire.NewReader(b)
+	if magic := d.U8(); magic != respMagic {
+		return r, fmt.Errorf("%w: bad response magic %#x", ErrWire, magic)
 	}
-	r.Status = Status(b[1])
-	elen := int(binary.LittleEndian.Uint16(b[2:]))
-	r.ID = binary.LittleEndian.Uint64(b[4:])
-	r.Value = binary.LittleEndian.Uint32(b[12:])
-	dlen := int(binary.LittleEndian.Uint32(b[16:]))
+	r.Status = Status(d.U8())
+	elen := int(d.U16())
+	r.ID = d.U64()
+	r.Value = d.U32()
+	dlen := int(d.U32())
 	if len(b) != respHeader+elen+dlen {
 		return r, fmt.Errorf("%w: response body %d bytes, header promises %d",
 			ErrWire, len(b)-respHeader, elen+dlen)
 	}
-	r.Err = string(b[respHeader : respHeader+elen])
-	r.Data = append([]byte(nil), b[respHeader+elen:]...)
+	r.Err = d.Str(elen)
+	r.Data = d.Bytes(dlen)
 	return r, nil
 }

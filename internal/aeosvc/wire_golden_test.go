@@ -1,0 +1,86 @@
+package aeosvc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// The golden wire tests pin the frame encoding byte for byte, independently
+// of the shared internal/wire helpers: the expected buffers are assembled
+// with fixed-offset stores (the pre-refactor idiom). Clients and servers
+// from different builds share the fabric, so the layout is a compatibility
+// contract, not an implementation detail.
+
+func TestRequestWireGolden(t *testing.T) {
+	r := Request{
+		ID:     0x1122334455667788,
+		Tenant: 0xAABB,
+		Op:     OpRead,
+		Class:  2,
+		FD:     0x0A0B0C0D,
+		Off:    0x1020304050607080,
+		Len:    0x11223344,
+		Path:   "/x",
+		Data:   []byte{0xDE, 0xAD},
+	}
+	want := make([]byte, reqHeader+len(r.Path)+len(r.Data))
+	want[0] = reqMagic
+	want[1] = byte(r.Op)
+	binary.LittleEndian.PutUint16(want[2:], r.Tenant)
+	binary.LittleEndian.PutUint64(want[4:], r.ID)
+	binary.LittleEndian.PutUint32(want[12:], r.FD)
+	binary.LittleEndian.PutUint64(want[16:], r.Off)
+	binary.LittleEndian.PutUint32(want[24:], r.Len)
+	binary.LittleEndian.PutUint16(want[28:], uint16(len(r.Path)))
+	binary.LittleEndian.PutUint32(want[30:], uint32(len(r.Data)))
+	want[34] = r.Class
+	copy(want[reqHeader:], r.Path)
+	copy(want[reqHeader+len(r.Path):], r.Data)
+
+	got := r.Encode()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("request frame drifted:\n got %x\nwant %x", got, want)
+	}
+	back, err := DecodeRequest(got)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.ID != r.ID || back.Tenant != r.Tenant || back.Op != r.Op ||
+		back.Class != r.Class || back.FD != r.FD || back.Off != r.Off ||
+		back.Len != r.Len || back.Path != r.Path || !bytes.Equal(back.Data, r.Data) {
+		t.Fatalf("round trip mismatch: %+v != %+v", back, r)
+	}
+}
+
+func TestResponseWireGolden(t *testing.T) {
+	r := Response{
+		ID:     0x0807060504030201,
+		Status: StatusErr,
+		Value:  0xCAFEBABE,
+		Err:    "no",
+		Data:   []byte{1, 2, 3},
+	}
+	want := make([]byte, respHeader+len(r.Err)+len(r.Data))
+	want[0] = respMagic
+	want[1] = byte(r.Status)
+	binary.LittleEndian.PutUint16(want[2:], uint16(len(r.Err)))
+	binary.LittleEndian.PutUint64(want[4:], r.ID)
+	binary.LittleEndian.PutUint32(want[12:], r.Value)
+	binary.LittleEndian.PutUint32(want[16:], uint32(len(r.Data)))
+	copy(want[respHeader:], r.Err)
+	copy(want[respHeader+len(r.Err):], r.Data)
+
+	got := r.Encode()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("response frame drifted:\n got %x\nwant %x", got, want)
+	}
+	back, err := DecodeResponse(got)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.ID != r.ID || back.Status != r.Status || back.Value != r.Value ||
+		back.Err != r.Err || !bytes.Equal(back.Data, r.Data) {
+		t.Fatalf("round trip mismatch: %+v != %+v", back, r)
+	}
+}

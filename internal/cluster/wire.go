@@ -1,11 +1,11 @@
 package cluster
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
 	"aeolia/internal/raft"
+	"aeolia/internal/wire"
 )
 
 // Frame magics: the first payload byte routes a message to the raft path
@@ -34,6 +34,15 @@ const (
 
 var errShort = errors.New("cluster: short frame")
 
+// done collapses any reader error (or a bad magic recorded by the caller)
+// into the package's short-frame error.
+func done(d *wire.Reader) error {
+	if d.Err() != nil {
+		return errShort
+	}
+	return nil
+}
+
 // fnv32 hashes payload bytes; it is the 32-bit value carried in
 // ClusterAck/ClusterRead/RaftApply trace events and compared across replicas.
 func fnv32(b []byte) uint32 {
@@ -56,69 +65,51 @@ func (f raftFrame) encode() []byte {
 	for _, e := range f.Msg.Entries {
 		n += 8 + 2 + len(e.Data)
 	}
-	b := make([]byte, 0, n)
-	b = append(b, magicRaft)
-	b = binary.LittleEndian.AppendUint16(b, f.PG)
 	m := f.Msg
-	b = append(b, byte(m.Type))
-	b = binary.LittleEndian.AppendUint16(b, uint16(int16(m.From)))
-	b = binary.LittleEndian.AppendUint16(b, uint16(int16(m.To)))
-	b = binary.LittleEndian.AppendUint64(b, m.Term)
-	b = binary.LittleEndian.AppendUint64(b, m.Index)
-	b = binary.LittleEndian.AppendUint64(b, m.LogTerm)
-	b = binary.LittleEndian.AppendUint64(b, m.Commit)
-	b = binary.LittleEndian.AppendUint64(b, m.Compact)
-	if m.Reject {
-		b = append(b, 1)
-	} else {
-		b = append(b, 0)
-	}
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Entries)))
+	w := wire.NewWriter(n).
+		U8(magicRaft).U16(f.PG).U8(byte(m.Type)).
+		U16(uint16(int16(m.From))).U16(uint16(int16(m.To))).
+		U64(m.Term).U64(m.Index).U64(m.LogTerm).U64(m.Commit).U64(m.Compact).
+		Bool(m.Reject).U16(uint16(len(m.Entries)))
 	for _, e := range m.Entries {
-		b = binary.LittleEndian.AppendUint64(b, e.Term)
-		b = binary.LittleEndian.AppendUint16(b, uint16(len(e.Data)))
-		b = append(b, e.Data...)
+		w.U64(e.Term).U16(uint16(len(e.Data))).Bytes(e.Data)
 	}
-	return b
+	return w.Frame()
 }
 
 func decodeRaftFrame(b []byte) (raftFrame, error) {
 	var f raftFrame
-	if len(b) < 51 || b[0] != magicRaft {
+	if len(b) < 1 || b[0] != magicRaft {
 		return f, errShort
 	}
-	f.PG = binary.LittleEndian.Uint16(b[1:])
+	d := wire.NewReader(b)
+	d.U8() // magic
+	f.PG = d.U16()
 	m := &f.Msg
-	m.Type = raft.MsgType(b[3])
-	m.From = int(int16(binary.LittleEndian.Uint16(b[4:])))
-	m.To = int(int16(binary.LittleEndian.Uint16(b[6:])))
-	m.Term = binary.LittleEndian.Uint64(b[8:])
-	m.Index = binary.LittleEndian.Uint64(b[16:])
-	m.LogTerm = binary.LittleEndian.Uint64(b[24:])
-	m.Commit = binary.LittleEndian.Uint64(b[32:])
-	m.Compact = binary.LittleEndian.Uint64(b[40:])
-	m.Reject = b[48] != 0
-	nEnts := int(binary.LittleEndian.Uint16(b[49:]))
-	off := 51
+	m.Type = raft.MsgType(d.U8())
+	m.From = int(int16(d.U16()))
+	m.To = int(int16(d.U16()))
+	m.Term = d.U64()
+	m.Index = d.U64()
+	m.LogTerm = d.U64()
+	m.Commit = d.U64()
+	m.Compact = d.U64()
+	m.Reject = d.Bool()
+	nEnts := int(d.U16())
+	if d.Err() != nil {
+		return f, errShort
+	}
 	m.Entries = make([]raft.Entry, 0, nEnts)
 	for i := 0; i < nEnts; i++ {
-		if len(b) < off+10 {
+		term := d.U64()
+		dl := int(d.U16())
+		data := d.Bytes(dl)
+		if d.Err() != nil {
 			return f, errShort
 		}
-		term := binary.LittleEndian.Uint64(b[off:])
-		dl := int(binary.LittleEndian.Uint16(b[off+8:]))
-		off += 10
-		if len(b) < off+dl {
-			return f, errShort
-		}
-		var data []byte
-		if dl > 0 {
-			data = append([]byte(nil), b[off:off+dl]...)
-		}
-		off += dl
 		m.Entries = append(m.Entries, raft.Entry{Term: term, Data: data})
 	}
-	return f, nil
+	return f, done(d)
 }
 
 // request is one client command on the wire.
@@ -132,41 +123,26 @@ type request struct {
 }
 
 func (r request) encode() []byte {
-	b := make([]byte, 0, 19+len(r.Reply)+len(r.Data))
-	b = append(b, magicReq, r.Op)
-	b = binary.LittleEndian.AppendUint32(b, r.ID)
-	b = binary.LittleEndian.AppendUint16(b, r.PG)
-	b = binary.LittleEndian.AppendUint64(b, r.LBA)
-	b = append(b, byte(len(r.Reply)))
-	b = append(b, r.Reply...)
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Data)))
-	b = append(b, r.Data...)
-	return b
+	return wire.NewWriter(19 + len(r.Reply) + len(r.Data)).
+		U8(magicReq).U8(r.Op).U32(r.ID).U16(r.PG).U64(r.LBA).
+		U8(uint8(len(r.Reply))).Str(r.Reply).
+		U16(uint16(len(r.Data))).Bytes(r.Data).Frame()
 }
 
 func decodeRequest(b []byte) (request, error) {
 	var r request
-	if len(b) < 17 || b[0] != magicReq {
+	if len(b) < 1 || b[0] != magicReq {
 		return r, errShort
 	}
-	r.Op = b[1]
-	r.ID = binary.LittleEndian.Uint32(b[2:])
-	r.PG = binary.LittleEndian.Uint16(b[6:])
-	r.LBA = binary.LittleEndian.Uint64(b[8:])
-	nl := int(b[16])
-	if len(b) < 17+nl+2 {
-		return r, errShort
-	}
-	r.Reply = string(b[17 : 17+nl])
-	dl := int(binary.LittleEndian.Uint16(b[17+nl:]))
-	off := 19 + nl
-	if len(b) < off+dl {
-		return r, errShort
-	}
-	if dl > 0 {
-		r.Data = append([]byte(nil), b[off:off+dl]...)
-	}
-	return r, nil
+	d := wire.NewReader(b)
+	d.U8() // magic
+	r.Op = d.U8()
+	r.ID = d.U32()
+	r.PG = d.U16()
+	r.LBA = d.U64()
+	r.Reply = d.Str(int(d.U8()))
+	r.Data = d.Bytes(int(d.U16()))
+	return r, done(d)
 }
 
 // response answers one client command.
@@ -181,37 +157,27 @@ type response struct {
 }
 
 func (r response) encode() []byte {
-	b := make([]byte, 0, 24+len(r.Data))
-	b = append(b, magicResp, r.Status)
-	b = binary.LittleEndian.AppendUint32(b, r.ID)
-	b = binary.LittleEndian.AppendUint16(b, r.PG)
-	b = binary.LittleEndian.AppendUint16(b, uint16(r.Leader))
-	b = binary.LittleEndian.AppendUint64(b, r.Index)
-	b = binary.LittleEndian.AppendUint32(b, r.Hash)
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Data)))
-	b = append(b, r.Data...)
-	return b
+	return wire.NewWriter(24 + len(r.Data)).
+		U8(magicResp).U8(r.Status).U32(r.ID).U16(r.PG).
+		U16(uint16(r.Leader)).U64(r.Index).U32(r.Hash).
+		U16(uint16(len(r.Data))).Bytes(r.Data).Frame()
 }
 
 func decodeResponse(b []byte) (response, error) {
 	var r response
-	if len(b) < 24 || b[0] != magicResp {
+	if len(b) < 1 || b[0] != magicResp {
 		return r, errShort
 	}
-	r.Status = b[1]
-	r.ID = binary.LittleEndian.Uint32(b[2:])
-	r.PG = binary.LittleEndian.Uint16(b[6:])
-	r.Leader = int16(binary.LittleEndian.Uint16(b[8:]))
-	r.Index = binary.LittleEndian.Uint64(b[10:])
-	r.Hash = binary.LittleEndian.Uint32(b[18:])
-	dl := int(binary.LittleEndian.Uint16(b[22:]))
-	if len(b) < 24+dl {
-		return r, errShort
-	}
-	if dl > 0 {
-		r.Data = append([]byte(nil), b[24:24+dl]...)
-	}
-	return r, nil
+	d := wire.NewReader(b)
+	d.U8() // magic
+	r.Status = d.U8()
+	r.ID = d.U32()
+	r.PG = d.U16()
+	r.Leader = int16(d.U16())
+	r.Index = d.U64()
+	r.Hash = d.U32()
+	r.Data = d.Bytes(int(d.U16()))
+	return r, done(d)
 }
 
 // command is the payload serialized into raft entries: the replicated
@@ -226,39 +192,21 @@ type command struct {
 }
 
 func (c command) encode() []byte {
-	b := make([]byte, 0, 16+len(c.Reply)+len(c.Data))
-	b = append(b, c.Op)
-	b = binary.LittleEndian.AppendUint32(b, c.ID)
-	b = binary.LittleEndian.AppendUint64(b, c.LBA)
-	b = append(b, byte(len(c.Reply)))
-	b = append(b, c.Reply...)
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Data)))
-	b = append(b, c.Data...)
-	return b
+	return wire.NewWriter(16 + len(c.Reply) + len(c.Data)).
+		U8(c.Op).U32(c.ID).U64(c.LBA).
+		U8(uint8(len(c.Reply))).Str(c.Reply).
+		U16(uint16(len(c.Data))).Bytes(c.Data).Frame()
 }
 
 func decodeCommand(b []byte) (command, error) {
 	var c command
-	if len(b) < 14 {
-		return c, errShort
-	}
-	c.Op = b[0]
-	c.ID = binary.LittleEndian.Uint32(b[1:])
-	c.LBA = binary.LittleEndian.Uint64(b[5:])
-	nl := int(b[13])
-	if len(b) < 14+nl+2 {
-		return c, errShort
-	}
-	c.Reply = string(b[14 : 14+nl])
-	dl := int(binary.LittleEndian.Uint16(b[14+nl:]))
-	off := 16 + nl
-	if len(b) < off+dl {
-		return c, errShort
-	}
-	if dl > 0 {
-		c.Data = append([]byte(nil), b[off:off+dl]...)
-	}
-	return c, nil
+	d := wire.NewReader(b)
+	c.Op = d.U8()
+	c.ID = d.U32()
+	c.LBA = d.U64()
+	c.Reply = d.Str(int(d.U8()))
+	c.Data = d.Bytes(int(d.U16()))
+	return c, done(d)
 }
 
 // monResp is the monitor's osd/pg map answer: per-pg membership and the
@@ -272,45 +220,40 @@ type monResp struct {
 func encodeMonReq() []byte { return []byte{magicMonReq} }
 
 func (mr monResp) encode() []byte {
-	b := []byte{magicMonResp, byte(mr.RF)}
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(mr.Members)))
+	w := wire.NewWriter(4).
+		U8(magicMonResp).U8(byte(mr.RF)).U16(uint16(len(mr.Members)))
 	for pg, ms := range mr.Members {
-		b = append(b, byte(len(ms)))
+		w.U8(uint8(len(ms)))
 		for _, m := range ms {
-			b = binary.LittleEndian.AppendUint16(b, uint16(int16(m)))
+			w.U16(uint16(int16(m)))
 		}
-		b = binary.LittleEndian.AppendUint16(b, uint16(int16(mr.Leaders[pg])))
+		w.U16(uint16(int16(mr.Leaders[pg])))
 	}
-	return b
+	return w.Frame()
 }
 
 func decodeMonResp(b []byte) (monResp, error) {
 	var mr monResp
-	if len(b) < 4 || b[0] != magicMonResp {
+	if len(b) < 1 || b[0] != magicMonResp {
 		return mr, errShort
 	}
-	mr.RF = int(b[1])
-	npg := int(binary.LittleEndian.Uint16(b[2:]))
-	off := 4
+	d := wire.NewReader(b)
+	d.U8() // magic
+	mr.RF = int(d.U8())
+	npg := int(d.U16())
 	for pg := 0; pg < npg; pg++ {
-		if len(b) < off+1 {
-			return mr, errShort
-		}
-		nm := int(b[off])
-		off++
-		if len(b) < off+2*nm+2 {
-			return mr, errShort
-		}
+		nm := int(d.U8())
 		ms := make([]int, nm)
 		for i := range ms {
-			ms[i] = int(int16(binary.LittleEndian.Uint16(b[off:])))
-			off += 2
+			ms[i] = int(int16(d.U16()))
+		}
+		if d.Err() != nil {
+			return mr, errShort
 		}
 		mr.Members = append(mr.Members, ms)
-		mr.Leaders = append(mr.Leaders, int(int16(binary.LittleEndian.Uint16(b[off:]))))
-		off += 2
+		mr.Leaders = append(mr.Leaders, int(int16(d.U16())))
 	}
-	return mr, nil
+	return mr, done(d)
 }
 
 // monReport is a node's leadership-change report to the monitor.
@@ -321,23 +264,21 @@ type monReport struct {
 }
 
 func (r monReport) encode() []byte {
-	b := make([]byte, 0, 13)
-	b = append(b, magicMonReport)
-	b = binary.LittleEndian.AppendUint16(b, r.PG)
-	b = binary.LittleEndian.AppendUint64(b, r.Term)
-	b = binary.LittleEndian.AppendUint16(b, uint16(r.Leader))
-	return b
+	return wire.NewWriter(13).
+		U8(magicMonReport).U16(r.PG).U64(r.Term).U16(uint16(r.Leader)).Frame()
 }
 
 func decodeMonReport(b []byte) (monReport, error) {
 	var r monReport
-	if len(b) < 13 || b[0] != magicMonReport {
+	if len(b) < 1 || b[0] != magicMonReport {
 		return r, errShort
 	}
-	r.PG = binary.LittleEndian.Uint16(b[1:])
-	r.Term = binary.LittleEndian.Uint64(b[3:])
-	r.Leader = int16(binary.LittleEndian.Uint16(b[11:]))
-	return r, nil
+	d := wire.NewReader(b)
+	d.U8() // magic
+	r.PG = d.U16()
+	r.Term = d.U64()
+	r.Leader = int16(d.U16())
+	return r, done(d)
 }
 
 func (r response) String() string {

@@ -1,0 +1,119 @@
+package dcache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDifferentialVsMap drives random op programs against the table and a
+// plain map reference; any divergence in lookup results or sizes fails.
+func TestDifferentialVsMap(t *testing.T) {
+	f := func(seed int64, nOps uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := New()
+		type refEntry struct {
+			ino uint64
+			neg bool
+		}
+		ref := make(map[string]refEntry)
+		names := make([]string, 40)
+		for i := range names {
+			names[i] = fmt.Sprintf("f-%d", i)
+		}
+		for op := 0; op < int(nOps)%500+50; op++ {
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(4) {
+			case 0:
+				ino := uint64(rng.Intn(1000) + 1)
+				tab.Insert(name, ino)
+				ref[name] = refEntry{ino: ino}
+			case 1:
+				tab.InsertNegative(name)
+				ref[name] = refEntry{neg: true}
+			case 2:
+				got := tab.Remove(name)
+				_, want := ref[name]
+				if got != want {
+					t.Logf("Remove(%q) = %v, want %v", name, got, want)
+					return false
+				}
+				delete(ref, name)
+			default:
+				ino, neg, ok := tab.Lookup(name)
+				want, wantOK := ref[name]
+				if ok != wantOK || neg != want.neg || ino != want.ino {
+					t.Logf("Lookup(%q) = (%d,%v,%v), want (%d,%v,%v)",
+						name, ino, neg, ok, want.ino, want.neg, wantOK)
+					return false
+				}
+			}
+			if tab.Len() != len(ref) {
+				t.Logf("Len = %d, want %d", tab.Len(), len(ref))
+				return false
+			}
+		}
+		// Full sweep at the end: every reference entry present and correct.
+		for name, want := range ref {
+			ino, neg, ok := tab.Lookup(name)
+			if !ok || neg != want.neg || ino != want.ino {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGrowPreservesEntries inserts far past the load factor and checks
+// every entry survives the rehashes.
+func TestGrowPreservesEntries(t *testing.T) {
+	tab := New()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tab.Insert(fmt.Sprintf("e-%d", i), uint64(i+1))
+	}
+	if tab.Rehashes == 0 {
+		t.Fatal("1000 inserts should have grown the table")
+	}
+	if !NeedGrow(MaxLoad*InitBuckets+1, InitBuckets) || NeedGrow(MaxLoad*InitBuckets, InitBuckets) {
+		t.Fatal("NeedGrow threshold drifted from the aeofs policy")
+	}
+	for i := 0; i < n; i++ {
+		ino, neg, ok := tab.Lookup(fmt.Sprintf("e-%d", i))
+		if !ok || neg || ino != uint64(i+1) {
+			t.Fatalf("entry e-%d lost after grow: (%d,%v,%v)", i, ino, neg, ok)
+		}
+	}
+	seen := 0
+	tab.Range(func(Entry) bool { seen++; return true })
+	if seen != n {
+		t.Fatalf("Range visited %d entries, want %d", seen, n)
+	}
+}
+
+// TestNegativeEntryLifecycle pins the create-clears-negative rule: a stale
+// negative surviving an Insert would make the MDS deny opens of files that
+// exist.
+func TestNegativeEntryLifecycle(t *testing.T) {
+	tab := New()
+	tab.InsertNegative("ghost")
+	if ino, neg, ok := tab.Lookup("ghost"); !ok || !neg || ino != 0 {
+		t.Fatalf("negative lookup = (%d,%v,%v)", ino, neg, ok)
+	}
+	tab.Insert("ghost", 42)
+	if ino, neg, ok := tab.Lookup("ghost"); !ok || neg || ino != 42 {
+		t.Fatalf("insert did not clear the negative: (%d,%v,%v)", ino, neg, ok)
+	}
+	// And the reverse: a negative over a positive replaces it.
+	tab.InsertNegative("ghost")
+	if ino, neg, ok := tab.Lookup("ghost"); !ok || !neg || ino != 0 {
+		t.Fatalf("negative did not replace positive: (%d,%v,%v)", ino, neg, ok)
+	}
+	if !tab.Remove("ghost") || tab.Len() != 0 {
+		t.Fatal("remove of negative entry failed")
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aeolia/internal/report"
+	"aeolia/internal/trace"
+)
+
+// TestMDScaleShardScaling pins the tentpole acceptance criterion: the
+// namespace-op throughput of the sharded MDS rises at least 2x from one
+// shard to eight at fixed load, at both data-node widths.
+func TestMDScaleShardScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full cells per width; skipped in -short")
+	}
+	for _, dn := range []int{2, 4} {
+		one, err := mdScaleRun(1, dn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eight, err := mdScaleRun(8, dn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eight.KOps() < 2*one.KOps() {
+			t.Fatalf("dn=%d: 8 shards %.1f kops vs 1 shard %.1f kops — want >= 2x",
+				dn, eight.KOps(), one.KOps())
+		}
+		t.Logf("dn=%d: 1 shard %.1f kops, 8 shards %.1f kops (%.2fx)",
+			dn, one.KOps(), eight.KOps(), eight.KOps()/one.KOps())
+	}
+}
+
+// TestMDScaleTracedClean runs the largest cell fully traced: zero trace
+// violations (lease lifecycle, data-I/O-under-lease, rename visibility),
+// balanced lease books, and every data I/O citing a layout lease — the
+// MDS is off the data path after open.
+func TestMDScaleTracedClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-shard traced cell; skipped in -short")
+	}
+	tr, r, err := MDScaleTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := trace.Analyze(tr.Events())
+	for _, v := range an.Violations {
+		t.Errorf("violation: %+v", v)
+	}
+	var grants, dataIO uint64
+	for _, ev := range tr.Events() {
+		switch ev.Type {
+		case trace.MDSLeaseGrant:
+			grants++
+		case trace.MDSDataIO:
+			dataIO++
+			if ev.CID == trace.NoCID {
+				t.Fatal("data I/O without a lease citation")
+			}
+		}
+	}
+	if grants == 0 || dataIO == 0 {
+		t.Fatalf("trace unexercised: %d grants, %d data I/Os", grants, dataIO)
+	}
+	if r.Svc.Granted != grants {
+		t.Fatalf("lease book (%d granted) disagrees with trace (%d grant events)",
+			r.Svc.Granted, grants)
+	}
+}
+
+// TestMDScaleDeterministic pins byte-identical replay: two full sweeps
+// must serialize to the same report JSON.
+func TestMDScaleDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep twice; skipped in -short")
+	}
+	render := func() []byte {
+		t.Helper()
+		tables, err := MDScale()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, tables); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("mdscale report JSON not byte-identical across runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestMDScaleGolden snapshots the rendered sweep; any drift in the MDS,
+// fabric, or cost models fails loudly. Regenerate intentionally with:
+//
+//	go test ./internal/experiments -run TestMDScaleGolden -update-golden
+func TestMDScaleGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short")
+	}
+	tables, err := MDScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		tb.Print(&sb)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "fig_mdscale.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("mdscale output drifted from golden snapshot.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

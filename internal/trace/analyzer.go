@@ -122,6 +122,23 @@ type Analyzer struct {
 	acceptSets map[[2]int64]map[uint64]map[uint32]bool // (pg, index) → term → accepting nodes
 	ackIdx     map[[2]int64]uint64         // (pg, lba) → highest acked raft index
 	readFloor  map[[2]int64]uint64         // (pg, request id) → acked-index floor at ReadStart
+
+	// metadata-service replay state
+	mdsLease  map[uint32]*mdsLeaseState  // lease id → lifecycle
+	mdsRename map[uint32]*mdsRenameState // rename txn id → progress
+}
+
+// mdsLeaseState tracks one layout lease's lifecycle through the trace.
+type mdsLeaseState struct {
+	granted    bool
+	released   bool
+	revokeSent bool
+	revoked    bool
+}
+
+// mdsRenameState tracks one rename transaction's visibility events.
+type mdsRenameState struct {
+	link, unlink, done int
 }
 
 // postMark is one outstanding classed UPID post awaiting delivery.
@@ -157,6 +174,8 @@ func Analyze(evs []Event) *Analyzer {
 		acceptSets:   make(map[[2]int64]map[uint64]map[uint32]bool),
 		ackIdx:       make(map[[2]int64]uint64),
 		readFloor:    make(map[[2]int64]uint64),
+		mdsLease:     make(map[uint32]*mdsLeaseState),
+		mdsRename:    make(map[uint32]*mdsRenameState),
 	}
 	for _, e := range evs {
 		a.step(e)
@@ -587,7 +606,115 @@ func (a *Analyzer) step(e Event) {
 				"pg=%d req=%d lba=%d read served at index %d below the acked-write floor %d",
 				e.QID, e.CID, e.LBA, idx, floor)
 		}
+
+	case MDSOp:
+		// Informational per-shard op marker; throughput is derived from it
+		// by the experiments, no invariant attaches here.
+
+	case MDSLeaseGrant:
+		if a.mdsLease[e.CID] != nil {
+			a.violate(e.Seq, "lease-grant-once",
+				"shard=%d lease=%d granted twice", e.QID, e.CID)
+			break
+		}
+		a.mdsLease[e.CID] = &mdsLeaseState{granted: true}
+
+	case MDSLeaseRelease:
+		ls := a.mdsLease[e.CID]
+		if ls == nil {
+			a.violate(e.Seq, "lease-lifecycle",
+				"shard=%d lease=%d released without a grant", e.QID, e.CID)
+			break
+		}
+		if ls.released || ls.revoked {
+			a.violate(e.Seq, "lease-lifecycle",
+				"shard=%d lease=%d released after it was already dead", e.QID, e.CID)
+		}
+		ls.released = true
+
+	case MDSLeaseRevoke:
+		ls := a.mdsLease[e.CID]
+		if ls == nil {
+			a.violate(e.Seq, "lease-lifecycle",
+				"shard=%d revoke sent for unknown lease %d", e.QID, e.CID)
+			break
+		}
+		ls.revokeSent = true
+
+	case MDSLeaseRevoked:
+		ls := a.mdsLease[e.CID]
+		if ls == nil || !ls.revokeSent {
+			a.violate(e.Seq, "lease-lifecycle",
+				"shard=%d lease=%d revoke completed without a revoke being sent", e.QID, e.CID)
+			break
+		}
+		if ls.revoked {
+			a.violate(e.Seq, "lease-lifecycle",
+				"shard=%d lease=%d revoke completed twice", e.QID, e.CID)
+		}
+		ls.revoked = true
+
+	case MDSDataIO:
+		// The direct-to-data invariant: every data I/O cites the layout
+		// lease it runs under, and that lease must be alive — granted, not
+		// released, and not past revoke completion. (I/O between a revoke
+		// being sent and its ack is legal: the holder has not seen the
+		// revoke yet.)
+		ls := a.mdsLease[e.CID]
+		switch {
+		case ls == nil:
+			a.violate(e.Seq, "data-io-without-lease",
+				"node=%d ino=%d data i/o under unknown lease %d", e.QID, e.LBA, e.CID)
+		case ls.released:
+			a.violate(e.Seq, "data-io-without-lease",
+				"node=%d ino=%d data i/o under released lease %d", e.QID, e.LBA, e.CID)
+		case ls.revoked:
+			a.violate(e.Seq, "data-io-without-lease",
+				"node=%d ino=%d data i/o under lease %d after its revoke completed", e.QID, e.LBA, e.CID)
+		}
+
+	case MDSRenameLink:
+		rs := a.mdsRenameTxn(e.CID)
+		rs.link++
+		if rs.link > 1 {
+			a.violate(e.Seq, "rename-visibility",
+				"txn=%d destination linked twice", e.CID)
+		}
+
+	case MDSRenameUnlink:
+		rs := a.mdsRenameTxn(e.CID)
+		rs.unlink++
+		if rs.link == 0 {
+			a.violate(e.Seq, "rename-visibility",
+				"txn=%d source unlinked before the destination was linked (file invisible)", e.CID)
+		}
+		if rs.unlink > 1 {
+			a.violate(e.Seq, "rename-visibility",
+				"txn=%d source unlinked twice", e.CID)
+		}
+
+	case MDSRenameDone:
+		rs := a.mdsRenameTxn(e.CID)
+		rs.done++
+		if rs.done > 1 {
+			a.violate(e.Seq, "rename-visibility",
+				"txn=%d completed twice", e.CID)
+		} else if rs.link != 1 || rs.unlink != 1 {
+			a.violate(e.Seq, "rename-visibility",
+				"txn=%d completed with link=%d unlink=%d (want exactly one of each)",
+				e.CID, rs.link, rs.unlink)
+		}
 	}
+}
+
+// mdsRenameTxn returns (creating if needed) the rename-transaction state.
+func (a *Analyzer) mdsRenameTxn(txn uint32) *mdsRenameState {
+	rs := a.mdsRename[txn]
+	if rs == nil {
+		rs = &mdsRenameState{}
+		a.mdsRename[txn] = rs
+	}
+	return rs
 }
 
 // svcChain returns (creating if needed) the service chain for

@@ -196,6 +196,39 @@ const (
 	// entry's raft index << 32 | returned-data hash (low 32 bits).
 	ClusterRead
 
+	// MDSOp: a metadata shard completed one namespace operation. QID =
+	// shard, LBA = ino concerned (0 if none), Aux = opcode.
+	MDSOp
+	// MDSLeaseGrant: an open granted a layout lease. QID = shard,
+	// CID = lease id, LBA = ino.
+	MDSLeaseGrant
+	// MDSLeaseRelease: the holder released its lease (file close). QID =
+	// shard, CID = lease id, LBA = ino.
+	MDSLeaseRelease
+	// MDSLeaseRevoke: the shard sent a revoke for a lease (unlink,
+	// truncate, rename-over). QID = shard, CID = lease id, LBA = ino.
+	MDSLeaseRevoke
+	// MDSLeaseRevoked: the holder's revoke ack was processed — the lease is
+	// dead; data I/O under it after this point is a violation. QID = shard,
+	// CID = lease id, LBA = ino.
+	MDSLeaseRevoked
+	// MDSDataIO: a client issued a data read/write directly to a data node
+	// under a layout lease. QID = data node index, CID = lease id,
+	// LBA = ino, Aux = bytes.
+	MDSDataIO
+	// MDSRenameLink: a rename made the file visible at the destination
+	// name. QID = shard owning the destination, CID = rename txn id,
+	// LBA = ino.
+	MDSRenameLink
+	// MDSRenameUnlink: a rename removed the source name (after the
+	// destination was linked — the "never invisible" order). QID = shard
+	// owning the source, CID = rename txn id, LBA = ino.
+	MDSRenameUnlink
+	// MDSRenameDone: the rename completed and was acknowledged to the
+	// client. QID = shard owning the source, CID = rename txn id,
+	// LBA = ino.
+	MDSRenameDone
+
 	numTypes
 )
 
@@ -256,6 +289,16 @@ var typeNames = [numTypes]string{
 	ClusterAck:       "ClusterAck",
 	ClusterReadStart: "ClusterReadStart",
 	ClusterRead:      "ClusterRead",
+
+	MDSOp:           "MDSOp",
+	MDSLeaseGrant:   "MDSLeaseGrant",
+	MDSLeaseRelease: "MDSLeaseRelease",
+	MDSLeaseRevoke:  "MDSLeaseRevoke",
+	MDSLeaseRevoked: "MDSLeaseRevoked",
+	MDSDataIO:       "MDSDataIO",
+	MDSRenameLink:   "MDSRenameLink",
+	MDSRenameUnlink: "MDSRenameUnlink",
+	MDSRenameDone:   "MDSRenameDone",
 }
 
 func (t Type) String() string {
