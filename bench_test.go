@@ -218,3 +218,82 @@ func BenchmarkAbl2PerThreadJournal(b *testing.B) { runExperiment(b, "abl2") }
 // queue-depth sweep (CI's bench-smoke job runs exactly this benchmark and
 // archives the output for the performance trajectory).
 func BenchmarkQDSweep(b *testing.B) { runExperiment(b, "qdsweep") }
+
+// BenchmarkCacheHitReadParallel measures the host cost of the epoch
+// fast-read path under full parallel load: eight reader tasks, one per
+// core, each performing b.N cache-hit reads of a resident file with
+// FastReads on — the cell the fig_zerocopy cache half sweeps. CI's
+// bench-smoke job runs one iteration and archives the output.
+func BenchmarkCacheHitReadParallel(b *testing.B) {
+	const cores = 8
+	m := machine.New(cores, nvme.Config{BlockSize: aeofs.BlockSize, NumBlocks: 1 << 15})
+	defer m.Eng.Shutdown()
+	fi, err := m.BuildFS(machine.KindAeoFS, machine.FSOptions{
+		Cache: aeofs.CacheConfig{FastReads: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs := fi.FS
+	const filePages = 16
+	var serr error
+	m.Eng.Spawn("seed", m.Eng.Core(0), func(env *sim.Env) {
+		if init, ok := fs.(vfs.PerThreadInit); ok {
+			if e := init.InitThread(env); e != nil {
+				serr = e
+				return
+			}
+		}
+		fd, e := fs.Open(env, "/bench", vfs.O_CREATE|vfs.O_RDWR)
+		if e != nil {
+			serr = e
+			return
+		}
+		if _, e := fs.WriteAt(env, fd, make([]byte, filePages*aeofs.BlockSize), 0); e != nil {
+			serr = e
+			return
+		}
+		serr = fs.Close(env, fd)
+	})
+	m.Eng.Run(0)
+	if serr != nil {
+		b.Fatal(serr)
+	}
+	errs := make([]error, cores)
+	for c := 0; c < cores; c++ {
+		c := c
+		m.Eng.Spawn("rd", m.Eng.Core(c), func(env *sim.Env) {
+			if init, ok := fs.(vfs.PerThreadInit); ok {
+				if e := init.InitThread(env); e != nil {
+					errs[c] = e
+					return
+				}
+			}
+			fd, e := fs.Open(env, "/bench", vfs.O_RDONLY)
+			if e != nil {
+				errs[c] = e
+				return
+			}
+			buf := make([]byte, aeofs.BlockSize)
+			for i := 0; i < b.N; i++ {
+				off := uint64((i*7+c*3)%filePages) * aeofs.BlockSize
+				if _, e := fs.ReadAt(env, fd, buf, off); e != nil {
+					errs[c] = e
+					return
+				}
+			}
+			errs[c] = fs.Close(env, fd)
+		})
+	}
+	b.ResetTimer()
+	m.Eng.Run(0)
+	b.StopTimer()
+	for c, e := range errs {
+		if e != nil {
+			b.Fatalf("reader %d: %v", c, e)
+		}
+	}
+	if fi.AeoFS.CacheStats().FastReads == 0 {
+		b.Fatal("epoch fast-read path never engaged")
+	}
+}

@@ -33,8 +33,9 @@ func main() {
 	repl := flag.Bool("repl", false, "run the fig_replication sweep plus the traced rf=3 leader-crash cell; fail on linearizability violations or lost acked writes")
 	simscale := flag.Bool("simscale", false, "run the fig_simscale 64-node/1024-client deployment serially and with parallel lanes; fail unless the two modes are byte-identical")
 	mds := flag.Bool("mds", false, "run the fig_mdscale sweep plus the traced 8-shard cell; fail on trace invariant violations (lease lifecycle, data-I/O-under-lease, rename visibility) or a lease-accounting mismatch")
+	zerocopy := flag.Bool("zerocopy", false, "run the fig_zerocopy sweep plus the traced ring + epoch-cache cells; fail on trace invariant violations or any read/write chain exceeding its announced copy budget")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] [-cache] [-slo] [-repl] [-simscale] [-mds] list | all | <experiment-id>...\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: aeobench [-md|-json] [-trace FILE] [-svc] [-cache] [-slo] [-repl] [-simscale] [-mds] [-zerocopy] list | all | <experiment-id>...\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
 		}
@@ -97,6 +98,15 @@ func main() {
 	}
 	if *mds {
 		if err := runMDS(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
+	if *zerocopy {
+		if err := runZerocopy(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "aeobench: %v\n", err)
 			os.Exit(1)
 		}
@@ -402,6 +412,63 @@ func runMDS(jsonOut bool) error {
 	}
 	if r.Svc.Granted != grants {
 		return fmt.Errorf("lease accounting: books say %d granted, trace says %d", r.Svc.Granted, grants)
+	}
+	return nil
+}
+
+// runZerocopy is the zero-copy gate: it prints the full fig_zerocopy sweep
+// (the JSON form is the CI artifact), then replays the QD32 ring cell and
+// the 4-core epoch-cache cell with tracing on — each on its own tracer —
+// and fails on any trace-invariant violation, any read/write chain that
+// exceeds its announced per-path copy budget (at most one payload copy end
+// to end), or either zero-copy mechanism failing to engage.
+func runZerocopy(jsonOut bool) error {
+	tables, err := experiments.FigZerocopy()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if err := report.WriteJSON(os.Stdout, tables); err != nil {
+			return err
+		}
+	} else {
+		for _, t := range tables {
+			t.Print(os.Stdout)
+		}
+	}
+	ringTr, cacheTr, kiops, cache, err := experiments.FigZerocopyTrace()
+	if err != nil {
+		return err
+	}
+	violations := 0
+	var chains int
+	var copies, maxPerChain uint64
+	for _, cell := range []struct {
+		name string
+		tr   *trace.Tracer
+	}{{"ring", ringTr}, {"cache", cacheTr}} {
+		an := trace.Analyze(cell.tr.Events())
+		for _, v := range an.Violations {
+			fmt.Fprintf(os.Stderr, "aeobench: %s trace invariant violation: %v\n", cell.name, v)
+		}
+		violations += len(an.Violations)
+		c, n, m := an.CopyStats()
+		chains += c
+		copies += n
+		if m > maxPerChain {
+			maxPerChain = m
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[zerocopy: ring %.0f KIOPS at QD32; cache %.0f KIOPS/core x4 (%d fast reads); %d chains, %d copies, max %d/chain]\n",
+		kiops, cache.PerCoreKIOPS, cache.FastReads, chains, copies, maxPerChain)
+	if violations > 0 {
+		return fmt.Errorf("%d trace invariant violation(s)", violations)
+	}
+	if chains == 0 {
+		return fmt.Errorf("no copy chains traced")
+	}
+	if maxPerChain > 1 {
+		return fmt.Errorf("a chain performed %d payload copies — budget is 1 end to end", maxPerChain)
 	}
 	return nil
 }

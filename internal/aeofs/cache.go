@@ -1,6 +1,7 @@
 package aeofs
 
 import (
+	"sync/atomic"
 	"time"
 
 	"aeolia/internal/sim"
@@ -37,6 +38,17 @@ type CacheConfig struct {
 	// FlusherCore selects the simulated core the flusher thread runs on
 	// (modulo the machine's core count).
 	FlusherCore int
+	// FastReads enables the epoch (seqlock) lock-free read paths — the
+	// all-resident page-cache fast read and the dentry-cache fast lookup —
+	// letting cache-hit reads complete with no budgetMu, range-lock, or
+	// tree-lock traffic. Off by default so existing figures keep their
+	// locked-path timings; the zero-copy experiments switch it on.
+	FastReads bool
+	// ContentionModel charges costCachelineXfer on every budgetMu
+	// acquisition from a different core than the previous holder,
+	// modeling the lock word's cache-line ping-pong. Off by default so
+	// single-core figures keep their historical numbers.
+	ContentionModel bool
 }
 
 // withDefaults derives the dependent thresholds.
@@ -73,7 +85,10 @@ func (c CacheConfig) writebackEnabled() bool {
 
 // CacheStats is a point-in-time snapshot of the mount's cache counters.
 type CacheStats struct {
-	Hits, Misses              uint64
+	Hits, Misses uint64
+	// FastReads counts reads completed by the epoch lock-free path (0
+	// unless CacheConfig.FastReads is on).
+	FastReads                 uint64
 	Evictions, DirtyEvictions uint64
 	ReadaheadIssued           uint64 // pages submitted ahead
 	ReadaheadHits             uint64 // read-ahead pages consumed by demand reads
@@ -90,8 +105,9 @@ type CacheStats struct {
 // cacheManager is the mount-wide residency accountant: it owns the byte
 // budget, the CLOCK eviction hand, the dirty counters the flusher and
 // write throttle key off, and the registry of per-file pageCaches the
-// hand sweeps. All counters are plain words: the simulation engine
-// serializes every mutating context.
+// hand sweeps. All counters are atomic.Uint64: the lock-free epoch read
+// path and the race-tier hammer bump them from contexts budgetMu does not
+// serialize.
 type cacheManager struct {
 	fs  *FS
 	cfg CacheConfig
@@ -99,13 +115,26 @@ type cacheManager struct {
 
 	// budgetMu serializes whole charge cycles (evict-until-room, then
 	// add), so concurrent chargers cannot interleave past the budget.
-	// Lock order: budgetMu → rangeLock → treeLock; no rangeLock or
-	// treeLock holder ever waits on budgetMu.
-	budgetMu sim.Mutex
+	//
+	// Lock order: budgetMu → rangeLock → treeLock. budgetMu is the
+	// OUTERMOST lock of the hierarchy: a charge holding it evicts, and
+	// eviction's write-back takes range locks and tree locks below it.
+	// Consequently every charge happens BEFORE its caller takes any
+	// range lock (readAt/writeAt reserve worst-case up front and refund
+	// after the walk), and no rangeLock or treeLock holder may ever
+	// wait on budgetMu. The order is enforced by the debug assertion in
+	// lockcheck.go (SetLockOrderCheck); TestLockOrderAssertion covers
+	// both directions. Epoch readers (fastReadAt, dentry fast lookup)
+	// take none of these locks — see DESIGN.md §16.
+	budgetMu ordMutex
 
-	resident uint64
-	hwm      uint64
-	dirty    uint64
+	// lastCore is the core that last acquired budgetMu (-1: none yet);
+	// the ContentionModel charges a cache-line transfer when it changes.
+	lastCore atomic.Int32
+
+	resident atomic.Uint64
+	hwm      atomic.Uint64
+	dirty    atomic.Uint64
 
 	files []*pageCache
 	hand  int
@@ -119,19 +148,42 @@ type cacheManager struct {
 	budgetEmitted bool
 
 	// retired counters from unregistered files.
-	retiredHits, retiredMisses uint64
+	retiredHits, retiredMisses atomic.Uint64
 
-	evictions, dirtyEvictions uint64
-	raIssued, raHits, raWaste uint64
-	wbRuns, wbPages, wbErrors uint64
-	throttled                 uint64
+	evictions, dirtyEvictions atomic.Uint64
+	fastReads                 atomic.Uint64
+	raIssued, raHits, raWaste atomic.Uint64
+	wbRuns, wbPages, wbErrors atomic.Uint64
+	throttled                 atomic.Uint64
 }
 
 func newCacheManager(fs *FS, cfg CacheConfig) *cacheManager {
-	return &cacheManager{
+	cm := &cacheManager{
 		fs:  fs,
 		cfg: cfg.withDefaults(),
-		eng: fs.drv.Kernel().Engine(),
+	}
+	if fs != nil {
+		cm.eng = fs.drv.Kernel().Engine()
+	}
+	cm.budgetMu.lvl = levelBudget
+	cm.lastCore.Store(-1)
+	return cm
+}
+
+// chargeContention models budgetMu's lock word migrating between cores:
+// when the acquiring core differs from the previous holder, the acquisition
+// pays one cross-core cache-line transfer — inside the critical section, so
+// the serialization grows with core count. Caller holds budgetMu.
+func (cm *cacheManager) chargeContention(env *sim.Env) {
+	if !cm.cfg.ContentionModel {
+		return
+	}
+	core := int32(-1)
+	if c := env.Task().Core(); c != nil {
+		core = int32(c.ID)
+	}
+	if prev := cm.lastCore.Swap(core); prev >= 0 && prev != core {
+		env.Exec(costCachelineXfer)
 	}
 }
 
@@ -147,8 +199,8 @@ func (cm *cacheManager) unregister(env *sim.Env, pc *pageCache) {
 			break
 		}
 	}
-	cm.retiredHits += pc.Hits.Load()
-	cm.retiredMisses += pc.Misses.Load()
+	cm.retiredHits.Add(pc.Hits.Load())
+	cm.retiredMisses.Add(pc.Misses.Load())
 	pc.dropAll(env)
 }
 
@@ -164,9 +216,12 @@ func (cm *cacheManager) emit(typ trace.Type, cid uint32, lba, aux uint64) {
 // Bounded mounts announce their budget before the first charge so the
 // analyzer can check CacheInsert events against it.
 func (cm *cacheManager) account(bytes uint64) {
-	cm.resident += bytes
-	if cm.resident > cm.hwm {
-		cm.hwm = cm.resident
+	r := cm.resident.Add(bytes)
+	for {
+		h := cm.hwm.Load()
+		if r <= h || cm.hwm.CompareAndSwap(h, r) {
+			break
+		}
 	}
 	if cm.cfg.CacheBytes == 0 {
 		return
@@ -175,16 +230,23 @@ func (cm *cacheManager) account(bytes uint64) {
 		cm.budgetEmitted = true
 		cm.emit(trace.CacheBudget, trace.NoCID, 0, cm.cfg.CacheBytes)
 	}
-	cm.emit(trace.CacheInsert, trace.NoCID, bytes/BlockSize, cm.resident)
+	cm.emit(trace.CacheInsert, trace.NoCID, bytes/BlockSize, r)
 }
 
 // uncharge releases a residency reservation (refund of an unused charge,
-// or a page leaving the cache).
+// or a page leaving the cache). Clamped at zero via CAS so a racing
+// over-refund cannot wrap the counter.
 func (cm *cacheManager) uncharge(bytes uint64) {
-	if bytes > cm.resident {
-		bytes = cm.resident
+	for {
+		cur := cm.resident.Load()
+		sub := bytes
+		if sub > cur {
+			sub = cur
+		}
+		if cm.resident.CompareAndSwap(cur, cur-sub) {
+			return
+		}
 	}
-	cm.resident -= bytes
 }
 
 // makeRoom evicts until bytes fit under the budget. Caller holds
@@ -193,7 +255,7 @@ func (cm *cacheManager) uncharge(bytes uint64) {
 // make progress even with a degenerate budget — tests size budgets so
 // this never fires).
 func (cm *cacheManager) makeRoom(env *sim.Env, bytes uint64, force bool) bool {
-	for cm.resident+bytes > cm.cfg.CacheBytes {
+	for cm.resident.Load()+bytes > cm.cfg.CacheBytes {
 		if !cm.evictOne(env) {
 			return force
 		}
@@ -212,6 +274,7 @@ func (cm *cacheManager) charge(env *sim.Env, bytes uint64) {
 		return
 	}
 	cm.budgetMu.Lock(env)
+	cm.chargeContention(env)
 	cm.makeRoom(env, bytes, true)
 	cm.account(bytes)
 	cm.budgetMu.Unlock(env)
@@ -228,6 +291,7 @@ func (cm *cacheManager) tryCharge(env *sim.Env, bytes uint64) bool {
 		return true
 	}
 	cm.budgetMu.Lock(env)
+	cm.chargeContention(env)
 	ok := cm.makeRoom(env, bytes, false)
 	if ok {
 		cm.account(bytes)
@@ -279,10 +343,12 @@ func (cm *cacheManager) reclaimPage(env *sim.Env, f *pageCache, idx uint64, cp *
 		f.treeLock.Unlock(env)
 		return false
 	}
+	f.seq.Add(1)
 	f.tree.Delete(idx)
+	f.seq.Add(1)
 	f.treeLock.Unlock(env)
 	cm.uncharge(BlockSize)
-	cm.evictions++
+	cm.evictions.Add(1)
 	lba := ^uint64(0)
 	if blocks := f.owner.blocks; f.owner.blocksOK && idx < uint64(len(blocks)) {
 		lba = blocks[idx]
@@ -290,12 +356,12 @@ func (cm *cacheManager) reclaimPage(env *sim.Env, f *pageCache, idx uint64, cp *
 	cid := uint32(0)
 	if wasDirty {
 		cid = 1
-		cm.dirtyEvictions++
+		cm.dirtyEvictions.Add(1)
 	}
 	if cp.ra {
 		// Evicted before any demand read used it: the read-ahead was
 		// wasted — shrink the owning file's window.
-		cm.raWaste++
+		cm.raWaste.Add(1)
 		if w := f.raWindow / 2; w >= cm.cfg.InitReadahead {
 			f.raWindow = w
 		} else {
@@ -305,25 +371,32 @@ func (cm *cacheManager) reclaimPage(env *sim.Env, f *pageCache, idx uint64, cp *
 			cm.emit(trace.ReadaheadWaste, trace.NoCID, lba, idx)
 		}
 	}
-	cm.emit(trace.CacheEvict, cid, lba, cm.resident)
+	cm.emit(trace.CacheEvict, cid, lba, cm.resident.Load())
 	return true
 }
 
 // addDirty accounts freshly dirtied bytes and kicks the flusher.
 func (cm *cacheManager) addDirty(bytes uint64) {
-	cm.dirty += bytes
+	cm.dirty.Add(bytes)
 	if cm.cfg.writebackEnabled() && !cm.wbDead {
 		cm.ensureFlusher()
 		cm.wake.Signal(cm.eng)
 	}
 }
 
-// subDirty accounts bytes cleaned (or discarded) from the dirty set.
+// subDirty accounts bytes cleaned (or discarded) from the dirty set,
+// clamped at zero via CAS.
 func (cm *cacheManager) subDirty(bytes uint64) {
-	if bytes > cm.dirty {
-		bytes = cm.dirty
+	for {
+		cur := cm.dirty.Load()
+		sub := bytes
+		if sub > cur {
+			sub = cur
+		}
+		if cm.dirty.CompareAndSwap(cur, cur-sub) {
+			return
+		}
 	}
-	cm.dirty -= bytes
 }
 
 // throttleWriter blocks the calling writer while dirty bytes exceed the
@@ -335,8 +408,8 @@ func (cm *cacheManager) throttleWriter(env *sim.Env) {
 	if lim == 0 {
 		return
 	}
-	for cm.dirty > lim && !cm.wbDead {
-		cm.throttled++
+	for cm.dirty.Load() > lim && !cm.wbDead {
+		cm.throttled.Add(1)
 		cm.ensureFlusher()
 		cm.wake.Signal(cm.eng)
 		cm.throttle.Wait(env)
@@ -346,20 +419,21 @@ func (cm *cacheManager) throttleWriter(env *sim.Env) {
 // snapshot builds the exported counter view.
 func (cm *cacheManager) snapshot() CacheStats {
 	s := CacheStats{
-		Hits:            cm.retiredHits,
-		Misses:          cm.retiredMisses,
-		Evictions:       cm.evictions,
-		DirtyEvictions:  cm.dirtyEvictions,
-		ReadaheadIssued: cm.raIssued,
-		ReadaheadHits:   cm.raHits,
-		ReadaheadWaste:  cm.raWaste,
-		WritebackRuns:   cm.wbRuns,
-		WritebackPages:  cm.wbPages,
-		WritebackErrors: cm.wbErrors,
-		Throttled:       cm.throttled,
-		ResidentBytes:   cm.resident,
-		ResidentHWM:     cm.hwm,
-		DirtyBytes:      cm.dirty,
+		Hits:            cm.retiredHits.Load(),
+		Misses:          cm.retiredMisses.Load(),
+		FastReads:       cm.fastReads.Load(),
+		Evictions:       cm.evictions.Load(),
+		DirtyEvictions:  cm.dirtyEvictions.Load(),
+		ReadaheadIssued: cm.raIssued.Load(),
+		ReadaheadHits:   cm.raHits.Load(),
+		ReadaheadWaste:  cm.raWaste.Load(),
+		WritebackRuns:   cm.wbRuns.Load(),
+		WritebackPages:  cm.wbPages.Load(),
+		WritebackErrors: cm.wbErrors.Load(),
+		Throttled:       cm.throttled.Load(),
+		ResidentBytes:   cm.resident.Load(),
+		ResidentHWM:     cm.hwm.Load(),
+		DirtyBytes:      cm.dirty.Load(),
 	}
 	for _, f := range cm.files {
 		s.Hits += f.Hits.Load()

@@ -1,6 +1,8 @@
 package aeofs
 
 import (
+	"sync/atomic"
+
 	"aeolia/internal/dcache"
 	"aeolia/internal/sim"
 )
@@ -24,6 +26,13 @@ type dentCache struct {
 	// bucket locks the resizer holds.
 	resizing sim.Mutex
 
+	// seq is the epoch counter of the lock-free lookup (same discipline as
+	// pageCache.seq): odd while any mutation — entry insert/remove/update
+	// or a grow's bucket-array swap — is in progress, changed if one
+	// completed during a lock-free probe.
+	fastOK bool
+	seq    atomic.Uint64
+
 	// Rehashes counts completed grow operations (for the ablation).
 	Rehashes uint64
 }
@@ -38,8 +47,10 @@ type dentEntry struct {
 	ino  uint64
 }
 
-func newDentCache() *dentCache {
-	return &dentCache{buckets: make([]dentBucket, dcache.InitBuckets)}
+// newDentCache creates a directory's dentry cache; fast enables the epoch
+// lock-free lookup (CacheConfig.FastReads).
+func newDentCache(fast bool) *dentCache {
+	return &dentCache{buckets: make([]dentBucket, dcache.InitBuckets), fastOK: fast}
 }
 
 // dentHash delegates to the shared FNV-64a hash so this wrapper and the
@@ -50,9 +61,15 @@ func (c *dentCache) bucket(name string) *dentBucket {
 	return &c.buckets[dentHash(name)%uint64(len(c.buckets))]
 }
 
-// Lookup returns the cached inode number for name (0 = not cached).
+// Lookup returns the cached inode number for name (0 = not cached). The
+// virtual-time cost is the same on both paths — the fast path's win is
+// avoiding the bucket lock (and the stall behind a resizer holding every
+// bucket), not a cheaper probe.
 func (c *dentCache) Lookup(env *sim.Env, name string) (uint64, bool) {
 	env.Exec(costHashProbe)
+	if ino, ok, done := c.fastLookup(name); done {
+		return ino, ok
+	}
 	b := c.bucket(name)
 	b.lock.RLock(env)
 	defer b.lock.RUnlock(env)
@@ -64,21 +81,51 @@ func (c *dentCache) Lookup(env *sim.Env, name string) (uint64, bool) {
 	return 0, false
 }
 
+// fastLookup is the epoch lock-free probe: scan a snapshot of the bucket
+// with no lock, then validate that no mutation started or completed around
+// the scan. A validated miss is trustworthy because the table caches no
+// negatives — the caller falls through to the trusted layer either way.
+// done=false sends the lookup down the locked path.
+func (c *dentCache) fastLookup(name string) (ino uint64, ok, done bool) {
+	if !c.fastOK {
+		return 0, false, false
+	}
+	s0 := c.seq.Load()
+	if s0&1 != 0 {
+		return 0, false, false
+	}
+	buckets := c.buckets
+	b := &buckets[dentHash(name)%uint64(len(buckets))]
+	for _, e := range b.entries {
+		if e.name == name {
+			ino, ok = e.ino, true
+			break
+		}
+	}
+	if c.seq.Load() != s0 {
+		return 0, false, false
+	}
+	return ino, ok, true
+}
+
 // Insert adds or updates a cached entry, growing the table past the load
 // factor.
 func (c *dentCache) Insert(env *sim.Env, name string, ino uint64) {
 	env.Exec(costHashProbe)
 	b := c.bucket(name)
 	b.lock.Lock(env)
+	c.seq.Add(1)
 	for i := range b.entries {
 		if b.entries[i].name == name {
 			b.entries[i].ino = ino
+			c.seq.Add(1)
 			b.lock.Unlock(env)
 			return
 		}
 	}
 	b.entries = append(b.entries, dentEntry{name, ino})
 	c.count++
+	c.seq.Add(1)
 	grow := dcache.NeedGrow(c.count, len(c.buckets))
 	b.lock.Unlock(env)
 	if grow {
@@ -94,8 +141,10 @@ func (c *dentCache) Remove(env *sim.Env, name string) {
 	defer b.lock.Unlock(env)
 	for i := range b.entries {
 		if b.entries[i].name == name {
+			c.seq.Add(1)
 			b.entries = append(b.entries[:i], b.entries[i+1:]...)
 			c.count--
+			c.seq.Add(1)
 			return
 		}
 	}
@@ -126,7 +175,9 @@ func (c *dentCache) grow(env *sim.Env) {
 			nb.entries = append(nb.entries, e)
 		}
 	}
+	c.seq.Add(1)
 	c.buckets = next
+	c.seq.Add(1)
 	c.Rehashes++
 	for i := range old {
 		old[i].lock.Unlock(env)

@@ -3,6 +3,7 @@ package aeofs
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"aeolia/internal/aeodriver"
 	"aeolia/internal/sim"
@@ -34,10 +35,16 @@ type FS struct {
 	fdt     *fdTable
 	ishards [16]uShard
 
-	// Stats.
-	Opens, Closes, ReadsOps, WritesOps, Fsyncs uint64
-	BytesRead, BytesWritten                    uint64
-	SharedPenalties                            uint64
+	// Stats. Atomic: the epoch fast-read path and the race-tier hammer
+	// tests bump them outside any lock.
+	Opens, Closes, ReadsOps, WritesOps, Fsyncs atomic.Uint64
+	BytesRead, BytesWritten                    atomic.Uint64
+	SharedPenalties                            atomic.Uint64
+
+	// copyAnnounced latches each traced path's one-time CopyBudget
+	// announcement (indexed by the trace.Path* ids); chain ids come from
+	// the engine tracer so instances sharing it never collide.
+	copyAnnounced [8]atomic.Bool
 }
 
 type uShard struct {
@@ -217,7 +224,7 @@ func (fs *FS) invalidate(env *sim.Env, u *uInode) {
 		u.pc.dropAll(env)
 	}
 	if u.dc != nil {
-		u.dc = newDentCache()
+		u.dc = newDentCache(fs.cache.cfg.FastReads)
 	}
 	u.lock.Unlock(env)
 }
@@ -247,7 +254,7 @@ func (fs *FS) lookupChild(env *sim.Env, dirIno uint64, name string) (uint64, err
 	du := fs.uiFor(env, dirIno)
 	du.lock.Lock(env)
 	if du.dc == nil {
-		du.dc = newDentCache()
+		du.dc = newDentCache(fs.cache.cfg.FastReads)
 	}
 	dc := du.dc
 	du.lock.Unlock(env)
@@ -267,7 +274,7 @@ func (fs *FS) dcacheOf(env *sim.Env, dirIno uint64) *dentCache {
 	du := fs.uiFor(env, dirIno)
 	du.lock.Lock(env)
 	if du.dc == nil {
-		du.dc = newDentCache()
+		du.dc = newDentCache(fs.cache.cfg.FastReads)
 	}
 	dc := du.dc
 	du.lock.Unlock(env)
@@ -388,7 +395,7 @@ func (fs *FS) Open(env *sim.Env, path string, flags int) (int, error) {
 		f.pos = u.ino.Size
 		u.lock.RUnlock(env)
 	}
-	fs.Opens++
+	fs.Opens.Add(1)
 	return fs.fdt.Alloc(env, f), nil
 }
 
@@ -441,7 +448,7 @@ func (fs *FS) Close(env *sim.Env, fd int) error {
 		// or a reused ino would inherit stale grants and pages.
 		fs.dropUI(env, u.inoNum)
 	}
-	fs.Closes++
+	fs.Closes.Add(1)
 	return nil
 }
 
@@ -617,7 +624,7 @@ func (fs *FS) afterSharedMeta(env *sim.Env, dirIno uint64) {
 	if !fs.Trust.IsSharedIno(env, dirIno) {
 		return
 	}
-	fs.SharedPenalties++
+	fs.SharedPenalties.Add(1)
 	fs.invalidate(env, fs.uiFor(env, dirIno))
 	fs.Trust.Sync(env, fs.drv)
 }

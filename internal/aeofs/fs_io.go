@@ -5,10 +5,35 @@ import (
 	"time"
 
 	"aeolia/internal/aeodriver"
+	"aeolia/internal/iobuf"
 	"aeolia/internal/nvme"
 	"aeolia/internal/sim"
 	"aeolia/internal/trace"
 )
+
+// beginChain starts one traced copy chain on a datapath: it announces the
+// path's copy budget the first time the path appears (the analyzer then
+// holds every chain on it to that budget) and allocates the chain id.
+// Returns trace.NoCID when tracing is off — callers skip their emissions.
+func (fs *FS) beginChain(path int, budget uint64) uint32 {
+	if fs.cache.eng == nil || fs.cache.eng.Tracer == nil {
+		return trace.NoCID
+	}
+	if fs.copyAnnounced[path].CompareAndSwap(false, true) {
+		fs.emitPath(trace.CopyBudget, path, trace.NoCID, budget)
+	}
+	return fs.cache.eng.Tracer.NextChain()
+}
+
+// emitPath emits one copy-accounting event (CopyBudget/BufCopy/BufHandoff)
+// with the path id in the QID field.
+func (fs *FS) emitPath(typ trace.Type, path int, cid uint32, aux uint64) {
+	eng := fs.cache.eng
+	if eng == nil || eng.Tracer == nil {
+		return
+	}
+	eng.Tracer.Emit(eng.Now(), typ, -1, path, cid, 0, aux)
+}
 
 // Data path of the untrusted layer: page-cached reads and writes under the
 // file's readers-writer range lock, with direct device access to data
@@ -76,7 +101,7 @@ func (fs *FS) readAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, er
 	u := f.ui
 	if fs.Trust.IsSharedIno(env, u.inoNum) {
 		// §9.4: rebuild auxiliary state when sharing.
-		fs.SharedPenalties++
+		fs.SharedPenalties.Add(1)
 		fs.invalidate(env, u)
 		if err := fs.ensureInode(env, u); err != nil {
 			return 0, err
@@ -105,6 +130,20 @@ func (fs *FS) readAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, er
 	npages := p1 - p0 + 1
 	// Does this read extend the file's detected sequential stream?
 	seq := cm.cfg.MaxReadahead > 0 && p0 == pc.raNext
+
+	// Epoch fast path: an all-resident span completes against a
+	// seqlock-validated tree snapshot with no budgetMu, range-lock, or
+	// tree-lock traffic. Any anomaly falls through to the locked slow path.
+	if n, ok := fs.fastReadAt(env, pc, buf, off, p0, p1); ok {
+		if !seq {
+			pc.raWindow = cm.cfg.InitReadahead
+			pc.raIssued = 0
+		}
+		pc.raNext = p1 + 1
+		fs.ReadsOps.Add(1)
+		fs.BytesRead.Add(uint64(n))
+		return n, nil
+	}
 
 	// Reserve budget for the worst case (every page a miss) before taking
 	// the range lock: the charge may evict — and write back — pages whose
@@ -155,7 +194,9 @@ func (fs *FS) readAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, er
 			for {
 				cp := pc.lookup(env, p)
 				if cp == nil {
-					cp = &cachePage{data: make([]byte, BlockSize), fill: sim.NewCompletion()}
+					// No per-page buffer: the fill rebinds data into the
+					// run buffer the DMA lands in (readPagesFromDisk).
+					cp = &cachePage{fill: sim.NewCompletion()}
 					env.Exec(costPageAlloc)
 					pc.insert(env, p, cp)
 					kept++
@@ -187,7 +228,7 @@ func (fs *FS) readAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, er
 				}
 				if cp.ra {
 					cp.ra = false
-					cm.raHits++
+					cm.raHits.Add(1)
 					raHit = true
 					if blocks := u.blocks; u.blocksOK && p < uint64(len(blocks)) {
 						cm.emit(trace.ReadaheadHit, trace.NoCID, blocks[p], p)
@@ -240,9 +281,66 @@ func (fs *FS) readAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, er
 	if seq {
 		fs.issueReadahead(env, u, p1)
 	}
-	fs.ReadsOps++
-	fs.BytesRead += uint64(n)
+	if cid := fs.beginChain(trace.PathFSRead, 1); cid != trace.NoCID {
+		fs.emitPath(trace.BufCopy, trace.PathFSRead, cid, uint64(n))
+	}
+	fs.ReadsOps.Add(1)
+	fs.BytesRead.Add(uint64(n))
 	return n, nil
+}
+
+// fastReadAt is the lock-free cache-hit read (DESIGN.md §16): when every
+// page of the span is resident, filled, and stable, the read validates
+// against the tree's seqlock epoch and copies out without acquiring
+// budgetMu (nothing is inserted, so no worst-case reservation is needed),
+// the range lock, or the tree lock. Validation requires the epoch to be
+// even and unchanged across the whole walk and no writer mid-operation
+// (pc.writers covers data mutations the structural epoch cannot see). Any
+// anomaly — missing page, in-flight fill, doomed/failed page, an unconsumed
+// read-ahead page (whose bookkeeping needs the slow path) — aborts, and the
+// caller re-reads from scratch under locks. Virtual time (the radix
+// descents and the copy-out, identical to the slow path's charges) is
+// charged only after validation succeeds: a failed attempt is free,
+// modeling an optimistic reader whose wasted work vanishes next to the
+// locked retry. The read-ahead pipeline is not topped up from here — every
+// page already hit, so there is nothing to prefetch that the next miss
+// (slow path) would not request.
+func (fs *FS) fastReadAt(env *sim.Env, pc *pageCache, buf []byte, off, p0, p1 uint64) (int, bool) {
+	if !fs.cache.cfg.FastReads || pc.writers.Load() != 0 {
+		return 0, false
+	}
+	s0 := pc.seq.Load()
+	if s0&1 != 0 {
+		return 0, false
+	}
+	n := 0
+	for p := p0; p <= p1; p++ {
+		cp := pc.peek(p)
+		if cp == nil || !cp.filled() || cp.doomed || cp.ra || cp.ioErr != nil {
+			return 0, false
+		}
+		pageOff := 0
+		if p == p0 {
+			pageOff = int(off % BlockSize)
+		}
+		end := BlockSize
+		if want := len(buf) - n; end-pageOff > want {
+			end = pageOff + want
+		}
+		copy(buf[n:], cp.data[pageOff:end])
+		cp.ref = true // CLOCK hint; harmless if validation fails
+		n += end - pageOff
+	}
+	if pc.writers.Load() != 0 || pc.seq.Load() != s0 {
+		return 0, false
+	}
+	pc.Hits.Add(p1 - p0 + 1)
+	fs.cache.fastReads.Add(1)
+	env.Exec(scaled(costRadixLookup, int(p1-p0+1)) + copyCost(n))
+	if cid := fs.beginChain(trace.PathFSRead, 1); cid != trace.NoCID {
+		fs.emitPath(trace.BufCopy, trace.PathFSRead, cid, uint64(n))
+	}
+	return n, true
 }
 
 // issueReadahead tops the file's read-ahead pipeline up to the adaptive
@@ -283,6 +381,7 @@ func (fs *FS) issueReadahead(env *sim.Env, u *uInode, lastRead uint64) {
 	var cps []*cachePage
 	env.Exec(costRadixLookup)
 	pc.treeLock.Lock(env)
+	pc.seq.Add(1)
 	for p := start; p < end; p++ {
 		if pc.tree.Get(p) != nil {
 			continue
@@ -292,6 +391,7 @@ func (fs *FS) issueReadahead(env *sim.Env, u *uInode, lastRead uint64) {
 		idxs = append(idxs, p)
 		cps = append(cps, cp)
 	}
+	pc.seq.Add(1)
 	pc.treeLock.Unlock(env)
 	pc.raIssued = end
 	cm.uncharge((end - start - uint64(len(idxs))) * BlockSize) // already-resident pages
@@ -326,12 +426,14 @@ func (fs *FS) issueReadahead(env *sim.Env, u *uInode, lastRead uint64) {
 		// back to demand reads.
 		now := env.Now()
 		pc.treeLock.Lock(env)
+		pc.seq.Add(1)
 		for k, p := range idxs {
 			if pc.tree.Get(p) == cps[k] {
 				pc.tree.Delete(p)
 			}
 			cps[k].doomed = true
 		}
+		pc.seq.Add(1)
 		pc.treeLock.Unlock(env)
 		cm.uncharge(uint64(len(idxs)) * BlockSize)
 		for _, cp := range cps {
@@ -339,7 +441,7 @@ func (fs *FS) issueReadahead(env *sim.Env, u *uInode, lastRead uint64) {
 		}
 		return
 	}
-	cm.raIssued += uint64(len(idxs))
+	cm.raIssued.Add(uint64(len(idxs)))
 	cm.emit(trace.ReadaheadIssue, trace.NoCID, iov[0].LBA, uint64(len(idxs)))
 	for r := range reqs {
 		req, pages := reqs[r], runPages[r]
@@ -379,7 +481,10 @@ func (fs *FS) readPagesFromDisk(env *sim.Env, u *uInode, firstPage uint64, pages
 	for i < len(pages) {
 		p := firstPage + uint64(i)
 		if p >= uint64(len(blocks)) {
-			// Beyond allocation (hole at tail): leave zeroed.
+			// Beyond allocation (hole at tail): stays a zero page.
+			if pages[i].data == nil {
+				pages[i].data = make([]byte, BlockSize)
+			}
 			i++
 			continue
 		}
@@ -406,12 +511,20 @@ func (fs *FS) readPagesFromDisk(env *sim.Env, u *uInode, firstPage uint64, pages
 	if err := fs.drv.ReadVBatch(env, iov); err != nil {
 		return err
 	}
+	// Zero-copy handoff (device → cache): rebind each page's data to its
+	// slice of the run buffer the DMA landed in instead of copying out.
+	// Full-capacity slicing keeps a page from ever growing into its
+	// neighbor's bytes. The pages are not yet visible to readers (fill
+	// pending) or are pinned by the caller's range lock, so the rebinding
+	// cannot race a concurrent copy-out.
 	for r, v := range iov {
 		first := runs[r].first
 		for k := 0; k < runs[r].n; k++ {
-			copy(pages[first+k].data, v.Buf[k*BlockSize:])
+			pages[first+k].data = v.Buf[k*BlockSize : (k+1)*BlockSize : (k+1)*BlockSize]
 		}
 	}
+	fs.emitPath(trace.BufHandoff, trace.PathFSRead, trace.NoCID,
+		iobuf.HandoffAux(iobuf.StageDev, iobuf.StageCache))
 	return nil
 }
 
@@ -427,7 +540,7 @@ func (fs *FS) writeAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, e
 	if shared {
 		// §9.4 sharing: refresh the authoritative inode (size) before
 		// the write; the full page-cache rebuild happens on reads.
-		fs.SharedPenalties++
+		fs.SharedPenalties.Add(1)
 		u.lock.Lock(env)
 		u.valid = false
 		u.lock.Unlock(env)
@@ -461,6 +574,13 @@ func (fs *FS) writeAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, e
 	p1 := (end - 1) / BlockSize
 	pc := u.pc
 	cm := fs.cache
+
+	// Fence off the epoch fast read path for the whole operation: RMW
+	// pages are born filled but carry invalid data until the disk read
+	// lands, and partial overwrites mutate page contents in place — states
+	// the structural seq counter cannot express.
+	pc.writers.Add(1)
+	defer pc.writers.Add(-1)
 
 	oldPages := (oldSize + BlockSize - 1) / BlockSize
 
@@ -592,8 +712,11 @@ func (fs *FS) writeAt(env *sim.Env, f *OpenFile, buf []byte, off uint64) (int, e
 	env.Exec(copyCost(n))
 	pc.rl.Unlock(env, p0, p1+1, true)
 	cm.uncharge((reserve - kept) * BlockSize)
-	fs.WritesOps++
-	fs.BytesWritten += uint64(n)
+	if cid := fs.beginChain(trace.PathFSWrite, 1); cid != trace.NoCID {
+		fs.emitPath(trace.BufCopy, trace.PathFSWrite, cid, uint64(n))
+	}
+	fs.WritesOps.Add(1)
+	fs.BytesWritten.Add(uint64(n))
 
 	if shared {
 		// §9.4: immediate fsync after each operation when sharing.
@@ -618,7 +741,7 @@ func (fs *FS) fsyncInode(env *sim.Env, u *uInode) error {
 	if err := fs.flushFile(env, u); err != nil {
 		return err
 	}
-	fs.Fsyncs++
+	fs.Fsyncs.Add(1)
 	return fs.Trust.Sync(env, fs.drv)
 }
 
@@ -675,17 +798,22 @@ func (fs *FS) writebackPages(env *sim.Env, u *uInode, dirty []uint64, background
 			}
 			j++
 		}
-		run := make([]byte, (j-i)*BlockSize)
+		// Zero-copy gather: the run's scatter list references the pages'
+		// own buffers, so the device DMAs straight out of the cache with
+		// no staging copy. A page that vanished mid-flush (concurrent
+		// truncate) contributes a zero block, as the staged copy used to.
+		sg := make([][]byte, 0, j-i)
 		var cps []*cachePage
 		for k := i; k < j; k++ {
 			cp := u.pc.lookup(env, dirty[k])
 			if cp == nil {
+				sg = append(sg, make([]byte, BlockSize))
 				continue
 			}
 			cps = append(cps, cp)
-			copy(run[(k-i)*BlockSize:], cp.data)
+			sg = append(sg, cp.data)
 		}
-		iov = append(iov, aeodriver.IOVec{LBA: blocks[p], Cnt: uint32(j - i), Buf: run})
+		iov = append(iov, aeodriver.IOVec{LBA: blocks[p], Cnt: uint32(j - i), SG: sg})
 		runCPs = append(runCPs, cps)
 		i = j
 	}
@@ -698,9 +826,13 @@ func (fs *FS) writebackPages(env *sim.Env, u *uInode, dirty []uint64, background
 	}
 	cm := fs.cache
 	for _, v := range iov {
-		cm.wbRuns++
-		cm.wbPages += uint64(v.Cnt)
+		cm.wbRuns.Add(1)
+		cm.wbPages.Add(uint64(v.Cnt))
 		cm.emit(trace.WritebackRun, trace.NoCID, v.LBA, uint64(v.Cnt))
+		if cid := fs.beginChain(trace.PathWriteback, 0); cid != trace.NoCID {
+			fs.emitPath(trace.BufHandoff, trace.PathWriteback, cid,
+				iobuf.HandoffAux(iobuf.StageCache, iobuf.StageDev))
+		}
 	}
 	if eng := fs.drv.Kernel().Engine(); eng.Tracer != nil {
 		eng.Tracer.Emit(eng.Now(), trace.PagecacheFlush, -1, -1, trace.NoCID, iov[0].LBA, uint64(len(dirty)))
@@ -774,6 +906,7 @@ func (fs *FS) truncateLocked(env *sim.Env, u *uInode, size uint64) error {
 			firstNew := cur / BlockSize
 			lastNew := (size - 1) / BlockSize
 			pc := u.pc
+			pc.writers.Add(1)
 			pc.rl.Lock(env, firstNew, lastNew+1, true)
 			if tail := cur % BlockSize; tail != 0 {
 				if cp := pc.lookup(env, cur/BlockSize); cp != nil {
@@ -783,6 +916,7 @@ func (fs *FS) truncateLocked(env *sim.Env, u *uInode, size uint64) error {
 				}
 			}
 			pc.rl.Unlock(env, firstNew, lastNew+1, true)
+			pc.writers.Add(-1)
 		}
 	default:
 		if err := fs.Trust.TruncateFile(env, fs.drv, u.inoNum, size); err != nil {

@@ -17,11 +17,29 @@ import (
 // position within this file, and the sequential read-ahead detector.
 type pageCache struct {
 	rl       rangeLock
-	treeLock sim.Mutex
+	treeLock ordMutex
 	tree     radixTree
+
+	// seq is the epoch counter of the lock-free (seqlock-style) read
+	// path: every tree mutation brackets itself with two increments, so
+	// the counter is odd while a mutation is in progress and changed if
+	// one completed. A fast reader loads it (even or bail), walks the
+	// tree and copies page data without locks, then revalidates; any
+	// change sends the read down the locked slow path. See DESIGN.md §16.
+	seq atomic.Uint64
+
+	// writers counts tasks inside a mutating file operation (writeAt,
+	// truncate tail-zeroing) that may leave a page's DATA transiently
+	// invalid while parked — a state the seq counter cannot see (the tree
+	// itself does not change). Fast readers bail while writers != 0.
+	writers atomic.Int64
 
 	cm    *cacheManager
 	owner *uInode
+
+	// lockCore is the core that last acquired treeLock inside lookup (-1:
+	// none yet), the lock word's cache-line home under ContentionModel.
+	lockCore atomic.Int32
 
 	// clockPos is the next page index the eviction CLOCK examines in this
 	// file (wraps to 0 when a sweep reaches the end of the tree).
@@ -66,14 +84,47 @@ type cachePage struct {
 func (p *cachePage) filled() bool { return p.fill == nil || p.fill.Done() }
 
 func newPageCache(cm *cacheManager, owner *uInode) *pageCache {
-	return &pageCache{cm: cm, owner: owner}
+	pc := &pageCache{cm: cm, owner: owner}
+	pc.lockCore.Store(-1)
+	pc.treeLock.lvl = levelTree
+	return pc
+}
+
+// peek is the lock-free tree read of the epoch fast path: no virtual-time
+// cost, no treeLock, no reference-bit update. Callers must validate seq
+// around the whole walk.
+func (pc *pageCache) peek(idx uint64) *cachePage {
+	v := pc.tree.Get(idx)
+	if v == nil {
+		return nil
+	}
+	return v.(*cachePage)
 }
 
 // lookup returns the cached page or nil, setting the CLOCK reference bit
 // on a hit.
+//
+// Under ContentionModel the radix walk is charged while treeLock is held —
+// the serialization the epoch fast path (fastReadAt) exists to avoid — and
+// an acquisition whose lock word last bounced to another core pays a
+// cache-line transfer. With the model off (the default), the walk is
+// charged before the lock so the hold is zero-cost and concurrent lookups
+// do not serialize; every pre-existing golden was produced in that mode.
 func (pc *pageCache) lookup(env *sim.Env, idx uint64) *cachePage {
-	env.Exec(costRadixLookup)
-	pc.treeLock.Lock(env)
+	if pc.cm != nil && pc.cm.cfg.ContentionModel {
+		pc.treeLock.Lock(env)
+		core := int32(-1)
+		if c := env.Task().Core(); c != nil {
+			core = int32(c.ID)
+		}
+		if prev := pc.lockCore.Swap(core); prev >= 0 && prev != core {
+			env.Exec(costCachelineXfer)
+		}
+		env.Exec(costRadixLookup)
+	} else {
+		env.Exec(costRadixLookup)
+		pc.treeLock.Lock(env)
+	}
 	v := pc.tree.Get(idx)
 	pc.treeLock.Unlock(env)
 	if v == nil {
@@ -110,7 +161,9 @@ func (pc *pageCache) acquireForWrite(env *sim.Env, idx uint64) *cachePage {
 func (pc *pageCache) insert(env *sim.Env, idx uint64, p *cachePage) {
 	env.Exec(costRadixLookup)
 	pc.treeLock.Lock(env)
+	pc.seq.Add(1)
 	pc.tree.Set(idx, p)
+	pc.seq.Add(1)
 	pc.treeLock.Unlock(env)
 }
 
@@ -118,7 +171,9 @@ func (pc *pageCache) insert(env *sim.Env, idx uint64, p *cachePage) {
 // (the caller owns the page's charge).
 func (pc *pageCache) drop(env *sim.Env, idx uint64) {
 	pc.treeLock.Lock(env)
+	pc.seq.Add(1)
 	pc.tree.Delete(idx)
+	pc.seq.Add(1)
 	pc.treeLock.Unlock(env)
 }
 
@@ -144,7 +199,9 @@ func (pc *pageCache) dropAll(env *sim.Env) {
 		pages = append(pages, v.(*cachePage))
 		return true
 	})
+	pc.seq.Add(1)
 	pc.tree = radixTree{}
+	pc.seq.Add(1)
 	pc.treeLock.Unlock(env)
 	for _, cp := range pages {
 		if !cp.filled() {
@@ -167,9 +224,11 @@ func (pc *pageCache) dropFrom(env *sim.Env, idx uint64) {
 		}
 		return true
 	})
+	pc.seq.Add(1)
 	for _, i := range doomed {
 		pc.tree.Delete(i)
 	}
+	pc.seq.Add(1)
 	pc.treeLock.Unlock(env)
 	for _, cp := range pages {
 		if !cp.filled() {

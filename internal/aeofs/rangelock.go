@@ -50,6 +50,7 @@ func (l *rangeLock) Lock(env *sim.Env, start, end uint64, write bool) {
 		end = start + 1
 	}
 	t := env.Task()
+	lockAcquire(t, levelRange)
 	// FIFO fairness: a new request also waits behind queued waiters it
 	// conflicts with, so writers cannot be starved by a reader stream.
 	conflictsQueued := false
@@ -81,6 +82,7 @@ func (l *rangeLock) Unlock(env *sim.Env, start, end uint64, write bool) {
 	for i, h := range l.held {
 		if h.owner == t && h.start == start && h.end == end && h.write == write {
 			l.held = append(l.held[:i], l.held[i+1:]...)
+			lockRelease(t, levelRange)
 			l.dispatch(env.Engine())
 			return
 		}

@@ -37,7 +37,7 @@ func (cm *cacheManager) flusherLoop(env *sim.Env) {
 		return
 	}
 	for {
-		for cm.dirty == 0 {
+		for cm.dirty.Load() == 0 {
 			cm.wake.Wait(env)
 		}
 		if cm.fs.Trust.Crashed() {
@@ -45,9 +45,9 @@ func (cm *cacheManager) flusherLoop(env *sim.Env) {
 		}
 		// Below the high-water mark there is no urgency: let the
 		// periodic interval pass so more dirt coalesces into runs.
-		if cm.cfg.DirtyHighWater == 0 || cm.dirty < cm.cfg.DirtyHighWater {
+		if cm.cfg.DirtyHighWater == 0 || cm.dirty.Load() < cm.cfg.DirtyHighWater {
 			env.Sleep(cm.cfg.FlushInterval)
-			if cm.dirty == 0 {
+			if cm.dirty.Load() == 0 {
 				continue
 			}
 		}
@@ -80,7 +80,7 @@ func (cm *cacheManager) flushPass(env *sim.Env) error {
 			// The grant is gone (or the device persistently fails):
 			// drop the pages from the dirty accounting — their data
 			// stays resident — and record the loss loudly.
-			cm.wbErrors++
+			cm.wbErrors.Add(1)
 			cm.dropDirtyAccounting(env, f, dirty)
 		}
 		cm.throttle.Broadcast(cm.eng)

@@ -1,0 +1,260 @@
+package aeofs_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/aeofs"
+	"aeolia/internal/aeokern"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/sim"
+)
+
+// newCacheFixture is newFixture with an explicit cache configuration.
+func newCacheFixture(t *testing.T, cores int, cfg aeofs.CacheConfig) *fixture {
+	t.Helper()
+	m := machine.New(cores, nvme.Config{BlockSize: aeofs.BlockSize, NumBlocks: testDiskBlocks})
+	t.Cleanup(m.Eng.Shutdown)
+	p, err := m.Launch("app", aeokern.Partition{Start: 0, Blocks: testDiskBlocks, Writable: true},
+		aeodriver.Config{Mode: aeodriver.ModeUserInterrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{m: m, p: p}
+	fx.run(t, "mkfs", func(env *sim.Env) error {
+		trust, err := aeofs.MkfsAndMount(env, p.Driver, 0, testDiskBlocks,
+			aeofs.MkfsOptions{NumJournals: 8, JournalBlocks: 256})
+		if err != nil {
+			return err
+		}
+		fx.trust = trust
+		fx.fs = aeofs.NewFSWithCache(trust, p.Driver, cores, cfg)
+		return nil
+	})
+	return fx
+}
+
+// randomOps drives one deterministic mixed read/write/truncate sequence and
+// returns every read's result, so two configurations can be compared
+// byte-for-byte.
+func randomOps(t *testing.T, fx *fixture, seed int64) [][]byte {
+	t.Helper()
+	const fileSize = 96 * aeofs.BlockSize
+	var outs [][]byte
+	fx.run(t, "ops", func(env *sim.Env) error {
+		rng := rand.New(rand.NewSource(seed))
+		fd, err := fx.fs.Open(env, "/mix.dat", aeofs.O_CREATE|aeofs.O_RDWR)
+		if err != nil {
+			return err
+		}
+		if _, err := fx.fs.WriteAt(env, fd, pattern(fileSize, 1), 0); err != nil {
+			return err
+		}
+		for i := 0; i < 300; i++ {
+			off := uint64(rng.Intn(fileSize - 1))
+			n := 1 + rng.Intn(4*aeofs.BlockSize)
+			switch rng.Intn(5) {
+			case 0: // write (possibly page-partial, possibly extending)
+				if _, err := fx.fs.WriteAt(env, fd, pattern(n, byte(i)), off); err != nil {
+					return err
+				}
+			case 1: // fsync
+				if err := fx.fs.Fsync(env, fd); err != nil {
+					return err
+				}
+			case 2: // truncate shrink + regrow occasionally
+				if i%7 == 0 {
+					if err := fx.fs.FTruncate(env, fd, off); err != nil {
+						return err
+					}
+					if err := fx.fs.FTruncate(env, fd, fileSize); err != nil {
+						return err
+					}
+				}
+			default: // read
+				buf := make([]byte, n)
+				m, err := fx.fs.ReadAt(env, fd, buf, off)
+				if err != nil {
+					return err
+				}
+				outs = append(outs, append([]byte(nil), buf[:m]...))
+			}
+		}
+		got, err := readFile(env, fx.fs, "/mix.dat")
+		if err != nil {
+			return err
+		}
+		outs = append(outs, got)
+		return fx.fs.Close(env, fd)
+	})
+	return outs
+}
+
+// TestFastReadEquivalence runs the same seeded workload with the epoch
+// lock-free read path on and off: every read (and the final file image)
+// must be byte-identical, and the fast path must actually engage.
+func TestFastReadEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		base := newCacheFixture(t, 1, aeofs.CacheConfig{})
+		fast := newCacheFixture(t, 1, aeofs.CacheConfig{FastReads: true})
+		slowOut := randomOps(t, base, seed)
+		fastOut := randomOps(t, fast, seed)
+		if len(slowOut) != len(fastOut) {
+			t.Fatalf("seed %d: read count diverged: %d vs %d", seed, len(slowOut), len(fastOut))
+		}
+		for i := range slowOut {
+			if !bytes.Equal(slowOut[i], fastOut[i]) {
+				t.Fatalf("seed %d: read %d diverged (%d vs %d bytes)",
+					seed, i, len(slowOut[i]), len(fastOut[i]))
+			}
+		}
+		if base.fs.CacheStats().FastReads != 0 {
+			t.Fatal("fast path engaged with FastReads off")
+		}
+		if fast.fs.CacheStats().FastReads == 0 {
+			t.Fatalf("seed %d: fast path never engaged", seed)
+		}
+	}
+}
+
+// TestFastReadBoundedEquivalence repeats the comparison under a tight
+// residency budget with read-ahead and background write-back on, so the
+// fast path coexists with eviction, in-flight fills, and the flusher.
+func TestFastReadBoundedEquivalence(t *testing.T) {
+	cfg := aeofs.CacheConfig{
+		CacheBytes:   48 * aeofs.BlockSize,
+		MaxReadahead: 8,
+	}
+	fastCfg := cfg
+	fastCfg.FastReads = true
+	base := newCacheFixture(t, 1, cfg)
+	fast := newCacheFixture(t, 1, fastCfg)
+	slowOut := randomOps(t, base, 99)
+	fastOut := randomOps(t, fast, 99)
+	for i := range slowOut {
+		if !bytes.Equal(slowOut[i], fastOut[i]) {
+			t.Fatalf("bounded: read %d diverged", i)
+		}
+	}
+}
+
+// TestLockOrderUnderWorkload turns the debug lock-order assertion on and
+// drives the full stack — bounded budget (evictions under budgetMu),
+// read-ahead, background write-back, concurrent readers and writers on two
+// cores — so any budgetMu/rangeLock/treeLock inversion in the real call
+// sites panics the run.
+func TestLockOrderUnderWorkload(t *testing.T) {
+	aeofs.SetLockOrderCheck(true)
+	defer aeofs.SetLockOrderCheck(false)
+	cfg := aeofs.CacheConfig{
+		CacheBytes:     32 * aeofs.BlockSize,
+		MaxReadahead:   8,
+		DirtyHighWater: 8 * aeofs.BlockSize,
+		FastReads:      true,
+	}
+	fx := newCacheFixture(t, 2, cfg)
+	fx.run(t, "seed", func(env *sim.Env) error {
+		return writeFile(env, fx.fs, "/wk.dat", pattern(128*aeofs.BlockSize, 5))
+	})
+	var rerr, werr error
+	fx.m.Eng.Spawn("reader", fx.m.Eng.Core(0), func(env *sim.Env) {
+		if _, e := fx.p.Driver.CreateQP(env); e != nil {
+			rerr = e
+			return
+		}
+		fd, err := fx.fs.Open(env, "/wk.dat", aeofs.O_RDONLY)
+		if err != nil {
+			rerr = err
+			return
+		}
+		buf := make([]byte, 3*aeofs.BlockSize)
+		for i := 0; i < 200; i++ {
+			if _, err := fx.fs.ReadAt(env, fd, buf, uint64((i*17)%120)*aeofs.BlockSize); err != nil {
+				rerr = err
+				return
+			}
+		}
+		rerr = fx.fs.Close(env, fd)
+	})
+	fx.m.Eng.Spawn("writer", fx.m.Eng.Core(1), func(env *sim.Env) {
+		if _, e := fx.p.Driver.CreateQP(env); e != nil {
+			werr = e
+			return
+		}
+		fd, err := fx.fs.Open(env, "/wk.dat", aeofs.O_RDWR)
+		if err != nil {
+			werr = err
+			return
+		}
+		for i := 0; i < 100; i++ {
+			off := uint64((i*31)%120)*aeofs.BlockSize + 100
+			if _, err := fx.fs.WriteAt(env, fd, pattern(aeofs.BlockSize/2, byte(i)), off); err != nil {
+				werr = err
+				return
+			}
+			if i%25 == 24 {
+				if err := fx.fs.Fsync(env, fd); err != nil {
+					werr = err
+					return
+				}
+			}
+		}
+		werr = fx.fs.Close(env, fd)
+	})
+	fx.m.Run(0)
+	if rerr != nil || werr != nil {
+		t.Fatalf("workload errors: reader=%v writer=%v", rerr, werr)
+	}
+	if fx.fs.CacheStats().Evictions == 0 {
+		t.Fatal("workload never evicted — the budgetMu→rangeLock→treeLock chain was not exercised")
+	}
+}
+
+// TestContentionModelCharges verifies the opt-in budgetMu contention model:
+// the same two-core charge pattern must consume strictly more virtual time
+// with ContentionModel on (the cache-line transfers) than off.
+func TestContentionModelCharges(t *testing.T) {
+	elapsed := func(model bool) (d int64) {
+		cfg := aeofs.CacheConfig{CacheBytes: 64 * aeofs.BlockSize, ContentionModel: model}
+		fx := newCacheFixture(t, 2, cfg)
+		fx.run(t, "seed", func(env *sim.Env) error {
+			return writeFile(env, fx.fs, "/c.dat", pattern(16*aeofs.BlockSize, 2))
+		})
+		done := make([]bool, 2)
+		for c := 0; c < 2; c++ {
+			c := c
+			fx.m.Eng.Spawn(fmt.Sprintf("t%d", c), fx.m.Eng.Core(c), func(env *sim.Env) {
+				if _, e := fx.p.Driver.CreateQP(env); e != nil {
+					return
+				}
+				fd, err := fx.fs.Open(env, "/c.dat", aeofs.O_RDONLY)
+				if err != nil {
+					return
+				}
+				buf := make([]byte, aeofs.BlockSize)
+				for i := 0; i < 50; i++ {
+					if _, err := fx.fs.ReadAt(env, fd, buf, uint64(i%16)*aeofs.BlockSize); err != nil {
+						return
+					}
+				}
+				if fx.fs.Close(env, fd) == nil {
+					done[c] = true
+				}
+			})
+		}
+		end := fx.m.Run(0)
+		if !done[0] || !done[1] {
+			t.Fatal("contention workload did not finish")
+		}
+		return int64(end)
+	}
+	off := elapsed(false)
+	on := elapsed(true)
+	if on <= off {
+		t.Fatalf("ContentionModel added no time: on=%d off=%d", on, off)
+	}
+}

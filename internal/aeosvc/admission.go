@@ -3,6 +3,7 @@ package aeosvc
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"aeolia/internal/uintr"
@@ -53,7 +54,10 @@ type tenantState struct {
 	queue   []*pending
 	deficit float64 // weighted-fair dequeue credit
 
-	received, admitted, shed uint64
+	// Atomic: snapshotted by TenantStats while the dispatcher is still
+	// admitting (experiments poll mid-run), and hammered alongside the
+	// server counters in the race-tier test.
+	received, admitted, shed atomic.Uint64
 }
 
 func (ts *tenantState) weight() float64 {
@@ -192,32 +196,32 @@ func (a *Admission) Offer(now time.Duration, p *pending) bool {
 			// charge, no stats row to lose — count it on a synthetic
 			// row so accounting still balances).
 			ts = a.addTenant(TenantConfig{ID: p.req.Tenant, OpsPerSec: -1})
-			ts.received++
-			ts.shed++
+			ts.received.Add(1)
+			ts.shed.Add(1)
 			return false
 		}
 		ts = a.addTenant(TenantConfig{ID: p.req.Tenant})
 	}
-	ts.received++
+	ts.received.Add(1)
 	if a.enabled {
 		if ts.cfg.OpsPerSec < 0 {
-			ts.shed++
+			ts.shed.Add(1)
 			return false
 		}
 		ts.refill(now)
 		if ts.cfg.OpsPerSec > 0 && ts.tokens < 1 {
-			ts.shed++
+			ts.shed.Add(1)
 			return false
 		}
 		if ts.cfg.MaxBacklog > 0 && len(ts.queue) >= ts.cfg.MaxBacklog {
-			ts.shed++
+			ts.shed.Add(1)
 			return false
 		}
 		if ts.cfg.OpsPerSec > 0 {
 			ts.tokens--
 		}
 	}
-	ts.admitted++
+	ts.admitted.Add(1)
 	ts.queue = append(ts.queue, p)
 	a.queued++
 	return true
@@ -278,7 +282,7 @@ func (a *Admission) TenantStats() []TenantStats {
 	out := make([]TenantStats, 0, len(a.tenants))
 	for _, ts := range a.tenants {
 		out = append(out, TenantStats{ID: ts.cfg.ID, Class: ts.cfg.Class,
-			Received: ts.received, Admitted: ts.admitted, Shed: ts.shed})
+			Received: ts.received.Load(), Admitted: ts.admitted.Load(), Shed: ts.shed.Load()})
 	}
 	return out
 }
@@ -286,9 +290,9 @@ func (a *Admission) TenantStats() []TenantStats {
 // CheckAccounting verifies received == admitted + shed for every tenant.
 func (a *Admission) CheckAccounting() error {
 	for _, ts := range a.tenants {
-		if ts.received != ts.admitted+ts.shed {
+		if ts.received.Load() != ts.admitted.Load()+ts.shed.Load() {
 			return fmt.Errorf("aeosvc: tenant %d accounting mismatch: received %d != admitted %d + shed %d",
-				ts.cfg.ID, ts.received, ts.admitted, ts.shed)
+				ts.cfg.ID, ts.received.Load(), ts.admitted.Load(), ts.shed.Load())
 		}
 	}
 	return nil

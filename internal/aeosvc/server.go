@@ -3,9 +3,11 @@ package aeosvc
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"aeolia/internal/aeokern"
+	"aeolia/internal/iobuf"
 	"aeolia/internal/kv"
 	"aeolia/internal/mpk"
 	"aeolia/internal/netsim"
@@ -112,12 +114,18 @@ type Server struct {
 	upid   *uintr.UPID
 	ext    *sched.ExtMap
 
-	// Stats.
-	Received, Admitted, Shed, FSOps, Replied uint64
-	BadRequests                              uint64
-	HandlerRuns, KernelDeliveries            uint64
-	ActiveChecks, BlockedWaits               uint64
-	ReplyRetries                             uint64
+	// Stats. Atomic: the IRQ-context handlers (userHandler, kernelDeliver)
+	// and worker tasks on other cores all bump these, and the race-tier
+	// hammer test pounds them from real goroutines.
+	Received, Admitted, Shed, FSOps, Replied atomic.Uint64
+	BadRequests                              atomic.Uint64
+	HandlerRuns, KernelDeliveries            atomic.Uint64
+	ActiveChecks, BlockedWaits               atomic.Uint64
+	ReplyRetries                             atomic.Uint64
+
+	// copyAnnounced latches the one-time CopyBudget announcement for the
+	// service read path.
+	copyAnnounced atomic.Bool
 
 	failure error
 }
@@ -226,10 +234,10 @@ func (s *Server) ServeRx(env *sim.Env) {
 				continue
 			}
 			if s.othersRunnable(env) {
-				s.BlockedWaits++
+				s.BlockedWaits.Add(1)
 				env.BlockOn(c)
 			} else {
-				s.ActiveChecks++
+				s.ActiveChecks.Add(1)
 				env.SpinWait(c)
 			}
 			continue
@@ -286,7 +294,7 @@ func (s *Server) emitHandler(typ trace.Type, core int, aux uint64) {
 // the task by firing the arrival completion, and evaluates user_try_yield
 // before returning (§6.1 decision point).
 func (s *Server) userHandler(ctx *sim.IRQCtx, uv uint8) {
-	s.HandlerRuns++
+	s.HandlerRuns.Add(1)
 	s.emitHandler(trace.HandlerEnter, ctx.Core().ID, uint64(uv))
 	defer s.emitHandler(trace.HandlerExit, ctx.Core().ID, uint64(uv))
 	s.ep.SignalArrival()
@@ -302,7 +310,7 @@ func (s *Server) userHandler(ctx *sim.IRQCtx, uv uint8) {
 // when the dispatcher resumes, and wakes it — exactly the driver's NVMe
 // completion fallback, reused for network completions.
 func (s *Server) kernelDeliver(ctx *sim.IRQCtx, vec int) {
-	s.KernelDeliveries++
+	s.KernelDeliveries.Add(1)
 	ctx.Charge(timing.KernelInterrupt)
 	pir := s.upid.TakePIR()
 	if tr := s.eng.Tracer; tr != nil && s.upid.Classes != nil {
@@ -313,14 +321,14 @@ func (s *Server) kernelDeliver(ctx *sim.IRQCtx, vec int) {
 		return
 	}
 	if t.State() == sim.TaskRunning {
-		s.HandlerRuns++
+		s.HandlerRuns.Add(1)
 		s.emitHandler(trace.HandlerEnter, ctx.Core().ID, trace.KernelPathAux)
 		s.ep.SignalArrival()
 		s.emitHandler(trace.HandlerExit, ctx.Core().ID, trace.KernelPathAux)
 		return
 	}
 	t.PushResumeHook(func() time.Duration {
-		s.HandlerRuns++
+		s.HandlerRuns.Add(1)
 		core := -1
 		if c := t.Core(); c != nil {
 			core = c.ID
@@ -348,7 +356,7 @@ func (s *Server) handle(env *sim.Env, m *netsim.Msg) {
 	req, err := DecodeRequest(m.Payload)
 	if err != nil {
 		// Undecodable frame: no request id to reply to.
-		s.BadRequests++
+		s.BadRequests.Add(1)
 		return
 	}
 	conn := s.conn(m)
@@ -356,7 +364,7 @@ func (s *Server) handle(env *sim.Env, m *netsim.Msg) {
 	if conn.outstanding > conn.maxOutstanding {
 		conn.maxOutstanding = conn.outstanding
 	}
-	s.Received++
+	s.Received.Add(1)
 	if tr := s.eng.Tracer; tr != nil {
 		tr.Emit(now, trace.SvcReqRecv, s.coreID(env), int(conn.id), uint32(req.ID), 0, uint64(req.Op))
 	}
@@ -368,18 +376,18 @@ func (s *Server) handle(env *sim.Env, m *netsim.Msg) {
 		tenantAux |= uint64(s.adm.ClassOf(req.Tenant)) << 16
 	}
 	if s.adm.Offer(now, p) {
-		s.Admitted++
+		s.Admitted.Add(1)
 		if tr := s.eng.Tracer; tr != nil {
 			tr.Emit(now, trace.SvcAdmit, s.coreID(env), int(conn.id), uint32(req.ID), 0, tenantAux)
 		}
 		s.workWQ.Signal(s.eng)
 		return
 	}
-	s.Shed++
+	s.Shed.Add(1)
 	if tr := s.eng.Tracer; tr != nil {
 		tr.Emit(now, trace.SvcShed, s.coreID(env), int(conn.id), uint32(req.ID), 0, tenantAux)
 	}
-	s.reply(env, p, Response{ID: req.ID, Status: StatusThrottled})
+	s.reply(env, p, Response{ID: req.ID, Status: StatusThrottled}, nil)
 }
 
 // conn returns (creating if needed) the connection state for a message's
@@ -448,7 +456,7 @@ func (s *Server) ServeWorker(env *sim.Env) {
 				return
 			}
 		}
-		resp := s.execute(env, p)
+		resp, enc := s.execute(env, p)
 		if tr := s.eng.Tracer; tr != nil {
 			var moved uint64
 			if resp.Status == StatusOK {
@@ -456,21 +464,25 @@ func (s *Server) ServeWorker(env *sim.Env) {
 			}
 			tr.Emit(env.Now(), trace.SvcFSOp, s.coreID(env), int(p.conn), uint32(p.req.ID), 0, moved)
 		}
-		s.FSOps++
-		s.reply(env, p, resp)
+		s.FSOps.Add(1)
+		s.reply(env, p, resp, enc)
 	}
 }
 
 // execute runs one admitted request against the file system / KV store,
-// enforcing the connection's handle capability table.
-func (s *Server) execute(env *sim.Env, p *pending) Response {
+// enforcing the connection's handle capability table. For OpRead it also
+// returns the pre-encoded reply frame (the read landed directly in its
+// payload region); enc is nil for every other outcome and reply falls back
+// to Response.Encode.
+func (s *Server) execute(env *sim.Env, p *pending) (Response, []byte) {
 	req := &p.req
 	resp := Response{ID: req.ID}
+	var enc []byte
 	cs := s.conns[p.conn]
-	fail := func(err error) Response {
+	fail := func(err error) (Response, []byte) {
 		resp.Status = StatusErr
 		resp.Err = err.Error()
-		return resp
+		return resp, nil
 	}
 	needFD := func() error {
 		if cs == nil || !cs.fds[req.FD] {
@@ -500,13 +512,25 @@ func (s *Server) execute(env *sim.Env, p *pending) Response {
 		if err := needFD(); err != nil {
 			return fail(err)
 		}
-		buf := make([]byte, req.Len)
-		n, err := s.fs.ReadAt(env, int(req.FD), buf, req.Off)
+		// Zero-copy reply: allocate the response frame up front and read
+		// straight into its payload region, so the page cache's copy-out is
+		// the only copy between cached data and wire bytes. The old path
+		// staged the read in a scratch buffer that Encode copied again.
+		f := newReadFrame(req.ID, int(req.Len))
+		n, err := s.fs.ReadAt(env, int(req.FD), f.Payload(), req.Off)
 		if err != nil {
 			return fail(err)
 		}
-		resp.Data = buf[:n]
+		enc = f.Finish(n)
 		resp.Value = uint32(n)
+		if cid := s.beginChain(trace.PathSvcRead, 1); cid != trace.NoCID {
+			// The single budgeted copy on the service read path is the page
+			// cache → frame transfer ReadAt just performed; the frame then
+			// moves to the network by reference.
+			s.emitPath(trace.BufCopy, trace.PathSvcRead, cid, uint64(n))
+			s.emitPath(trace.BufHandoff, trace.PathSvcRead, cid,
+				iobuf.HandoffAux(iobuf.StageSvc, iobuf.StageNet))
+		}
 	case OpWrite:
 		if err := needFD(); err != nil {
 			return fail(err)
@@ -550,19 +574,42 @@ func (s *Server) execute(env *sim.Env, p *pending) Response {
 		return fail(fmt.Errorf("aeosvc: unhandled op %v", req.Op))
 	}
 	resp.Status = StatusOK
-	return resp
+	return resp, enc
 }
 
-// reply sends the response for p, retiring its connection slot. Reply-link
-// backpressure (ErrOverflow) is absorbed by a bounded retry loop — the
-// closed-loop clients keep reply queues shallow, so this only triggers
-// under deliberately tiny link depths.
-func (s *Server) reply(env *sim.Env, p *pending, resp Response) {
-	enc := resp.Encode()
+// beginChain allocates a copy-accounting chain id for one service read,
+// announcing the path's copy budget to the analyzer on first use. Returns
+// trace.NoCID when the engine is untraced.
+func (s *Server) beginChain(path int, budget uint64) uint32 {
+	tr := s.eng.Tracer
+	if tr == nil {
+		return trace.NoCID
+	}
+	if s.copyAnnounced.CompareAndSwap(false, true) {
+		tr.Emit(s.eng.Now(), trace.CopyBudget, -1, path, trace.NoCID, 0, budget)
+	}
+	return tr.NextChain()
+}
+
+// emitPath emits one copy-accounting event (QID carries the path id, CID
+// the chain id).
+func (s *Server) emitPath(typ trace.Type, path int, cid uint32, aux uint64) {
+	s.eng.Tracer.Emit(s.eng.Now(), typ, -1, path, cid, 0, aux)
+}
+
+// reply sends the response for p, retiring its connection slot. enc, when
+// non-nil, is the pre-encoded frame from the zero-copy read path; otherwise
+// the response is encoded here. Reply-link backpressure (ErrOverflow) is
+// absorbed by a bounded retry loop — the closed-loop clients keep reply
+// queues shallow, so this only triggers under deliberately tiny link depths.
+func (s *Server) reply(env *sim.Env, p *pending, resp Response, enc []byte) {
+	if enc == nil {
+		enc = resp.Encode()
+	}
 	if tr := s.eng.Tracer; tr != nil {
 		tr.Emit(env.Now(), trace.SvcReply, s.coreID(env), int(p.conn), uint32(p.req.ID), 0, uint64(resp.Status))
 	}
-	s.Replied++
+	s.Replied.Add(1)
 	if cs := s.conns[p.conn]; cs != nil {
 		cs.outstanding--
 	}
@@ -575,7 +622,7 @@ func (s *Server) reply(env *sim.Env, p *pending, resp Response) {
 			s.fail(fmt.Errorf("aeosvc: reply to %s: %w", p.replyTo, err))
 			return
 		}
-		s.ReplyRetries++
+		s.ReplyRetries.Add(1)
 		env.Sleep(5 * time.Microsecond)
 	}
 }
@@ -590,8 +637,8 @@ type Stats struct {
 // Stats snapshots the accounting counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Received: s.Received, Admitted: s.Admitted, Shed: s.Shed,
-		FSOps: s.FSOps, Replied: s.Replied, BadRequests: s.BadRequests,
+		Received: s.Received.Load(), Admitted: s.Admitted.Load(), Shed: s.Shed.Load(),
+		FSOps: s.FSOps.Load(), Replied: s.Replied.Load(), BadRequests: s.BadRequests.Load(),
 		Tenants: s.adm.TenantStats(),
 	}
 }
@@ -604,15 +651,16 @@ func (s *Server) CheckAccounting() error {
 	if s.failure != nil {
 		return s.failure
 	}
-	if s.Received != s.Admitted+s.Shed {
+	received, admitted := s.Received.Load(), s.Admitted.Load()
+	if received != admitted+s.Shed.Load() {
 		return fmt.Errorf("aeosvc: received %d != admitted %d + shed %d",
-			s.Received, s.Admitted, s.Shed)
+			received, admitted, s.Shed.Load())
 	}
-	if s.FSOps != s.Admitted {
-		return fmt.Errorf("aeosvc: %d fs ops for %d admitted requests", s.FSOps, s.Admitted)
+	if s.FSOps.Load() != admitted {
+		return fmt.Errorf("aeosvc: %d fs ops for %d admitted requests", s.FSOps.Load(), admitted)
 	}
-	if s.Replied != s.Received {
-		return fmt.Errorf("aeosvc: %d replies for %d received requests", s.Replied, s.Received)
+	if s.Replied.Load() != received {
+		return fmt.Errorf("aeosvc: %d replies for %d received requests", s.Replied.Load(), received)
 	}
 	var recv, adm, shed uint64
 	for _, ts := range s.adm.TenantStats() {
@@ -620,9 +668,9 @@ func (s *Server) CheckAccounting() error {
 		adm += ts.Admitted
 		shed += ts.Shed
 	}
-	if recv != s.Received || adm != s.Admitted || shed != s.Shed {
+	if recv != received || adm != admitted || shed != s.Shed.Load() {
 		return fmt.Errorf("aeosvc: tenant totals (%d/%d/%d) disagree with server counters (%d/%d/%d)",
-			recv, adm, shed, s.Received, s.Admitted, s.Shed)
+			recv, adm, shed, received, admitted, s.Shed.Load())
 	}
 	return s.adm.CheckAccounting()
 }

@@ -160,8 +160,8 @@ func TestServiceEndToEnd(t *testing.T) {
 	for _, v := range an.Violations {
 		t.Errorf("violation: %+v", v)
 	}
-	if got := len(an.SvcChains); got != int(r.srv.Received) {
-		t.Fatalf("%d svc chains for %d received requests", got, r.srv.Received)
+	if got := len(an.SvcChains); got != int(r.srv.Received.Load()) {
+		t.Fatalf("%d svc chains for %d received requests", got, r.srv.Received.Load())
 	}
 	for _, c := range an.SvcChains {
 		if !c.Complete() {
@@ -210,7 +210,7 @@ func TestUintrDeliveryAtServiceEdge(t *testing.T) {
 	if r.srv.UPID() == nil || r.srv.UPID().NotifySent.Load() == 0 {
 		t.Fatal("no notification interrupts posted for network arrivals")
 	}
-	if r.srv.HandlerRuns == 0 {
+	if r.srv.HandlerRuns.Load() == 0 {
 		t.Fatal("dispatcher's interrupt handler never ran")
 	}
 }
@@ -256,8 +256,8 @@ func TestAdmissionShedsAndClientsRecover(t *testing.T) {
 	if shed == 0 {
 		t.Fatal("no sheds under a deliberately undersized budget")
 	}
-	if r.srv.Shed == 0 || r.srv.Shed != shed {
-		t.Fatalf("server shed %d, clients observed %d", r.srv.Shed, shed)
+	if r.srv.Shed.Load() == 0 || r.srv.Shed.Load() != shed {
+		t.Fatalf("server shed %d, clients observed %d", r.srv.Shed.Load(), shed)
 	}
 	if err := r.srv.CheckAccounting(); err != nil {
 		t.Fatal(err)
@@ -277,8 +277,8 @@ func TestAdmissionShedsAndClientsRecover(t *testing.T) {
 			shedChains++
 		}
 	}
-	if uint64(shedChains) != r.srv.Shed {
-		t.Fatalf("%d shed chains for %d sheds", shedChains, r.srv.Shed)
+	if uint64(shedChains) != r.srv.Shed.Load() {
+		t.Fatalf("%d shed chains for %d sheds", shedChains, r.srv.Shed.Load())
 	}
 }
 

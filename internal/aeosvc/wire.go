@@ -12,6 +12,7 @@
 package aeosvc
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -169,6 +170,47 @@ func (r *Response) Encode() []byte {
 		U8(respMagic).U8(byte(r.Status)).U16(uint16(len(r.Err))).
 		U64(r.ID).U32(r.Value).U32(uint32(len(r.Data))).
 		Str(r.Err).Bytes(r.Data).Frame()
+}
+
+// readFrame is a pre-sized StatusOK read response. The whole frame is
+// allocated before the file system runs and the payload region is handed to
+// ReadAt, so the page cache's copy-out lands directly in the wire bytes.
+// The generic path (Response.Data + Encode) would stage the data in a
+// scratch buffer and copy it a second time into the frame; this type is
+// what makes the service read path one-copy end to end.
+type readFrame struct {
+	frame []byte
+}
+
+// Response wire offsets (see the layout comment on Response).
+const (
+	respValueOff = 1 + 1 + 2 + 8 // value(4)
+	respDlenOff  = respValueOff + 4
+)
+
+// newReadFrame allocates a StatusOK response frame with room for dataCap
+// payload bytes. Fill Payload(), then Finish(n) with the byte count
+// actually read.
+func newReadFrame(id uint64, dataCap int) *readFrame {
+	b := make([]byte, respHeader+dataCap)
+	b[0] = respMagic
+	b[1] = byte(StatusOK)
+	binary.LittleEndian.PutUint16(b[2:], 0) // elen: OK replies carry no error
+	binary.LittleEndian.PutUint64(b[4:], id)
+	// value and dlen are patched by Finish once n is known.
+	return &readFrame{frame: b}
+}
+
+// Payload is the frame's data region, sized to the request's read length.
+func (f *readFrame) Payload() []byte { return f.frame[respHeader:] }
+
+// Finish records the bytes actually read (short reads at EOF trim the
+// frame) and returns the finished wire frame. The result is byte-identical
+// to Response{ID, Value: n, Data: payload[:n]}.Encode().
+func (f *readFrame) Finish(n int) []byte {
+	binary.LittleEndian.PutUint32(f.frame[respValueOff:], uint32(n))
+	binary.LittleEndian.PutUint32(f.frame[respDlenOff:], uint32(n))
+	return f.frame[:respHeader+n]
 }
 
 // DecodeResponse parses one response frame.

@@ -48,6 +48,30 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReadFrameIdentity pins the zero-copy read reply to the generic
+// encoder: filling a pre-sized frame and finishing it at n bytes must be
+// byte-identical to Response.Encode with the same payload, for full,
+// short (EOF-trimmed), and empty reads.
+func TestReadFrameIdentity(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5E, 0x11}, 300)
+	for _, n := range []int{len(payload), 123, 1, 0} {
+		f := newReadFrame(77, len(payload))
+		copy(f.Payload(), payload)
+		got := f.Finish(n)
+		want := (&Response{ID: 77, Status: StatusOK, Value: uint32(n), Data: payload[:n]}).Encode()
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d: frame diverged from Encode:\n got %x\nwant %x", n, got, want)
+		}
+		dec, err := DecodeResponse(got)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if dec.Value != uint32(n) || !bytes.Equal(dec.Data, payload[:n]) {
+			t.Fatalf("n=%d: round trip mismatch: %+v", n, dec)
+		}
+	}
+}
+
 func TestDecodeRequestErrors(t *testing.T) {
 	good := (&Request{ID: 1, Op: OpRead, FD: 1, Len: 8}).Encode()
 

@@ -55,6 +55,7 @@ func All() []*Experiment {
 		{"fig_replication", "Replicated multi-raft block cluster: goodput/latency vs replication factor under faults", FigReplication},
 		{"fig_simscale", "Simulator scale: 64-node/1024-client cluster, serial vs parallel lanes", FigSimScale},
 		{"fig_mdscale", "MGM/FST metadata/data split: namespace throughput vs MDS shard count", MDScale},
+		{"fig_zerocopy", "Zero-copy datapath: ring vs batched block IOPS; locked vs epoch cache-hit read scaling", FigZerocopy},
 	}
 }
 

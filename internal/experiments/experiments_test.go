@@ -18,7 +18,7 @@ func TestRegistryCoversPaperEvaluation(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "tab6", "tab8", "abl1", "abl2",
 		"qdsweep", "svcscale", "fig_cache", "fig_slo", "fig_replication",
-		"fig_simscale", "fig_mdscale",
+		"fig_simscale", "fig_mdscale", "fig_zerocopy",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aeolia/internal/aeodriver"
+	"aeolia/internal/aeofs"
+	"aeolia/internal/aeokern"
+	"aeolia/internal/machine"
+	"aeolia/internal/nvme"
+	"aeolia/internal/report"
+	"aeolia/internal/sim"
+	"aeolia/internal/trace"
+	"aeolia/internal/vfs"
+)
+
+// Zero-copy datapath study. Two halves:
+//
+//  1. Block path: 512B random-read IOPS at fixed queue depth through three
+//     submission datapaths — one command per doorbell, batched SQEs with
+//     coalesced completion interrupts, and the lock-free zero-copy staging
+//     ring (pre-registered buffers, timing.RingPrep/RingComplete per
+//     command instead of the SQE-build/completion halves).
+//  2. Cache path: per-core cache-hit read throughput of AeoFS as reader
+//     cores scale 1→8, with the locked lookup path (budgetMu/treeLock,
+//     cache-line contention modeled) against the epoch fast-read path that
+//     never takes a lock on a hit.
+const (
+	zcBlockSize = 512
+	zcBlocks    = 1 << 16
+	zcWindow    = 2 * time.Millisecond
+	zcQD        = 32
+
+	zcFilePages    = 64
+	zcReadsPerCore = 2000
+)
+
+// zcCores is the reader-core sweep of the cache half.
+var zcCores = []int{1, 2, 4, 8}
+
+// zcDevModel returns the wide device used by the block half: the stock
+// P5800X model caps 512B reads at ~1.95 M IOPS (6 channels x ~3.07us), so
+// past the batched baseline every datapath saturates flash, not software.
+// Quadrupling the internal parallelism (as on a multi-die enterprise part)
+// moves the bottleneck back to the submission/completion software path this
+// figure is about; bus bandwidth and media latency stay calibrated.
+func zcDevModel() nvme.LatencyModel {
+	m := nvme.P5800X()
+	m.Channels = 24
+	return m
+}
+
+// zcRingRun measures sustained 512B random-read KIOPS at queue depth qd on
+// a one-core machine with the wide device model. mode selects the
+// datapath: "one" (one command per doorbell, per-CQE interrupts),
+// "batched" (SubmitBatch units with matched coalescing — the prior
+// baseline), or "ring" (batched plus the zero-copy staging ring). Also
+// returns the ring-staged command count (zero unless mode == "ring").
+func zcRingRun(mode string, qd int, tr *trace.Tracer) (float64, uint64, error) {
+	cfg := aeodriver.Config{
+		Mode:       aeodriver.ModeUserInterrupt,
+		QueueDepth: 2*qd + 2,
+	}
+	unit := 1
+	if mode == "batched" || mode == "ring" {
+		unit = qdSweepUnit(qd)
+		cfg.Coalesce = nvme.Coalescing{MaxEvents: unit, MaxDelay: 20 * time.Microsecond}
+	}
+	if mode == "ring" {
+		cfg.ZeroCopyRing = true
+	}
+	m := machine.New(1, nvme.Config{BlockSize: zcBlockSize, NumBlocks: zcBlocks, Model: zcDevModel()})
+	defer m.Eng.Shutdown()
+	m.Eng.Tracer = tr
+	p, err := m.Launch("zerocopy", aeokern.Partition{Start: 0, Blocks: zcBlocks, Writable: true}, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	var kiops float64
+	var staged uint64
+	var rerr error
+	m.Eng.Spawn("sweep", m.Eng.Core(0), func(env *sim.Env) {
+		th, err := p.Driver.CreateQP(env)
+		if err != nil {
+			rerr = err
+			return
+		}
+		var (
+			fifo        [][]*aeodriver.Request
+			next        uint64
+			outstanding int
+			ops         uint64
+		)
+		advance := func() uint64 {
+			lba := next
+			next = (next + 17) % zcBlocks
+			return lba
+		}
+		submitUnit := func() {
+			n := min(unit, qd-outstanding)
+			if n <= 0 {
+				return
+			}
+			if unit > 1 && n > 1 {
+				iov := make([]aeodriver.IOVec, n)
+				for i := range iov {
+					iov[i] = aeodriver.IOVec{LBA: advance(), Cnt: 1, Buf: make([]byte, zcBlockSize)}
+				}
+				reqs, err := p.Driver.SubmitBatch(env, nvme.OpRead, iov, false)
+				if err != nil {
+					rerr = err
+					return
+				}
+				fifo = append(fifo, reqs)
+			} else {
+				for i := 0; i < n; i++ {
+					req, err := p.Driver.Submit(env, nvme.OpRead, advance(), 1, make([]byte, zcBlockSize), false)
+					if err != nil {
+						rerr = err
+						return
+					}
+					fifo = append(fifo, []*aeodriver.Request{req})
+				}
+			}
+			outstanding += n
+		}
+		start := env.Now()
+		deadline := start + zcWindow
+		for env.Now() < deadline && rerr == nil {
+			for outstanding < qd && rerr == nil {
+				submitUnit()
+			}
+			if rerr != nil || len(fifo) == 0 {
+				break
+			}
+			b := fifo[0]
+			fifo = fifo[1:]
+			if err := p.Driver.WaitAll(env, b); err != nil {
+				rerr = err
+				return
+			}
+			outstanding -= len(b)
+			ops += uint64(len(b))
+		}
+		for _, b := range fifo {
+			if err := p.Driver.WaitAll(env, b); err != nil {
+				rerr = err
+				return
+			}
+			ops += uint64(len(b))
+		}
+		if span := env.Now() - start; span > 0 {
+			kiops = float64(ops) / span.Seconds() / 1e3
+		}
+		staged = th.RingStaged
+	})
+	m.Eng.Run(0)
+	if rerr != nil {
+		return 0, 0, rerr
+	}
+	return kiops, staged, nil
+}
+
+// zcCacheResult is one cell of the cache-hit scaling half.
+type zcCacheResult struct {
+	PerCoreKIOPS float64 // slowest reader's rate (= aggregate / cores at equal work)
+	FastReads    uint64  // epoch fast-path engagements (CacheStats)
+}
+
+// zcCacheRun measures cache-hit read throughput with `cores` reader tasks,
+// one per core, each issuing zcReadsPerCore single-block reads of a fully
+// resident file. fast selects the epoch lock-free read path; otherwise the
+// locked lookup path runs with the cache-line contention model on, which is
+// the honest baseline for a scaling claim (an uncontended-lock simulation
+// would show no degradation to escape from).
+func zcCacheRun(cores int, fast bool, tr *trace.Tracer) (*zcCacheResult, error) {
+	m := machine.New(cores, nvme.Config{BlockSize: aeofs.BlockSize, NumBlocks: 1 << 15})
+	defer m.Eng.Shutdown()
+	m.Eng.Tracer = tr
+	cfg := aeofs.CacheConfig{FastReads: fast, ContentionModel: !fast}
+	fi, err := m.BuildFS(machine.KindAeoFS, machine.FSOptions{
+		Journals: 8, JournalBlocks: 256, Cache: cfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var serr error
+	m.Eng.Spawn("seed", m.Eng.Core(0), func(env *sim.Env) {
+		if init, ok := fi.FS.(vfs.PerThreadInit); ok {
+			if err := init.InitThread(env); err != nil {
+				serr = err
+				return
+			}
+		}
+		fd, err := fi.FS.Open(env, "/zc.dat", vfs.O_CREATE|vfs.O_RDWR)
+		if err != nil {
+			serr = err
+			return
+		}
+		buf := make([]byte, zcFilePages*aeofs.BlockSize)
+		for i := range buf {
+			buf[i] = byte(i * 31)
+		}
+		if _, err := fi.FS.WriteAt(env, fd, buf, 0); err != nil {
+			serr = err
+			return
+		}
+		serr = fi.FS.Close(env, fd)
+	})
+	m.Run(0)
+	if serr != nil {
+		return nil, serr
+	}
+
+	spans := make([]time.Duration, cores)
+	errs := make([]error, cores)
+	for c := 0; c < cores; c++ {
+		c := c
+		m.Eng.Spawn(fmt.Sprintf("zc-rd%d", c), m.Eng.Core(c), func(env *sim.Env) {
+			if init, ok := fi.FS.(vfs.PerThreadInit); ok {
+				if err := init.InitThread(env); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+			fd, err := fi.FS.Open(env, "/zc.dat", vfs.O_RDONLY)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			buf := make([]byte, aeofs.BlockSize)
+			start := env.Now()
+			for i := 0; i < zcReadsPerCore; i++ {
+				off := uint64((i*7+c*13)%zcFilePages) * aeofs.BlockSize
+				if _, err := fi.FS.ReadAt(env, fd, buf, off); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+			spans[c] = env.Now() - start
+			errs[c] = fi.FS.Close(env, fd)
+		})
+	}
+	m.Run(0)
+	var slowest time.Duration
+	for c := 0; c < cores; c++ {
+		if errs[c] != nil {
+			return nil, fmt.Errorf("reader %d: %w", c, errs[c])
+		}
+		if spans[c] > slowest {
+			slowest = spans[c]
+		}
+	}
+	if slowest <= 0 {
+		return nil, fmt.Errorf("zerocopy: empty measurement window")
+	}
+	return &zcCacheResult{
+		PerCoreKIOPS: float64(zcReadsPerCore) / slowest.Seconds() / 1e3,
+		FastReads:    fi.AeoFS.CacheStats().FastReads,
+	}, nil
+}
+
+// FigZerocopy regenerates the zero-copy datapath study: ring vs batched vs
+// one-per-doorbell block IOPS on the wide device, and per-core cache-hit
+// read throughput 1→8 cores for the locked vs epoch read paths.
+func FigZerocopy() ([]*report.Table, error) {
+	t1 := &report.Table{
+		ID:    "zerocopy_ring",
+		Title: "512B random read KIOPS on the wide device: submission datapaths at fixed QD",
+		Columns: []string{"qd", "one/doorbell (KIOPS)", "batched+coalesced (KIOPS)",
+			"zerocopy ring (KIOPS)", "ring/batched"},
+	}
+	for _, qd := range []int{8, zcQD} {
+		one, _, err := zcRingRun("one", qd, nil)
+		if err != nil {
+			return nil, err
+		}
+		batched, _, err := zcRingRun("batched", qd, nil)
+		if err != nil {
+			return nil, err
+		}
+		ring, _, err := zcRingRun("ring", qd, nil)
+		if err != nil {
+			return nil, err
+		}
+		t1.AddRowf(fmt.Sprintf("%d", qd), one, batched, ring, ring/batched)
+	}
+	t1.Note("device: P5800X timing with 24 channels — software, not flash, is the bottleneck past the batched baseline")
+	t1.Note("ring: per-command RingPrep/RingComplete replace the SQE build and completion halves (pre-registered slots, lock-free SPSC)")
+
+	t2 := &report.Table{
+		ID:    "zerocopy_cache",
+		Title: "Cache-hit read scaling: per-core KIOPS, locked lookup (contention modeled) vs epoch fast reads",
+		Columns: []string{"cores", "locked (KIOPS/core)", "fast (KIOPS/core)",
+			"fast scaling efficiency"},
+	}
+	var fast1 float64
+	for _, cores := range zcCores {
+		locked, err := zcCacheRun(cores, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		fast, err := zcCacheRun(cores, true, nil)
+		if err != nil {
+			return nil, err
+		}
+		if cores == 1 {
+			fast1 = fast.PerCoreKIOPS
+		}
+		t2.AddRowf(fmt.Sprintf("%d", cores), locked.PerCoreKIOPS, fast.PerCoreKIOPS,
+			fast.PerCoreKIOPS/fast1)
+	}
+	t2.Note("%d readers x %d cache-hit reads of a %d-page resident file; per-core = slowest reader's rate", zcCores[len(zcCores)-1], zcReadsPerCore, zcFilePages)
+	t2.Note("locked baseline serializes on treeLock/budgetMu with cache-line transfer charges; fast path is the seqlock walk (no locks on a hit)")
+	return []*report.Table{t1, t2}, nil
+}
+
+// FigZerocopyTrace runs the ring cell at QD32 and the 4-core epoch cache
+// cell fully traced — each on its own tracer, since the two machines'
+// NVMe queue/command-id namespaces would collide in one event stream —
+// for the copy-budget invariant gate: every traced read/write chain must
+// stay within its announced per-path copy budget, and both zero-copy
+// mechanisms must demonstrably engage.
+func FigZerocopyTrace() (ringTr, cacheTr *trace.Tracer, ring float64, cache *zcCacheResult, err error) {
+	ringTr = trace.New(16, 1<<18)
+	ring, staged, err := zcRingRun("ring", zcQD, ringTr)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	if staged == 0 {
+		return nil, nil, 0, nil, fmt.Errorf("zerocopy: ring datapath never staged a command")
+	}
+	cacheTr = trace.New(16, 1<<18)
+	cache, err = zcCacheRun(4, true, cacheTr)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	if cache.FastReads == 0 {
+		return nil, nil, 0, nil, fmt.Errorf("zerocopy: epoch fast-read path never engaged")
+	}
+	if d := ringTr.Dropped() + cacheTr.Dropped(); d != 0 {
+		return nil, nil, 0, nil, fmt.Errorf("zerocopy: trace ring dropped %d events", d)
+	}
+	return ringTr, cacheTr, ring, cache, nil
+}

@@ -1,0 +1,156 @@
+// Package iobuf provides the pooled, single-owner buffers of the zero-copy
+// datapath. A Buf has exactly one owning stage at any moment; ownership moves
+// between stages by explicit Handoff (netsim rx → aeosvc → vfs/aeofs → page
+// cache → nvme block store), never by aliasing, and the buffer returns to its
+// pool when the final owner releases it. There is no reference count to get
+// wrong: a handoff that does not start at the current owner, a release by a
+// non-owner, or any use after release panics immediately, so ownership bugs
+// fail loudly at the seam that caused them instead of as silent data races.
+//
+// The stage codes double as the payload of trace.BufHandoff events
+// (Aux = from<<8 | to), so a recorded trace names every ownership move.
+package iobuf
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stage identifies the datapath stage that owns a buffer.
+type Stage uint8
+
+// The datapath stages, in hot-path order. StageFree is the pool's own
+// ownership: a free buffer belongs to nobody and any access panics.
+const (
+	StageFree Stage = iota
+	// StageNet: the buffer is a wire frame owned by the network edge
+	// (netsim delivery or a frame being assembled for Send).
+	StageNet
+	// StageSvc: the storage service (dispatcher or worker) owns the buffer.
+	StageSvc
+	// StageFS: the vfs/aeofs layer owns the buffer (user I/O span).
+	StageFS
+	// StageCache: the page cache owns the buffer (a resident page's data).
+	StageCache
+	// StageDev: the nvme block store owns the buffer (DMA in progress).
+	StageDev
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	StageFree:  "free",
+	StageNet:   "net",
+	StageSvc:   "svc",
+	StageFS:    "fs",
+	StageCache: "cache",
+	StageDev:   "dev",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) && stageNames[s] != "" {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("Stage(%d)", uint8(s))
+}
+
+// HandoffAux encodes an ownership move as the trace.BufHandoff Aux value.
+func HandoffAux(from, to Stage) uint64 { return uint64(from)<<8 | uint64(to) }
+
+// Buf is one pooled, single-owner buffer. The zero Buf is invalid; get one
+// from a Pool.
+type Buf struct {
+	data  []byte
+	owner Stage
+	pool  *Pool
+	next  *Buf // pool free list
+}
+
+// Data returns the buffer's payload. Panics if the buffer is free (released
+// back to its pool): that slice belongs to the pool's next Get.
+func (b *Buf) Data() []byte {
+	if b.owner == StageFree {
+		panic("iobuf: Data on a released buffer")
+	}
+	return b.data
+}
+
+// Owner returns the stage currently owning the buffer.
+func (b *Buf) Owner() Stage { return b.owner }
+
+// Handoff moves ownership from one stage to the next without copying. The
+// caller must be the current owner: a mismatched from panics, because it
+// means two stages both believed they held the buffer.
+func (b *Buf) Handoff(from, to Stage) {
+	if b.owner != from {
+		panic(fmt.Sprintf("iobuf: handoff %v→%v but owner is %v", from, to, b.owner))
+	}
+	if to == StageFree || to >= numStages {
+		panic(fmt.Sprintf("iobuf: handoff to invalid stage %v (use Release)", to))
+	}
+	b.owner = to
+}
+
+// Release returns the buffer to its pool. Only the current owner may release;
+// a second release (owner already StageFree) panics.
+func (b *Buf) Release(from Stage) {
+	if b.owner != from {
+		panic(fmt.Sprintf("iobuf: release by %v but owner is %v", from, b.owner))
+	}
+	b.owner = StageFree
+	b.pool.put(b)
+}
+
+// Pool recycles Bufs of one capacity class. Engine-single-threaded like the
+// rest of the simulation (the free list is plain); the counters are atomic so
+// race-detector hammer tests can observe them from real goroutines.
+type Pool struct {
+	cap  int
+	free *Buf
+
+	// Stats.
+	Gets, Puts, News atomic.Uint64
+}
+
+// NewPool builds a pool handing out buffers of capacity bufCap bytes.
+func NewPool(bufCap int) *Pool {
+	if bufCap <= 0 {
+		panic("iobuf: non-positive buffer capacity")
+	}
+	return &Pool{cap: bufCap}
+}
+
+// Cap returns the pool's buffer capacity class.
+func (p *Pool) Cap() int { return p.cap }
+
+// Get hands out a buffer of n bytes (n ≤ Cap) owned by the requesting stage.
+func (p *Pool) Get(n int, owner Stage) *Buf {
+	if n < 0 || n > p.cap {
+		panic(fmt.Sprintf("iobuf: Get(%d) from a %d-byte pool", n, p.cap))
+	}
+	if owner == StageFree || owner >= numStages {
+		panic(fmt.Sprintf("iobuf: Get for invalid owner %v", owner))
+	}
+	p.Gets.Add(1)
+	b := p.free
+	if b == nil {
+		p.News.Add(1)
+		b = &Buf{data: make([]byte, p.cap), pool: p}
+	} else {
+		p.free = b.next
+		b.next = nil
+	}
+	b.owner = owner
+	b.data = b.data[:n]
+	return b
+}
+
+func (p *Pool) put(b *Buf) {
+	p.Puts.Add(1)
+	b.data = b.data[:cap(b.data)]
+	b.next = p.free
+	p.free = b
+}
+
+// Outstanding returns how many buffers are currently held by some stage.
+func (p *Pool) Outstanding() uint64 { return p.Gets.Load() - p.Puts.Load() }

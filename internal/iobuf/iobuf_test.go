@@ -1,0 +1,123 @@
+package iobuf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLifecycle(t *testing.T) {
+	p := NewPool(4096)
+	b := p.Get(512, StageNet)
+	if b.Owner() != StageNet || len(b.Data()) != 512 {
+		t.Fatalf("fresh buf: owner=%v len=%d", b.Owner(), len(b.Data()))
+	}
+	b.Handoff(StageNet, StageSvc)
+	b.Handoff(StageSvc, StageFS)
+	if b.Owner() != StageFS {
+		t.Fatalf("owner after handoffs = %v", b.Owner())
+	}
+	b.Release(StageFS)
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after release", p.Outstanding())
+	}
+	// The next Get recycles the same backing array.
+	b2 := p.Get(4096, StageCache)
+	if p.News.Load() != 1 {
+		t.Fatalf("recycled Get allocated: News = %d", p.News.Load())
+	}
+	b2.Release(StageCache)
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestMisusePanics(t *testing.T) {
+	p := NewPool(1024)
+	b := p.Get(64, StageNet)
+	mustPanic(t, "handoff from non-owner", func() { b.Handoff(StageSvc, StageFS) })
+	mustPanic(t, "handoff to free", func() { b.Handoff(StageNet, StageFree) })
+	mustPanic(t, "release by non-owner", func() { b.Release(StageDev) })
+	b.Release(StageNet)
+	mustPanic(t, "double release", func() { b.Release(StageNet) })
+	mustPanic(t, "use after release", func() { _ = b.Data() })
+	mustPanic(t, "oversized get", func() { p.Get(2048, StageNet) })
+	mustPanic(t, "get for free owner", func() { p.Get(1, StageFree) })
+}
+
+// Property: driving a pool with an arbitrary op sequence (get / handoff /
+// release, each move made legally from the tracked owner) never leaves the
+// books inconsistent — every live buffer has a live owner, Outstanding
+// matches the tracked live set, and buffers never alias.
+func TestQuickOwnershipBooks(t *testing.T) {
+	check := func(ops []uint8) bool {
+		p := NewPool(256)
+		var live []*Buf
+		for _, op := range ops {
+			switch {
+			case op < 100 || len(live) == 0: // get
+				s := Stage(1 + op%uint8(numStages-1))
+				live = append(live, p.Get(int(op), s))
+			case op < 200: // handoff the oldest live buf one stage forward
+				b := live[0]
+				from := b.Owner()
+				to := from + 1
+				if to >= numStages {
+					to = StageNet
+				}
+				b.Handoff(from, to)
+			default: // release the newest live buf
+				b := live[len(live)-1]
+				live = live[:len(live)-1]
+				b.Release(b.Owner())
+			}
+			if p.Outstanding() != uint64(len(live)) {
+				return false
+			}
+			seen := map[*Buf]bool{}
+			for _, b := range live {
+				if b.Owner() == StageFree || seen[b] {
+					return false
+				}
+				seen[b] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the pool recycles rather than allocating — after any op
+// sequence, allocations never exceed the high-water mark of simultaneously
+// live buffers.
+func TestQuickPoolRecycles(t *testing.T) {
+	check := func(ops []bool) bool {
+		p := NewPool(64)
+		var live []*Buf
+		hwm := 0
+		for _, get := range ops {
+			if get || len(live) == 0 {
+				live = append(live, p.Get(64, StageDev))
+				if len(live) > hwm {
+					hwm = len(live)
+				}
+			} else {
+				b := live[len(live)-1]
+				live = live[:len(live)-1]
+				b.Release(StageDev)
+			}
+		}
+		return int(p.News.Load()) <= hwm
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

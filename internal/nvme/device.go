@@ -259,7 +259,18 @@ func (d *Device) validate(e *SubmissionEntry) Status {
 		if e.SLBA+uint64(e.NLB) > d.cfg.NumBlocks {
 			return StatusLBARange
 		}
-		if len(e.Data) < int(e.NLB)*d.cfg.BlockSize {
+		if len(e.SGL) > 0 {
+			total := 0
+			for _, seg := range e.SGL {
+				if len(seg)%d.cfg.BlockSize != 0 {
+					return StatusInvalidField
+				}
+				total += len(seg)
+			}
+			if total < int(e.NLB)*d.cfg.BlockSize {
+				return StatusInvalidField
+			}
+		} else if len(e.Data) < int(e.NLB)*d.cfg.BlockSize {
 			return StatusInvalidField
 		}
 		return StatusSuccess
@@ -342,7 +353,11 @@ func (d *Device) process(qp *QueuePair, e SubmissionEntry) {
 			if torn > e.NLB {
 				torn = e.NLB
 			}
-			tornData := e.Data[:int(torn)*d.cfg.BlockSize]
+			src := e.Data
+			if len(e.SGL) > 0 {
+				src = flattenSGL(e.SGL)
+			}
+			tornData := src[:int(torn)*d.cfg.BlockSize]
 			d.eng.Schedule(200*time.Nanosecond+fault.ExtraLatency, func() {
 				d.writeRaw(e.SLBA, torn, tornData)
 				qp.emit(trace.DeviceDone, uint32(e.CID), e.SLBA, uint64(fault.Status))
@@ -373,15 +388,62 @@ func (d *Device) process(qp *QueuePair, e SubmissionEntry) {
 		// cache then (a flush makes it durable).
 		switch e.Opcode {
 		case OpRead:
-			d.readRaw(e.SLBA, e.NLB, e.Data)
+			if len(e.SGL) > 0 {
+				d.moveSGL(OpRead, e.SLBA, e.NLB, e.SGL)
+			} else {
+				d.readRaw(e.SLBA, e.NLB, e.Data)
+			}
 		case OpWrite:
-			d.writeRaw(e.SLBA, e.NLB, e.Data)
+			if len(e.SGL) > 0 {
+				d.moveSGL(OpWrite, e.SLBA, e.NLB, e.SGL)
+			} else {
+				d.writeRaw(e.SLBA, e.NLB, e.Data)
+			}
 		case OpFlush:
 			d.destage()
 		}
 		qp.emit(trace.DeviceDone, uint32(e.CID), e.SLBA, uint64(StatusSuccess))
 		qp.postCompletion(e.CID, StatusSuccess)
 	})
+}
+
+// moveSGL transfers nlb blocks between the medium and a scatter-gather
+// list, segment by segment (validate already checked block alignment and
+// total length).
+func (d *Device) moveSGL(op Opcode, slba uint64, nlb uint32, sgl [][]byte) {
+	lba := slba
+	left := nlb
+	for _, seg := range sgl {
+		if left == 0 {
+			break
+		}
+		n := uint32(len(seg) / d.cfg.BlockSize)
+		if n > left {
+			n = left
+			seg = seg[:int(n)*d.cfg.BlockSize]
+		}
+		if op == OpRead {
+			d.readRaw(lba, n, seg)
+		} else {
+			d.writeRaw(lba, n, seg)
+		}
+		lba += uint64(n)
+		left -= n
+	}
+}
+
+// flattenSGL gathers a scatter-gather list into one contiguous buffer
+// (fault-injection paths only; the data path never materializes it).
+func flattenSGL(sgl [][]byte) []byte {
+	total := 0
+	for _, seg := range sgl {
+		total += len(seg)
+	}
+	out := make([]byte, 0, total)
+	for _, seg := range sgl {
+		out = append(out, seg...)
+	}
+	return out
 }
 
 // CreateQueuePair allocates a queue pair of the given depth. The interrupt

@@ -102,6 +102,12 @@ type SubmissionEntry struct {
 	SLBA   uint64
 	NLB    uint32 // number of logical blocks (not 0-based, unlike real NVMe)
 	Data   []byte
+	// SGL is an optional scatter-gather list that replaces Data: the
+	// transfer source (writes) or destination (reads) is the concatenation
+	// of the segments, each a whole number of blocks. Gather-DMA lets a
+	// host submit page-cache pages in place — no staging copy into one
+	// contiguous buffer. When SGL is non-empty, Data is ignored.
+	SGL [][]byte
 	// Prio is the command's completion priority tag for per-class
 	// interrupt coalescing: 0 is untagged, 1 the most urgent class, larger
 	// values less urgent (drivers encode their delivery class as class+1).

@@ -80,20 +80,27 @@ func (c Coalescing) enabled() bool { return c.MaxEvents > 1 }
 // driver's address space. The host fills SQ slots and rings the tail
 // doorbell; the device posts CQEs with alternating phase bits and the host
 // consumes them, updating the head doorbell.
+//
+// The ring indices follow the SPSC publication discipline of the zero-copy
+// datapath: each cursor has exactly one writer (host side: sqTail, cqHead;
+// device side: sqHead, cqTail, cqCount) and is published with an atomic
+// store after the slots it covers are written, so the opposite side's atomic
+// load observes fully written entries — no lock anywhere on the queue-pair
+// hot path.
 type QueuePair struct {
 	ID    int
 	dev   *Device
 	depth int
 
 	sq     []SubmissionEntry
-	sqTail int
-	sqHead int
+	sqTail atomic.Int64 // host-published: next SQ slot to fill
+	sqHead atomic.Int64 // device-published: next SQ slot to consume
 
 	cq      []CompletionEntry
-	cqHead  int
-	cqTail  int
+	cqHead  atomic.Int64 // host-published: next CQ slot to consume
+	cqTail  atomic.Int64 // device-published: next CQ slot to post
 	phase   bool
-	cqCount int // occupied CQ slots
+	cqCount atomic.Int64 // occupied CQ slots
 
 	// Vector is the interrupt vector the device signals on completion
 	// (the MSI-X table entry AeoKern programs).
@@ -216,7 +223,8 @@ func (qp *QueuePair) Submit(e SubmissionEntry) (*sim.Completion, error) {
 	}
 	qp.nextCID++
 	e.CID = qp.nextCID
-	qp.sq[qp.sqTail] = e
+	tail := int(qp.sqTail.Load())
+	qp.sq[tail] = e
 	comp := sim.NewCompletion()
 	qp.pending[e.CID] = comp
 	if e.Prio != 0 {
@@ -225,7 +233,7 @@ func (qp *QueuePair) Submit(e SubmissionEntry) (*sim.Completion, error) {
 	qp.emit(trace.SQEPrep, uint32(e.CID), e.SLBA, uint64(e.NLB))
 
 	// Ringing the doorbell hands the command to the device.
-	if err := qp.WriteSQDoorbell((qp.sqTail + 1) % qp.depth); err != nil {
+	if err := qp.WriteSQDoorbell((tail + 1) % qp.depth); err != nil {
 		delete(qp.pending, e.CID)
 		delete(qp.prio, e.CID)
 		return nil, err
@@ -256,7 +264,7 @@ func (qp *QueuePair) SubmitBatch(entries []SubmissionEntry) ([]Submitted, error)
 			ErrSQFull, qp.ID, n, qp.depth-1-qp.Inflight())
 	}
 	out := make([]Submitted, n)
-	tail := qp.sqTail
+	tail := int(qp.sqTail.Load())
 	for i, e := range entries {
 		qp.nextCID++
 		e.CID = qp.nextCID
@@ -289,15 +297,19 @@ func (qp *QueuePair) WriteSQDoorbell(tail int) error {
 		return fmt.Errorf("%w: SQ tail %d (depth %d)", ErrDoorbell, tail, qp.depth)
 	}
 	qp.SQDoorbells++
-	burst := (tail - qp.sqHead + qp.depth) % qp.depth
+	head := int(qp.sqHead.Load())
+	burst := (tail - head + qp.depth) % qp.depth
 	if burst > qp.MaxSQBurst {
 		qp.MaxSQBurst = burst
 	}
 	qp.emit(trace.DoorbellWrite, trace.NoCID, 0, uint64(burst))
-	qp.sqTail = tail
-	for qp.sqHead != tail {
-		e := qp.sq[qp.sqHead]
-		qp.sqHead = (qp.sqHead + 1) % qp.depth
+	// Publish the new tail before the device consumes: the slots it covers
+	// are fully written above.
+	qp.sqTail.Store(int64(tail))
+	for head != tail {
+		e := qp.sq[head]
+		head = (head + 1) % qp.depth
+		qp.sqHead.Store(int64(head))
 		qp.Submitted++
 		qp.dev.process(qp, e)
 	}
@@ -311,34 +323,38 @@ func (qp *QueuePair) WriteCQDoorbell(head int) error {
 	if head < 0 || head >= qp.depth {
 		return fmt.Errorf("%w: CQ head %d (depth %d)", ErrDoorbell, head, qp.depth)
 	}
-	dist := (head - qp.cqHead + qp.depth) % qp.depth
-	if dist > qp.cqCount {
-		return fmt.Errorf("%w: CQ head %d advances past tail %d", ErrDoorbell, head, qp.cqTail)
+	dist := (head - int(qp.cqHead.Load()) + qp.depth) % qp.depth
+	if dist > int(qp.cqCount.Load()) {
+		return fmt.Errorf("%w: CQ head %d advances past tail %d", ErrDoorbell, head, qp.cqTail.Load())
 	}
-	qp.cqHead = head
-	qp.cqCount -= dist
+	qp.cqHead.Store(int64(head))
+	qp.cqCount.Add(int64(-dist))
 	return nil
 }
 
 // postCompletion is called by the device when a command finishes.
 func (qp *QueuePair) postCompletion(cid uint16, st Status) {
-	if qp.cqCount == qp.depth {
+	if int(qp.cqCount.Load()) == qp.depth {
 		// A real device would stall; with SQ depth == CQ depth this
 		// cannot happen unless the host never consumes CQEs it was
 		// notified about.
 		panic("nvme: completion queue overflow")
 	}
-	qp.cq[qp.cqTail] = CompletionEntry{
+	tail := int(qp.cqTail.Load())
+	qp.cq[tail] = CompletionEntry{
 		CID:    cid,
 		Status: st,
-		SQHead: uint16(qp.sqHead),
+		SQHead: uint16(qp.sqHead.Load()),
 		Phase:  qp.phase,
 	}
-	qp.cqTail = (qp.cqTail + 1) % qp.depth
-	if qp.cqTail == 0 {
+	tail = (tail + 1) % qp.depth
+	// The phase bit makes the freshly written CQE self-describing; the tail
+	// publication follows the slot write, mirroring the SQ side.
+	qp.cqTail.Store(int64(tail))
+	if tail == 0 {
 		qp.phase = !qp.phase
 	}
-	qp.cqCount++
+	qp.cqCount.Add(1)
 	qp.Completed++
 	qp.emit(trace.CQEPost, uint32(cid), 0, uint64(st))
 
@@ -426,14 +442,15 @@ func (qp *QueuePair) raiseCoalesced() {
 // path; it advances the CQ head doorbell.
 func (qp *QueuePair) Poll(max int) []CompletionEntry {
 	var out []CompletionEntry
-	for qp.cqCount > 0 && (max == 0 || len(out) < max) {
-		ce := qp.cq[qp.cqHead]
-		qp.cqHead = (qp.cqHead + 1) % qp.depth
-		qp.cqCount--
+	for qp.cqCount.Load() > 0 && (max == 0 || len(out) < max) {
+		head := int(qp.cqHead.Load())
+		ce := qp.cq[head]
+		qp.cqHead.Store(int64((head + 1) % qp.depth))
+		qp.cqCount.Add(-1)
 		out = append(out, ce)
 		qp.emit(trace.CQEConsume, uint32(ce.CID), 0, uint64(ce.Status))
 	}
-	if qp.cqCount == 0 && qp.unNotified > 0 {
+	if qp.cqCount.Load() == 0 && qp.unNotified > 0 {
 		// The host consumed every aggregated CQE by polling; the armed
 		// interrupt would only find an empty queue, so suppress it.
 		qp.IRQSuppressed.Add(uint64(qp.unNotified))
@@ -449,16 +466,17 @@ func (qp *QueuePair) Poll(max int) []CompletionEntry {
 
 // Ring-state accessors for invariant checking (property tests): the SQ
 // head/tail and CQ head/tail indices and the device's current phase bit.
-func (qp *QueuePair) SQHead() int     { return qp.sqHead }
-func (qp *QueuePair) SQTail() int     { return qp.sqTail }
-func (qp *QueuePair) CQHead() int     { return qp.cqHead }
-func (qp *QueuePair) CQTail() int     { return qp.cqTail }
+// All index reads are atomic loads of the publishing side's cursor.
+func (qp *QueuePair) SQHead() int     { return int(qp.sqHead.Load()) }
+func (qp *QueuePair) SQTail() int     { return int(qp.sqTail.Load()) }
+func (qp *QueuePair) CQHead() int     { return int(qp.cqHead.Load()) }
+func (qp *QueuePair) CQTail() int     { return int(qp.cqTail.Load()) }
 func (qp *QueuePair) PhaseBit() bool  { return qp.phase }
-func (qp *QueuePair) CQOccupied() int { return qp.cqCount }
+func (qp *QueuePair) CQOccupied() int { return int(qp.cqCount.Load()) }
 
 // HasCompletions reports whether unconsumed CQEs are pending (the check a
 // shared-vector interrupt handler performs to identify the source, §4.2).
-func (qp *QueuePair) HasCompletions() bool { return qp.cqCount > 0 }
+func (qp *QueuePair) HasCompletions() bool { return qp.cqCount.Load() > 0 }
 
 // LastCID returns the command identifier assigned by the most recent
 // Submit.

@@ -1,0 +1,125 @@
+package nvme
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Property: against a slice model, any interleaving of push/pop requests
+// agrees on acceptance (full/empty refusal) and on FIFO contents.
+func TestSPSCQuickModel(t *testing.T) {
+	check := func(capHint uint8, ops []bool) bool {
+		r := NewSPSC[int](int(capHint%16) + 2)
+		var model []int
+		next := 0
+		for _, push := range ops {
+			if push {
+				ok := r.Push(next)
+				wantOK := len(model) < r.Cap()
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				v, ok := r.Pop()
+				wantOK := len(model) > 0
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the ring rounds its capacity up to a power of two and never
+// loses or duplicates an item across wrap-around.
+func TestSPSCQuickWrap(t *testing.T) {
+	check := func(capHint uint8, rounds uint8) bool {
+		r := NewSPSC[uint32](int(capHint % 32))
+		if c := r.Cap(); c < 2 || c&(c-1) != 0 {
+			return false
+		}
+		var got []uint32
+		v := uint32(0)
+		for i := 0; i < int(rounds); i++ {
+			for r.Push(v) {
+				v++
+			}
+			for {
+				x, ok := r.Pop()
+				if !ok {
+					break
+				}
+				got = append(got, x)
+			}
+		}
+		for i, x := range got {
+			if x != uint32(i) {
+				return false
+			}
+		}
+		return len(got) == int(v)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSPSCRaceHammer runs a real producer goroutine against a real consumer
+// goroutine — the configuration the SPSC publication discipline is written
+// for. Under -race this is the memory-model check: a slot read not ordered
+// after its index publication would be flagged.
+func TestSPSCRaceHammer(t *testing.T) {
+	const n = 1 << 14
+	r := NewSPSC[uint64](64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var sum, count uint64
+	go func() {
+		defer wg.Done()
+		for count < n {
+			if v, ok := r.Pop(); ok {
+				if v != count {
+					t.Errorf("popped %d, want %d", v, count)
+					return
+				}
+				sum += v
+				count++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	if want := uint64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}

@@ -123,6 +123,24 @@ const (
 	// body when it runs as an inserted stack frame (§6.1) — the delivery
 	// half of UserInterrupt is avoided in that path.
 	HandlerExec = 150 * time.Nanosecond
+
+	// RingPrep and RingComplete are the per-command software costs of the
+	// zero-copy ring datapath. RingPrep replaces SQEPrep when a command is
+	// staged through a per-core single-producer ring whose slots carry
+	// pre-registered pooled buffers: no per-command PRP list is built (the
+	// buffer's DMA mapping is set up once at pool registration) and the SQE
+	// lands in a pre-mapped slot with one cache-line write plus the atomic
+	// index publication — the dominant SQEPrep costs (PRP setup, bounds
+	// re-validation) disappear. RingComplete replaces CompleteCost on the
+	// same path: completions are consumed from the lock-free CQ ring by
+	// phase-bit inspection, the head index is published with one atomic
+	// store, and the per-command head-doorbell MMIO is batched away, leaving
+	// CQE parse + status propagation. Both remain strictly positive — the
+	// ring does not make command handling free, it strips the per-command
+	// setup the batched path still pays. TestRingPathCheaperIdentity pins
+	// RingPrep < SQEPrep and RingComplete < CompleteCost.
+	RingPrep     = 80 * time.Nanosecond
+	RingComplete = 100 * time.Nanosecond
 )
 
 // SchedTick is the scheduler tick period (CONFIG_HZ=250 on the paper's

@@ -69,3 +69,29 @@ func TestSubmitSplitIdentity(t *testing.T) {
 		}
 	}
 }
+
+// TestRingPathCheaperIdentity pins the zero-copy ring decomposition: the
+// ring's per-command costs must stay strictly positive (staging a command
+// and parsing a completion are never free) and strictly below the batched
+// path's per-command halves (the ring exists to strip per-command PRP setup
+// and the head-doorbell MMIO, not to add a third cost tier above them).
+func TestRingPathCheaperIdentity(t *testing.T) {
+	if RingPrep <= 0 || RingComplete <= 0 {
+		t.Fatal("both ring components must be positive")
+	}
+	if RingPrep >= SQEPrep {
+		t.Fatalf("RingPrep (%v) must be below SQEPrep (%v)", RingPrep, SQEPrep)
+	}
+	if RingComplete >= CompleteCost {
+		t.Fatalf("RingComplete (%v) must be below CompleteCost (%v)", RingComplete, CompleteCost)
+	}
+	// A ring batch of N commands behind one doorbell must beat the batched
+	// SQE path for every N, including N=1.
+	for _, n := range []int{1, 2, 8, 32} {
+		ring := time.Duration(n)*(RingPrep+RingComplete) + DoorbellWrite
+		batched := time.Duration(n)*(SQEPrep+CompleteCost) + DoorbellWrite
+		if ring >= batched {
+			t.Errorf("ring batch of %d costs %v, not cheaper than %v batched", n, ring, batched)
+		}
+	}
+}

@@ -109,6 +109,10 @@ type Analyzer struct {
 	ioInflight  map[[2]int64][2]uint64 // open SQEPrep→CQEConsume LBA intervals
 	writtenBack [][2]uint64            // LBA intervals covered by WritebackRun
 
+	// copy-accounting replay state
+	copyBudget map[int32]uint64    // path id → announced copy budget
+	copyCount  map[[2]int64]uint64 // (path id, chain id) → copies observed
+
 	// priority-delivery replay state
 	recogClass map[[2]int64]uint64      // (core, recognition id) → highest class delivered so far
 	postMarks  map[[2]int64]postMark    // (core, vector) → earliest outstanding classed post
@@ -164,6 +168,8 @@ func Analyze(evs []Event) *Analyzer {
 		netSent:      make(map[int32]uint64),
 		netArrived:   make(map[int32]uint64),
 		ioInflight:   make(map[[2]int64][2]uint64),
+		copyBudget:   make(map[int32]uint64),
+		copyCount:    make(map[[2]int64]uint64),
 		recogClass:   make(map[[2]int64]uint64),
 		postMarks:    make(map[[2]int64]postMark),
 		sloBounds:    make(map[uint32]time.Duration),
@@ -430,6 +436,33 @@ func (a *Analyzer) step(e Event) {
 			n = 1
 		}
 		a.writtenBack = append(a.writtenBack, [2]uint64{e.LBA, e.LBA + n})
+
+	case CopyBudget:
+		if prev, ok := a.copyBudget[e.QID]; ok && prev != e.Aux {
+			a.violate(e.Seq, "copy-budget",
+				"path=%d copy budget re-announced as %d (was %d)", e.QID, e.Aux, prev)
+		}
+		a.copyBudget[e.QID] = e.Aux
+
+	case BufCopy:
+		budget, ok := a.copyBudget[e.QID]
+		if !ok {
+			a.violate(e.Seq, "copy-budget",
+				"path=%d chain=%d copied %d byte(s) with no announced copy budget",
+				e.QID, e.CID, e.Aux)
+			break
+		}
+		k := key(e.QID, e.CID)
+		a.copyCount[k]++
+		if a.copyCount[k] > budget {
+			a.violate(e.Seq, "copy-budget",
+				"path=%d chain=%d performed copy %d of %d byte(s), over the %d-copy budget",
+				e.QID, e.CID, a.copyCount[k], e.Aux, budget)
+		}
+
+	case BufHandoff:
+		// Informational: ownership moved without a copy. The per-chain copy
+		// counter is deliberately untouched.
 
 	case NetSend:
 		a.netSent[e.QID]++
@@ -738,6 +771,20 @@ func (a *Analyzer) releaseQueue(qid int32) {
 			delete(a.held, k)
 		}
 	}
+}
+
+// CopyStats summarizes the copy-accounting replay: how many chains copied at
+// least once, the total copies across all chains, and the largest per-chain
+// copy count observed.
+func (a *Analyzer) CopyStats() (chains int, copies, maxPerChain uint64) {
+	for _, n := range a.copyCount {
+		chains++
+		copies += n
+		if n > maxPerChain {
+			maxPerChain = n
+		}
+	}
+	return chains, copies, maxPerChain
 }
 
 // Stage latency names, in pipeline order.

@@ -1,0 +1,73 @@
+package trace
+
+import "testing"
+
+// A chain that copies exactly at the announced bound is clean: one announced
+// budget of 1 copy for the FS read path, one copy per chain, plus handoffs
+// (which never count against the budget).
+func TestCopyBudgetChainAtBound(t *testing.T) {
+	var b evb
+	b.add(0, CopyBudget, -1, PathFSRead, NoCID, 0, 1).
+		add(1000, BufHandoff, 0, PathFSRead, 7, 0, 0x0102).
+		add(2000, BufCopy, 0, PathFSRead, 7, 0, 4096).
+		add(3000, BufHandoff, 0, PathFSRead, 7, 0, 0x0203).
+		add(4000, BufCopy, 0, PathFSRead, 8, 0, 4096)
+	a := Analyze(b.evs)
+	if len(a.Violations) != 0 {
+		t.Fatalf("chains at the copy bound flagged: %v", a.Violations)
+	}
+	chains, copies, max := a.CopyStats()
+	if chains != 2 || copies != 2 || max != 1 {
+		t.Fatalf("CopyStats = (%d, %d, %d), want (2, 2, 1)", chains, copies, max)
+	}
+}
+
+// An injected extra copy on the same chain must be flagged.
+func TestCopyBudgetExtraCopyFlagged(t *testing.T) {
+	var b evb
+	b.add(0, CopyBudget, -1, PathFSRead, NoCID, 0, 1).
+		add(1000, BufCopy, 0, PathFSRead, 7, 0, 4096).
+		add(2000, BufCopy, 0, PathFSRead, 7, 0, 512)
+	a := Analyze(b.evs)
+	if !hasViolation(a, "copy-budget") {
+		t.Fatal("second copy on a 1-copy-budget chain not flagged")
+	}
+}
+
+// A zero-copy path (budget 0) flags its very first copy.
+func TestCopyBudgetZeroCopyPath(t *testing.T) {
+	var b evb
+	b.add(0, CopyBudget, -1, PathWriteback, NoCID, 0, 0).
+		add(1000, BufHandoff, 0, PathWriteback, 3, 0, 0x0304)
+	if a := Analyze(b.evs); len(a.Violations) != 0 {
+		t.Fatalf("handoff-only zero-copy chain flagged: %v", a.Violations)
+	}
+	b.add(2000, BufCopy, 0, PathWriteback, 3, 0, 4096)
+	if a := Analyze(b.evs); !hasViolation(a, "copy-budget") {
+		t.Fatal("copy on a zero-copy-budget path not flagged")
+	}
+}
+
+// A copy with no announced budget is itself a violation: every traced path
+// must declare its bound before moving data.
+func TestCopyWithoutBudgetFlagged(t *testing.T) {
+	var b evb
+	b.add(0, BufCopy, 0, PathFSWrite, 1, 0, 4096)
+	if a := Analyze(b.evs); !hasViolation(a, "copy-budget") {
+		t.Fatal("copy without an announced budget not flagged")
+	}
+}
+
+// Re-announcing a different budget for the same path is drift, not tuning.
+func TestCopyBudgetReannounceFlagged(t *testing.T) {
+	var b evb
+	b.add(0, CopyBudget, -1, PathFSRead, NoCID, 0, 1).
+		add(1000, CopyBudget, -1, PathFSRead, NoCID, 0, 1)
+	if a := Analyze(b.evs); len(a.Violations) != 0 {
+		t.Fatalf("identical re-announcement flagged: %v", a.Violations)
+	}
+	b.add(2000, CopyBudget, -1, PathFSRead, NoCID, 0, 2)
+	if a := Analyze(b.evs); !hasViolation(a, "copy-budget") {
+		t.Fatal("conflicting budget re-announcement not flagged")
+	}
+}

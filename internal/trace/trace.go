@@ -229,7 +229,38 @@ const (
 	// LBA = ino.
 	MDSRenameDone
 
+	// CopyBudget: a datapath announced the copy budget for one traced path
+	// (emitted once per path, before the path's first chain). QID = path id
+	// (the Path* constants), Aux = the maximum data copies any one chain on
+	// the path may perform.
+	CopyBudget
+	// BufCopy: one chain on a traced path copied payload bytes between
+	// buffers (the thing the zero-copy datapath is eliminating). QID =
+	// path id, CID = chain id (one per read/write operation), Aux = bytes.
+	BufCopy
+	// BufHandoff: buffer ownership moved between datapath stages without a
+	// copy — the single-owner handoff. QID = path id, CID = chain id,
+	// Aux = from-stage<<8 | to-stage (the iobuf.Stage codes).
+	BufHandoff
+
 	numTypes
+)
+
+// The traced datapath identifiers for CopyBudget/BufCopy/BufHandoff events.
+// Each names one end-to-end chain shape with its own copy budget.
+const (
+	// PathFSRead: aeofs buffered read — device DMA lands in the page
+	// cache's own buffers, one copy page → user buffer.
+	PathFSRead = 1
+	// PathFSWrite: aeofs buffered write — one copy user buffer → page.
+	PathFSWrite = 2
+	// PathWriteback: dirty-page write-back — pages are submitted to the
+	// device as a gather batch, zero copies.
+	PathWriteback = 3
+	// PathSvcRead: storage-service OpRead — the FS read's copy lands
+	// directly in the reply frame's payload region, so the service edge
+	// adds zero copies of its own (budget covers the whole chain).
+	PathSvcRead = 4
 )
 
 // NoCID marks an event that does not concern a specific command.
@@ -299,6 +330,10 @@ var typeNames = [numTypes]string{
 	MDSRenameLink:   "MDSRenameLink",
 	MDSRenameUnlink: "MDSRenameUnlink",
 	MDSRenameDone:   "MDSRenameDone",
+
+	CopyBudget: "CopyBudget",
+	BufCopy:    "BufCopy",
+	BufHandoff: "BufHandoff",
 }
 
 func (t Type) String() string {
@@ -347,7 +382,19 @@ type ring struct {
 // returns (the engine serializes all emitting contexts).
 type Tracer struct {
 	seq   atomic.Uint64
+	chain atomic.Uint32
 	rings []ring
+}
+
+// NextChain allocates a copy-chain id (for BufCopy/BufHandoff CIDs) unique
+// across every emitter sharing this tracer — multiple FS mounts or service
+// instances on one engine can never collide. Returns NoCID on a nil tracer
+// so disabled-tracing paths can skip their emissions.
+func (tr *Tracer) NextChain() uint32 {
+	if tr == nil {
+		return NoCID
+	}
+	return tr.chain.Add(1)
 }
 
 // New creates a tracer for a machine with the given core count; perRing is
@@ -429,6 +476,7 @@ func (tr *Tracer) Reset() {
 		return
 	}
 	tr.seq.Store(0)
+	tr.chain.Store(0)
 	for i := range tr.rings {
 		tr.rings[i].n.Store(0)
 	}
